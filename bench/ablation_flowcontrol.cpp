@@ -1,0 +1,122 @@
+// Ablation B — minimal flow control on bulk transfers (§6.5).
+//
+// Paper: "The runtime system supports minimal flow control for sending
+// messages of large size to guarantee the correct implementation of
+// software pipelining. A node manager controls sending the acknowledgment
+// for a bulk data transfer request … so that only one such transfer is
+// active at a time. … without flow control the pipelined version of
+// Cholesky Decomposition did not deliver the expected performance."
+//
+// Two experiments: (1) a fan-in microbenchmark — several senders stream
+// large messages at one consumer that must process the *first* arrival to
+// make progress (the pipelining pattern); (2) the pipelined Cholesky from
+// Table 1 with flow control switched off.
+#include "apps/cholesky.hpp"
+#include "bench_util.hpp"
+#include "runtime/api.hpp"
+
+namespace {
+
+using namespace hal;
+
+/// Consumer: records when each large block arrives and charges per-block
+/// processing (the pipeline stage that should overlap with later arrivals).
+class Consumer : public ActorBase {
+ public:
+  void on_block(Context& ctx, std::uint64_t seq, Bytes data) {
+    if (first_at == 0) first_at = ctx.now();
+    ctx.charge_flops(data.size() / 4);  // downstream compute per block
+    (void)seq;
+    ++received;
+  }
+  HAL_BEHAVIOR(Consumer, &Consumer::on_block)
+  inline static SimTime first_at = 0;
+  inline static std::uint64_t received = 0;
+};
+
+class Producer : public ActorBase {
+ public:
+  void on_stream(Context& ctx, MailAddress dst, std::uint64_t blocks,
+                 std::uint64_t bytes) {
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      ctx.send<&Consumer::on_block>(dst, i, Bytes(bytes));
+    }
+  }
+  HAL_BEHAVIOR(Producer, &Producer::on_stream)
+};
+
+struct FanInResult {
+  SimTime first;
+  SimTime total;
+};
+
+FanInResult fan_in(bool flow_control) {
+  RuntimeConfig cfg;
+  cfg.nodes = 5;
+  cfg.flow_control = flow_control;
+  Runtime rt(cfg);
+  rt.load<Consumer>();
+  rt.load<Producer>();
+  Consumer::first_at = 0;
+  Consumer::received = 0;
+  const MailAddress c = rt.spawn<Consumer>(0);
+  for (NodeId n = 1; n < 5; ++n) {
+    const MailAddress p = rt.spawn<Producer>(n);
+    rt.inject<&Producer::on_stream>(p, c, std::uint64_t{6},
+                                    std::uint64_t{32 * 1024});
+  }
+  rt.run();
+  HAL_ASSERT(Consumer::received == 24);
+  return {Consumer::first_at, rt.makespan()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace hal::bench;
+  using namespace hal::apps;
+  header("Ablation B: minimal flow control for bulk transfers",
+         "paper §6.5 — software pipelining needs the one-at-a-time grant");
+
+  std::printf("fan-in: 4 producers stream 6 x 32 KiB blocks each at one "
+              "consumer\n\n");
+  std::printf("%-18s %18s %18s\n", "flow control", "first block (ms)",
+              "all blocks (ms)");
+  const FanInResult with_fc = fan_in(true);
+  const FanInResult without_fc = fan_in(false);
+  std::printf("%-18s %18.3f %18.3f\n", "on (paper)", ms(with_fc.first),
+              ms(with_fc.total));
+  std::printf("%-18s %18.3f %18.3f\n", "off", ms(without_fc.first),
+              ms(without_fc.total));
+  std::printf(
+      "\nWithout the grant policy every transfer's chunks interleave at\n"
+      "the consumer, so the first block completes ~%.1fx later and the\n"
+      "pipeline stage behind it starts late.\n\n",
+      static_cast<double>(without_fc.first) /
+          static_cast<double>(with_fc.first));
+
+  std::printf("pipelined Cholesky (CP variant of Table 1), 256x256 on 8 "
+              "nodes:\n\n");
+  std::printf("%-18s %18s\n", "flow control", "time (ms)");
+  for (const bool fc : {true, false}) {
+    CholeskyParams p;
+    p.n = 256;
+    p.nodes = 8;
+    p.variant = CholVariant::kPipelined;
+    p.mapping = ColMapping::kCyclic;
+    p.flow_control = fc;
+    const CholeskyResult r = run_cholesky(p);
+    if (r.max_error > 1e-8) {
+      std::fprintf(stderr, "VERIFICATION FAILED\n");
+      return 1;
+    }
+    std::printf("%-18s %18.2f\n", fc ? "on (paper)" : "off",
+                ms(r.makespan_ns));
+  }
+  std::printf(
+      "\nThe application-level effect is modest at simulated scale (our\n"
+      "network model has no packet backup beyond receiver serialization);\n"
+      "the fan-in experiment above isolates the mechanism the paper\n"
+      "credits for correct software pipelining.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation F — compiled vs interpreted behaviours on the same runtime.
+//
+// The paper's theme is compiler–runtime cooperation: HAL compiles to C
+// against the kernel's open interface. This repository has both ends of
+// that spectrum on one runtime: C++ behaviours (standing in for compiled
+// HAL) and HALlite's tree-walking interpreter. The ablation measures what
+// interpretation costs per message on the simulated machine — i.e. how
+// much the compilation half of the paper's story is worth.
+#include "bench_util.hpp"
+#include "lang/interp.hpp"
+#include "runtime/api.hpp"
+
+namespace {
+
+using namespace hal;
+
+class CppCounter : public ActorBase {
+ public:
+  void on_inc(Context& ctx, std::int64_t by) {
+    value_ += by;
+    ctx.charge_work(6);  // parity with the interpreter's statement charge
+  }
+  void on_get(Context& ctx) { ctx.reply(value_); }
+  HAL_BEHAVIOR(CppCounter, &CppCounter::on_inc, &CppCounter::on_get)
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class CppDriver : public ActorBase {
+ public:
+  void on_run(Context& ctx, MailAddress target, std::int64_t m) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      ctx.send<&CppCounter::on_inc>(target, std::int64_t{1});
+    }
+    ctx.request<&CppCounter::on_get>(
+        target, [m](Context&, const JoinView& v) {
+          HAL_ASSERT(v.get<std::int64_t>(0) == m);
+        });
+  }
+  HAL_BEHAVIOR(CppDriver, &CppDriver::on_run)
+};
+
+SimTime run_cpp(std::int64_t m, NodeId target_node) {
+  RuntimeConfig cfg;
+  cfg.nodes = 2;
+  Runtime rt(cfg);
+  rt.load<CppCounter>();
+  rt.load<CppDriver>();
+  const MailAddress c = rt.spawn<CppCounter>(target_node);
+  const MailAddress d = rt.spawn<CppDriver>(0);
+  rt.inject<&CppDriver::on_run>(d, c, m);
+  rt.run();
+  return rt.makespan();
+}
+
+SimTime run_interp(std::int64_t m, NodeId target_node) {
+  RuntimeConfig cfg;
+  cfg.nodes = 2;
+  Runtime rt(cfg);
+  auto program = lang::load_program(rt, R"(
+    behavior Counter {
+      state value = 0;
+      method inc(by) { value = value + by; }
+      method get() { reply value; }
+    }
+    behavior Driver {
+      method run(target, m) {
+        let i = 0;
+        while (i < m) {
+          send target.inc(1);
+          i = i + 1;
+        }
+        request target.get() -> (v) {
+          if (v != m) { print "MISMATCH"; }
+        }
+      }
+    }
+    main { }
+  )");
+  const BehaviorId counter = rt.registry().id_of_name("Counter");
+  const BehaviorId driver = rt.registry().id_of_name("Driver");
+  const MailAddress c = rt.spawn_id(counter, target_node);
+  const MailAddress d = rt.spawn_id(driver, 0);
+  rt.inject_message(lang::make_interp_message(
+      *program, d, "run",
+      {lang::Value(c), lang::Value(std::int64_t{m})}));
+  rt.run();
+  HAL_ASSERT(rt.console().empty());  // no MISMATCH line
+  return rt.makespan();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hal::bench;
+  header("Ablation F: compiled (C++) vs interpreted (HALlite) behaviours",
+         "the compiler half of the paper's compiler-runtime cooperation");
+
+  const std::int64_t m = 5000;
+  std::printf("%lld counter increments + one request/reply\n\n",
+              static_cast<long long>(m));
+  std::printf("%-28s %16s %16s %14s\n", "configuration", "compiled (ms)",
+              "interpreted", "overhead");
+  struct Row {
+    const char* name;
+    NodeId target;
+  };
+  for (const Row& row : {Row{"local receiver", 0u},
+                         Row{"remote receiver", 1u}}) {
+    const SimTime cpp = run_cpp(m, row.target);
+    const SimTime interp = run_interp(m, row.target);
+    std::printf("%-28s %16.3f %16.3f %13.2fx\n", row.name, ms(cpp),
+                ms(interp),
+                static_cast<double>(interp) / static_cast<double>(cpp));
+  }
+  std::printf(
+      "\nInterpretation multiplies the per-message fixed costs; the gap\n"
+      "narrows for remote receivers, where the wire dominates — the same\n"
+      "argument the paper makes for letting the compiler specialize the\n"
+      "local fast path (§6.3).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary prints a paper-style table to stdout and exits 0; the
+// HAL_BENCH_SCALE environment variable selects problem sizes:
+//   small (default) — seconds-scale, CI friendly
+//   paper           — closer to the paper's sizes (minutes on one core)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hal::bench {
+
+inline bool paper_scale() {
+  const char* s = std::getenv("HAL_BENCH_SCALE");
+  return s != nullptr && std::strcmp(s, "paper") == 0;
+}
+
+inline unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr ? static_cast<unsigned>(std::atoi(s)) : fallback;
+}
+
+inline double ms(SimTime ns) { return static_cast<double>(ns) / 1e6; }
+inline double us(SimTime ns) { return static_cast<double>(ns) / 1e3; }
+inline double secs(SimTime ns) { return static_cast<double>(ns) / 1e9; }
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("machine: virtual-time simulator calibrated to a CM-5 node\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace hal::bench

@@ -1,0 +1,134 @@
+// Example: a dynamic, irregular computation — the workload class the paper's
+// introduction argues needs location transparency and migration.
+//
+// "We have argued that such flexibility is essential for scalable execution
+// of dynamic, irregular applications over sparse data structures." (§1)
+// Adaptive quadrature is the classic instance: the recursion tree's shape
+// depends on the integrand, so no static placement is balanced. Every
+// interval is a relocatable actor; all work is seeded on node 0; the
+// receiver-initiated balancer spreads the spiky subtrees at runtime.
+//
+// Usage: adaptive_quadrature [nodes]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/api.hpp"
+
+namespace {
+
+/// A deliberately nasty integrand: smooth almost everywhere, violently
+/// oscillatory near x = 0.3 — the recursion depth varies by ~10 levels
+/// across the domain.
+double f(double x) {
+  const double d = std::abs(x - 0.3) + 1e-3;
+  return std::sin(1.0 / d) + 0.5 * std::sin(20.0 * x);
+}
+
+/// Simpson's rule on [a, b].
+double simpson(double a, double b) {
+  const double m = 0.5 * (a + b);
+  return (b - a) / 6.0 * (f(a) + 4.0 * f(m) + f(b));
+}
+
+class IntervalActor : public hal::ActorBase {
+ public:
+  void on_integrate(hal::Context& ctx, double a, double b, double whole,
+                    std::int64_t depth, hal::ContRef result) {
+    const double m = 0.5 * (a + b);
+    const double left = simpson(a, m);
+    const double right = simpson(m, b);
+    // ~30 evaluations of f worth of virtual work per refinement step.
+    ctx.charge_work(30);
+    if (depth <= 0 || std::abs(left + right - whole) < 1e-9) {
+      ctx.reply_to(result, left + right);
+      ctx.terminate();
+      return;
+    }
+    // Refine: two relocatable children, a join continuation adds them up.
+    const hal::ContRef join = ctx.make_join(
+        2, [result](hal::Context& jc, const hal::JoinView& v) {
+          jc.reply_to(result, v.get<double>(0) + v.get<double>(1));
+        });
+    const auto lchild = ctx.create<IntervalActor>();
+    const auto rchild = ctx.create<IntervalActor>();
+    ctx.set_relocatable(lchild, true);
+    ctx.set_relocatable(rchild, true);
+    ctx.send<&IntervalActor::on_integrate>(lchild, a, m, left, depth - 1,
+                                           join.at(0));
+    ctx.send<&IntervalActor::on_integrate>(rchild, m, b, right, depth - 1,
+                                           join.at(1));
+    ctx.terminate();
+  }
+  HAL_BEHAVIOR(IntervalActor, &IntervalActor::on_integrate)
+  bool migratable() const override { return true; }
+  void pack_state(hal::ByteWriter&) const override {}
+  void unpack_state(hal::ByteReader&) override {}
+};
+
+class QuadRoot : public hal::ActorBase {
+ public:
+  void on_start(hal::Context& ctx, double a, double b) {
+    const hal::ContRef join =
+        ctx.make_join(1, [](hal::Context&, const hal::JoinView& v) {
+          value = v.get<double>(0);
+          done = true;
+        });
+    const auto top = ctx.create<IntervalActor>();
+    ctx.set_relocatable(top, true);
+    ctx.send<&IntervalActor::on_integrate>(top, a, b, simpson(a, b),
+                                           std::int64_t{24}, join.at(0));
+  }
+  HAL_BEHAVIOR(QuadRoot, &QuadRoot::on_start)
+  inline static double value = 0.0;
+  inline static bool done = false;
+};
+
+double run(hal::NodeId nodes, bool lb, hal::SimTime* makespan,
+           hal::StatBlock* stats) {
+  QuadRoot::value = 0.0;
+  QuadRoot::done = false;
+  hal::RuntimeConfig cfg;
+  cfg.nodes = nodes;
+  cfg.load_balancing = lb;
+  hal::Runtime rt(cfg);
+  rt.load<IntervalActor>();
+  rt.load<QuadRoot>();
+  const auto root = rt.spawn<QuadRoot>(0);
+  rt.inject<&QuadRoot::on_start>(root, 0.0, 1.0);
+  rt.run();
+  *makespan = rt.makespan();
+  *stats = rt.total_stats();
+  return QuadRoot::done ? QuadRoot::value : std::nan("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto nodes =
+      argc > 1 ? static_cast<hal::NodeId>(std::atoi(argv[1])) : 8;
+
+  hal::SimTime t_without = 0, t_with = 0;
+  hal::StatBlock s_without, s_with;
+  const double v1 = run(nodes, false, &t_without, &s_without);
+  const double v2 = run(nodes, true, &t_with, &s_with);
+
+  std::printf("adaptive quadrature of an oscillatory integrand on [0,1]\n");
+  std::printf("result: %.9f (both runs agree: %s)\n", v2,
+              std::abs(v1 - v2) < 1e-12 ? "yes" : "NO");
+  std::printf("intervals refined: %llu actors\n",
+              static_cast<unsigned long long>(
+                  s_with.get(hal::Stat::kActorsCreatedLocal)));
+  std::printf("without load balancing: %8.3f ms\n",
+              static_cast<double>(t_without) / 1e6);
+  std::printf("with    load balancing: %8.3f ms (speedup %.2fx, "
+              "%llu steals)\n",
+              static_cast<double>(t_with) / 1e6,
+              static_cast<double>(t_without) / static_cast<double>(t_with),
+              static_cast<unsigned long long>(
+                  s_with.get(hal::Stat::kStealRequestsServed)));
+  std::printf(
+      "\nThe recursion tree is shaped by the integrand (deep near the\n"
+      "singularity at x=0.3), so only dynamic balancing can spread it.\n");
+  return std::abs(v1 - v2) < 1e-12 ? 0 : 1;
+}

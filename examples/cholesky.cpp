@@ -1,0 +1,49 @@
+// Example: parallel Cholesky factorization, local vs global synchronization
+// (paper §2.2, Table 1). Runs all four variants on the same SPD matrix,
+// verifies each against the sequential factorization, and shows why the
+// paper argues for minimal, per-actor synchronization constraints.
+//
+// Usage: cholesky [n] [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/cholesky.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hal::apps;
+  CholeskyParams params;
+  params.n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 96;
+  params.nodes = argc > 2 ? static_cast<hal::NodeId>(std::atoi(argv[2])) : 4;
+
+  struct Row {
+    const char* name;
+    CholVariant variant;
+    ColMapping mapping;
+  };
+  const Row rows[] = {
+      {"BP  (pipelined, block map)", CholVariant::kPipelined,
+       ColMapping::kBlock},
+      {"CP  (pipelined, cyclic map)", CholVariant::kPipelined,
+       ColMapping::kCyclic},
+      {"Seq (global sync, p2p)", CholVariant::kGlobalSeq,
+       ColMapping::kCyclic},
+      {"Bcast (global sync, tree)", CholVariant::kGlobalBcast,
+       ColMapping::kCyclic},
+  };
+
+  std::printf("Cholesky %zux%zu on %u nodes\n", params.n, params.n,
+              params.nodes);
+  std::printf("%-28s %12s %12s\n", "variant", "time (ms)", "max error");
+  for (const Row& row : rows) {
+    params.variant = row.variant;
+    params.mapping = row.mapping;
+    const CholeskyResult r = run_cholesky(params);
+    std::printf("%-28s %12.3f %12.2e\n", row.name,
+                static_cast<double>(r.makespan_ns) / 1e6, r.max_error);
+    if (r.max_error > 1e-8) return 1;
+  }
+  std::printf(
+      "\nLocal synchronization (BP/CP) lets iteration k+1 start before\n"
+      "iteration k has drained — the Table 1 effect.\n");
+  return 0;
+}

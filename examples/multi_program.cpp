@@ -1,0 +1,140 @@
+// Example: concurrent execution of multiple programs on one machine.
+//
+// Paper §3: "The runtime system is designed to concurrently execute
+// multiple programs on the same partition; the design minimizes the
+// machine's idle cycles … The kernel does not discriminate between actors
+// created by different programs." Two unrelated programs — a prime counter
+// fanned out across nodes and a token ring — are loaded into the same
+// kernels and run interleaved; both report through the front-end console
+// (§3, Fig. 1), whose log is ordered by virtual time.
+//
+// Usage: multi_program [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "runtime/api.hpp"
+
+namespace {
+
+// --- Program 1: count primes in [lo, hi) by fanning ranges across nodes -----
+
+class PrimeWorker : public hal::ActorBase {
+ public:
+  void on_count(hal::Context& ctx, std::int64_t lo, std::int64_t hi) {
+    std::int64_t primes = 0;
+    for (std::int64_t v = lo; v < hi; ++v) {
+      if (is_prime(v)) ++primes;
+    }
+    ctx.charge_work(static_cast<std::uint64_t>((hi - lo) * 12));
+    ctx.reply(primes);
+    ctx.terminate();
+  }
+  HAL_BEHAVIOR(PrimeWorker, &PrimeWorker::on_count)
+
+ private:
+  static bool is_prime(std::int64_t v) {
+    if (v < 2) return false;
+    for (std::int64_t d = 2; d * d <= v; ++d) {
+      if (v % d == 0) return false;
+    }
+    return true;
+  }
+};
+
+class PrimeDriver : public hal::ActorBase {
+ public:
+  void on_start(hal::Context& ctx, std::int64_t limit) {
+    const auto shards = static_cast<std::uint32_t>(ctx.node_count());
+    const hal::ContRef join = ctx.make_join(
+        shards, [](hal::Context& jc, const hal::JoinView& v) {
+          std::int64_t total = 0;
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            total += v.get<std::int64_t>(i);
+          }
+          char line[96];
+          std::snprintf(line, sizeof line,
+                        "[primes] %lld primes below the limit",
+                        static_cast<long long>(total));
+          jc.print(line);
+        });
+    const std::int64_t per = limit / shards;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      // Dynamic placement: spread the workers round-robin (§ placement).
+      const hal::MailAddress w = ctx.create_spread<PrimeWorker>();
+      const std::int64_t lo = s * per;
+      const std::int64_t hi = (s + 1 == shards) ? limit : lo + per;
+      ctx.send_cont<&PrimeWorker::on_count>(w, join.at(s), lo, hi);
+    }
+  }
+  HAL_BEHAVIOR(PrimeDriver, &PrimeDriver::on_start)
+};
+
+// --- Program 2: a token ring that reports each completed lap -----------------
+
+class RingMember : public hal::ActorBase {
+ public:
+  void on_wire(hal::Context&, hal::MailAddress next, bool head) {
+    next_ = next;
+    head_ = head;
+  }
+  void on_token(hal::Context& ctx, std::int64_t laps_left) {
+    if (head_) {
+      char line[64];
+      std::snprintf(line, sizeof line, "[ring] lap complete, %lld to go",
+                    static_cast<long long>(laps_left));
+      ctx.print(line);
+      if (laps_left == 0) return;
+      ctx.send<&RingMember::on_token>(next_, laps_left - 1);
+      return;
+    }
+    ctx.send<&RingMember::on_token>(next_, laps_left);
+  }
+  HAL_BEHAVIOR(RingMember, &RingMember::on_wire, &RingMember::on_token)
+
+ private:
+  hal::MailAddress next_;
+  bool head_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto nodes =
+      argc > 1 ? static_cast<hal::NodeId>(std::atoi(argv[1])) : 4;
+
+  hal::RuntimeConfig cfg;
+  cfg.nodes = nodes;
+  hal::Runtime rt(cfg);
+  // "Load" both executables into every kernel (§3: dynamic loading).
+  rt.load<PrimeWorker>();
+  rt.load<PrimeDriver>();
+  rt.load<RingMember>();
+
+  // Program 1.
+  const hal::MailAddress primes = rt.spawn<PrimeDriver>(0);
+  rt.inject<&PrimeDriver::on_start>(primes, std::int64_t{20000});
+
+  // Program 2: a ring spanning the same nodes, one member each.
+  std::vector<hal::MailAddress> ring;
+  for (hal::NodeId n = 0; n < nodes; ++n) {
+    ring.push_back(rt.spawn<RingMember>(n));
+  }
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    rt.inject<&RingMember::on_wire>(ring[i], ring[(i + 1) % ring.size()],
+                                    i == 0);
+  }
+  rt.inject<&RingMember::on_token>(ring[1 % ring.size()], std::int64_t{5});
+
+  rt.run();
+
+  std::printf("front-end console (ordered by virtual time):\n");
+  for (const auto& line : rt.console()) {
+    std::printf("  [%8.1f us, node %u] %s\n",
+                static_cast<double>(line.time) / 1000.0, line.node,
+                line.text.c_str());
+  }
+  std::printf("\nBoth programs shared the same kernels; the interleaving\n"
+              "above is the machine filling idle cycles across programs.\n");
+  return 0;
+}

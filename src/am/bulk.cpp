@@ -1,0 +1,135 @@
+#include "am/bulk.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace hal::am {
+
+BulkChannel::BulkChannel(Machine& machine, NodeId self, BulkHandlers handlers,
+                         StatBlock& stats, DeliverFn deliver)
+    : machine_(machine),
+      self_(self),
+      handlers_(handlers),
+      stats_(stats),
+      deliver_(std::move(deliver)) {
+  HAL_ASSERT(deliver_ != nullptr);
+}
+
+std::uint64_t BulkChannel::send(NodeId dst, std::uint64_t tag,
+                                const std::array<std::uint64_t, 2>& meta,
+                                Bytes data) {
+  const std::uint64_t id = next_id_++;
+  stats_.bump(Stat::kBulkTransfers);
+
+  Packet req;
+  req.src = self_;
+  req.dst = dst;
+  req.handler = handlers_.request;
+  req.words = {id, data.size(), tag, meta[0], meta[1], 0};
+  outbound_.emplace(id, Outbound{dst, std::move(data)});
+  machine_.send(std::move(req));
+  return id;
+}
+
+void BulkChannel::route(const Packet& p) {
+  if (p.handler == handlers_.request) {
+    on_request(p);
+  } else if (p.handler == handlers_.ack) {
+    on_ack(p);
+  } else if (p.handler == handlers_.data) {
+    on_data(p);
+  } else {
+    HAL_PANIC("BulkChannel::route: unknown handler");
+  }
+}
+
+void BulkChannel::grant(const PendingGrant& g) {
+  ++active_inbound_grants_;
+  Inbound in;
+  in.tag = g.tag;
+  in.meta = g.meta;
+  in.data.resize(g.size);
+  if (g.size == 0) {
+    // Degenerate transfer: nothing to stream; complete at grant time. Still
+    // ACK so the sender can retire its outbound record.
+    --active_inbound_grants_;
+    deliver_(g.src, g.tag, g.meta, {});
+  } else {
+    inbound_.emplace(key(g.src, g.id), std::move(in));
+  }
+  Packet ack;
+  ack.src = self_;
+  ack.dst = g.src;
+  ack.handler = handlers_.ack;
+  ack.words = {g.id, 0, 0, 0, 0, 0};
+  machine_.send(std::move(ack));
+}
+
+void BulkChannel::on_request(const Packet& p) {
+  PendingGrant g{p.src, p.words[0], p.words[1], p.words[2],
+                 {p.words[3], p.words[4]}};
+  if (flow_control_ && active_inbound_grants_ > 0) {
+    // Minimal flow control: hold the ACK until the active transfer drains.
+    stats_.bump(Stat::kBulkFlowStalls);
+    grant_queue_.push_back(g);
+    return;
+  }
+  grant(g);
+}
+
+void BulkChannel::on_ack(const Packet& p) {
+  const std::uint64_t id = p.words[0];
+  auto it = outbound_.find(id);
+  HAL_ASSERT(it != outbound_.end());
+  Outbound out = std::move(it->second);
+  outbound_.erase(it);
+
+  // DATA phase: stream the buffer in chunks. Each chunk is charged to the
+  // sender at injection (Machine::send) and to the receiver in on_data.
+  std::size_t offset = 0;
+  while (offset < out.data.size()) {
+    const std::size_t len =
+        std::min(kBulkChunkBytes, out.data.size() - offset);
+    Packet d;
+    d.src = self_;
+    d.dst = out.dst;
+    d.handler = handlers_.data;
+    d.words = {id, offset, 0, 0, 0, 0};
+    d.payload.assign(out.data.begin() + static_cast<std::ptrdiff_t>(offset),
+                     out.data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    machine_.send(std::move(d));
+    offset += len;
+  }
+}
+
+void BulkChannel::on_data(const Packet& p) {
+  const std::uint64_t k = key(p.src, p.words[0]);
+  auto it = inbound_.find(k);
+  HAL_ASSERT(it != inbound_.end());
+  Inbound& in = it->second;
+  const std::size_t offset = p.words[1];
+  HAL_ASSERT(offset + p.payload.size() <= in.data.size());
+  // Receiver-side drain cost: copying the chunk out of the NI.
+  machine_.charge(self_, machine_.costs().payload_byte_ns *
+                             static_cast<SimTime>(p.payload.size()));
+  std::memcpy(in.data.data() + offset, p.payload.data(), p.payload.size());
+  in.received += p.payload.size();
+  if (in.received < in.data.size()) return;
+
+  Inbound done = std::move(in);
+  inbound_.erase(it);
+  HAL_ASSERT(active_inbound_grants_ > 0);
+  --active_inbound_grants_;
+  // Grant the next queued transfer before delivering: delivery may trigger
+  // long method execution, and the grant lets the next sender overlap its
+  // DATA phase with that execution (software pipelining).
+  if (flow_control_ && !grant_queue_.empty() && active_inbound_grants_ == 0) {
+    PendingGrant g = grant_queue_.front();
+    grant_queue_.pop_front();
+    grant(g);
+  }
+  deliver_(p.src, done.tag, done.meta, std::move(done.data));
+}
+
+}  // namespace hal::am

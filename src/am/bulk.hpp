@@ -1,0 +1,104 @@
+// Three-phase bulk transfer with minimal flow control (§6.5).
+//
+// Active messages are not buffered, so sending bulk data requires a
+// three-phase protocol: the sender issues a REQUEST, the receiver's node
+// manager answers with an ACK (the grant), and only then does the sender
+// stream DATA chunks. The paper's *minimal flow control* is the grant
+// policy: "a node manager controls sending the acknowledgment for a bulk
+// data transfer request ... so that only one such transfer is active at a
+// time". That serialization is what makes software pipelining work (their
+// Cholesky result, Table 1) — bench/ablation_flowcontrol reproduces the
+// effect by toggling set_flow_control().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "am/machine.hpp"
+#include "common/stats.hpp"
+
+namespace hal::am {
+
+/// Handler ids the owning NodeClient must route to on_request / on_ack /
+/// on_data. The kernel assigns these from its handler namespace.
+struct BulkHandlers {
+  std::uint32_t request = 0;
+  std::uint32_t ack = 0;
+  std::uint32_t data = 0;
+};
+
+/// Per-node endpoint of the bulk protocol. Single-threaded: owned and driven
+/// entirely by one node's execution stream.
+class BulkChannel {
+ public:
+  /// Completed-transfer callback: (src node, tag, meta words, data).
+  using DeliverFn =
+      std::function<void(NodeId src, std::uint64_t tag,
+                         const std::array<std::uint64_t, 2>& meta, Bytes data)>;
+
+  BulkChannel(Machine& machine, NodeId self, BulkHandlers handlers,
+              StatBlock& stats, DeliverFn deliver);
+
+  /// Begin a transfer; returns the local transfer id. The data is held until
+  /// the receiver grants the transfer. `tag`/`meta` travel with the REQUEST
+  /// and are handed to the receiver's DeliverFn on completion.
+  std::uint64_t send(NodeId dst, std::uint64_t tag,
+                     const std::array<std::uint64_t, 2>& meta, Bytes data);
+
+  /// Route an incoming packet (handler must be one of ours).
+  void route(const Packet& p);
+
+  /// Flow control on (default): one active inbound transfer at a time;
+  /// further REQUESTs queue for the grant. Off: every REQUEST is ACKed
+  /// immediately (the paper's broken-pipelining baseline).
+  void set_flow_control(bool enabled) noexcept { flow_control_ = enabled; }
+  bool flow_control() const noexcept { return flow_control_; }
+
+  /// Transfers currently granted but not yet fully received.
+  std::size_t inbound_active() const noexcept { return inbound_.size(); }
+  /// Outbound transfers awaiting a grant or mid-stream.
+  std::size_t outbound_pending() const noexcept { return outbound_.size(); }
+
+ private:
+  struct Outbound {
+    NodeId dst;
+    Bytes data;
+  };
+  struct Inbound {
+    std::uint64_t tag = 0;
+    std::array<std::uint64_t, 2> meta{};
+    Bytes data;
+    std::size_t received = 0;
+  };
+  struct PendingGrant {
+    NodeId src;
+    std::uint64_t id;
+    std::uint64_t size;
+    std::uint64_t tag;
+    std::array<std::uint64_t, 2> meta;
+  };
+
+  void on_request(const Packet& p);
+  void on_ack(const Packet& p);
+  void on_data(const Packet& p);
+  void grant(const PendingGrant& g);
+  static std::uint64_t key(NodeId src, std::uint64_t id) {
+    return (static_cast<std::uint64_t>(src) << 40) ^ id;
+  }
+
+  Machine& machine_;
+  NodeId self_;
+  BulkHandlers handlers_;
+  StatBlock& stats_;
+  DeliverFn deliver_;
+  std::uint64_t next_id_ = 1;
+  bool flow_control_ = true;
+  std::uint64_t active_inbound_grants_ = 0;
+  std::unordered_map<std::uint64_t, Outbound> outbound_;        // by local id
+  std::unordered_map<std::uint64_t, Inbound> inbound_;          // by key()
+  std::deque<PendingGrant> grant_queue_;
+};
+
+}  // namespace hal::am

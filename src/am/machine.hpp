@@ -1,0 +1,153 @@
+// Abstract multicomputer: P nodes exchanging active-message packets.
+//
+// Two implementations share this interface (DESIGN.md §1):
+//   * SimMachine    — deterministic discrete-event executor with per-node
+//                     virtual clocks and the CostModel; regenerates the
+//                     paper's CM-5 scaling and primitive-cost tables on a
+//                     single host core.
+//   * ThreadMachine — one OS thread per node, real MPSC endpoint queues,
+//                     wall-clock time; demonstrates the runtime is genuinely
+//                     concurrent.
+// All kernel/protocol code above this interface is identical under both.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "am/cost_model.hpp"
+#include "am/packet.hpp"
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hal::am {
+
+/// Per-node logic attached to a machine. All four methods are invoked on the
+/// node's own execution stream; implementations need no internal locking.
+class NodeClient {
+ public:
+  virtual ~NodeClient() = default;
+
+  /// An active-message packet arrived; run its handler.
+  virtual void handle(Packet p) = 0;
+
+  /// Perform one unit of local work (e.g. dispatch one actor message).
+  /// Returns false if there was nothing to do.
+  virtual bool step() = 0;
+
+  /// True if step() would do work.
+  virtual bool has_work() const = 0;
+
+  /// Called once on each transition from busy to idle (endpoint drained and
+  /// has_work() false). May send packets — this is where the receiver-
+  /// initiated load balancer issues its poll.
+  virtual void on_idle() {}
+};
+
+class Machine {
+ public:
+  Machine(NodeId nodes, CostModel costs)
+      : clients_(nodes, nullptr), costs_(costs) {
+    HAL_ASSERT(nodes >= 1);
+  }
+  virtual ~Machine() = default;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  NodeId node_count() const noexcept {
+    return static_cast<NodeId>(clients_.size());
+  }
+  const CostModel& costs() const noexcept { return costs_; }
+
+  void attach(NodeId node, NodeClient* client) {
+    HAL_ASSERT(node < node_count());
+    clients_[node] = client;
+  }
+
+  /// Inject a packet. Must be called from the src node's execution stream
+  /// (or from the bootstrap thread before run()). Payloads above
+  /// kBulkChunkBytes are rejected: larger transfers must be chunked through
+  /// the three-phase BulkChannel protocol.
+  virtual void send(Packet p) = 0;
+
+  /// Advance the node's virtual clock (SimMachine) / no-op (ThreadMachine).
+  virtual void charge(NodeId node, SimTime ns) = 0;
+
+  /// Convenience: charge a floating-point workload on the cost model.
+  void charge_flops(NodeId node, std::uint64_t flops) {
+    charge(node, static_cast<SimTime>(static_cast<double>(flops) *
+                                      costs_.flop_ns));
+  }
+  /// Charge generic user work units (integer ops, traversal steps).
+  void charge_work(NodeId node, std::uint64_t units) {
+    charge(node, static_cast<SimTime>(static_cast<double>(units) *
+                                      costs_.work_ns));
+  }
+
+  /// Current time on a node: virtual ns (SimMachine) or wall ns since
+  /// machine construction (ThreadMachine).
+  virtual SimTime now(NodeId node) const = 0;
+
+  /// Execute until quiescence (no packets in flight, no local work, no work
+  /// tokens outstanding) or until stop() is called.
+  virtual void run() = 0;
+
+  /// Ask run() to return as soon as possible (callable from any thread).
+  void stop() noexcept { stop_.store(true, std::memory_order_release); }
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  // --- Global work hint ----------------------------------------------------
+  // Front-end service standing in for the global progress information a
+  // receiver-initiated load balancer needs (Kumar et al. pair random polling
+  // with a separate termination detector): the total number of dispatcher
+  // items queued or executing across all nodes. Idle nodes keep polling only
+  // while this is positive, which keeps an idle machine quiescent without
+  // giving up continuous polling during computation.
+  void work_hint_add(std::int64_t delta) noexcept {
+    work_hint_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  std::int64_t work_hint() const noexcept {
+    return work_hint_.load(std::memory_order_acquire);
+  }
+
+  // --- Work tokens --------------------------------------------------------
+  // The front-end's quiescence service (DESIGN.md §5): a token is held for
+  // every unit of outstanding work the machine cannot see (e.g. a parked
+  // message awaiting FIR resolution). run() does not return while tokens
+  // are outstanding.
+  void token_acquire(std::uint64_t k = 1) noexcept {
+    tokens_.fetch_add(k, std::memory_order_acq_rel);
+  }
+  void token_release(std::uint64_t k = 1) noexcept {
+    const auto prev = tokens_.fetch_sub(k, std::memory_order_acq_rel);
+    HAL_ASSERT(prev >= k);
+  }
+  std::uint64_t tokens() const noexcept {
+    return tokens_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  NodeClient& client(NodeId node) const {
+    HAL_ASSERT(node < node_count() && clients_[node] != nullptr);
+    return *clients_[node];
+  }
+
+  /// Validate a packet at injection time.
+  void check_packet(const Packet& p) const {
+    HAL_ASSERT(p.src < node_count());
+    HAL_ASSERT(p.dst < node_count());
+    HAL_ASSERT(p.payload.size() <= kBulkChunkBytes);
+  }
+
+ private:
+  std::vector<NodeClient*> clients_;
+  CostModel costs_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> tokens_{0};
+  std::atomic<std::int64_t> work_hint_{0};
+};
+
+}  // namespace hal::am

@@ -1,0 +1,48 @@
+// Hypercube-like minimum-spanning-tree broadcast structure (§6.4).
+//
+// The paper's communication module implements the broadcast primitive "in
+// terms of point-to-point communication, using a hypercube-like minimum
+// spanning tree". This is the classic binomial tree over node ranks relative
+// to the broadcast root: node rr's parent clears rr's highest set bit, so a
+// broadcast reaches P nodes in ⌈log2 P⌉ relay steps with each node sending
+// at most ⌈log2 P⌉ packets.
+#pragma once
+
+#include <bit>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace hal::am {
+
+/// Visit the children of `self` in the binomial broadcast tree rooted at
+/// `root` over `nodes` nodes; `fn(NodeId child)` is called in relay order
+/// (nearest subtree first).
+template <typename Fn>
+void mst_for_each_child(NodeId self, NodeId root, NodeId nodes, Fn&& fn) {
+  HAL_ASSERT(self < nodes && root < nodes);
+  const NodeId rr = (self + nodes - root) % nodes;
+  // Children of relative rank rr are rr + 2^k for every 2^k above rr's
+  // highest set bit (all of them for rr == 0).
+  NodeId step = (rr == 0) ? 1 : (std::bit_floor(rr) << 1);
+  for (; step != 0 && rr + step < nodes; step <<= 1) {
+    fn(static_cast<NodeId>((rr + step + root) % nodes));
+  }
+}
+
+/// Parent of `self` in the tree rooted at `root`; root's parent is itself.
+inline NodeId mst_parent(NodeId self, NodeId root, NodeId nodes) {
+  HAL_ASSERT(self < nodes && root < nodes);
+  const NodeId rr = (self + nodes - root) % nodes;
+  if (rr == 0) return root;
+  const NodeId pr = rr & static_cast<NodeId>(~std::bit_floor(rr));
+  return static_cast<NodeId>((pr + root) % nodes);
+}
+
+/// Depth of `self` in the tree (number of relay hops from the root).
+inline unsigned mst_depth(NodeId self, NodeId root, NodeId nodes) {
+  const NodeId rr = (self + nodes - root) % nodes;
+  return static_cast<unsigned>(std::popcount(rr));
+}
+
+}  // namespace hal::am

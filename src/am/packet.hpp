@@ -1,0 +1,44 @@
+// Active-message packet, modeled on CMAM [von Eicken et al. 92].
+//
+// A packet names a handler on the destination node and carries a small fixed
+// number of argument words; the handler runs on the receiving node's
+// execution stream ("the node manager steals the processor from the actor
+// that is currently executing", §3). Packets are *not* buffered by the
+// network layer beyond the destination endpoint queue — bulk data must go
+// through the three-phase protocol in am/bulk.hpp, mirroring the paper's
+// CMAM customization (§6.5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace hal::am {
+
+/// Number of argument words a packet carries (CMAM handlers take 4-5 words;
+/// we use 6 so an actor-message header — destination address, selector,
+/// continuation — fits in one packet).
+inline constexpr std::size_t kPacketWords = 6;
+
+/// Payload bytes allowed on a plain (non-bulk) packet. Larger actor-message
+/// payloads must go through the three-phase bulk protocol — enforced by the
+/// node manager at send time. 512 B models a short train of back-to-back
+/// network packets, which is how the paper's communication module sends
+/// medium actor messages.
+inline constexpr std::size_t kMaxInlinePayload = 512;
+
+/// Chunk size of the bulk-transfer DATA phase; also the hard per-packet
+/// payload cap enforced by Machine::send.
+inline constexpr std::size_t kBulkChunkBytes = 4096;
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t handler = 0;
+  std::array<std::uint64_t, kPacketWords> words{};
+  Bytes payload;  // ≤ kMaxInlinePayload except for bulk DATA chunks
+};
+
+}  // namespace hal::am

@@ -1,0 +1,153 @@
+#include "am/sim_machine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hal::am {
+
+SimMachine::SimMachine(NodeId nodes, CostModel costs)
+    : Machine(nodes, costs),
+      clock_(nodes, 0),
+      handler_tail_(nodes, 0),
+      resume_pending_(nodes, false),
+      idle_notified_(nodes, false) {}
+
+void SimMachine::push_event(Event e) {
+  e.seq = next_seq_++;
+  queue_.push(std::move(e));
+}
+
+void SimMachine::schedule_resume(NodeId node) {
+  if (resume_pending_[node]) return;
+  resume_pending_[node] = true;
+  push_event(Event{clock_[node], 0, EventKind::kResume, node, {}});
+}
+
+SimTime SimMachine::current_time(NodeId node) const {
+  if (in_handler_ && node == handler_node_) return handler_time_;
+  return clock_[node];
+}
+
+void SimMachine::send(Packet p) {
+  check_packet(p);
+  const auto& c = costs();
+  // Sender pays injection: fixed overhead + per-word + per-payload-byte.
+  charge(p.src, c.packet_inject_ns +
+                    c.per_word_ns * static_cast<SimTime>(kPacketWords) +
+                    c.payload_byte_ns * static_cast<SimTime>(p.payload.size()));
+  const SimTime arrival = current_time(p.src) + c.wire_latency_ns;
+  const NodeId dst = p.dst;
+  push_event(Event{arrival, 0, EventKind::kDelivery, dst, std::move(p)});
+}
+
+void SimMachine::charge(NodeId node, SimTime ns) {
+  HAL_ASSERT(node < node_count());
+  if (in_handler_ && node == handler_node_) {
+    // Handler execution advances the handler stream; the method stream is
+    // billed for the stolen cycles when the handler completes.
+    handler_time_ += ns;
+    return;
+  }
+  clock_[node] += ns;
+}
+
+SimTime SimMachine::now(NodeId node) const {
+  HAL_ASSERT(node < node_count());
+  return current_time(node);
+}
+
+SimTime SimMachine::makespan() const {
+  SimTime m = 0;
+  for (NodeId n = 0; n < node_count(); ++n) {
+    m = std::max(m, std::max(clock_[n], handler_tail_[n]));
+  }
+  return m;
+}
+
+void SimMachine::reset_clocks() {
+  HAL_ASSERT(!running_ && queue_.empty());
+  std::fill(clock_.begin(), clock_.end(), SimTime{0});
+  std::fill(handler_tail_.begin(), handler_tail_.end(), SimTime{0});
+}
+
+void SimMachine::settle(NodeId node) {
+  NodeClient& c = client(node);
+  if (c.has_work()) {
+    idle_notified_[node] = false;
+    schedule_resume(node);
+    return;
+  }
+  if (!idle_notified_[node]) {
+    idle_notified_[node] = true;
+    c.on_idle();
+    // on_idle may have produced local work (it usually only sends packets,
+    // but e.g. a balancer may decide to re-enable a parked computation).
+    if (c.has_work()) {
+      idle_notified_[node] = false;
+      schedule_resume(node);
+    }
+  }
+}
+
+void SimMachine::run() {
+  HAL_ASSERT(!running_);
+  running_ = true;
+
+  // Prime: nodes seeded with bootstrap work start executing at t=0; workless
+  // nodes get their idle notification (where a load balancer would poll).
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (client(n).has_work()) {
+      schedule_resume(n);
+    }
+  }
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (!client(n).has_work()) settle(n);
+  }
+
+  while (!queue_.empty() && !stop_requested()) {
+    Event e = queue_.top();
+    queue_.pop();
+    ++events_done_;
+    if (event_limit_ != 0 && events_done_ > event_limit_) {
+      HAL_PANIC("SimMachine event limit exceeded (protocol livelock?)");
+    }
+    const NodeId n = e.node;
+    switch (e.kind) {
+      case EventKind::kDelivery: {
+        // Preemptive handler (§3): runs at arrival time on the handler
+        // stream, serialized after any handler still in flight here.
+        const SimTime start = std::max(e.time, handler_tail_[n]);
+        in_handler_ = true;
+        handler_node_ = n;
+        handler_time_ = start;
+        charge(n, costs().handler_entry_ns);
+        idle_notified_[n] = false;
+        client(n).handle(std::move(e.packet));
+        const SimTime stolen = handler_time_ - start;
+        handler_tail_[n] = handler_time_;
+        in_handler_ = false;
+        handler_node_ = kInvalidNode;
+        // Bill the method stream: an idle stream resumes when the handler
+        // ends; a busy one is pushed back by the stolen cycles.
+        clock_[n] = clock_[n] <= start ? handler_time_ : clock_[n] + stolen;
+        break;
+      }
+      case EventKind::kResume:
+        resume_pending_[n] = false;
+        clock_[n] = std::max(clock_[n], e.time);
+        client(n).step();
+        break;
+    }
+    settle(n);
+  }
+
+  if (!stop_requested()) {
+    // Queue exhausted: every node idle, nothing in flight. Outstanding work
+    // tokens here mean a protocol deadlock (e.g. a message parked on an FIR
+    // whose response was lost) — fail loudly.
+    HAL_ASSERT(tokens() == 0);
+  }
+  running_ = false;
+}
+
+}  // namespace hal::am

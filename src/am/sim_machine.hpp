@@ -1,0 +1,98 @@
+// Deterministic discrete-event machine simulator.
+//
+// Each node is a sequential execution stream with its own virtual clock;
+// packet deliveries and node-resume events are processed from one global
+// priority queue ordered by (time, insertion sequence) so every run with the
+// same seed is bit-for-bit reproducible. Node code advances its clock via
+// Machine::charge(); packet arrival time = sender clock after injection
+// charges + wire latency. This is the stand-in for the paper's CM-5
+// (DESIGN.md §1): the runtime's protocols execute unmodified, and reported
+// "execution times" are simulated makespans.
+//
+// Handler preemption: on the CM-5 an incoming active message interrupts the
+// running actor — "the node manager steals the processor from the actor
+// that is currently executing, processes the request using that actor's
+// stack frame and subsequently resumes the actor's execution" (§3). The
+// simulator models this with two per-node streams: handlers execute at
+// their arrival time (serialized among themselves on the handler stream),
+// and their cost is charged to the method stream as stolen cycles. A bulk
+// transfer therefore makes progress *during* a long method — which is what
+// lets communication overlap computation, exactly as on the real machine.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "am/machine.hpp"
+
+namespace hal::am {
+
+class SimMachine final : public Machine {
+ public:
+  SimMachine(NodeId nodes, CostModel costs);
+
+  void send(Packet p) override;
+  void charge(NodeId node, SimTime ns) override;
+  SimTime now(NodeId node) const override;
+  void run() override;
+
+  /// Makespan: maximum virtual clock over all nodes. This is the number the
+  /// benchmark tables report as "execution time".
+  SimTime makespan() const;
+
+  /// Total events processed (diagnostic; useful in tests to bound work).
+  std::uint64_t events_processed() const noexcept { return events_done_; }
+
+  /// Safety valve for protocol bugs: run() aborts after this many events.
+  void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+
+  /// Reset all virtual clocks to zero (between benchmark repetitions).
+  void reset_clocks();
+
+ private:
+  enum class EventKind : std::uint8_t { kDelivery, kResume };
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal-time events
+    EventKind kind;
+    NodeId node;
+    Packet packet;  // kDelivery only
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // min-heap: earlier seq first
+    }
+  };
+
+  void push_event(Event e);
+  /// Schedule a resume for `node` at its current clock unless one is already
+  /// pending.
+  void schedule_resume(NodeId node);
+  /// After running client code on `node`: keep it executing or transition
+  /// it to idle (invoking on_idle once).
+  void settle(NodeId node);
+  /// The executing stream's current time on `node` (handler stream while a
+  /// handler runs, method stream otherwise).
+  SimTime current_time(NodeId node) const;
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<SimTime> clock_;         // method/compute stream
+  std::vector<SimTime> handler_tail_;  // handler-stream serialization point
+  std::vector<bool> resume_pending_;
+  std::vector<bool> idle_notified_;
+  // Transient handler-execution context (one handler at a time globally —
+  // the event loop is sequential).
+  bool in_handler_ = false;
+  NodeId handler_node_ = kInvalidNode;
+  SimTime handler_time_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_done_ = 0;
+  std::uint64_t event_limit_ = 0;  // 0 = unlimited
+  bool running_ = false;
+};
+
+}  // namespace hal::am

@@ -1,0 +1,112 @@
+#include "am/thread_machine.hpp"
+
+#include <utility>
+
+namespace hal::am {
+
+using namespace std::chrono_literals;
+
+ThreadMachine::ThreadMachine(NodeId nodes, CostModel costs)
+    : Machine(nodes, costs), epoch_(std::chrono::steady_clock::now()) {
+  nodes_.reserve(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    nodes_.push_back(std::make_unique<NodeRec>());
+  }
+}
+
+ThreadMachine::~ThreadMachine() = default;
+
+void ThreadMachine::send(Packet p) {
+  check_packet(p);
+  NodeRec& dst = *nodes_[p.dst];
+  packets_sent_.fetch_add(1, std::memory_order_acq_rel);
+  dst.queue.push(std::move(p));
+  dst.cv.notify_one();
+}
+
+void ThreadMachine::charge(NodeId node, SimTime /*ns*/) {
+  HAL_ASSERT(node < node_count());
+}
+
+SimTime ThreadMachine::now(NodeId node) const {
+  HAL_ASSERT(node < node_count());
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+bool ThreadMachine::quiescent() const {
+  for (const auto& rec : nodes_) {
+    if (!rec->idle.load(std::memory_order_acquire)) return false;
+  }
+  const auto sent = packets_sent_.load(std::memory_order_acquire);
+  const auto handled = packets_handled_.load(std::memory_order_acquire);
+  if (sent != handled || tokens() != 0) return false;
+  // Double scan: a send that raced the first pass would have bumped
+  // packets_sent_ (senders increment before pushing) or cleared an idle
+  // flag by the time we re-read. New sends can only originate from a
+  // non-idle node, so a stable snapshot proves quiescence.
+  for (const auto& rec : nodes_) {
+    if (!rec->idle.load(std::memory_order_acquire)) return false;
+  }
+  return packets_sent_.load(std::memory_order_acquire) == sent &&
+         packets_handled_.load(std::memory_order_acquire) == sent &&
+         tokens() == 0;
+}
+
+void ThreadMachine::node_loop(NodeId node) {
+  NodeRec& rec = *nodes_[node];
+  NodeClient& c = client(node);
+  bool idle_notified = false;
+
+  while (!stop_requested()) {
+    bool did_work = false;
+    while (auto p = rec.queue.pop()) {
+      c.handle(std::move(*p));
+      packets_handled_.fetch_add(1, std::memory_order_acq_rel);
+      did_work = true;
+    }
+    if (c.step()) did_work = true;
+    if (did_work) {
+      idle_notified = false;
+      continue;
+    }
+    if (!idle_notified) {
+      idle_notified = true;
+      c.on_idle();  // may send packets (load-balancer poll)
+      continue;     // re-drain: the poll's reply may already be queued
+    }
+    // Genuinely idle: advertise it, then either detect global quiescence or
+    // sleep until a packet arrives.
+    rec.idle.store(true, std::memory_order_release);
+    if (rec.queue.empty() && quiescent()) {
+      stop();
+      for (auto& other : nodes_) other->cv.notify_all();
+      rec.idle.store(false, std::memory_order_release);
+      return;
+    }
+    {
+      std::unique_lock lock(rec.mutex);
+      rec.cv.wait_for(lock, 200us, [&] {
+        return !rec.queue.empty() || stop_requested();
+      });
+    }
+    rec.idle.store(false, std::memory_order_release);
+    // Re-arm the idle notification: a node that stays idle re-polls (e.g.
+    // the load balancer) every wakeup, like an idle PE spinning in its
+    // polling loop on the real machine.
+    idle_notified = false;
+  }
+}
+
+void ThreadMachine::run() {
+  std::vector<std::jthread> threads;
+  threads.reserve(node_count());
+  for (NodeId n = 0; n < node_count(); ++n) {
+    threads.emplace_back([this, n] { node_loop(n); });
+  }
+  // jthread joins on destruction; run() returns once every node loop exits.
+}
+
+}  // namespace hal::am

@@ -1,0 +1,340 @@
+#include "apps/cholesky.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "am/mst.hpp"
+#include "baseline/seq_kernels.hpp"
+#include "runtime/api.hpp"
+
+namespace hal::apps {
+namespace {
+
+constexpr std::uint64_t pack_cfg(CholVariant v, ColMapping m) {
+  return (static_cast<std::uint64_t>(v) << 8) | static_cast<std::uint64_t>(m);
+}
+constexpr CholVariant cfg_variant(std::uint64_t w) {
+  return static_cast<CholVariant>((w >> 8) & 0xff);
+}
+constexpr ColMapping cfg_mapping(std::uint64_t w) {
+  return static_cast<ColMapping>(w & 0xff);
+}
+
+class CholCoord;
+
+/// Owns a subset of columns; enforces ordering purely through local
+/// synchronization (update counting + constraint-guarded methods).
+class CholOwner : public ActorBase {
+ public:
+  // --- Messages -------------------------------------------------------------
+  /// Configuration + this owner's columns (bulk payload).
+  void on_init(Context& ctx, std::uint64_t cfg, std::uint64_t n,
+               std::uint32_t index, GroupId gid, MailAddress coord,
+               Bytes data) {
+    variant_ = cfg_variant(cfg);
+    mapping_ = cfg_mapping(cfg);
+    n_ = n;
+    index_ = index;
+    gid_ = gid;
+    coord_ = coord;
+    nodes_ = static_cast<NodeId>(ctx.node_count());
+    ByteReader r{std::span<const std::byte>{data}};
+    const auto count = r.read<std::uint32_t>();
+    for (std::uint32_t c = 0; c < count; ++c) {
+      const auto j = r.read<std::uint64_t>();
+      cols_.emplace(j, r.read_vector<double>());
+      updates_[j] = 0;
+    }
+    initialized_ = true;
+    if (variant_ == CholVariant::kPipelined) {
+      // Column 0 needs no updates: its owner starts the pipeline at once.
+      try_finalize(ctx);
+    }
+  }
+
+  /// Pipelined variant: a finished column arrives from a peer.
+  void on_column(Context& ctx, std::uint64_t k, Bytes data) {
+    apply_column(ctx, k, data);
+    try_finalize(ctx);
+  }
+
+  /// Global variants: the coordinator hands this owner iteration k.
+  void on_do_step(Context& ctx, std::uint64_t k) {
+    cdiv(ctx, k);
+    const Bytes packed = pack_column(k);
+    if (variant_ == CholVariant::kGlobalSeq) {
+      for (std::uint32_t m = 0; m < nodes_; ++m) {
+        if (m == index_) continue;
+        ctx.send_member<&CholOwner::on_column_sync>(gid_, m, k,
+                                                    std::uint64_t{index_},
+                                                    packed);
+      }
+    } else {
+      relay_tree(ctx, k, index_, packed);
+    }
+    apply_column(ctx, k, packed);
+    ack(ctx, k);
+  }
+
+  /// Global variants: apply every update of iteration k, then report to the
+  /// barrier. Bcast relays down the member-index tree first.
+  void on_column_sync(Context& ctx, std::uint64_t k, std::uint64_t root,
+                      Bytes data) {
+    if (variant_ == CholVariant::kGlobalBcast) {
+      relay_tree(ctx, k, static_cast<std::uint32_t>(root), data);
+    }
+    apply_column(ctx, k, data);
+    ack(ctx, k);
+  }
+
+  HAL_BEHAVIOR(CholOwner, &CholOwner::on_init, &CholOwner::on_column,
+               &CholOwner::on_do_step, &CholOwner::on_column_sync)
+
+  /// Local synchronization constraint (§6.1): column traffic that races
+  /// ahead of initialization parks in the pending queue.
+  bool method_enabled(Selector s) const override {
+    if (s == sel<&CholOwner::on_init>()) return !initialized_;
+    return initialized_;
+  }
+
+  const std::map<std::uint64_t, std::vector<double>>& columns() const {
+    return cols_;
+  }
+
+ private:
+  // --- Numerics ----------------------------------------------------------------
+  /// cdiv(k): scale column k by the square root of its diagonal.
+  void cdiv(Context& ctx, std::uint64_t k) {
+    auto it = cols_.find(k);
+    HAL_ASSERT(it != cols_.end());
+    std::vector<double>& col = it->second;
+    const double d = std::sqrt(col[k]);
+    col[k] = d;
+    for (std::uint64_t i = k + 1; i < n_; ++i) col[i] /= d;
+    ctx.charge_flops(n_ - k + 16);  // divides + one sqrt
+    finalized_.insert(k);
+  }
+
+  /// cmod(j, k): subtract the rank-1 contribution of finished column k.
+  void cmod(Context& ctx, std::uint64_t j, const double* colk,
+            std::uint64_t base) {
+    std::vector<double>& colj = cols_.at(j);
+    const double ljk = colk[j - base];
+    for (std::uint64_t i = j; i < n_; ++i) {
+      colj[i] -= colk[i - base] * ljk;
+    }
+    ctx.charge_flops(2 * (n_ - j));
+    ++updates_[j];
+  }
+
+  /// Apply finished column k to every owned, unfinalized column j > k.
+  void apply_column(Context& ctx, std::uint64_t k, const Bytes& data) {
+    ByteReader r{std::span<const std::byte>{data}};
+    const auto base = r.read<std::uint64_t>();
+    HAL_ASSERT(base == k);
+    const auto colk = r.read_vector<double>();
+    for (auto& [j, col] : cols_) {
+      (void)col;
+      if (j > k && !finalized_.contains(j)) {
+        cmod(ctx, j, colk.data(), base);
+      }
+    }
+  }
+
+  /// Pipelined: finalize every owned column whose updates are complete —
+  /// iteration k+1 proceeds while iteration k is still in flight elsewhere.
+  void try_finalize(Context& ctx) {
+    for (auto& [j, col] : cols_) {
+      (void)col;
+      if (finalized_.contains(j) || updates_[j] != j) continue;
+      cdiv(ctx, j);
+      const Bytes packed = pack_column(j);
+      for (std::uint32_t m = 0; m < nodes_; ++m) {
+        if (m == index_) continue;
+        ctx.send_member<&CholOwner::on_column>(gid_, m, j, packed);
+      }
+      apply_column(ctx, j, packed);
+      // Finalizing j may have completed a later owned column; rescan.
+      try_finalize(ctx);
+      return;
+    }
+  }
+
+  /// Rows k..n-1 of column k, prefixed by the base offset.
+  Bytes pack_column(std::uint64_t k) const {
+    const std::vector<double>& col = cols_.at(k);
+    ByteWriter w;
+    w.write<std::uint64_t>(k);
+    w.write_span<double>(std::span(col.data() + k, n_ - k));
+    return std::move(w).take();
+  }
+
+  /// Relay down the binomial tree over member indices rooted at `root`.
+  void relay_tree(Context& ctx, std::uint64_t k, std::uint32_t root,
+                  const Bytes& data) {
+    am::mst_for_each_child(index_, root, nodes_, [&](NodeId child) {
+      ctx.send_member<&CholOwner::on_column_sync>(
+          gid_, static_cast<std::uint32_t>(child), k, std::uint64_t{root},
+          data);
+    });
+  }
+
+  void ack(Context& ctx, std::uint64_t k);
+
+  CholVariant variant_ = CholVariant::kPipelined;
+  ColMapping mapping_ = ColMapping::kCyclic;
+  std::uint64_t n_ = 0;
+  std::uint32_t index_ = 0;
+  NodeId nodes_ = 0;
+  GroupId gid_{};
+  MailAddress coord_{};
+  bool initialized_ = false;
+  std::map<std::uint64_t, std::vector<double>> cols_;
+  std::map<std::uint64_t, std::uint64_t> updates_;
+  std::set<std::uint64_t> finalized_;
+};
+
+/// Barrier coordinator for the globally synchronized variants: iteration
+/// k+1 starts only after all P owners acknowledged iteration k.
+class CholCoord : public ActorBase {
+ public:
+  void on_begin(Context& ctx, std::uint64_t n, std::uint64_t cfg,
+                GroupId gid) {
+    n_ = n;
+    cfg_ = cfg;
+    gid_ = gid;
+    start_step(ctx, 0);
+  }
+  void on_ack(Context& ctx, std::uint64_t k) {
+    HAL_ASSERT(k == step_);
+    if (++acks_ < ctx.node_count()) return;
+    acks_ = 0;
+    if (step_ + 1 < n_) start_step(ctx, step_ + 1);
+  }
+  HAL_BEHAVIOR(CholCoord, &CholCoord::on_begin, &CholCoord::on_ack)
+
+ private:
+  void start_step(Context& ctx, std::uint64_t k) {
+    step_ = k;
+    const NodeId owner = cholesky_owner(
+        k, n_, static_cast<NodeId>(ctx.node_count()), cfg_mapping(cfg_));
+    ctx.send_member<&CholOwner::on_do_step>(gid_,
+                                            static_cast<std::uint32_t>(owner),
+                                            k);
+  }
+
+  std::uint64_t n_ = 0;
+  std::uint64_t cfg_ = 0;
+  GroupId gid_{};
+  std::uint64_t step_ = 0;
+  std::uint32_t acks_ = 0;
+};
+
+void CholOwner::ack(Context& ctx, std::uint64_t k) {
+  ctx.send<&CholCoord::on_ack>(coord_, k);
+}
+
+/// Distributes the matrix and kicks the computation off.
+class CholSetup : public ActorBase {
+ public:
+  void on_go(Context& ctx, std::uint64_t cfg, std::uint64_t n, Bytes matrix) {
+    const auto nodes = static_cast<NodeId>(ctx.node_count());
+    gid = ctx.grpnew<CholOwner>(nodes);
+    const MailAddress coord = ctx.create<CholCoord>();
+    ByteReader r{std::span<const std::byte>{matrix}};
+    const auto a = r.read_vector<double>();
+    HAL_ASSERT(a.size() == n * n);
+
+    for (std::uint32_t m = 0; m < nodes; ++m) {
+      ByteWriter w;
+      std::vector<std::uint64_t> owned;
+      for (std::uint64_t j = 0; j < n; ++j) {
+        if (cholesky_owner(j, n, nodes, cfg_mapping(cfg)) == m) {
+          owned.push_back(j);
+        }
+      }
+      w.write(static_cast<std::uint32_t>(owned.size()));
+      for (const std::uint64_t j : owned) {
+        w.write(j);
+        std::vector<double> col(n);
+        for (std::uint64_t i = 0; i < n; ++i) col[i] = a[i * n + j];
+        w.write_span<double>(col);
+      }
+      ctx.send_member<&CholOwner::on_init>(gid, m, cfg, n, m, gid, coord,
+                                           std::move(w).take());
+    }
+    if (cfg_variant(cfg) != CholVariant::kPipelined) {
+      ctx.send<&CholCoord::on_begin>(coord, n, cfg, gid);
+    }
+  }
+  HAL_BEHAVIOR(CholSetup, &CholSetup::on_go)
+  inline static GroupId gid{};
+};
+
+}  // namespace
+
+NodeId cholesky_owner(std::size_t column, std::size_t n, NodeId nodes,
+                      ColMapping mapping) {
+  if (mapping == ColMapping::kCyclic) {
+    return static_cast<NodeId>(column % nodes);
+  }
+  const std::size_t per = (n + nodes - 1) / nodes;
+  const auto owner = static_cast<NodeId>(column / per);
+  return owner < nodes ? owner : nodes - 1;
+}
+
+CholeskyResult run_cholesky(const CholeskyParams& params) {
+  HAL_ASSERT(params.n >= params.nodes);
+  RuntimeConfig cfg;
+  cfg.nodes = params.nodes;
+  cfg.machine = params.machine;
+  cfg.costs = params.costs;
+  cfg.seed = params.seed;
+  cfg.flow_control = params.flow_control;
+  Runtime rt(cfg);
+  rt.load<CholOwner>();
+  rt.load<CholCoord>();
+  rt.load<CholSetup>();
+
+  const auto a = baseline::make_spd(params.n, params.seed);
+  ByteWriter w;
+  w.write_span<double>(a);
+
+  const MailAddress setup = rt.spawn<CholSetup>(0);
+  rt.inject<&CholSetup::on_go>(setup,
+                               pack_cfg(params.variant, params.mapping),
+                               std::uint64_t{params.n}, std::move(w).take());
+  rt.run();
+
+  CholeskyResult out;
+  out.makespan_ns = rt.makespan();
+  out.stats = rt.total_stats();
+  out.dead_letters = rt.dead_letters();
+
+  if (params.verify) {
+    // Reassemble L from the owners and compare with the sequential kernel.
+    std::vector<double> l(params.n * params.n, 0.0);
+    for (NodeId node = 0; node < params.nodes; ++node) {
+      Kernel& k = rt.kernel(node);
+      const GroupInfo* g = k.groups().find(CholSetup::gid);
+      HAL_ASSERT(g != nullptr);
+      for (const auto& [idx, addr] : g->members) {
+        (void)idx;
+        const auto* owner = rt.find_behavior<CholOwner>(addr);
+        HAL_ASSERT(owner != nullptr);
+        for (const auto& [j, col] : owner->columns()) {
+          for (std::size_t i = j; i < params.n; ++i) {
+            l[i * params.n + j] = col[i];
+          }
+        }
+      }
+    }
+    auto ref = a;
+    baseline::cholesky_seq(ref, params.n);
+    out.max_error = baseline::max_abs_diff(l, ref);
+  }
+  return out;
+}
+
+}  // namespace hal::apps

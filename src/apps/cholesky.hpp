@@ -1,0 +1,64 @@
+// Parallel column Cholesky factorization (paper §2.2, Table 1).
+//
+// The paper uses Cholesky decomposition to compare local against global
+// synchronization. Four variants, as in Table 1:
+//   * BP — software-pipelined, local synchronization only, block-mapped
+//     columns: iteration k+1 starts before iteration k has completed.
+//   * CP — same, cyclic column mapping (better balance on the shrinking
+//     trailing matrix).
+//   * Seq — globally synchronized: a coordinator barriers every iteration;
+//     finished columns travel point-to-point.
+//   * Bcast — globally synchronized; finished columns travel down a relay
+//     tree (the broadcast-flavoured variant).
+// Local synchronization is per-owner update counting: column j's cdiv fires
+// when its j cmod updates have arrived — no barrier anywhere. Columns are
+// shipped as bulk payloads, so the three-phase protocol and the §6.5 flow
+// control are on the critical path, exactly the situation where the paper
+// observed pipelining break without flow control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runtime/config.hpp"
+
+namespace hal::apps {
+
+enum class CholVariant : std::uint8_t {
+  kPipelined,    // BP/CP depending on mapping
+  kGlobalSeq,    // barrier per iteration, point-to-point columns
+  kGlobalBcast,  // barrier per iteration, relay-tree columns
+};
+
+enum class ColMapping : std::uint8_t {
+  kBlock,   // owner(j) = j / ceil(n/P)
+  kCyclic,  // owner(j) = j mod P
+};
+
+struct CholeskyParams {
+  std::size_t n = 96;
+  NodeId nodes = 4;
+  CholVariant variant = CholVariant::kPipelined;
+  ColMapping mapping = ColMapping::kCyclic;
+  MachineKind machine = MachineKind::kSim;
+  am::CostModel costs = am::CostModel::cm5();
+  std::uint64_t seed = 0xc401;
+  bool flow_control = true;  // ablation B toggles this
+  bool verify = true;        // check against the sequential factorization
+};
+
+struct CholeskyResult {
+  SimTime makespan_ns = 0;
+  double max_error = 0.0;  // vs cholesky_seq (0 when verify == false)
+  StatBlock stats;
+  std::uint64_t dead_letters = 0;
+};
+
+CholeskyResult run_cholesky(const CholeskyParams& params);
+
+/// Column owner under the given mapping.
+NodeId cholesky_owner(std::size_t column, std::size_t n, NodeId nodes,
+                      ColMapping mapping);
+
+}  // namespace hal::apps

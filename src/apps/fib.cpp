@@ -1,0 +1,111 @@
+#include "apps/fib.hpp"
+
+#include "runtime/api.hpp"
+
+namespace hal::apps {
+namespace {
+
+/// Virtual work units charged per inlined call (compare + add + recursion
+/// bookkeeping on a 33 MHz Sparc).
+constexpr std::uint64_t kWorkPerCall = 4;
+
+struct InlineFib {
+  std::uint64_t value = 0;
+  std::uint64_t calls = 0;
+};
+
+InlineFib fib_inline(std::uint64_t n) {
+  if (n < 2) return {n, 1};
+  const InlineFib a = fib_inline(n - 1);
+  const InlineFib b = fib_inline(n - 2);
+  return {a.value + b.value, a.calls + b.calls + 1};
+}
+
+/// One actor per call above the cutoff. The actor spawns its two children,
+/// wires their replies into a join continuation that forwards the sum to
+/// its own reply slot, and terminates — the continuation outlives it, just
+/// like the compiled HAL code the paper describes (§6.2).
+class FibActor : public ActorBase {
+ public:
+  void on_compute(Context& ctx, std::uint64_t n, std::uint64_t cutoff,
+                  ContRef reply) {
+    if (n < cutoff) {
+      const InlineFib r = fib_inline(n);
+      ctx.charge_work(r.calls * kWorkPerCall);
+      ctx.reply_to(reply, r.value);
+      ctx.terminate();
+      return;
+    }
+    ctx.charge_work(kWorkPerCall);
+    const ContRef join = ctx.make_join(
+        2, [reply](Context& jc, const JoinView& v) {
+          jc.kernel().reply_to(reply, v.word(0) + v.word(1));
+        });
+    const MailAddress left = ctx.create<FibActor>();
+    const MailAddress right = ctx.create<FibActor>();
+    // Unprocessed children are the stealable work units: the receiver-
+    // initiated balancer migrates them (actor + queued compute message).
+    ctx.set_relocatable(left, true);
+    ctx.set_relocatable(right, true);
+    ctx.send<&FibActor::on_compute>(left, n - 1, cutoff, join.at(0));
+    ctx.send<&FibActor::on_compute>(right, n - 2, cutoff, join.at(1));
+    ctx.terminate();
+  }
+  HAL_BEHAVIOR(FibActor, &FibActor::on_compute)
+
+  bool migratable() const override { return true; }
+  void pack_state(ByteWriter&) const override {}  // stateless
+  void unpack_state(ByteReader&) override {}
+};
+
+/// Seeds the computation and collects the final value.
+class FibRoot : public ActorBase {
+ public:
+  void on_start(Context& ctx, std::uint64_t n, std::uint64_t cutoff) {
+    const ContRef join =
+        ctx.make_join(1, [self = ctx.self()](Context& jc, const JoinView& v) {
+          jc.send<&FibRoot::on_done>(self, v.word(0));
+        });
+    const MailAddress top = ctx.create<FibActor>();
+    ctx.set_relocatable(top, true);
+    ctx.send<&FibActor::on_compute>(top, n, cutoff, join.at(0));
+  }
+  void on_done(Context&, std::uint64_t value) { result = value; }
+  HAL_BEHAVIOR(FibRoot, &FibRoot::on_start, &FibRoot::on_done)
+
+  std::uint64_t result = 0;
+};
+
+}  // namespace
+
+SimTime fib_sequential_virtual_ns(unsigned n, const am::CostModel& costs) {
+  const std::uint64_t calls = fib_inline(n).calls;
+  return static_cast<SimTime>(static_cast<double>(calls * kWorkPerCall) *
+                              costs.work_ns);
+}
+
+FibResult run_fib(const FibParams& params) {
+  RuntimeConfig cfg;
+  cfg.nodes = params.nodes;
+  cfg.machine = params.machine;
+  cfg.load_balancing = params.load_balancing;
+  cfg.costs = params.costs;
+  cfg.seed = params.seed;
+  Runtime rt(cfg);
+  rt.load<FibActor>();
+  rt.load<FibRoot>();
+  const MailAddress root = rt.spawn<FibRoot>(0);
+  rt.inject<&FibRoot::on_start>(
+      root, std::uint64_t{params.n},
+      std::uint64_t{params.cutoff < 2 ? 2 : params.cutoff});
+  rt.run();
+  FibResult out;
+  const FibRoot* r = rt.find_behavior<FibRoot>(root);
+  out.value = r == nullptr ? 0 : r->result;
+  out.makespan_ns = rt.makespan();
+  out.stats = rt.total_stats();
+  out.dead_letters = rt.dead_letters();
+  return out;
+}
+
+}  // namespace hal::apps

@@ -1,0 +1,50 @@
+// Actor Fibonacci (paper §7.2, Table 4).
+//
+// "Although the Fibonacci number generator is a very simple program, it is
+// extremely concurrent: executing the Fibonacci of 33 results in the
+// creation of 11,405,773 actors. Moreover, its computation tree has a great
+// deal of load imbalance." Each call is an actor; call/return is compiled
+// into join continuations; the computation tree is seeded on node 0 and
+// spread by receiver-initiated random polling when load balancing is on.
+//
+// `cutoff` models the compiler's granularity control: subtrees with
+// n < cutoff execute inline (their work is charged to the virtual clock),
+// exactly like the paper's "actor creations were optimized away" for the
+// purely functional leaves. cutoff = 2 (minimum) creates an actor per call.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "runtime/config.hpp"
+
+namespace hal::apps {
+
+struct FibParams {
+  unsigned n = 22;
+  /// Subtrees below this size run inline in the parent (compiler
+  /// granularity control). Minimum 2.
+  unsigned cutoff = 2;
+  NodeId nodes = 4;
+  bool load_balancing = true;
+  MachineKind machine = MachineKind::kSim;
+  am::CostModel costs = am::CostModel::cm5();
+  std::uint64_t seed = 0x715b;
+};
+
+struct FibResult {
+  std::uint64_t value = 0;
+  SimTime makespan_ns = 0;
+  StatBlock stats;
+  std::uint64_t dead_letters = 0;
+};
+
+/// Build a runtime, run fib(n), and return value + measurements.
+FibResult run_fib(const FibParams& params);
+
+/// What a purely sequential fib(n) would cost on one simulated node (the
+/// cost model's work charge for every call) — the Table 4 "optimized C on
+/// the same Sparc" comparator, in virtual ns.
+SimTime fib_sequential_virtual_ns(unsigned n, const am::CostModel& costs);
+
+}  // namespace hal::apps

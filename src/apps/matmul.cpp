@@ -1,0 +1,233 @@
+#include "apps/matmul.hpp"
+
+#include <atomic>
+#include <map>
+
+#include "baseline/seq_kernels.hpp"
+#include "runtime/api.hpp"
+
+namespace hal::apps {
+namespace {
+
+/// One cell of the q×q systolic grid, member index r*q + c.
+class CannonCell : public ActorBase {
+ public:
+  void on_init(Context& ctx, std::uint64_t n, std::uint64_t q,
+               std::uint32_t index, GroupId gid, Bytes data) {
+    n_ = n;
+    q_ = q;
+    index_ = index;
+    gid_ = gid;
+    b_ = n / q;
+    row_ = index / q;
+    col_ = index % q;
+    ByteReader r{std::span<const std::byte>{data}};
+    a_ = r.read_vector<double>();
+    bblk_ = r.read_vector<double>();
+    c_.assign(b_ * b_, 0.0);
+    initialized_ = true;
+    // Track when the whole grid is loaded (distribution end, for the
+    // paper-style compute-phase MFlops).
+    SimTime prev = last_init_done.load(std::memory_order_relaxed);
+    const SimTime now = ctx.now();
+    while (prev < now && !last_init_done.compare_exchange_weak(
+                             prev, now, std::memory_order_relaxed)) {
+    }
+
+    // Initial skew (the "skewing the blocks" phase): A(r,c) moves left by r
+    // columns, B(r,c) moves up by c rows; both are tagged step 0.
+    send_a(ctx, static_cast<std::uint32_t>((col_ + q_ - row_) % q_), 0,
+           std::move(a_));
+    send_b(ctx, static_cast<std::uint32_t>((row_ + q_ - col_) % q_), 0,
+           std::move(bblk_));
+    a_.clear();
+    bblk_.clear();
+  }
+
+  void on_a(Context& ctx, std::uint64_t step, Bytes data) {
+    ByteReader r{std::span<const std::byte>{data}};
+    a_bufs_.emplace(step, r.read_vector<double>());
+    process_ready(ctx);
+  }
+
+  void on_b(Context& ctx, std::uint64_t step, Bytes data) {
+    ByteReader r{std::span<const std::byte>{data}};
+    b_bufs_.emplace(step, r.read_vector<double>());
+    process_ready(ctx);
+  }
+
+  HAL_BEHAVIOR(CannonCell, &CannonCell::on_init, &CannonCell::on_a,
+               &CannonCell::on_b)
+
+  /// Blocks racing ahead of initialization park in the pending queue.
+  bool method_enabled(Selector s) const override {
+    if (s == sel<&CannonCell::on_init>()) return !initialized_;
+    return initialized_;
+  }
+
+  const std::vector<double>& result() const { return c_; }
+  std::uint64_t row() const { return row_; }
+  std::uint64_t column() const { return col_; }
+  std::uint64_t steps_done() const { return step_; }
+  inline static std::atomic<SimTime> last_init_done{0};
+
+ private:
+  /// Multiply every step whose A and B blocks have both arrived; forward
+  /// the consumed blocks one hop (left / up) tagged for the next step.
+  /// Purely local synchronization — a neighbour may run a step ahead.
+  void process_ready(Context& ctx) {
+    while (true) {
+      auto ia = a_bufs_.find(step_);
+      auto ib = b_bufs_.find(step_);
+      if (ia == a_bufs_.end() || ib == b_bufs_.end()) return;
+      std::vector<double> a = std::move(ia->second);
+      std::vector<double> bb = std::move(ib->second);
+      a_bufs_.erase(ia);
+      b_bufs_.erase(ib);
+      baseline::matmul_block(a.data(), bb.data(), c_.data(), b_);
+      ctx.charge_flops(2 * b_ * b_ * b_);
+      ++step_;
+      if (step_ < q_) {
+        send_a(ctx, static_cast<std::uint32_t>((col_ + q_ - 1) % q_), step_,
+               std::move(a));
+        send_b(ctx, static_cast<std::uint32_t>((row_ + q_ - 1) % q_), step_,
+               std::move(bb));
+      }
+    }
+  }
+
+  void send_a(Context& ctx, std::uint32_t dst_col, std::uint64_t step,
+              std::vector<double> block) {
+    ByteWriter w;
+    w.write_span<double>(block);
+    ctx.send_member<&CannonCell::on_a>(
+        gid_, static_cast<std::uint32_t>(row_ * q_ + dst_col), step,
+        std::move(w).take());
+  }
+
+  void send_b(Context& ctx, std::uint32_t dst_row, std::uint64_t step,
+              std::vector<double> block) {
+    ByteWriter w;
+    w.write_span<double>(block);
+    ctx.send_member<&CannonCell::on_b>(
+        gid_, static_cast<std::uint32_t>(dst_row * q_ + col_), step,
+        std::move(w).take());
+  }
+
+  std::uint64_t n_ = 0, q_ = 0, b_ = 0, row_ = 0, col_ = 0;
+  std::uint32_t index_ = 0;
+  GroupId gid_{};
+  bool initialized_ = false;
+  std::uint64_t step_ = 0;
+  std::vector<double> a_, bblk_, c_;
+  std::map<std::uint64_t, std::vector<double>> a_bufs_, b_bufs_;
+};
+
+class CannonSetup : public ActorBase {
+ public:
+  void on_go(Context& ctx, std::uint64_t n, std::uint64_t q, Bytes matrices) {
+    const auto cells = static_cast<std::uint32_t>(q * q);
+    gid = ctx.grpnew<CannonCell>(cells);
+    ByteReader r{std::span<const std::byte>{matrices}};
+    const auto a = r.read_vector<double>();
+    const auto bm = r.read_vector<double>();
+    const std::uint64_t b = n / q;
+    for (std::uint32_t idx = 0; idx < cells; ++idx) {
+      const std::uint64_t row = idx / q, col = idx % q;
+      ByteWriter w;
+      w.write_span<double>(slice_block(a, n, b, row, col));
+      w.write_span<double>(slice_block(bm, n, b, row, col));
+      ctx.send_member<&CannonCell::on_init>(gid, idx, n, q, idx, gid,
+                                            std::move(w).take());
+    }
+  }
+  HAL_BEHAVIOR(CannonSetup, &CannonSetup::on_go)
+  inline static GroupId gid{};
+
+ private:
+  static std::vector<double> slice_block(const std::vector<double>& m,
+                                         std::uint64_t n, std::uint64_t b,
+                                         std::uint64_t row,
+                                         std::uint64_t col) {
+    std::vector<double> out(b * b);
+    for (std::uint64_t i = 0; i < b; ++i) {
+      for (std::uint64_t j = 0; j < b; ++j) {
+        out[i * b + j] = m[(row * b + i) * n + (col * b + j)];
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+MatmulResult run_matmul(const MatmulParams& params) {
+  const std::uint32_t q = params.grid;
+  HAL_ASSERT(q >= 1 && params.n % q == 0);
+  RuntimeConfig cfg;
+  cfg.nodes = q * q;
+  cfg.machine = params.machine;
+  cfg.costs = params.costs;
+  cfg.seed = params.seed;
+  Runtime rt(cfg);
+  rt.load<CannonCell>();
+  rt.load<CannonSetup>();
+
+  const auto a = baseline::make_dense(params.n, params.seed);
+  const auto b = baseline::make_dense(params.n, params.seed ^ 0xffff);
+  ByteWriter w;
+  w.write_span<double>(a);
+  w.write_span<double>(b);
+
+  CannonCell::last_init_done.store(0, std::memory_order_relaxed);
+  const MailAddress setup = rt.spawn<CannonSetup>(0);
+  rt.inject<&CannonSetup::on_go>(setup, std::uint64_t{params.n},
+                                 std::uint64_t{q}, std::move(w).take());
+  rt.run();
+
+  MatmulResult out;
+  out.makespan_ns = rt.makespan();
+  out.distribution_ns = CannonCell::last_init_done.load();
+  out.stats = rt.total_stats();
+  out.dead_letters = rt.dead_letters();
+  const double flops = 2.0 * static_cast<double>(params.n) *
+                       static_cast<double>(params.n) *
+                       static_cast<double>(params.n);
+  auto rate = [&](SimTime ns) {
+    return ns == 0 ? 0.0 : flops / (static_cast<double>(ns) / 1e9) / 1e6;
+  };
+  out.mflops = rate(out.makespan_ns);
+  out.mflops_compute =
+      out.makespan_ns > out.distribution_ns
+          ? rate(out.makespan_ns - out.distribution_ns)
+          : out.mflops;
+
+  if (params.verify) {
+    const std::uint64_t blk = params.n / q;
+    std::vector<double> c(params.n * params.n, 0.0);
+    std::uint64_t total_steps = 0;
+    for (NodeId node = 0; node < rt.nodes(); ++node) {
+      const GroupInfo* g = rt.kernel(node).groups().find(CannonSetup::gid);
+      HAL_ASSERT(g != nullptr);
+      for (const auto& [idx, addr] : g->members) {
+        (void)idx;
+        const auto* cell = rt.find_behavior<CannonCell>(addr);
+        HAL_ASSERT(cell != nullptr);
+        total_steps += cell->steps_done();
+        const auto& blk_data = cell->result();
+        for (std::uint64_t i = 0; i < blk; ++i) {
+          for (std::uint64_t j = 0; j < blk; ++j) {
+            c[(cell->row() * blk + i) * params.n + (cell->column() * blk + j)] =
+                blk_data[i * blk + j];
+          }
+        }
+      }
+    }
+    HAL_ASSERT(total_steps == static_cast<std::uint64_t>(q) * q * q);
+    const auto ref = baseline::matmul_seq(a, b, params.n);
+    out.max_error = baseline::max_abs_diff(c, ref);
+  }
+  return out;
+}
+
+}  // namespace hal::apps

@@ -1,0 +1,45 @@
+// Systolic dense matrix multiplication (paper §7.3, Table 5).
+//
+// Cannon's algorithm [Kumar et al. 94]: "first skewing the blocks within a
+// square processor grid, and then cyclically shifting the blocks at each
+// step. No global synchronization is used in the implementation. Instead,
+// per actor basis local synchronization is used." One actor per grid cell
+// holds an A, B and C block; blocks travel as bulk transfers (the
+// three-phase protocol with minimal flow control); a cell multiplies step s
+// as soon as both step-s blocks are present — neighbours may already be a
+// step ahead, which is exactly the software pipelining the paper relies on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "runtime/config.hpp"
+
+namespace hal::apps {
+
+struct MatmulParams {
+  std::size_t n = 64;       ///< matrix dimension (divisible by grid)
+  std::uint32_t grid = 2;   ///< q: q×q processor grid on q² nodes
+  MachineKind machine = MachineKind::kSim;
+  am::CostModel costs = am::CostModel::cm5();
+  std::uint64_t seed = 0x3a7;
+  bool verify = true;
+};
+
+struct MatmulResult {
+  SimTime makespan_ns = 0;
+  /// When the last cell finished initialization — everything before this is
+  /// the initial data distribution from the seeding node, which the paper's
+  /// MFlops figure does not charge to the algorithm.
+  SimTime distribution_ns = 0;
+  double max_error = 0.0;
+  double mflops = 0.0;          ///< 2n³ / total simulated time
+  double mflops_compute = 0.0;  ///< 2n³ / (time after distribution) — the
+                                ///< Table 5 metric
+  StatBlock stats;
+  std::uint64_t dead_letters = 0;
+};
+
+MatmulResult run_matmul(const MatmulParams& params);
+
+}  // namespace hal::apps

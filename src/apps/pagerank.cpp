@@ -1,0 +1,524 @@
+#include "apps/pagerank.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "runtime/api.hpp"
+
+namespace hal::apps {
+namespace {
+
+constexpr double kDamping = 0.85;
+
+std::uint32_t partition_of(std::uint32_t v, std::uint32_t chunk) {
+  return v / chunk;
+}
+
+/// One contiguous vertex range. Partitions hold each other's mail
+/// addresses and stay addressable through migration: after the coordinator
+/// relocates one, in-flight contributions chase it via the FIR protocol and
+/// subsequent senders are taught its new location (location transparency).
+class Partition : public ActorBase {
+ public:
+  // --- Protocol ---------------------------------------------------------------
+  void on_init(Context& ctx, std::uint64_t packed, std::uint32_t index,
+               MailAddress coord, Bytes data) {
+    n_ = static_cast<std::uint32_t>(packed & 0xffffffffU);
+    rounds_ = static_cast<std::uint32_t>((packed >> 32) & 0xffffU);
+    parts_ = static_cast<std::uint32_t>((packed >> 48) & 0xffffU);
+    index_ = index;
+    coord_ = coord;
+    chunk_ = (n_ + parts_ - 1) / parts_;
+    lo_ = index_ * chunk_;
+    hi_ = std::min(n_, lo_ + chunk_);
+
+    ByteReader r{std::span<const std::byte>{data}};
+    peers_.clear();
+    const auto npeers = r.read<std::uint32_t>();
+    peers_.reserve(npeers);
+    for (std::uint32_t i = 0; i < npeers; ++i) {
+      const auto w0 = r.read<std::uint64_t>();
+      const auto w1 = r.read<std::uint64_t>();
+      peers_.push_back(MailAddress::unpack(w0, w1));
+    }
+    in_peer_count_ = r.read<std::uint32_t>();
+    const auto owned = r.read<std::uint32_t>();
+    adj_offsets_ = r.read_vector<std::uint32_t>();
+    adj_ = r.read_vector<std::uint32_t>();
+    HAL_ASSERT(owned == hi_ - lo_);
+    HAL_ASSERT(adj_offsets_.size() == owned + 1);
+    rank_.assign(owned, 1.0 / n_);
+    accum_.assign(owned, 0.0);
+    initialized_ = true;
+    if (rounds_ > 0) send_round(ctx);
+  }
+
+  /// Round-tagged contributions from one in-peer (their end-of-round marker
+  /// for us at the same time). Purely local synchronization.
+  void on_contrib(Context& ctx, std::uint64_t round, Bytes data) {
+    buffered_[round].push_back(std::move(data));
+    try_advance(ctx);
+  }
+
+  /// Coordinator-directed rebalancing (uses the measured loads).
+  void on_move(Context& ctx, NodeId target) { ctx.migrate_to(target); }
+
+  HAL_BEHAVIOR(Partition, &Partition::on_init, &Partition::on_contrib,
+               &Partition::on_move)
+
+  bool method_enabled(Selector s) const override {
+    if (s == sel<&Partition::on_init>()) return !initialized_;
+    if (s == sel<&Partition::on_contrib>()) return initialized_;
+    return true;
+  }
+
+  // --- Migration ---------------------------------------------------------------
+  bool migratable() const override { return true; }
+  void pack_state(ByteWriter& w) const override {
+    w.write(n_);
+    w.write(rounds_);
+    w.write(parts_);
+    w.write(index_);
+    w.write(static_cast<std::uint32_t>(peers_.size()));
+    for (const MailAddress& p : peers_) {
+      w.write(p.pack_word0());
+      w.write(p.pack_word1());
+    }
+    w.write(coord_.pack_word0());
+    w.write(coord_.pack_word1());
+    w.write(in_peer_count_);
+    w.write(round_);
+    w.write(static_cast<std::uint8_t>(initialized_ ? 1 : 0));
+    w.write_span<std::uint32_t>(adj_offsets_);
+    w.write_span<std::uint32_t>(adj_);
+    w.write_span<double>(rank_);
+    w.write_span<double>(accum_);
+    w.write(static_cast<std::uint32_t>(buffered_.size()));
+    for (const auto& [round, msgs] : buffered_) {
+      w.write(round);
+      w.write(static_cast<std::uint32_t>(msgs.size()));
+      for (const Bytes& b : msgs) w.write_bytes(b);
+    }
+  }
+  void unpack_state(ByteReader& r) override {
+    n_ = r.read<std::uint32_t>();
+    rounds_ = r.read<std::uint32_t>();
+    parts_ = r.read<std::uint32_t>();
+    index_ = r.read<std::uint32_t>();
+    const auto npeers = r.read<std::uint32_t>();
+    peers_.clear();
+    peers_.reserve(npeers);
+    for (std::uint32_t i = 0; i < npeers; ++i) {
+      const auto w0 = r.read<std::uint64_t>();
+      const auto w1 = r.read<std::uint64_t>();
+      peers_.push_back(MailAddress::unpack(w0, w1));
+    }
+    const auto c0 = r.read<std::uint64_t>();
+    const auto c1 = r.read<std::uint64_t>();
+    coord_ = MailAddress::unpack(c0, c1);
+    in_peer_count_ = r.read<std::uint32_t>();
+    round_ = r.read<std::uint64_t>();
+    initialized_ = r.read<std::uint8_t>() != 0;
+    adj_offsets_ = r.read_vector<std::uint32_t>();
+    adj_ = r.read_vector<std::uint32_t>();
+    rank_ = r.read_vector<double>();
+    accum_ = r.read_vector<double>();
+    const auto nbuf = r.read<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nbuf; ++i) {
+      const auto round = r.read<std::uint64_t>();
+      const auto count = r.read<std::uint32_t>();
+      auto& vec = buffered_[round];
+      for (std::uint32_t j = 0; j < count; ++j) {
+        const auto b = r.read_bytes();
+        vec.emplace_back(b.begin(), b.end());
+      }
+    }
+    chunk_ = (n_ + parts_ - 1) / parts_;
+    lo_ = index_ * chunk_;
+    hi_ = std::min(n_, lo_ + chunk_);
+  }
+
+  const std::vector<double>& ranks() const { return rank_; }
+  std::uint32_t lo() const { return lo_; }
+  std::uint32_t index() const { return index_; }
+
+ private:
+  /// Emit this round's contributions: one message per out-peer (doubling as
+  /// the marker), self-contributions applied directly.
+  void send_round(Context& ctx) {
+    struct Pair {
+      std::uint32_t v;
+      double share;
+    };
+    std::map<std::uint32_t, std::vector<Pair>> per_peer;
+    std::uint64_t edge_work = 0;
+    for (std::uint32_t v = lo_; v < hi_; ++v) {
+      const std::uint32_t o = v - lo_;
+      const std::uint32_t deg = adj_offsets_[o + 1] - adj_offsets_[o];
+      if (deg == 0) continue;
+      const double share = rank_[o] / deg;
+      for (std::uint32_t e = adj_offsets_[o]; e < adj_offsets_[o + 1]; ++e) {
+        const std::uint32_t dst = adj_[e];
+        const std::uint32_t p = partition_of(dst, chunk_);
+        ++edge_work;
+        if (p == index_) {
+          accum_[dst - lo_] += share;
+        } else {
+          per_peer[p].push_back(Pair{dst, share});
+        }
+      }
+    }
+    ctx.charge_flops(2 * edge_work);
+    // Every out-peer gets exactly one message per round (the marker).
+    for (auto& [peer, pairs] : per_peer) {
+      ByteWriter w;
+      w.write(static_cast<std::uint32_t>(pairs.size()));
+      for (const Pair& pr : pairs) {
+        w.write(pr.v);
+        w.write(pr.share);
+      }
+      ctx.send<&Partition::on_contrib>(peers_[peer], std::uint64_t{round_},
+                                       std::move(w).take());
+    }
+    try_advance(ctx);
+  }
+
+  void try_advance(Context& ctx) {
+    while (round_ < rounds_ &&
+           buffered_[round_].size() == in_peer_count_) {
+      // Apply the buffered round: rank ← (1-d)/n + d·Σ contributions.
+      auto msgs = std::move(buffered_[round_]);
+      buffered_.erase(round_);
+      for (const Bytes& m : msgs) {
+        ByteReader r{std::span<const std::byte>{m}};
+        const auto count = r.read<std::uint32_t>();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const auto v = r.read<std::uint32_t>();
+          const auto share = r.read<double>();
+          accum_[v - lo_] += share;
+        }
+      }
+      for (std::uint32_t o = 0; o < rank_.size(); ++o) {
+        rank_[o] = (1.0 - kDamping) / n_ + kDamping * accum_[o];
+        accum_[o] = 0.0;
+      }
+      ctx.charge_flops(3 * rank_.size() + 8);
+      ++round_;
+      report(ctx);
+      if (round_ < rounds_) send_round(ctx);
+    }
+  }
+
+  void report(Context& ctx);
+
+  std::uint32_t n_ = 0, rounds_ = 0, parts_ = 0, index_ = 0;
+  std::uint32_t chunk_ = 0, lo_ = 0, hi_ = 0;
+  std::vector<MailAddress> peers_;
+  MailAddress coord_{};
+  bool initialized_ = false;
+  std::uint32_t in_peer_count_ = 0;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint32_t> adj_offsets_;  // CSR over owned vertices
+  std::vector<std::uint32_t> adj_;
+  std::vector<double> rank_;
+  std::vector<double> accum_;
+  std::map<std::uint64_t, std::vector<Bytes>> buffered_;
+};
+
+/// Tracks round completion times and directs the rebalancing migrations.
+class PrCoordinator : public ActorBase {
+ public:
+  void on_config(Context& ctx, std::uint32_t partitions, std::uint32_t rounds,
+                 std::uint32_t rebalance_after, Bytes work) {
+    partitions_ = partitions;
+    rounds_ = rounds;
+    rebalance_after_ = rebalance_after;
+    ByteReader r{std::span<const std::byte>{work}};
+    peers_.clear();
+    peers_.reserve(partitions);
+    for (std::uint32_t i = 0; i < partitions; ++i) {
+      const auto w0 = r.read<std::uint64_t>();
+      const auto w1 = r.read<std::uint64_t>();
+      peers_.push_back(MailAddress::unpack(w0, w1));
+    }
+    work_ = r.read_vector<std::uint64_t>();
+    HAL_ASSERT(work_.size() == partitions_);
+    last_mark_ = ctx.now();
+    configured_ = true;
+  }
+
+  bool method_enabled(Selector s) const override {
+    if (s == sel<&PrCoordinator::on_round_done>()) return configured_;
+    return true;
+  }
+
+  void on_round_done(Context& ctx, std::uint64_t round,
+                     std::uint32_t partition, std::uint64_t home_node) {
+    location_[partition] = static_cast<NodeId>(home_node);
+    if (++reported_[round] < partitions_) return;
+    // Everyone finished `round`: record its duration.
+    const SimTime now = ctx.now();
+    round_ns.push_back(now - last_mark_);
+    last_mark_ = now;
+    if (rebalance_after_ != 0 && round + 1 == rebalance_after_) {
+      rebalance(ctx);
+    }
+  }
+
+  HAL_BEHAVIOR(PrCoordinator, &PrCoordinator::on_config,
+               &PrCoordinator::on_round_done)
+
+  inline static std::vector<SimTime> round_ns{};
+  inline static std::uint64_t moves = 0;
+
+ private:
+  /// Greedy load leveling on the *measured* locations and static edge
+  /// weights: repeatedly move the heaviest partition of the most loaded
+  /// node to the least loaded node.
+  void rebalance(Context& ctx) {
+    const NodeId nodes = static_cast<NodeId>(ctx.node_count());
+    for (int iteration = 0; iteration < static_cast<int>(partitions_);
+         ++iteration) {
+      std::vector<std::uint64_t> load(nodes, 0);
+      for (std::uint32_t p = 0; p < partitions_; ++p) {
+        load[location_[p]] += work_[p];
+      }
+      const auto max_it = std::max_element(load.begin(), load.end());
+      const auto min_it = std::min_element(load.begin(), load.end());
+      const auto max_node = static_cast<NodeId>(max_it - load.begin());
+      const auto min_node = static_cast<NodeId>(min_it - load.begin());
+      if (*max_it <= *min_it + *min_it / 4) break;  // balanced enough
+      // Choose the hot-node partition whose relocation minimizes the
+      // resulting peak of the (hot, cold) pair — moving the giant itself
+      // would often just relocate the bottleneck.
+      std::int64_t best = -1;
+      std::uint64_t best_peak = *max_it;  // must strictly improve
+      for (std::uint32_t p = 0; p < partitions_; ++p) {
+        if (location_[p] != max_node) continue;
+        const std::uint64_t peak =
+            std::max(*max_it - work_[p], *min_it + work_[p]);
+        if (peak < best_peak) {
+          best_peak = peak;
+          best = p;
+        }
+      }
+      if (best < 0) break;
+      const auto bp = static_cast<std::uint32_t>(best);
+      location_[bp] = min_node;
+      ++moves;
+      ctx.send<&Partition::on_move>(peers_[bp], min_node);
+    }
+  }
+
+  std::uint32_t partitions_ = 0, rounds_ = 0, rebalance_after_ = 0;
+  bool configured_ = false;
+  std::vector<MailAddress> peers_;
+  std::vector<std::uint64_t> work_;
+  std::map<std::uint64_t, std::uint32_t> reported_;
+  std::map<std::uint32_t, NodeId> location_;
+  SimTime last_mark_ = 0;
+};
+
+void Partition::report(Context& ctx) {
+  ctx.send<&PrCoordinator::on_round_done>(coord_, round_ - 1, index_,
+                                          std::uint64_t{ctx.node()});
+}
+
+/// Distributes the graph and wires partitions to the coordinator.
+class PrSetup : public ActorBase {
+ public:
+  void on_go(Context& ctx, std::uint64_t packed, std::uint32_t rebalance,
+             Bytes graph) {
+    const auto n = static_cast<std::uint32_t>(packed & 0xffffffffU);
+    const auto rounds = static_cast<std::uint32_t>((packed >> 32) & 0xffffU);
+    const auto parts = static_cast<std::uint32_t>((packed >> 48) & 0xffffU);
+    const std::uint32_t chunk = (n + parts - 1) / parts;
+
+    ByteReader r{std::span<const std::byte>{graph}};
+    const auto src = r.read_vector<std::uint32_t>();
+    const auto dst = r.read_vector<std::uint32_t>();
+
+    // Contiguous initial placement: partition p starts on node
+    // p·P/parts, so the quadratic skew concentrates the heavy partitions —
+    // the imbalance the measured rebalancing then fixes.
+    std::vector<MailAddress> peers;
+    peers.reserve(parts);
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      const auto node = static_cast<NodeId>(
+          static_cast<std::uint64_t>(p) * ctx.node_count() / parts);
+      peers.push_back(ctx.create_on<Partition>(node));
+    }
+    const MailAddress coord = ctx.create<PrCoordinator>();
+
+    // Per-partition CSR + in-peer counts + static edge work.
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    for (std::size_t e = 0; e < src.size(); ++e) {
+      adj[src[e]].push_back(dst[e]);
+    }
+    std::vector<std::set<std::uint32_t>> in_peers(parts);
+    std::vector<std::uint64_t> work(parts, 0);
+    for (std::size_t e = 0; e < src.size(); ++e) {
+      const std::uint32_t ps = partition_of(src[e], chunk);
+      const std::uint32_t pd = partition_of(dst[e], chunk);
+      ++work[ps];
+      if (ps != pd) in_peers[pd].insert(ps);
+    }
+
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      const std::uint32_t lo = p * chunk;
+      const std::uint32_t hi = std::min(n, lo + chunk);
+      ByteWriter w;
+      // Peer address list first (the reader consumes in this order), then
+      // in-peer count and the owned CSR slice.
+      w.write(static_cast<std::uint32_t>(peers.size()));
+      for (const MailAddress& a : peers) {
+        w.write(a.pack_word0());
+        w.write(a.pack_word1());
+      }
+      w.write(static_cast<std::uint32_t>(in_peers[p].size()));
+      w.write(hi - lo);
+      std::vector<std::uint32_t> offsets(hi - lo + 1, 0);
+      std::vector<std::uint32_t> flat;
+      for (std::uint32_t v = lo; v < hi; ++v) {
+        offsets[v - lo + 1] =
+            offsets[v - lo] + static_cast<std::uint32_t>(adj[v].size());
+        flat.insert(flat.end(), adj[v].begin(), adj[v].end());
+      }
+      w.write_span<std::uint32_t>(offsets);
+      w.write_span<std::uint32_t>(flat);
+      ctx.send<&Partition::on_init>(peers[p], packed, p, coord,
+                                    std::move(w).take());
+    }
+
+    ByteWriter ww;
+    for (const MailAddress& a : peers) {
+      ww.write(a.pack_word0());
+      ww.write(a.pack_word1());
+    }
+    ww.write_span<std::uint64_t>(work);
+    ctx.send<&PrCoordinator::on_config>(coord, parts, rounds, rebalance,
+                                        std::move(ww).take());
+  }
+  HAL_BEHAVIOR(PrSetup, &PrSetup::on_go)
+};
+
+}  // namespace
+
+void make_skewed_graph(std::uint32_t vertices, std::uint32_t avg_degree,
+                       std::uint64_t seed,
+                       std::vector<std::uint32_t>& edge_src,
+                       std::vector<std::uint32_t>& edge_dst) {
+  Xoshiro256 rng(seed);
+  const std::uint64_t edges =
+      static_cast<std::uint64_t>(vertices) * avg_degree;
+  edge_src.clear();
+  edge_dst.clear();
+  edge_src.reserve(edges + vertices);
+  edge_dst.reserve(edges + vertices);
+  std::vector<bool> has_out(vertices, false);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    // Quadratic skew: low-numbered vertices emit most of the edges, so
+    // contiguous partitions are heavily imbalanced.
+    const double u = rng.uniform();
+    const auto src =
+        static_cast<std::uint32_t>(u * u * static_cast<double>(vertices));
+    const auto dst = static_cast<std::uint32_t>(rng.below(vertices));
+    edge_src.push_back(std::min(src, vertices - 1));
+    edge_dst.push_back(dst);
+    has_out[edge_src.back()] = true;
+  }
+  for (std::uint32_t v = 0; v < vertices; ++v) {
+    if (!has_out[v]) {  // dangling: self-loop keeps mass conserved enough
+      edge_src.push_back(v);
+      edge_dst.push_back(v);
+    }
+  }
+}
+
+std::vector<double> pagerank_seq(std::uint32_t vertices,
+                                 const std::vector<std::uint32_t>& edge_src,
+                                 const std::vector<std::uint32_t>& edge_dst,
+                                 std::uint32_t rounds) {
+  std::vector<std::uint32_t> outdeg(vertices, 0);
+  for (const std::uint32_t s : edge_src) ++outdeg[s];
+  std::vector<double> rank(vertices, 1.0 / vertices);
+  std::vector<double> next(vertices, 0.0);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t e = 0; e < edge_src.size(); ++e) {
+      next[edge_dst[e]] += rank[edge_src[e]] / outdeg[edge_src[e]];
+    }
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+      rank[v] = (1.0 - kDamping) / vertices + kDamping * next[v];
+    }
+  }
+  return rank;
+}
+
+PageRankResult run_pagerank(const PageRankParams& params) {
+  HAL_ASSERT(params.vertices >= params.nodes * params.partitions_per_node);
+  RuntimeConfig cfg;
+  cfg.nodes = params.nodes;
+  cfg.machine = params.machine;
+  cfg.costs = params.costs;
+  cfg.seed = params.seed;
+  Runtime rt(cfg);
+  rt.load<Partition>();
+  rt.load<PrCoordinator>();
+  rt.load<PrSetup>();
+  PrCoordinator::round_ns.clear();
+  PrCoordinator::moves = 0;
+
+  std::vector<std::uint32_t> src, dst;
+  make_skewed_graph(params.vertices, params.edges_per_vertex, params.seed,
+                    src, dst);
+  const std::uint32_t parts = params.nodes * params.partitions_per_node;
+  const std::uint64_t packed =
+      static_cast<std::uint64_t>(params.vertices) |
+      (static_cast<std::uint64_t>(params.rounds) << 32) |
+      (static_cast<std::uint64_t>(parts) << 48);
+
+  ByteWriter w;
+  w.write_span<std::uint32_t>(src);
+  w.write_span<std::uint32_t>(dst);
+  const MailAddress setup = rt.spawn<PrSetup>(0);
+  rt.inject<&PrSetup::on_go>(setup, packed, params.rebalance_after_round,
+                             std::move(w).take());
+  rt.run();
+
+  PageRankResult out;
+  out.makespan_ns = rt.makespan();
+  out.round_ns = PrCoordinator::round_ns;
+  out.migrations = PrCoordinator::moves;
+  out.stats = rt.total_stats();
+  out.dead_letters = rt.dead_letters();
+
+  if (params.verify) {
+    std::vector<double> got(params.vertices, 0.0);
+    std::size_t seen = 0;
+    for (NodeId n = 0; n < rt.nodes(); ++n) {
+      rt.kernel(n).for_each_actor([&](SlotId, ActorRecord& rec) {
+        if (auto* p = dynamic_cast<Partition*>(rec.impl.get())) {
+          const auto& ranks = p->ranks();
+          for (std::size_t i = 0; i < ranks.size(); ++i) {
+            got[p->lo() + i] = ranks[i];
+          }
+          seen += ranks.size();
+        }
+      });
+    }
+    HAL_ASSERT(seen == params.vertices);
+    const auto ref =
+        pagerank_seq(params.vertices, src, dst, params.rounds);
+    double err = 0.0;
+    for (std::uint32_t v = 0; v < params.vertices; ++v) {
+      err = std::max(err, std::abs(got[v] - ref[v]));
+    }
+    out.max_error = err;
+  }
+  return out;
+}
+
+}  // namespace hal::apps

@@ -1,0 +1,67 @@
+// Distributed PageRank over a skewed sparse graph — the "future work"
+// evaluation the paper asks for.
+//
+// Paper §9: "we need to do more thorough evaluation with a wider range of
+// realistic applications to find potential performance bottlenecks in
+// irregular, sparse computations." This application is that evaluation:
+//  * the graph is power-law-skewed, so contiguous vertex partitions have
+//    wildly different edge counts — a static placement is never balanced;
+//  * partitions are group members (grpnew) addressed by index, and they
+//    remain fully location-transparent: after the first measured rounds, a
+//    coordinator migrates heavy partitions off overloaded nodes, and every
+//    member-indexed send keeps working through the name service — no
+//    communication code changes, which is precisely the flexibility the
+//    paper argues for;
+//  * synchronization is purely local: contributions are tagged by round and
+//    applied when every in-peer's end-of-round marker has arrived
+//    (the same buffered-step pattern as the systolic matmul).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runtime/config.hpp"
+
+namespace hal::apps {
+
+struct PageRankParams {
+  std::uint32_t vertices = 1024;
+  std::uint32_t edges_per_vertex = 8;  ///< average; distribution is skewed
+  std::uint32_t rounds = 8;
+  NodeId nodes = 4;
+  std::uint32_t partitions_per_node = 2;
+  /// Rebalance by migrating heavy partitions after this round (0 = never).
+  std::uint32_t rebalance_after_round = 0;
+  MachineKind machine = MachineKind::kSim;
+  am::CostModel costs = am::CostModel::cm5();
+  std::uint64_t seed = 0x9a9e;
+  bool verify = true;
+};
+
+struct PageRankResult {
+  SimTime makespan_ns = 0;
+  double max_error = 0.0;  ///< vs the sequential reference
+  /// Virtual duration of each round, measured at the coordinator (round
+  /// start → all partitions reported); shows the rebalancing effect.
+  std::vector<SimTime> round_ns;
+  std::uint64_t migrations = 0;
+  StatBlock stats;
+  std::uint64_t dead_letters = 0;
+};
+
+PageRankResult run_pagerank(const PageRankParams& params);
+
+/// Sequential reference (same synchronous-update schedule).
+std::vector<double> pagerank_seq(std::uint32_t vertices,
+                                 const std::vector<std::uint32_t>& edge_src,
+                                 const std::vector<std::uint32_t>& edge_dst,
+                                 std::uint32_t rounds);
+
+/// Deterministic skewed graph (self-loops added to dangling vertices).
+void make_skewed_graph(std::uint32_t vertices, std::uint32_t avg_degree,
+                       std::uint64_t seed,
+                       std::vector<std::uint32_t>& edge_src,
+                       std::vector<std::uint32_t>& edge_dst);
+
+}  // namespace hal::apps

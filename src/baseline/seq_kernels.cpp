@@ -1,0 +1,105 @@
+#include "baseline/seq_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace hal::baseline {
+
+std::uint64_t fib_seq(unsigned n) {
+  if (n < 2) return n;
+  return fib_seq(n - 1) + fib_seq(n - 2);
+}
+
+std::uint64_t fib_call_count(unsigned n) {
+  // calls(n) = 1 + calls(n-1) + calls(n-2), calls(0) = calls(1) = 1
+  // ⇒ calls(n) = 2*fib(n+1) - 1.
+  return 2 * fib_seq(n + 1) - 1;
+}
+
+void cholesky_seq(std::vector<double>& a, std::size_t n) {
+  HAL_ASSERT(a.size() == n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double d = a[k * n + k];
+    HAL_ASSERT(d > 0.0);  // SPD input required
+    d = std::sqrt(d);
+    a[k * n + k] = d;
+    for (std::size_t i = k + 1; i < n; ++i) a[i * n + k] /= d;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double ajk = a[j * n + k];
+      for (std::size_t i = j; i < n; ++i) {
+        a[i * n + j] -= a[i * n + k] * ajk;
+      }
+    }
+    // Zero the strict upper triangle of column k's row for a clean L.
+    for (std::size_t j = k + 1; j < n; ++j) a[k * n + j] = 0.0;
+  }
+}
+
+std::uint64_t cholesky_flops(std::size_t n) {
+  const auto nn = static_cast<std::uint64_t>(n);
+  return nn * nn * nn / 3 + 2 * nn * nn;
+}
+
+void matmul_block(const double* a, const double* b, double* c,
+                  std::size_t n) {
+  // i-k-j loop order with a hoisted A element: streams B and C rows, which
+  // is what a tuned 1995 assembly kernel achieved on the Sparc.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      const double* brow = b + k * n;
+      double* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+std::vector<double> matmul_seq(const std::vector<double>& a,
+                               const std::vector<double>& b, std::size_t n) {
+  HAL_ASSERT(a.size() == n * n && b.size() == n * n);
+  std::vector<double> c(n * n, 0.0);
+  matmul_block(a.data(), b.data(), c.data(), n);
+  return c;
+}
+
+std::vector<double> make_spd(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> m(n * n);
+  for (auto& v : m) v = rng.uniform() - 0.5;
+  // A = M·Mᵀ + n·I is symmetric positive definite.
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += m[i * n + k] * m[j * n + k];
+      a[i * n + j] = s;
+      a[j * n + i] = s;
+    }
+    a[i * n + i] += static_cast<double>(n);
+  }
+  return a;
+}
+
+std::vector<double> make_dense(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = 2.0 * rng.uniform() - 1.0;
+  return a;
+}
+
+double max_abs_diff(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  HAL_ASSERT(x.size() == y.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m = std::max(m, std::abs(x[i] - y[i]));
+  }
+  return m;
+}
+
+}  // namespace hal::baseline

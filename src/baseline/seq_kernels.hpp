@@ -1,0 +1,48 @@
+// Sequential reference kernels.
+//
+// These are the "optimized C" comparators of the paper's evaluation
+// (Table 4's sequential Fibonacci; the local block kernels of the Cholesky
+// and matmul benchmarks) and the ground truth the integration tests check
+// the actor implementations against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hal::baseline {
+
+/// Plain recursive Fibonacci (the paper's benchmark is the naive exponential
+/// recursion — that is the point: 11.4M activations for fib(33)).
+std::uint64_t fib_seq(unsigned n);
+
+/// Number of recursive calls fib_seq(n) performs (= actors the actor version
+/// conceptually creates): calls(n) = 2*fib(n+1) - 1.
+std::uint64_t fib_call_count(unsigned n);
+
+/// In-place dense Cholesky factorization (column-oriented, lower
+/// triangular): A = L·Lᵀ. `a` is n×n row-major, symmetric positive
+/// definite; on return the lower triangle holds L.
+void cholesky_seq(std::vector<double>& a, std::size_t n);
+
+/// Floating-point operations in a dense n×n Cholesky (n³/3 + lower order).
+std::uint64_t cholesky_flops(std::size_t n);
+
+/// C ← C + A·B for row-major dense blocks (n×n). The micro-kernel the
+/// systolic algorithm runs per step (the paper borrowed von Eicken's
+/// assembly version; we use a register-blocked C++ loop).
+void matmul_block(const double* a, const double* b, double* c, std::size_t n);
+
+/// Reference n×n dense multiply: C = A·B (row-major).
+std::vector<double> matmul_seq(const std::vector<double>& a,
+                               const std::vector<double>& b, std::size_t n);
+
+/// Generate a random symmetric positive-definite matrix (for Cholesky).
+std::vector<double> make_spd(std::size_t n, std::uint64_t seed);
+
+/// Generate a random dense matrix with entries in [-1, 1).
+std::vector<double> make_dense(std::size_t n, std::uint64_t seed);
+
+/// Max |x - y| over two equal-length vectors.
+double max_abs_diff(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace hal::baseline

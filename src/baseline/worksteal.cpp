@@ -1,0 +1,89 @@
+#include "baseline/worksteal.hpp"
+
+#include <utility>
+
+namespace hal::baseline {
+
+thread_local int WorkStealPool::tl_worker_id_ = -1;
+
+WorkStealPool::WorkStealPool(unsigned workers) {
+  HAL_ASSERT(workers >= 1);
+  deques_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<WsDeque<TaskNode>>());
+  }
+}
+
+WorkStealPool::~WorkStealPool() { HAL_ASSERT(outstanding_.load() == 0); }
+
+void WorkStealPool::fork(Task task) {
+  auto* node = new TaskNode{std::move(task)};
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  const int id = tl_worker_id_;
+  if (id >= 0) {
+    deques_[static_cast<std::size_t>(id)]->push_bottom(node);
+    return;
+  }
+  while (inject_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  inject_queue_.push_back(node);
+  inject_lock_.clear(std::memory_order_release);
+}
+
+WorkStealPool::TaskNode* WorkStealPool::try_acquire(unsigned id,
+                                                    Xoshiro256& rng) {
+  if (TaskNode* n = deques_[id]->pop_bottom()) return n;
+  // Injection queue (rare; bootstrap only).
+  if (!inject_queue_.empty()) {
+    TaskNode* n = nullptr;
+    while (inject_lock_.test_and_set(std::memory_order_acquire)) {
+    }
+    if (!inject_queue_.empty()) {
+      n = inject_queue_.back();
+      inject_queue_.pop_back();
+    }
+    inject_lock_.clear(std::memory_order_release);
+    if (n != nullptr) return n;
+  }
+  // Random stealing.
+  const std::size_t w = deques_.size();
+  for (std::size_t attempt = 0; attempt < 2 * w; ++attempt) {
+    const auto victim = static_cast<std::size_t>(rng.below(w));
+    if (victim == id) continue;
+    if (TaskNode* n = deques_[victim]->steal_top()) return n;
+  }
+  return nullptr;
+}
+
+void WorkStealPool::worker_loop(unsigned id) {
+  tl_worker_id_ = static_cast<int>(id);
+  Xoshiro256 rng(0xabcdef01ULL + id);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    TaskNode* n = try_acquire(id, rng);
+    if (n == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    n->fn();
+    delete n;
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      stopping_.store(true, std::memory_order_release);
+    }
+  }
+  tl_worker_id_ = -1;
+}
+
+void WorkStealPool::run(Task root) {
+  HAL_ASSERT(tl_worker_id_ == -1);  // not from inside the pool
+  stopping_.store(false, std::memory_order_release);
+  fork(std::move(root));
+  threads_.reserve(deques_.size());
+  for (unsigned i = 0; i < deques_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  HAL_ASSERT(outstanding_.load() == 0);
+}
+
+}  // namespace hal::baseline

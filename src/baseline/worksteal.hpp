@@ -1,0 +1,136 @@
+// Cilk-style randomized work-stealing pool (the Table 4 comparator).
+//
+// The paper quotes Cilk 1.x timings for Fibonacci on the same Sparc; this is
+// the equivalent baseline: per-worker Chase–Lev deques, owner pushes/pops at
+// the bottom, thieves steal from the top of random victims. Tasks are
+// heap-allocated closures; join structure is the caller's business
+// (bench/table4 uses continuation-passing with atomic counters, the way
+// Cilk's compiled code does).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace hal::baseline {
+
+/// Chase–Lev work-stealing deque of raw pointers.
+/// Owner thread: push_bottom / pop_bottom. Other threads: steal_top.
+template <typename T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t capacity_pow2 = 1u << 13)
+      : buffer_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    HAL_ASSERT((capacity_pow2 & mask_) == 0);  // power of two
+  }
+
+  void push_bottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    HAL_ASSERT(b - t < static_cast<std::int64_t>(buffer_.size()));  // full
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  T* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t != b) return item;  // more than one element: safe
+    // Single element: race with thieves via CAS on top.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      item = nullptr;  // lost to a thief
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return item;
+  }
+
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;  // empty
+    T* item = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return item;
+  }
+
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<std::atomic<T*>> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+/// Fork-only task pool: tasks may fork more tasks; the pool runs until all
+/// tasks (tracked by an outstanding counter) have executed. Joins are
+/// expressed in task code via continuation counters.
+class WorkStealPool {
+ public:
+  using Task = std::function<void()>;
+
+  explicit WorkStealPool(unsigned workers);
+  ~WorkStealPool();
+
+  WorkStealPool(const WorkStealPool&) = delete;
+  WorkStealPool& operator=(const WorkStealPool&) = delete;
+
+  /// Fork a task. Callable from worker threads (pushes the local deque) and
+  /// from outside (pushes worker 0's injection queue).
+  void fork(Task task);
+
+  /// Run `root` and return when the pool is quiescent (every forked task has
+  /// finished). Must be called from outside the pool.
+  void run(Task root);
+
+  unsigned workers() const noexcept {
+    return static_cast<unsigned>(deques_.size());
+  }
+
+ private:
+  struct TaskNode {
+    Task fn;
+  };
+
+  void worker_loop(unsigned id);
+  TaskNode* try_acquire(unsigned id, Xoshiro256& rng);
+
+  std::vector<std::unique_ptr<WsDeque<TaskNode>>> deques_;
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Injection queue for forks from outside worker threads (guarded by a
+  // simple mutex-free single-slot design is insufficient; use a deque with
+  // a spinlock — injection is rare).
+  std::vector<TaskNode*> inject_queue_;
+  std::atomic_flag inject_lock_ = ATOMIC_FLAG_INIT;
+
+  static thread_local int tl_worker_id_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hal::baseline

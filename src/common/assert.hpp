@@ -1,0 +1,37 @@
+// Assertion and panic machinery.
+//
+// HAL_ASSERT is active in every build type: the runtime implements
+// distributed protocols (FIR resolution, migration hand-off, flow-control
+// grants) whose invariant violations must fail fast rather than corrupt a
+// simulation silently. HAL_DASSERT compiles out in NDEBUG builds and is for
+// hot-path checks (per-message, per-packet).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hal {
+
+[[noreturn]] inline void panic(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "hal: panic at %s:%d: %s\n", file, line, what);
+  std::abort();
+}
+
+}  // namespace hal
+
+#define HAL_ASSERT(cond)                                     \
+  do {                                                       \
+    if (!(cond)) [[unlikely]] {                              \
+      ::hal::panic(__FILE__, __LINE__, "assertion failed: " #cond); \
+    }                                                        \
+  } while (false)
+
+#define HAL_PANIC(msg) ::hal::panic(__FILE__, __LINE__, (msg))
+
+#ifdef NDEBUG
+#define HAL_DASSERT(cond) \
+  do {                    \
+  } while (false)
+#else
+#define HAL_DASSERT(cond) HAL_ASSERT(cond)
+#endif

@@ -1,0 +1,105 @@
+// Byte-buffer serialization helpers.
+//
+// Messages that cross a node boundary are self-contained values (DESIGN.md
+// §5): a trivially-copyable header plus an owned byte payload. ByteWriter /
+// ByteReader provide the little marshalling layer actor behaviours use to
+// pack state for migration and bulk arguments for sends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hal {
+
+using Bytes = std::vector<std::byte>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes buffer) : buffer_(std::move(buffer)) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const std::size_t off = buffer_.size();
+    buffer_.resize(off + sizeof(T));
+    std::memcpy(buffer_.data() + off, &value, sizeof(T));
+  }
+
+  void write_bytes(std::span<const std::byte> data) {
+    write<std::uint64_t>(data.size());
+    const std::size_t off = buffer_.size();
+    buffer_.resize(off + data.size());
+    if (!data.empty()) std::memcpy(buffer_.data() + off, data.data(), data.size());
+  }
+
+  void write_string(const std::string& s) {
+    write_bytes(std::as_bytes(std::span(s.data(), s.size())));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_span(std::span<const T> data) {
+    write_bytes(std::as_bytes(data));
+  }
+
+  Bytes take() && { return std::move(buffer_); }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    HAL_ASSERT(pos_ + sizeof(T) <= data_.size());
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::span<const std::byte> read_bytes() {
+    const auto n = read<std::uint64_t>();
+    HAL_ASSERT(pos_ + n <= data_.size());
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string read_string() {
+    auto b = read_bytes();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    auto b = read_bytes();
+    HAL_ASSERT(b.size() % sizeof(T) == 0);
+    std::vector<T> out(b.size() / sizeof(T));
+    if (!b.empty()) std::memcpy(out.data(), b.data(), b.size());
+    return out;
+  }
+
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hal

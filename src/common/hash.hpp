@@ -1,0 +1,36 @@
+// Hash primitives used by the per-node name tables.
+//
+// The paper's name tables are "hash tables whose entries are actor locality
+// descriptors" (§4.2); lookups sit on the message-send critical path, so we
+// use cheap finalizer-style mixing rather than std::hash (which is identity
+// for integers on libstdc++ and clusters badly for slab-allocated ids).
+#pragma once
+
+#include <cstdint>
+
+namespace hal {
+
+/// splitmix64 finalizer; a full-avalanche 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit values into one hash.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a over a byte range; used for behaviour-name → id hashing.
+constexpr std::uint64_t fnv1a(const char* data, std::size_t n) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hal

@@ -1,0 +1,68 @@
+// Unbounded multi-producer single-consumer queue (Vyukov's algorithm).
+//
+// This is the only cross-thread data structure in the ThreadMachine: each
+// node's network endpoint is an MpscQueue<Packet> that remote nodes push
+// into and only the owning node pops from — matching the paper's model where
+// the network interface delivers into a node and the node manager drains it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace hal {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node{};
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    while (pop().has_value()) {
+    }
+    delete tail_;
+  }
+
+  /// Push from any thread. Wait-free except for the allocation.
+  void push(T value) {
+    Node* node = new Node{std::move(value)};
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Pop from the single consumer thread only.
+  std::optional<T> pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    std::optional<T> out(std::move(next->value));
+    tail_ = next;
+    delete tail;
+    return out;
+  }
+
+  /// Approximate emptiness check (exact from the consumer's perspective when
+  /// it returns false; may race with concurrent pushes when true).
+  bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  alignas(64) std::atomic<Node*> head_;  // producers CAS here
+  alignas(64) Node* tail_;               // consumer-private
+};
+
+}  // namespace hal

@@ -1,0 +1,125 @@
+// Generation-checked slab allocator.
+//
+// The paper encodes raw memory addresses of locality descriptors inside mail
+// addresses so that a cached address dereferences in O(1) with no hash lookup
+// (§4.1). We reproduce the same O(1)-no-hash property with slot indices into
+// a per-node pool; the generation counter turns use-after-free of a recycled
+// slot into a detectable error instead of silent corruption.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hal {
+
+/// A pool handle: slot index + generation. 0-initialized SlotId is invalid.
+struct SlotId {
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;
+
+  constexpr bool valid() const noexcept { return gen != 0; }
+  friend constexpr bool operator==(SlotId, SlotId) noexcept = default;
+
+  /// Pack into a single word for transmission inside messages.
+  constexpr std::uint64_t pack() const noexcept {
+    return (static_cast<std::uint64_t>(gen) << 32) | index;
+  }
+  static constexpr SlotId unpack(std::uint64_t w) noexcept {
+    return SlotId{static_cast<std::uint32_t>(w & 0xffffffffULL),
+                  static_cast<std::uint32_t>(w >> 32)};
+  }
+};
+
+/// Slab of T with stable indices, O(1) allocate/free via a free list, and
+/// generation checking. Not thread-safe: each node owns its own pools
+/// (single-writer discipline, see DESIGN.md §5).
+template <typename T>
+class SlotPool {
+ public:
+  SlotPool() = default;
+
+  template <typename... Args>
+  SlotId allocate(Args&&... args) {
+    std::uint32_t index;
+    if (free_head_ != kNoFree) {
+      index = free_head_;
+      free_head_ = slots_[index].next_free;
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[index];
+    HAL_DASSERT(!s.live);
+    // Generation 0 is reserved for "invalid"; skip it on wrap-around.
+    if (++s.gen == 0) ++s.gen;
+    s.live = true;
+    s.value = T(std::forward<Args>(args)...);
+    ++live_count_;
+    return SlotId{index, s.gen};
+  }
+
+  void free(SlotId id) {
+    Slot& s = slot_checked(id);
+    s.live = false;
+    s.value = T();
+    s.next_free = free_head_;
+    free_head_ = id.index;
+    HAL_DASSERT(live_count_ > 0);
+    --live_count_;
+  }
+
+  T& get(SlotId id) { return slot_checked(id).value; }
+  const T& get(SlotId id) const { return slot_checked(id).value; }
+
+  /// Null if the id is stale (freed and possibly recycled) or invalid.
+  T* try_get(SlotId id) noexcept {
+    if (!id.valid() || id.index >= slots_.size()) return nullptr;
+    Slot& s = slots_[id.index];
+    if (!s.live || s.gen != id.gen) return nullptr;
+    return &s.value;
+  }
+  const T* try_get(SlotId id) const noexcept {
+    return const_cast<SlotPool*>(this)->try_get(id);
+  }
+
+  bool contains(SlotId id) const noexcept { return try_get(id) != nullptr; }
+  std::size_t size() const noexcept { return live_count_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Visit every live slot; `fn(SlotId, T&)`.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].live) fn(SlotId{i, slots_[i].gen}, slots_[i].value);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNoFree = 0xffffffffU;
+
+  struct Slot {
+    T value{};
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoFree;
+    bool live = false;
+  };
+
+  Slot& slot_checked(SlotId id) {
+    HAL_ASSERT(id.valid() && id.index < slots_.size());
+    Slot& s = slots_[id.index];
+    HAL_ASSERT(s.live && s.gen == id.gen);
+    return s;
+  }
+  const Slot& slot_checked(SlotId id) const {
+    return const_cast<SlotPool*>(this)->slot_checked(id);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFree;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace hal

@@ -1,0 +1,20 @@
+#include "common/stats.hpp"
+
+#include <string>
+
+namespace hal {
+
+std::string format_stats(const StatBlock& block, bool skip_zero) {
+  std::string out;
+  for (std::size_t i = 0; i < kStatNames.size(); ++i) {
+    const auto v = block.get(static_cast<Stat>(i));
+    if (skip_zero && v == 0) continue;
+    out += kStatNames[i];
+    out += '=';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hal

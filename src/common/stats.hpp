@@ -1,0 +1,93 @@
+// Per-node event counters.
+//
+// The runtime keeps one StatBlock per node (single-writer, no atomics) and
+// aggregates across nodes at quiescence. Benchmarks and tests use these to
+// verify protocol claims (e.g. "descriptor caching eliminates receiver-side
+// name-table lookups after the first send", §4.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace hal {
+
+/// Counter identifiers; keep in sync with kStatNames.
+enum class Stat : std::uint32_t {
+  kMessagesSentLocal,
+  kMessagesSentRemote,
+  kMessagesDelivered,
+  kMessagesForwarded,       // delivered to a node the receiver already left
+  kMessagesParked,          // held while an FIR is outstanding
+  kStaticDispatches,        // compiler fast path: direct invocation
+  kGenericDispatches,       // generic buffered send path
+  kPendingEnqueued,         // synchronization constraint disabled the method
+  kPendingReplayed,
+  kActorsCreatedLocal,
+  kActorsCreatedRemote,
+  kAliasesAllocated,
+  kNameTableLookups,
+  kNameTableHits,
+  kDescriptorCacheHits,     // cached remote descriptor address used
+  kFirSent,
+  kFirRelayed,
+  kFirResolved,
+  kMigrationsOut,
+  kMigrationsIn,
+  kStealRequestsSent,
+  kStealRequestsServed,
+  kStealRequestsDenied,
+  kBulkTransfers,
+  kBulkFlowStalls,          // transfer waited for a flow-control grant
+  kBroadcastsSent,
+  kBroadcastFanout,         // MST relays performed
+  kJoinContinuationsCreated,
+  kRepliesJoined,
+  kCount,
+};
+
+inline constexpr std::array<std::string_view,
+                            static_cast<std::size_t>(Stat::kCount)>
+    kStatNames = {
+        "messages_sent_local",   "messages_sent_remote",
+        "messages_delivered",    "messages_forwarded",
+        "messages_parked",       "static_dispatches",
+        "generic_dispatches",    "pending_enqueued",
+        "pending_replayed",      "actors_created_local",
+        "actors_created_remote", "aliases_allocated",
+        "name_table_lookups",    "name_table_hits",
+        "descriptor_cache_hits", "fir_sent",
+        "fir_relayed",           "fir_resolved",
+        "migrations_out",        "migrations_in",
+        "steal_requests_sent",   "steal_requests_served",
+        "steal_requests_denied", "bulk_transfers",
+        "bulk_flow_stalls",      "broadcasts_sent",
+        "broadcast_fanout",      "join_continuations_created",
+        "replies_joined",
+};
+
+class StatBlock {
+ public:
+  void bump(Stat s, std::uint64_t by = 1) noexcept {
+    counts_[static_cast<std::size_t>(s)] += by;
+  }
+  std::uint64_t get(Stat s) const noexcept {
+    return counts_[static_cast<std::size_t>(s)];
+  }
+  void reset() noexcept { counts_ = {}; }
+
+  /// Element-wise accumulate (used to aggregate node blocks).
+  StatBlock& operator+=(const StatBlock& other) noexcept {
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      counts_[i] += other.counts_[i];
+    return *this;
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(Stat::kCount)> counts_{};
+};
+
+/// Render a StatBlock as "name=value" lines; implemented in stats.cpp.
+std::string format_stats(const StatBlock& block, bool skip_zero = true);
+
+}  // namespace hal

@@ -1,0 +1,30 @@
+// Fundamental identifier types shared across the runtime.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hal {
+
+/// Index of a processing element (the paper's CM-5 "node").
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Virtual time in the simulated machine, in nanoseconds. The paper reports
+/// microseconds on a 33 MHz Sparc; nanosecond resolution keeps sub-µs costs
+/// (e.g. cached locality checks) representable.
+using SimTime = std::uint64_t;
+
+/// Method selector: index into a behaviour's method table.
+using Selector = std::uint32_t;
+
+/// Identifies a behaviour (class) in the BehaviorRegistry — the runtime's
+/// stand-in for the dynamically loaded executables of the paper's front-end.
+using BehaviorId = std::uint32_t;
+
+inline constexpr BehaviorId kInvalidBehavior =
+    std::numeric_limits<BehaviorId>::max();
+
+}  // namespace hal

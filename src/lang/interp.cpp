@@ -1,0 +1,455 @@
+#include "lang/interp.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "runtime/context.hpp"
+
+namespace hal::lang {
+
+namespace {
+
+/// Encode interpreted-message arguments into a Message payload.
+Bytes encode_values(const std::vector<Value>& args) {
+  ByteWriter w;
+  w.write(static_cast<std::uint32_t>(args.size()));
+  for (const Value& v : args) v.serialize(w);
+  return std::move(w).take();
+}
+
+std::vector<Value> decode_values(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  const auto n = r.read<std::uint32_t>();
+  std::vector<Value> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(Value::deserialize(r));
+  return out;
+}
+
+/// Per-statement virtual work charged to the simulated node: an interpreted
+/// statement costs a handful of "Sparc instructions" of the cost model.
+constexpr std::uint64_t kStmtWork = 6;
+
+}  // namespace
+
+// --- Evaluator -------------------------------------------------------------------
+
+/// Executes one method body. `ctx` may be null only for guard evaluation
+/// and state initializers, which are restricted to pure expressions.
+class Evaluator {
+ public:
+  Evaluator(InterpActor& actor, Context* ctx, const Message* msg)
+      : actor_(actor), ctx_(ctx), msg_(msg) {}
+
+  void run_body(const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& s : body) {
+      exec(*s);
+      if (returned_) return;
+    }
+  }
+
+  Value eval(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        return Value(e.int_val);
+      case Expr::Kind::kFloatLit:
+        return Value(e.float_val);
+      case Expr::Kind::kBoolLit:
+        return Value(e.bool_val);
+      case Expr::Kind::kStringLit:
+        return Value(e.text);
+      case Expr::Kind::kNilLit:
+        return Value();
+      case Expr::Kind::kVar:
+        return lookup(e.text, e.line);
+      case Expr::Kind::kSelf:
+        return Value(require_ctx(e)->self());
+      case Expr::Kind::kNodeId:
+        return Value(static_cast<std::int64_t>(require_ctx(e)->node()));
+      case Expr::Kind::kNodes:
+        return Value(static_cast<std::int64_t>(require_ctx(e)->node_count()));
+      case Expr::Kind::kNew: {
+        Context* ctx = require_ctx(e);
+        const std::uint32_t bindex =
+            actor_.program_->behavior_index(e.text, e.line);
+        const BehaviorId bid = ctx->kernel().registry().id_of_name(
+            actor_.program_->behavior(bindex).name);
+        if (bid == kInvalidBehavior) {
+          throw LangError("behavior '" + e.text + "' was not loaded",
+                          e.line);
+        }
+        NodeId target = ctx->node();
+        if (e.a != nullptr) {
+          const std::int64_t n = eval(*e.a).as_int();
+          if (n < 0 ||
+              n >= static_cast<std::int64_t>(ctx->node_count())) {
+            throw LangError("placement node out of range", e.line);
+          }
+          target = static_cast<NodeId>(n);
+        }
+        return Value(ctx->create_on_id(bid, target));
+      }
+      case Expr::Kind::kGroupNew: {
+        // grpnew (§2.2): members striped across nodes from here.
+        Context* ctx = require_ctx(e);
+        const std::uint32_t bindex =
+            actor_.program_->behavior_index(e.text, e.line);
+        const BehaviorId bid = ctx->kernel().registry().id_of_name(
+            actor_.program_->behavior(bindex).name);
+        if (bid == kInvalidBehavior) {
+          throw LangError("behavior '" + e.text + "' was not loaded",
+                          e.line);
+        }
+        const std::int64_t n = eval(*e.a).as_int();
+        if (n <= 0) throw LangError("group size must be positive", e.line);
+        return Value(ctx->kernel().group_new(
+            bid, static_cast<std::uint32_t>(n)));
+      }
+      case Expr::Kind::kIndex:
+        throw LangError(
+            "group indexing is only valid as a send/request target",
+            e.line);
+      case Expr::Kind::kUnary: {
+        const Value a = eval(*e.a);
+        return e.op == Tok::kMinus ? op_neg(a, e.line) : op_not(a, e.line);
+      }
+      case Expr::Kind::kBinary: {
+        // Short-circuit logicals first.
+        if (e.op == Tok::kAndAnd) {
+          return eval(*e.a).as_bool() ? Value(eval(*e.b).as_bool())
+                                      : Value(false);
+        }
+        if (e.op == Tok::kOrOr) {
+          return eval(*e.a).as_bool() ? Value(true)
+                                      : Value(eval(*e.b).as_bool());
+        }
+        const Value a = eval(*e.a);
+        const Value b = eval(*e.b);
+        switch (e.op) {
+          case Tok::kPlus: return op_add(a, b, e.line);
+          case Tok::kMinus: return op_sub(a, b, e.line);
+          case Tok::kStar: return op_mul(a, b, e.line);
+          case Tok::kSlash: return op_div(a, b, e.line);
+          case Tok::kPercent: return op_mod(a, b, e.line);
+          case Tok::kEq: return Value(a.equals(b));
+          case Tok::kNe: return Value(!a.equals(b));
+          case Tok::kLt:
+          case Tok::kLe:
+          case Tok::kGt:
+          case Tok::kGe: return op_compare(e.op, a, b, e.line);
+          default:
+            throw LangError("bad binary operator", e.line);
+        }
+      }
+    }
+    throw LangError("bad expression", e.line);
+  }
+
+  void bind_local(const std::string& name, Value v) {
+    locals_[name] = std::move(v);
+  }
+
+ private:
+  Context* require_ctx(const Expr& e) {
+    if (ctx_ == nullptr) {
+      throw LangError(
+          "self/node()/new are not allowed in guards or state initializers",
+          e.line);
+    }
+    return ctx_;
+  }
+
+  Value lookup(const std::string& name, int line) {
+    if (auto it = locals_.find(name); it != locals_.end()) return it->second;
+    const auto& decls = actor_.program_->behavior(actor_.behavior_index_).state;
+    for (std::size_t i = 0; i < decls.size(); ++i) {
+      if (decls[i].name == name) return actor_.state_[i];
+    }
+    throw LangError("undefined variable '" + name + "'", line);
+  }
+
+  void assign(const std::string& name, Value v, int line) {
+    if (auto it = locals_.find(name); it != locals_.end()) {
+      it->second = std::move(v);
+      return;
+    }
+    const auto& decls = actor_.program_->behavior(actor_.behavior_index_).state;
+    for (std::size_t i = 0; i < decls.size(); ++i) {
+      if (decls[i].name == name) {
+        actor_.state_[i] = std::move(v);
+        return;
+      }
+    }
+    throw LangError("assignment to undefined variable '" + name + "'", line);
+  }
+
+  void exec(const Stmt& s) {
+    if (ctx_ != nullptr) ctx_->charge_work(kStmtWork);
+    switch (s.kind) {
+      case Stmt::Kind::kLet:
+        locals_[s.text] = eval(*s.a);
+        return;
+      case Stmt::Kind::kAssign:
+        assign(s.text, eval(*s.a), s.line);
+        return;
+      case Stmt::Kind::kSend: {
+        Context* ctx = require_stmt_ctx(s);
+        std::vector<Value> args;
+        args.reserve(s.args.size());
+        for (const ExprPtr& a : s.args) args.push_back(eval(*a));
+        dispatch_call(*ctx, s, std::move(args), ContRef{});
+        return;
+      }
+      case Stmt::Kind::kBroadcast: {
+        Context* ctx = require_stmt_ctx(s);
+        const GroupId gid = eval(*s.a).as_group();
+        std::vector<Value> args;
+        args.reserve(s.args.size());
+        for (const ExprPtr& a : s.args) args.push_back(eval(*a));
+        Bytes payload = encode_values(args);
+        if (payload.size() + 16 > am::kMaxInlinePayload) {
+          throw LangError("broadcast arguments too large", s.line);
+        }
+        const std::array<std::uint64_t, kMsgInlineWords> words{};
+        ctx->kernel().group_broadcast(gid,
+                                      actor_.program_->name_id(s.text), 0,
+                                      words, ContRef{}, std::move(payload));
+        return;
+      }
+      case Stmt::Kind::kRequest: {
+        Context* ctx = require_stmt_ctx(s);
+        const auto& behavior =
+            actor_.program_->behavior(actor_.behavior_index_);
+        const MethodDecl& cont =
+            behavior.methods.at(static_cast<std::size_t>(s.cont_index));
+        // Snapshot the captured locals now; the reply re-enters the actor
+        // as a message carrying [reply value, captures...].
+        std::vector<Value> captured;
+        captured.reserve(cont.captures.size());
+        for (const std::string& name : cont.captures) {
+          captured.push_back(lookup(name, s.line));
+        }
+        auto program = actor_.program_;
+        const MailAddress self = ctx->self();
+        const std::string cont_name = cont.name;
+        // The continuation message inherits the *original* customer: a
+        // `reply` inside the continuation block answers whoever requested
+        // the method that issued this request (HAL's customer threading).
+        const ContRef customer = msg_ != nullptr ? msg_->cont : ContRef{};
+        const ContRef join = ctx->make_join(
+            1, [program, self, cont_name, captured, customer](
+                   Context& jc, const JoinView& v) {
+              // Reply value arrives serialized in the slot blob.
+              ByteReader r(std::span<const std::byte>(v.blob(0)));
+              std::vector<Value> args;
+              args.push_back(Value::deserialize(r));
+              for (const Value& c : captured) args.push_back(c);
+              Message cm = make_interp_message(*program, self, cont_name,
+                                               std::move(args));
+              cm.cont = customer;
+              jc.kernel().send_message(std::move(cm));
+            });
+        std::vector<Value> args;
+        args.reserve(s.args.size());
+        for (const ExprPtr& a : s.args) args.push_back(eval(*a));
+        dispatch_call(*ctx, s, std::move(args), join.at(0));
+        return;
+      }
+      case Stmt::Kind::kReply: {
+        Context* ctx = require_stmt_ctx(s);
+        ByteWriter w;
+        eval(*s.a).serialize(w);
+        ctx->reply_blob(0, std::move(w).take());
+        return;
+      }
+      case Stmt::Kind::kPrint: {
+        Context* ctx = require_stmt_ctx(s);
+        ctx->print(eval(*s.a).to_string());
+        return;
+      }
+      case Stmt::Kind::kBecome: {
+        Context* ctx = require_stmt_ctx(s);
+        const std::uint32_t bindex =
+            actor_.program_->behavior_index(s.text, s.line);
+        ctx->become_ptr(
+            std::make_unique<InterpActor>(actor_.program_, bindex));
+        return;
+      }
+      case Stmt::Kind::kMigrate: {
+        Context* ctx = require_stmt_ctx(s);
+        const std::int64_t n = eval(*s.a).as_int();
+        if (n < 0 || n >= static_cast<std::int64_t>(ctx->node_count())) {
+          throw LangError("migration target out of range", s.line);
+        }
+        ctx->migrate_to(static_cast<NodeId>(n));
+        return;
+      }
+      case Stmt::Kind::kIf:
+        if (eval(*s.a).as_bool()) {
+          run_body(s.body);
+        } else {
+          run_body(s.else_body);
+        }
+        return;
+      case Stmt::Kind::kWhile:
+        while (!returned_ && eval(*s.a).as_bool()) {
+          run_body(s.body);
+          if (ctx_ != nullptr) ctx_->charge_work(kStmtWork);
+        }
+        return;
+      case Stmt::Kind::kReturn:
+        returned_ = true;
+        return;
+      case Stmt::Kind::kExpr:
+        (void)eval(*s.a);
+        return;
+    }
+  }
+
+  /// Route a send/request either to an address or, for `g[i].m(...)`
+  /// targets, through the group member-send path on the birth node.
+  void dispatch_call(Context& ctx, const Stmt& s, std::vector<Value> args,
+                     const ContRef& cont) {
+    if (s.a->kind == Expr::Kind::kIndex) {
+      const GroupId gid = eval(*s.a->a).as_group();
+      const std::int64_t idx = eval(*s.a->b).as_int();
+      if (idx < 0) throw LangError("negative member index", s.line);
+      Message m = make_interp_message(*actor_.program_, MailAddress{},
+                                      s.text, std::move(args));
+      m.cont = cont;
+      ctx.kernel().group_member_send(gid, gid.creator,
+                                     static_cast<std::uint32_t>(idx),
+                                     std::move(m));
+      return;
+    }
+    Message m = make_interp_message(*actor_.program_, eval(*s.a).as_addr(),
+                                    s.text, std::move(args));
+    m.cont = cont;
+    ctx.kernel().send_message(std::move(m));
+  }
+
+  Context* require_stmt_ctx(const Stmt& s) {
+    if (ctx_ == nullptr) {
+      throw LangError("statement not allowed in this context", s.line);
+    }
+    return ctx_;
+  }
+
+  InterpActor& actor_;
+  Context* ctx_;
+  const Message* msg_;
+  std::unordered_map<std::string, Value> locals_;
+  bool returned_ = false;
+};
+
+// --- InterpActor -------------------------------------------------------------------
+
+InterpActor::InterpActor(std::shared_ptr<const Program> program,
+                         std::uint32_t behavior_index)
+    : program_(std::move(program)), behavior_index_(behavior_index) {
+  const auto& decls = program_->behavior(behavior_index_).state;
+  state_.resize(decls.size());
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    if (decls[i].init != nullptr) {
+      Evaluator ev(*this, nullptr, nullptr);
+      state_[i] = ev.eval(*decls[i].init);
+    }
+  }
+}
+
+void InterpActor::dispatch_message(Context& ctx, Message& m) {
+  const auto& behavior = program_->behavior(behavior_index_);
+  const auto it = behavior.by_name_id.find(m.selector);
+  if (it == behavior.by_name_id.end()) {
+    throw LangError("behavior '" + behavior.name + "' has no method '" +
+                    program_->name_of(m.selector) + "'");
+  }
+  const MethodDecl& method = behavior.methods[it->second];
+  const std::vector<Value> args = decode_values(m.payload);
+  if (args.size() != method.params.size()) {
+    throw LangError("method '" + method.name + "' expects " +
+                        std::to_string(method.params.size()) +
+                        " arguments, got " + std::to_string(args.size()),
+                    method.line);
+  }
+  Evaluator ev(*this, &ctx, &m);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    ev.bind_local(method.params[i], args[i]);
+  }
+  ev.run_body(method.body);
+}
+
+bool InterpActor::method_enabled(Selector name_id) const {
+  const auto& behavior = program_->behavior(behavior_index_);
+  const auto it = behavior.by_name_id.find(name_id);
+  if (it == behavior.by_name_id.end()) return true;  // dispatch will report
+  const MethodDecl& method = behavior.methods[it->second];
+  if (method.guard == nullptr) return true;
+  // Guards are pure state predicates (§6.1's disabling conditions).
+  Evaluator ev(*const_cast<InterpActor*>(this), nullptr, nullptr);
+  return ev.eval(*method.guard).as_bool();
+}
+
+void InterpActor::pack_state(ByteWriter& w) const {
+  w.write(behavior_index_);
+  w.write(static_cast<std::uint32_t>(state_.size()));
+  for (const Value& v : state_) v.serialize(w);
+}
+
+void InterpActor::unpack_state(ByteReader& r) {
+  behavior_index_ = r.read<std::uint32_t>();
+  const auto n = r.read<std::uint32_t>();
+  state_.clear();
+  state_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    state_.push_back(Value::deserialize(r));
+  }
+}
+
+const Value& InterpActor::state_of(std::string_view name) const {
+  const auto& decls = program_->behavior(behavior_index_).state;
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    if (decls[i].name == name) return state_[i];
+  }
+  throw LangError("no state variable '" + std::string(name) + "'");
+}
+
+// --- Loading ----------------------------------------------------------------------
+
+Message make_interp_message(const Program& program, const MailAddress& dest,
+                            std::string_view method,
+                            std::vector<Value> args) {
+  Message m;
+  m.dest = dest;
+  m.selector = program.name_id(method);
+  m.payload = encode_values(args);
+  return m;
+}
+
+std::shared_ptr<const Program> load_program(Runtime& rt,
+                                            std::string_view source) {
+  auto program = Program::compile(source);
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(program->behaviors().size()); ++i) {
+    rt.registry().register_factory(
+        program->behavior(i).name,
+        [program, i]() -> std::unique_ptr<ActorBase> {
+          return std::make_unique<InterpActor>(program, i);
+        });
+  }
+  return program;
+}
+
+MailAddress start_main(Runtime& rt,
+                       const std::shared_ptr<const Program>& program) {
+  if (!program->has_main()) {
+    throw LangError("program has no main block");
+  }
+  const BehaviorId bid = rt.registry().id_of_name("__main");
+  HAL_ASSERT(bid != kInvalidBehavior);
+  const MailAddress a = rt.spawn_id(bid, 0);
+  rt.inject_message(make_interp_message(*program, a, "__start", {}));
+  return a;
+}
+
+}  // namespace hal::lang

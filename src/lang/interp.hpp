@@ -1,0 +1,75 @@
+// HALlite interpreter: one ActorBase implementation animates every
+// source-level behaviour.
+//
+// Messages carry the target method's program-wide name id as their selector
+// (late binding — the untyped language dispatches by name) and the argument
+// Values serialized in the payload. Synchronization constraints are the
+// `when` guards, evaluated through the standard method_enabled hook, so
+// interpreted actors use the same pending-queue machinery (§6.1) as C++
+// behaviours. Interpreted actors are migratable: their state environment
+// serializes with them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lang/program.hpp"
+#include "lang/value.hpp"
+#include "runtime/runtime.hpp"
+
+namespace hal::lang {
+
+class InterpActor : public ActorBase {
+ public:
+  InterpActor(std::shared_ptr<const Program> program,
+              std::uint32_t behavior_index);
+
+  void dispatch_message(Context& ctx, Message& m) override;
+  bool method_enabled(Selector name_id) const override;
+  Selector method_count() const override { return program_->name_count(); }
+  std::string_view behavior_name() const override {
+    return program_->behavior(behavior_index_).name;
+  }
+
+  bool migratable() const override { return true; }
+  void pack_state(ByteWriter& w) const override;
+  void unpack_state(ByteReader& r) override;
+
+  /// Interpreted actors trace automatically: any address-typed state
+  /// variable is a reference (Runtime::collect_garbage).
+  void trace_refs(const std::function<void(const MailAddress&)>& visit)
+      const override {
+    for (const Value& v : state_) {
+      if (v.is_addr()) visit(v.as_addr());
+    }
+  }
+
+  /// Current value of a state variable (tests / inspection).
+  const Value& state_of(std::string_view name) const;
+
+ private:
+  friend class Evaluator;
+
+  std::shared_ptr<const Program> program_;
+  std::uint32_t behavior_index_ = 0;
+  /// State environment, indexed like the behaviour's state declarations.
+  std::vector<Value> state_;
+};
+
+/// Build a message invoking `method` (by name id) with the given arguments.
+Message make_interp_message(const Program& program, const MailAddress& dest,
+                            std::string_view method,
+                            std::vector<Value> args);
+
+/// Compile and "load" a program into a runtime: registers one behaviour
+/// factory per source behaviour (InterpActor closures over the shared
+/// Program). Returns the compiled program.
+std::shared_ptr<const Program> load_program(Runtime& rt,
+                                            std::string_view source);
+
+/// Spawn the program's `main { … }` block: an actor of the synthetic
+/// "__main" behaviour on node 0 with a "__start" message. Must be called
+/// at bootstrap. Returns the main actor's address.
+MailAddress start_main(Runtime& rt, const std::shared_ptr<const Program>& p);
+
+}  // namespace hal::lang

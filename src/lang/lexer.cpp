@@ -1,0 +1,272 @@
+#include "lang/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <unordered_map>
+
+namespace hal::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok> kKeywords = {
+    {"behavior", Tok::kBehavior}, {"state", Tok::kState},
+    {"method", Tok::kMethod},     {"when", Tok::kWhen},
+    {"main", Tok::kMain},         {"let", Tok::kLet},
+    {"send", Tok::kSend},         {"request", Tok::kRequest},
+    {"reply", Tok::kReply},       {"print", Tok::kPrint},
+    {"become", Tok::kBecome},     {"migrate", Tok::kMigrate},
+    {"if", Tok::kIf},             {"else", Tok::kElse},
+    {"while", Tok::kWhile},       {"return", Tok::kReturn},
+    {"new", Tok::kNew},           {"on", Tok::kOn},
+    {"group", Tok::kGroup},       {"broadcast", Tok::kBroadcast},
+    {"self", Tok::kSelf},         {"true", Tok::kTrue},
+    {"false", Tok::kFalse},       {"nil", Tok::kNil},
+};
+
+}  // namespace
+
+std::string_view token_name(Tok kind) noexcept {
+  switch (kind) {
+    case Tok::kEof: return "end of input";
+    case Tok::kIdent: return "identifier";
+    case Tok::kInt: return "integer";
+    case Tok::kFloat: return "float";
+    case Tok::kString: return "string";
+    case Tok::kBehavior: return "'behavior'";
+    case Tok::kState: return "'state'";
+    case Tok::kMethod: return "'method'";
+    case Tok::kWhen: return "'when'";
+    case Tok::kMain: return "'main'";
+    case Tok::kLet: return "'let'";
+    case Tok::kSend: return "'send'";
+    case Tok::kRequest: return "'request'";
+    case Tok::kReply: return "'reply'";
+    case Tok::kPrint: return "'print'";
+    case Tok::kBecome: return "'become'";
+    case Tok::kMigrate: return "'migrate'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kNew: return "'new'";
+    case Tok::kGroup: return "'group'";
+    case Tok::kBroadcast: return "'broadcast'";
+    case Tok::kOn: return "'on'";
+    case Tok::kSelf: return "'self'";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kNil: return "'nil'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kComma: return "','";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kDot: return "'.'";
+    case Tok::kArrow: return "'->'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kBang: return "'!'";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+
+  auto push = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        ++i;
+      }
+      const std::string_view word = src.substr(start, i - start);
+      if (auto it = kKeywords.find(word); it != kKeywords.end()) {
+        push(it->second);
+      } else {
+        Token t;
+        t.kind = Tok::kIdent;
+        t.text = std::string(word);
+        t.line = line;
+        out.push_back(std::move(t));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      bool is_float = false;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        ++i;
+      }
+      if (i + 1 < src.size() && src[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i]))) {
+          ++i;
+        }
+      }
+      const std::string num(src.substr(start, i - start));
+      Token t;
+      t.line = line;
+      if (is_float) {
+        t.kind = Tok::kFloat;
+        t.float_val = std::stod(num);
+      } else {
+        t.kind = Tok::kInt;
+        t.int_val = std::stoll(num);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string s;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          ++i;
+          switch (src[i]) {
+            case 'n': s += '\n'; break;
+            case 't': s += '\t'; break;
+            case '"': s += '"'; break;
+            case '\\': s += '\\'; break;
+            default:
+              throw LangError("bad escape in string literal", line);
+          }
+          ++i;
+          continue;
+        }
+        if (src[i] == '\n') throw LangError("unterminated string", line);
+        s += src[i++];
+      }
+      if (i >= src.size()) throw LangError("unterminated string", line);
+      ++i;  // closing quote
+      Token t;
+      t.kind = Tok::kString;
+      t.text = std::move(s);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < src.size() && src[i + 1] == second;
+    };
+    switch (c) {
+      case '{': push(Tok::kLBrace); ++i; break;
+      case '[': push(Tok::kLBracket); ++i; break;
+      case ']': push(Tok::kRBracket); ++i; break;
+      case '}': push(Tok::kRBrace); ++i; break;
+      case '(': push(Tok::kLParen); ++i; break;
+      case ')': push(Tok::kRParen); ++i; break;
+      case ',': push(Tok::kComma); ++i; break;
+      case ';': push(Tok::kSemi); ++i; break;
+      case '.': push(Tok::kDot); ++i; break;
+      case '+': push(Tok::kPlus); ++i; break;
+      case '*': push(Tok::kStar); ++i; break;
+      case '%': push(Tok::kPercent); ++i; break;
+      case '/': push(Tok::kSlash); ++i; break;
+      case '-':
+        if (two('>')) {
+          push(Tok::kArrow);
+          i += 2;
+        } else {
+          push(Tok::kMinus);
+          ++i;
+        }
+        break;
+      case '=':
+        if (two('=')) {
+          push(Tok::kEq);
+          i += 2;
+        } else {
+          push(Tok::kAssign);
+          ++i;
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(Tok::kNe);
+          i += 2;
+        } else {
+          push(Tok::kBang);
+          ++i;
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(Tok::kLe);
+          i += 2;
+        } else {
+          push(Tok::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(Tok::kGe);
+          i += 2;
+        } else {
+          push(Tok::kGt);
+          ++i;
+        }
+        break;
+      case '&':
+        if (!two('&')) throw LangError("expected '&&'", line);
+        push(Tok::kAndAnd);
+        i += 2;
+        break;
+      case '|':
+        if (!two('|')) throw LangError("expected '||'", line);
+        push(Tok::kOrOr);
+        i += 2;
+        break;
+      default:
+        throw LangError(std::string("unexpected character '") + c + "'",
+                        line);
+    }
+  }
+  push(Tok::kEof);
+  return out;
+}
+
+}  // namespace hal::lang

@@ -1,0 +1,15 @@
+// HALlite lexer: source text → token stream.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace hal::lang {
+
+/// Tokenize a complete source buffer. Throws LangError on bad input.
+/// `//` comments run to end of line.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace hal::lang

@@ -1,0 +1,434 @@
+#include "lang/parser.hpp"
+
+#include <utility>
+
+#include "lang/lexer.hpp"
+
+namespace hal::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  ProgramAst program() {
+    ProgramAst out;
+    while (!at(Tok::kEof)) {
+      if (at(Tok::kBehavior)) {
+        out.behaviors.push_back(behavior());
+      } else if (at(Tok::kMain)) {
+        if (out.has_main) throw LangError("duplicate main block", line());
+        out.has_main = true;
+        const int l = line();
+        advance();
+        BehaviorDecl mainb;
+        mainb.name = "__main";
+        mainb.line = l;
+        MethodDecl start;
+        start.name = "__start";
+        start.line = l;
+        start.body = block();
+        mainb.methods.push_back(std::move(start));
+        out.behaviors.push_back(std::move(mainb));
+      } else {
+        throw LangError("expected 'behavior' or 'main'", line());
+      }
+    }
+    return out;
+  }
+
+ private:
+  // --- Token plumbing ---------------------------------------------------------
+  const Token& peek() const { return toks_[pos_]; }
+  bool at(Tok k) const { return peek().kind == k; }
+  int line() const { return peek().line; }
+  const Token& advance() { return toks_[pos_++]; }
+  const Token& expect(Tok k, const char* context) {
+    if (!at(k)) {
+      throw LangError(std::string("expected ") + std::string(token_name(k)) +
+                          " " + context + ", got " +
+                          std::string(token_name(peek().kind)),
+                      line());
+    }
+    return advance();
+  }
+  std::string ident(const char* context) {
+    return expect(Tok::kIdent, context).text;
+  }
+
+  // --- Declarations -----------------------------------------------------------
+  BehaviorDecl behavior() {
+    BehaviorDecl b;
+    b.line = line();
+    expect(Tok::kBehavior, "at top level");
+    b.name = ident("after 'behavior'");
+    expect(Tok::kLBrace, "to open the behavior body");
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kState)) {
+        advance();
+        StateDecl s;
+        s.line = line();
+        s.name = ident("after 'state'");
+        if (at(Tok::kAssign)) {
+          advance();
+          s.init = expr();
+        }
+        expect(Tok::kSemi, "after state declaration");
+        b.state.push_back(std::move(s));
+      } else if (at(Tok::kMethod)) {
+        b.methods.push_back(method());
+      } else {
+        throw LangError("expected 'state' or 'method' in behavior body",
+                        line());
+      }
+    }
+    expect(Tok::kRBrace, "to close the behavior body");
+    return b;
+  }
+
+  MethodDecl method() {
+    MethodDecl m;
+    m.line = line();
+    expect(Tok::kMethod, "in behavior body");
+    m.name = ident("after 'method'");
+    expect(Tok::kLParen, "to open the parameter list");
+    if (!at(Tok::kRParen)) {
+      m.params.push_back(ident("as a parameter"));
+      while (at(Tok::kComma)) {
+        advance();
+        m.params.push_back(ident("as a parameter"));
+      }
+    }
+    expect(Tok::kRParen, "to close the parameter list");
+    if (at(Tok::kWhen)) {
+      // Synchronization constraint (§6.1): the method is enabled only in
+      // states where the guard holds; otherwise its messages pend.
+      advance();
+      expect(Tok::kLParen, "after 'when'");
+      m.guard = expr();
+      expect(Tok::kRParen, "to close the 'when' guard");
+    }
+    m.body = block();
+    return m;
+  }
+
+  // --- Statements -------------------------------------------------------------
+  std::vector<StmtPtr> block() {
+    expect(Tok::kLBrace, "to open a block");
+    std::vector<StmtPtr> out;
+    while (!at(Tok::kRBrace)) out.push_back(stmt());
+    expect(Tok::kRBrace, "to close a block");
+    return out;
+  }
+
+  StmtPtr stmt() {
+    auto s = std::make_unique<Stmt>();
+    s->line = line();
+    switch (peek().kind) {
+      case Tok::kLet: {
+        advance();
+        s->kind = Stmt::Kind::kLet;
+        s->text = ident("after 'let'");
+        expect(Tok::kAssign, "in let statement");
+        s->a = expr();
+        expect(Tok::kSemi, "after let statement");
+        return s;
+      }
+      case Tok::kSend: {
+        advance();
+        s->kind = Stmt::Kind::kSend;
+        parse_target_call(*s);
+        expect(Tok::kSemi, "after send statement");
+        return s;
+      }
+      case Tok::kBroadcast: {
+        advance();
+        s->kind = Stmt::Kind::kBroadcast;
+        parse_target_call(*s);
+        expect(Tok::kSemi, "after broadcast statement");
+        return s;
+      }
+      case Tok::kRequest: {
+        advance();
+        s->kind = Stmt::Kind::kRequest;
+        parse_target_call(*s);
+        expect(Tok::kArrow, "after request arguments");
+        expect(Tok::kLParen, "to open the reply binding");
+        s->text2 = ident("as the reply parameter");
+        expect(Tok::kRParen, "to close the reply binding");
+        s->body = block();
+        return s;
+      }
+      case Tok::kReply: {
+        advance();
+        s->kind = Stmt::Kind::kReply;
+        s->a = expr();
+        expect(Tok::kSemi, "after reply statement");
+        return s;
+      }
+      case Tok::kPrint: {
+        advance();
+        s->kind = Stmt::Kind::kPrint;
+        s->a = expr();
+        expect(Tok::kSemi, "after print statement");
+        return s;
+      }
+      case Tok::kBecome: {
+        advance();
+        s->kind = Stmt::Kind::kBecome;
+        s->text = ident("after 'become'");
+        expect(Tok::kSemi, "after become statement");
+        return s;
+      }
+      case Tok::kMigrate: {
+        advance();
+        s->kind = Stmt::Kind::kMigrate;
+        s->a = expr();
+        expect(Tok::kSemi, "after migrate statement");
+        return s;
+      }
+      case Tok::kIf: {
+        advance();
+        s->kind = Stmt::Kind::kIf;
+        expect(Tok::kLParen, "after 'if'");
+        s->a = expr();
+        expect(Tok::kRParen, "to close the if condition");
+        s->body = block();
+        if (at(Tok::kElse)) {
+          advance();
+          if (at(Tok::kIf)) {
+            s->else_body.push_back(stmt());  // else-if chain
+          } else {
+            s->else_body = block();
+          }
+        }
+        return s;
+      }
+      case Tok::kWhile: {
+        advance();
+        s->kind = Stmt::Kind::kWhile;
+        expect(Tok::kLParen, "after 'while'");
+        s->a = expr();
+        expect(Tok::kRParen, "to close the while condition");
+        s->body = block();
+        return s;
+      }
+      case Tok::kReturn: {
+        advance();
+        s->kind = Stmt::Kind::kReturn;
+        expect(Tok::kSemi, "after return");
+        return s;
+      }
+      case Tok::kIdent: {
+        // assignment: IDENT = expr ;
+        if (toks_[pos_ + 1].kind == Tok::kAssign) {
+          s->kind = Stmt::Kind::kAssign;
+          s->text = advance().text;
+          advance();  // '='
+          s->a = expr();
+          expect(Tok::kSemi, "after assignment");
+          return s;
+        }
+        break;  // fall through to expression statement
+      }
+      default:
+        break;
+    }
+    s->kind = Stmt::Kind::kExpr;
+    s->a = expr();
+    expect(Tok::kSemi, "after expression statement");
+    return s;
+  }
+
+  /// target '.' method '(' args ')' — shared by send and request.
+  void parse_target_call(Stmt& s) {
+    s.a = postfix();
+    expect(Tok::kDot, "before the method name");
+    s.text = ident("as the method name");
+    expect(Tok::kLParen, "to open the argument list");
+    if (!at(Tok::kRParen)) {
+      s.args.push_back(expr());
+      while (at(Tok::kComma)) {
+        advance();
+        s.args.push_back(expr());
+      }
+    }
+    expect(Tok::kRParen, "to close the argument list");
+  }
+
+  // --- Expressions (precedence climbing) ----------------------------------------
+  ExprPtr expr() { return or_expr(); }
+
+  ExprPtr or_expr() {
+    ExprPtr e = and_expr();
+    while (at(Tok::kOrOr)) {
+      e = binary(Tok::kOrOr, std::move(e), [&] { return and_expr(); });
+    }
+    return e;
+  }
+  ExprPtr and_expr() {
+    ExprPtr e = equality();
+    while (at(Tok::kAndAnd)) {
+      e = binary(Tok::kAndAnd, std::move(e), [&] { return equality(); });
+    }
+    return e;
+  }
+  ExprPtr equality() {
+    ExprPtr e = relational();
+    while (at(Tok::kEq) || at(Tok::kNe)) {
+      const Tok op = peek().kind;
+      e = binary(op, std::move(e), [&] { return relational(); });
+    }
+    return e;
+  }
+  ExprPtr relational() {
+    ExprPtr e = additive();
+    while (at(Tok::kLt) || at(Tok::kLe) || at(Tok::kGt) || at(Tok::kGe)) {
+      const Tok op = peek().kind;
+      e = binary(op, std::move(e), [&] { return additive(); });
+    }
+    return e;
+  }
+  ExprPtr additive() {
+    ExprPtr e = multiplicative();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const Tok op = peek().kind;
+      e = binary(op, std::move(e), [&] { return multiplicative(); });
+    }
+    return e;
+  }
+  ExprPtr multiplicative() {
+    ExprPtr e = unary();
+    while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent)) {
+      const Tok op = peek().kind;
+      e = binary(op, std::move(e), [&] { return unary(); });
+    }
+    return e;
+  }
+
+  template <typename Next>
+  ExprPtr binary(Tok op, ExprPtr lhs, Next&& next) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->line = line();
+    e->op = op;
+    advance();
+    e->a = std::move(lhs);
+    e->b = next();
+    return e;
+  }
+
+  ExprPtr unary() {
+    if (at(Tok::kMinus) || at(Tok::kBang)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->line = line();
+      e->op = advance().kind;
+      e->a = unary();
+      return e;
+    }
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr e = primary();
+    while (at(Tok::kLBracket)) {
+      auto idx = std::make_unique<Expr>();
+      idx->kind = Expr::Kind::kIndex;
+      idx->line = line();
+      advance();
+      idx->a = std::move(e);
+      idx->b = expr();
+      expect(Tok::kRBracket, "to close the member index");
+      e = std::move(idx);
+    }
+    return e;
+  }
+
+  ExprPtr primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = line();
+    switch (peek().kind) {
+      case Tok::kInt:
+        e->kind = Expr::Kind::kIntLit;
+        e->int_val = advance().int_val;
+        return e;
+      case Tok::kFloat:
+        e->kind = Expr::Kind::kFloatLit;
+        e->float_val = advance().float_val;
+        return e;
+      case Tok::kString:
+        e->kind = Expr::Kind::kStringLit;
+        e->text = advance().text;
+        return e;
+      case Tok::kTrue:
+      case Tok::kFalse:
+        e->kind = Expr::Kind::kBoolLit;
+        e->bool_val = advance().kind == Tok::kTrue;
+        return e;
+      case Tok::kNil:
+        advance();
+        e->kind = Expr::Kind::kNilLit;
+        return e;
+      case Tok::kSelf:
+        advance();
+        e->kind = Expr::Kind::kSelf;
+        return e;
+      case Tok::kNew: {
+        advance();
+        e->kind = Expr::Kind::kNew;
+        e->text = ident("after 'new'");
+        if (at(Tok::kOn)) {
+          advance();
+          e->a = expr();
+        }
+        return e;
+      }
+      case Tok::kGroup: {
+        // grpnew (§2.2): group Behavior(count)
+        advance();
+        e->kind = Expr::Kind::kGroupNew;
+        e->text = ident("after 'group'");
+        expect(Tok::kLParen, "to open the member count");
+        e->a = expr();
+        expect(Tok::kRParen, "to close the member count");
+        return e;
+      }
+      case Tok::kIdent: {
+        const std::string name = advance().text;
+        if ((name == "node" || name == "nodes") && at(Tok::kLParen)) {
+          advance();
+          expect(Tok::kRParen, "builtin takes no arguments");
+          e->kind = name == "node" ? Expr::Kind::kNodeId : Expr::Kind::kNodes;
+          return e;
+        }
+        e->kind = Expr::Kind::kVar;
+        e->text = name;
+        return e;
+      }
+      case Tok::kLParen: {
+        advance();
+        ExprPtr inner = expr();
+        expect(Tok::kRParen, "to close the parenthesized expression");
+        return inner;
+      }
+      default:
+        throw LangError("expected an expression, got " +
+                            std::string(token_name(peek().kind)),
+                        line());
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ProgramAst parse(std::string_view source) {
+  Parser p(lex(source));
+  return p.program();
+}
+
+}  // namespace hal::lang

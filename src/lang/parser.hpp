@@ -1,0 +1,14 @@
+// HALlite parser: token stream → AST.
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace hal::lang {
+
+/// Parse a complete program. Throws LangError with a line number on
+/// syntax errors.
+ProgramAst parse(std::string_view source);
+
+}  // namespace hal::lang

@@ -1,0 +1,132 @@
+#include "lang/program.hpp"
+
+#include <algorithm>
+
+#include "lang/parser.hpp"
+
+namespace hal::lang {
+
+std::uint32_t Program::intern(const std::string& name) {
+  if (auto it = name_ids_.find(name); it != name_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(name);
+  name_ids_.emplace(name, id);
+  return id;
+}
+
+std::uint32_t Program::name_id(std::string_view name) const {
+  auto it = name_ids_.find(std::string(name));
+  if (it == name_ids_.end()) {
+    throw LangError("no method named '" + std::string(name) +
+                    "' anywhere in the program");
+  }
+  return it->second;
+}
+
+std::uint32_t Program::behavior_index(std::string_view name, int line) const {
+  auto it = behavior_ids_.find(std::string(name));
+  if (it == behavior_ids_.end()) {
+    throw LangError("unknown behavior '" + std::string(name) + "'", line);
+  }
+  return it->second;
+}
+
+void Program::lower_requests(Behavior& b, std::vector<StmtPtr>& body,
+                             std::vector<std::string>& locals) {
+  for (StmtPtr& s : body) {
+    switch (s->kind) {
+      case Stmt::Kind::kLet:
+        locals.push_back(s->text);
+        break;
+      case Stmt::Kind::kRequest: {
+        if (s->cont_index >= 0) {
+          throw LangError("internal: request lowered twice", s->line);
+        }
+        // Synthesize the continuation method: parameters are the reply
+        // value followed by the captured locals (Fig. 4's pre-filled
+        // argument slots, reborn as message arguments so the continuation
+        // runs under the actor's own mutual exclusion).
+        MethodDecl cont;
+        cont.synthetic = true;
+        cont.line = s->line;
+        cont.name = "__cont_" + b.name + "_" +
+                    std::to_string(synthetic_counter_++);
+        cont.params.push_back(s->text2);  // reply binding
+        cont.captures = locals;           // snapshot of live locals
+        for (const std::string& l : locals) cont.params.push_back(l);
+        cont.body = std::move(s->body);
+        s->body.clear();
+        // Continuation bodies may themselves contain requests; lower them
+        // first so their synthetics land before this one and the recorded
+        // index stays correct.
+        std::vector<std::string> cont_locals = cont.params;
+        lower_requests(b, cont.body, cont_locals);
+        s->cont_index = static_cast<int>(b.methods.size());
+        b.methods.push_back(std::move(cont));
+        break;
+      }
+      case Stmt::Kind::kIf: {
+        // Block scoping for capture analysis: lets inside a branch are in
+        // scope for requests in that branch only.
+        std::vector<std::string> then_scope = locals;
+        lower_requests(b, s->body, then_scope);
+        std::vector<std::string> else_scope = locals;
+        lower_requests(b, s->else_body, else_scope);
+        break;
+      }
+      case Stmt::Kind::kWhile: {
+        std::vector<std::string> body_scope = locals;
+        lower_requests(b, s->body, body_scope);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+std::shared_ptr<const Program> Program::compile(std::string_view source) {
+  ProgramAst ast = parse(source);
+  auto program = std::shared_ptr<Program>(new Program());
+  program->has_main_ = ast.has_main;
+
+  for (BehaviorDecl& bd : ast.behaviors) {
+    if (program->behavior_ids_.contains(bd.name)) {
+      throw LangError("duplicate behavior '" + bd.name + "'", bd.line);
+    }
+    program->behavior_ids_.emplace(
+        bd.name, static_cast<std::uint32_t>(program->behaviors_.size()));
+    Behavior b;
+    b.name = bd.name;
+    b.state = std::move(bd.state);
+    b.methods = std::move(bd.methods);
+    // Lower requests method by method (iterate by index: lowering appends
+    // synthetic continuations, which are already fully lowered — touching
+    // them again would re-lower their inner requests onto empty bodies).
+    for (std::size_t mi = 0; mi < b.methods.size(); ++mi) {
+      if (b.methods[mi].synthetic) continue;
+      std::vector<std::string> locals = b.methods[mi].params;
+      std::vector<StmtPtr> stmts = std::move(b.methods[mi].body);
+      program->lower_requests(b, stmts, locals);
+      b.methods[mi].body = std::move(stmts);
+    }
+    program->behaviors_.push_back(std::move(b));
+  }
+
+  // Intern every method name program-wide and index per behaviour.
+  for (Behavior& b : program->behaviors_) {
+    for (std::uint32_t mi = 0; mi < b.methods.size(); ++mi) {
+      const std::uint32_t id = program->intern(b.methods[mi].name);
+      if (!b.by_name_id.emplace(id, mi).second) {
+        throw LangError("behavior '" + b.name + "' declares method '" +
+                            b.methods[mi].name + "' twice",
+                        b.methods[mi].line);
+      }
+    }
+  }
+  return program;
+}
+
+}  // namespace hal::lang

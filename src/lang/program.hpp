@@ -1,0 +1,74 @@
+// HALlite resolved programs.
+//
+// `Program::compile` parses and resolves a source text:
+//  * every `request` statement is lowered into an asynchronous send plus a
+//    *synthetic continuation method* — exactly the transformation HAL's
+//    compiler performs ("transforms a request send to an asynchronous send
+//    and separates out its continuation", §6.2). The continuation method's
+//    parameters are the reply value plus the live locals captured at the
+//    request site.
+//  * method names across the whole program get dense *name ids*, which act
+//    as message selectors. Dispatch is by name (late binding): the sender
+//    never needs the receiver's behaviour, matching the untyped language.
+//
+// A compiled Program is immutable and shared by every node's interpreted
+// actors ("the executable is dynamically loaded and integrated into each
+// kernel", §3 — load_program registers one factory per behaviour).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace hal::lang {
+
+class Program {
+ public:
+  struct Behavior {
+    std::string name;
+    std::vector<StateDecl> state;
+    std::vector<MethodDecl> methods;
+    /// method name id → index into `methods`.
+    std::unordered_map<std::uint32_t, std::uint32_t> by_name_id;
+  };
+
+  static std::shared_ptr<const Program> compile(std::string_view source);
+
+  const std::vector<Behavior>& behaviors() const { return behaviors_; }
+  const Behavior& behavior(std::uint32_t index) const {
+    return behaviors_.at(index);
+  }
+
+  /// Dense id of a method name; throws if the program never declares it.
+  std::uint32_t name_id(std::string_view name) const;
+  /// Total distinct method names (the selector space).
+  std::uint32_t name_count() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  const std::string& name_of(std::uint32_t id) const { return names_.at(id); }
+
+  /// Index of a behaviour by source name; throws on unknown names.
+  std::uint32_t behavior_index(std::string_view name, int line = 0) const;
+
+  bool has_main() const { return has_main_; }
+
+ private:
+  Program() = default;
+  std::uint32_t intern(const std::string& name);
+  /// Lower request statements in `body`, appending synthetic continuation
+  /// methods to `b`. `locals` are the names in scope (function-flat).
+  void lower_requests(Behavior& b, std::vector<StmtPtr>& body,
+                      std::vector<std::string>& locals);
+
+  std::vector<Behavior> behaviors_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> name_ids_;
+  std::unordered_map<std::string, std::uint32_t> behavior_ids_;
+  std::uint32_t synthetic_counter_ = 0;
+  bool has_main_ = false;
+};
+
+}  // namespace hal::lang

@@ -1,0 +1,102 @@
+// HALlite tokens.
+//
+// HALlite is a small actor language in the spirit of HAL (§2 of the paper):
+// behaviours with state and methods, asynchronous sends, creation with
+// placement, request/reply written as explicit continuation blocks (the
+// form HAL's compiler lowers requests into), `become`, migration, and
+// per-method synchronization constraints (`when` guards). It exists to
+// exercise the runtime through a second, independent client — interpreted
+// actors use the same kernels, name server, and migration machinery as the
+// C++ behaviours.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hal::lang {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  // keywords
+  kBehavior,
+  kState,
+  kMethod,
+  kWhen,
+  kMain,
+  kLet,
+  kSend,
+  kRequest,
+  kReply,
+  kPrint,
+  kBecome,
+  kMigrate,
+  kIf,
+  kElse,
+  kWhile,
+  kReturn,
+  kNew,
+  kGroup,
+  kBroadcast,
+  kOn,
+  kSelf,
+  kTrue,
+  kFalse,
+  kNil,
+  // punctuation / operators
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemi,
+  kLBracket,
+  kRBracket,
+  kDot,
+  kArrow,  // ->
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kBang,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;       // identifier / string literal contents
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  int line = 0;
+};
+
+std::string_view token_name(Tok kind) noexcept;
+
+/// Thrown on lexical, syntactic, or semantic errors, and on interpreter
+/// type errors at runtime; carries a source line where known.
+class LangError : public std::exception {
+ public:
+  LangError(std::string message, int line = 0)
+      : message_(line > 0 ? "line " + std::to_string(line) + ": " +
+                                std::move(message)
+                          : std::move(message)) {}
+  const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  std::string message_;
+};
+
+}  // namespace hal::lang

@@ -1,0 +1,215 @@
+#include "lang/value.hpp"
+
+#include <cmath>
+
+namespace hal::lang {
+
+namespace {
+enum class Tag : std::uint8_t {
+  kNil = 0,
+  kInt,
+  kFloat,
+  kBool,
+  kAddr,
+  kString,
+  kGroup
+};
+
+[[noreturn]] void type_error(const char* op, const Value& a, const Value& b,
+                             int line) {
+  throw LangError(std::string("type error: ") + a.to_string() + " " + op +
+                      " " + b.to_string(),
+                  line);
+}
+}  // namespace
+
+std::int64_t Value::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(v_);
+  if (is_float()) return static_cast<std::int64_t>(std::get<double>(v_));
+  throw LangError("expected an integer, got " + to_string());
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  if (is_float()) return std::get<double>(v_);
+  throw LangError("expected a number, got " + to_string());
+}
+
+bool Value::as_bool() const {
+  if (is_bool()) return std::get<bool>(v_);
+  throw LangError("expected a boolean, got " + to_string());
+}
+
+const MailAddress& Value::as_addr() const {
+  if (is_addr()) return std::get<MailAddress>(v_);
+  throw LangError("expected an actor address, got " + to_string());
+}
+
+GroupId Value::as_group() const {
+  if (is_group()) return std::get<GroupId>(v_);
+  throw LangError("expected a group, got " + to_string());
+}
+
+const std::string& Value::as_string() const {
+  if (is_string()) return std::get<std::string>(v_);
+  throw LangError("expected a string, got " + to_string());
+}
+
+std::string Value::to_string() const {
+  if (is_nil()) return "nil";
+  if (is_int()) return std::to_string(std::get<std::int64_t>(v_));
+  if (is_float()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", std::get<double>(v_));
+    return buf;
+  }
+  if (is_bool()) return std::get<bool>(v_) ? "true" : "false";
+  if (is_addr()) {
+    const MailAddress& a = std::get<MailAddress>(v_);
+    return "<actor@" + std::to_string(a.home) + ":" +
+           std::to_string(a.desc.index) + ">";
+  }
+  if (is_group()) {
+    const GroupId g = std::get<GroupId>(v_);
+    return "<group@" + std::to_string(g.creator) + ":" +
+           std::to_string(g.seq) + ">";
+  }
+  return std::get<std::string>(v_);
+}
+
+bool Value::equals(const Value& other) const {
+  if (is_number() && other.is_number()) {
+    if (is_int() && other.is_int()) return as_int() == other.as_int();
+    return as_double() == other.as_double();
+  }
+  if (is_addr() && other.is_addr()) return as_addr() == other.as_addr();
+  return v_ == other.v_;
+}
+
+void Value::serialize(ByteWriter& w) const {
+  if (is_nil()) {
+    w.write(Tag::kNil);
+  } else if (is_int()) {
+    w.write(Tag::kInt);
+    w.write(std::get<std::int64_t>(v_));
+  } else if (is_float()) {
+    w.write(Tag::kFloat);
+    w.write(std::get<double>(v_));
+  } else if (is_bool()) {
+    w.write(Tag::kBool);
+    w.write(std::get<bool>(v_));
+  } else if (is_addr()) {
+    w.write(Tag::kAddr);
+    const MailAddress& a = std::get<MailAddress>(v_);
+    w.write(a.pack_word0());
+    w.write(a.pack_word1());
+  } else if (is_group()) {
+    w.write(Tag::kGroup);
+    w.write(std::get<GroupId>(v_).pack());
+  } else {
+    w.write(Tag::kString);
+    w.write_string(std::get<std::string>(v_));
+  }
+}
+
+Value Value::deserialize(ByteReader& r) {
+  switch (r.read<Tag>()) {
+    case Tag::kNil:
+      return Value();
+    case Tag::kInt:
+      return Value(r.read<std::int64_t>());
+    case Tag::kFloat:
+      return Value(r.read<double>());
+    case Tag::kBool:
+      return Value(r.read<bool>());
+    case Tag::kAddr: {
+      const auto w0 = r.read<std::uint64_t>();
+      const auto w1 = r.read<std::uint64_t>();
+      return Value(MailAddress::unpack(w0, w1));
+    }
+    case Tag::kString:
+      return Value(r.read_string());
+    case Tag::kGroup:
+      return Value(GroupId::unpack(r.read<std::uint64_t>()));
+  }
+  throw LangError("corrupt serialized value");
+}
+
+Value op_add(const Value& a, const Value& b, int line) {
+  if (a.is_string() || b.is_string()) {
+    return Value(a.to_string() + b.to_string());
+  }
+  if (a.is_int() && b.is_int()) return Value(a.as_int() + b.as_int());
+  if (a.is_number() && b.is_number()) {
+    return Value(a.as_double() + b.as_double());
+  }
+  type_error("+", a, b, line);
+}
+
+Value op_sub(const Value& a, const Value& b, int line) {
+  if (a.is_int() && b.is_int()) return Value(a.as_int() - b.as_int());
+  if (a.is_number() && b.is_number()) {
+    return Value(a.as_double() - b.as_double());
+  }
+  type_error("-", a, b, line);
+}
+
+Value op_mul(const Value& a, const Value& b, int line) {
+  if (a.is_int() && b.is_int()) return Value(a.as_int() * b.as_int());
+  if (a.is_number() && b.is_number()) {
+    return Value(a.as_double() * b.as_double());
+  }
+  type_error("*", a, b, line);
+}
+
+Value op_div(const Value& a, const Value& b, int line) {
+  if (a.is_int() && b.is_int()) {
+    if (b.as_int() == 0) throw LangError("division by zero", line);
+    return Value(a.as_int() / b.as_int());
+  }
+  if (a.is_number() && b.is_number()) {
+    return Value(a.as_double() / b.as_double());
+  }
+  type_error("/", a, b, line);
+}
+
+Value op_mod(const Value& a, const Value& b, int line) {
+  if (a.is_int() && b.is_int()) {
+    if (b.as_int() == 0) throw LangError("modulo by zero", line);
+    return Value(a.as_int() % b.as_int());
+  }
+  type_error("%", a, b, line);
+}
+
+Value op_neg(const Value& a, int line) {
+  if (a.is_int()) return Value(-a.as_int());
+  if (a.is_float()) return Value(-a.as_double());
+  throw LangError("cannot negate " + a.to_string(), line);
+}
+
+Value op_not(const Value& a, int line) {
+  if (a.is_bool()) return Value(!a.as_bool());
+  throw LangError("cannot apply '!' to " + a.to_string(), line);
+}
+
+Value op_compare(Tok op, const Value& a, const Value& b, int line) {
+  int cmp;
+  if (a.is_number() && b.is_number()) {
+    const double x = a.as_double(), y = b.as_double();
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  } else if (a.is_string() && b.is_string()) {
+    cmp = a.as_string().compare(b.as_string());
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else {
+    type_error("compare", a, b, line);
+  }
+  switch (op) {
+    case Tok::kLt: return Value(cmp < 0);
+    case Tok::kLe: return Value(cmp <= 0);
+    case Tok::kGt: return Value(cmp > 0);
+    case Tok::kGe: return Value(cmp >= 0);
+    default: throw LangError("bad comparison operator", line);
+  }
+}
+
+}  // namespace hal::lang

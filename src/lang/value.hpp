@@ -1,0 +1,77 @@
+// HALlite runtime values.
+//
+// Values travel inside actor messages (serialized into the payload), live
+// in actor state environments, and migrate with their actor. Mail addresses
+// are first-class, as in the Actor model ("mail addresses may also be
+// communicated in a message, allowing for a dynamic communication
+// topology", §2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "lang/token.hpp"
+#include "name/mail_address.hpp"
+#include "runtime/message.hpp"
+
+namespace hal::lang {
+
+class Value {
+ public:
+  using Storage = std::variant<std::monostate, std::int64_t, double, bool,
+                               MailAddress, std::string, GroupId>;
+
+  Value() = default;
+  explicit Value(std::int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(bool v) : v_(v) {}
+  explicit Value(MailAddress v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(GroupId v) : v_(v) {}
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_float() const { return std::holds_alternative<double>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_addr() const { return std::holds_alternative<MailAddress>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_group() const { return std::holds_alternative<GroupId>(v_); }
+  bool is_number() const { return is_int() || is_float(); }
+
+  std::int64_t as_int() const;
+  double as_double() const;  // numbers only; int promotes
+  bool as_bool() const;      // booleans only (no truthiness)
+  const MailAddress& as_addr() const;
+  const std::string& as_string() const;
+  GroupId as_group() const;
+
+  /// Human-readable rendering (print statement, diagnostics).
+  std::string to_string() const;
+
+  /// Structural equality (== / !=); numbers compare by value across
+  /// int/float.
+  bool equals(const Value& other) const;
+
+  void serialize(ByteWriter& w) const;
+  static Value deserialize(ByteReader& r);
+
+ private:
+  Storage v_;
+};
+
+/// Arithmetic and comparison used by the evaluator; throw LangError with
+/// the offending operation on type mismatches.
+Value op_add(const Value& a, const Value& b, int line);
+Value op_sub(const Value& a, const Value& b, int line);
+Value op_mul(const Value& a, const Value& b, int line);
+Value op_div(const Value& a, const Value& b, int line);
+Value op_mod(const Value& a, const Value& b, int line);
+Value op_neg(const Value& a, int line);
+Value op_not(const Value& a, int line);
+/// <, <=, >, >= on numbers (and lexicographic on strings).
+Value op_compare(Tok op, const Value& a, const Value& b, int line);
+
+}  // namespace hal::lang

@@ -1,0 +1,71 @@
+// Locality descriptors (§4.1, §4.3).
+//
+// A descriptor records the runtime's *best guess* about an actor's current
+// locality. If the actor is local it references the actor directly; if
+// remote it names the best-guess node and, once the cache-fill response has
+// arrived, the descriptor's slot on that node — letting subsequent sends
+// skip the receiving-side name-table lookup entirely. When an actor migrates
+// away, its descriptor on the old node becomes a forwarding hop; chains of
+// such hops are collapsed by the FIR protocol (runtime/node_manager).
+#pragma once
+
+#include "common/slot_pool.hpp"
+#include "common/types.hpp"
+
+namespace hal {
+
+struct LocalityDescriptor {
+  enum class Kind : std::uint8_t {
+    kLocal,   ///< actor lives on this node; `actor` is its slot
+    kRemote,  ///< best guess: actor is on `remote_node`
+  };
+
+  Kind kind = Kind::kRemote;
+
+  /// kLocal: the actor's slot in this node's actor pool.
+  SlotId actor{};
+
+  /// kRemote: best-guess node for the actor.
+  NodeId remote_node = kInvalidNode;
+
+  /// kRemote: the descriptor's slot on remote_node, once cached (invalid
+  /// until the cache-fill or FIR response arrives). With this cached, the
+  /// sender transmits the receiving-side descriptor address in the message
+  /// and the receiving node manager dereferences it in O(1).
+  SlotId remote_desc{};
+
+  /// Migration epoch of the location information (the "migration history"
+  /// of §4.3, reduced to a counter): an actor's epoch is its number of
+  /// completed migrations, and every location update carries the epoch it
+  /// describes. Updates with an older epoch are discarded, so forwarding
+  /// pointers never regress — which is what guarantees the FIR chase cannot
+  /// cycle even under arbitrarily stale, reordered updates.
+  std::uint32_t epoch = 0;
+
+  /// An FIR (forwarding information request) naming this actor is in flight
+  /// from this node; further messages park until it resolves (§4.3).
+  bool fir_outstanding = false;
+
+  bool local() const noexcept { return kind == Kind::kLocal; }
+
+  static LocalityDescriptor make_local(SlotId actor_slot,
+                                       std::uint32_t epoch = 0) noexcept {
+    LocalityDescriptor d;
+    d.kind = Kind::kLocal;
+    d.actor = actor_slot;
+    d.epoch = epoch;
+    return d;
+  }
+
+  static LocalityDescriptor make_remote(NodeId node, SlotId remote_desc = {},
+                                        std::uint32_t epoch = 0) noexcept {
+    LocalityDescriptor d;
+    d.kind = Kind::kRemote;
+    d.remote_node = node;
+    d.remote_desc = remote_desc;
+    d.epoch = epoch;
+    return d;
+  }
+};
+
+}  // namespace hal

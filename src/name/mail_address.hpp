@@ -1,0 +1,95 @@
+// Mail addresses and aliases (§4.1, §5).
+//
+// Each actor is uniquely identified by a mail address implemented as a pair
+// of "real addresses" ⟨birthplace, address⟩: the node on which the actor was
+// created and the address of its locality descriptor on that node. We encode
+// the descriptor address as a generation-checked slot id (common/slot_pool),
+// which preserves the paper's key property — on the home node the mail
+// address dereferences the descriptor in O(1) with no hash lookup — while
+// making stale addresses detectable.
+//
+// An *alias* (§5) has the same structure but its `home` is the node that
+// *requested* the creation, not the node the actor lives on; the node where
+// the actor is actually created is encoded alongside, together with the
+// behaviour type. An actor which requests a remote creation can therefore
+// keep computing with the alias immediately, hiding the creation latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/hash.hpp"
+#include "common/slot_pool.hpp"
+#include "common/types.hpp"
+
+namespace hal {
+
+struct MailAddress {
+  /// Node holding the descriptor named by `desc` (birthplace for ordinary
+  /// addresses; the requesting node for aliases).
+  NodeId home = kInvalidNode;
+  /// Locality-descriptor slot on `home` — the paper's "memory address".
+  SlotId desc{};
+  /// Aliases only: the node on which the actor was actually created.
+  NodeId created_on = kInvalidNode;
+  /// Aliases only: behaviour type information carried in the address.
+  BehaviorId behavior = kInvalidBehavior;
+  /// Alias flag.
+  bool alias = false;
+
+  constexpr bool valid() const noexcept {
+    return home != kInvalidNode && desc.valid();
+  }
+
+  /// Identity is the ⟨home, desc⟩ pair; the alias annotations are routing
+  /// hints, not part of the name.
+  friend constexpr bool operator==(const MailAddress& a,
+                                   const MailAddress& b) noexcept {
+    return a.home == b.home && a.desc == b.desc;
+  }
+
+  // --- Wire form: two 64-bit words (fits alongside a selector and a
+  // continuation reference in a single active-message packet). Node and
+  // behaviour ids are carried in 16 bits each — the CM-5 scales to 16K
+  // nodes, so 64K is ample.
+  constexpr std::uint64_t pack_word0() const noexcept {
+    return (static_cast<std::uint64_t>(home & 0xffffU)) |
+           (static_cast<std::uint64_t>(created_on & 0xffffU) << 16) |
+           (static_cast<std::uint64_t>(behavior & 0xffffU) << 32) |
+           (static_cast<std::uint64_t>(alias ? 1 : 0) << 48);
+  }
+  constexpr std::uint64_t pack_word1() const noexcept { return desc.pack(); }
+
+  static constexpr MailAddress unpack(std::uint64_t w0,
+                                      std::uint64_t w1) noexcept {
+    MailAddress a;
+    a.home = static_cast<NodeId>(w0 & 0xffffU);
+    a.created_on = static_cast<NodeId>((w0 >> 16) & 0xffffU);
+    a.behavior = static_cast<BehaviorId>((w0 >> 32) & 0xffffU);
+    a.alias = ((w0 >> 48) & 1U) != 0;
+    a.desc = SlotId::unpack(w1);
+    if (a.created_on == 0xffffU) a.created_on = kInvalidNode;
+    if (a.behavior == 0xffffU) a.behavior = kInvalidBehavior;
+    if (a.home == 0xffffU) a.home = kInvalidNode;
+    return a;
+  }
+
+  /// The node a message should be routed to when no local information about
+  /// the receiver exists: the birthplace for ordinary addresses, the actual
+  /// creation node for aliases (§5).
+  constexpr NodeId fallback_node() const noexcept {
+    return alias ? created_on : home;
+  }
+
+  std::uint64_t hash() const noexcept {
+    return hash_combine(static_cast<std::uint64_t>(home), desc.pack());
+  }
+};
+
+struct MailAddressHash {
+  std::size_t operator()(const MailAddress& a) const noexcept {
+    return static_cast<std::size_t>(a.hash());
+  }
+};
+
+}  // namespace hal

@@ -1,0 +1,89 @@
+// Per-node name table (§4.2).
+//
+// "Each kernel maintains its own (local) name table, and name translation
+// from a mail address to the location information is performed by consulting
+// the local name table only" — no inter-processor communication on the
+// lookup path. Consistency is deliberately relaxed: entries for remote
+// actors are best guesses, corrected lazily by the FIR protocol when a stale
+// guess is exercised.
+//
+// Resolution has two tiers, reproducing the paper's "real address" trick:
+//   * home-node fast path — on the address's home node, the mail address
+//     itself contains the descriptor slot: O(1) pool dereference, no hash;
+//   * foreign path — a hash lookup finds this node's own descriptor caching
+//     the actor's location (allocated on first send).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "name/locality_descriptor.hpp"
+#include "name/mail_address.hpp"
+
+namespace hal {
+
+class NameTable {
+ public:
+  NameTable(NodeId self, StatBlock& stats) : self_(self), stats_(stats) {}
+
+  NameTable(const NameTable&) = delete;
+  NameTable& operator=(const NameTable&) = delete;
+
+  NodeId self() const noexcept { return self_; }
+
+  // --- Descriptor pool -----------------------------------------------------
+  SlotId allocate(LocalityDescriptor d = {}) { return pool_.allocate(d); }
+  void release(SlotId id) { pool_.free(id); }
+  LocalityDescriptor& descriptor(SlotId id) { return pool_.get(id); }
+  const LocalityDescriptor& descriptor(SlotId id) const {
+    return pool_.get(id);
+  }
+  LocalityDescriptor* try_descriptor(SlotId id) noexcept {
+    return pool_.try_get(id);
+  }
+
+  // --- Name mapping ----------------------------------------------------------
+  /// Register `addr` → local descriptor slot. Used for aliases and for
+  /// foreign addresses this node has cached locality for.
+  void bind(const MailAddress& addr, SlotId desc) {
+    map_.insert_or_assign(addr, desc);
+  }
+  void unbind(const MailAddress& addr) { map_.erase(addr); }
+
+  /// Hash-lookup tier. Returns an invalid SlotId when unknown.
+  SlotId lookup(const MailAddress& addr) {
+    stats_.bump(Stat::kNameTableLookups);
+    auto it = map_.find(addr);
+    if (it == map_.end()) return {};
+    stats_.bump(Stat::kNameTableHits);
+    return it->second;
+  }
+
+  /// Full resolution: home-node fast path first, hash tier otherwise.
+  /// Returns the slot of this node's descriptor for the actor, or invalid if
+  /// this node knows nothing about the address yet.
+  SlotId resolve(const MailAddress& addr) {
+    if (addr.home == self_) {
+      // The address embeds the descriptor's "real address" on this node.
+      return pool_.contains(addr.desc) ? addr.desc : SlotId{};
+    }
+    return lookup(addr);
+  }
+
+  std::size_t bound_names() const noexcept { return map_.size(); }
+  std::size_t live_descriptors() const noexcept { return pool_.size(); }
+
+  template <typename Fn>
+  void for_each_descriptor(Fn&& fn) {
+    pool_.for_each(std::forward<Fn>(fn));
+  }
+
+ private:
+  NodeId self_;
+  StatBlock& stats_;
+  SlotPool<LocalityDescriptor> pool_;
+  std::unordered_map<MailAddress, SlotId, MailAddressHash> map_;
+};
+
+}  // namespace hal

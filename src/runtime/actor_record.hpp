@@ -1,0 +1,56 @@
+// Per-actor runtime bookkeeping.
+//
+// An ActorRecord pairs the user behaviour object with the kernel state the
+// paper's runtime keeps per actor: its mail queue, the auxiliary *pending
+// queue* used to enforce local synchronization constraints (§6.1), its
+// addresses (ordinary and, for remotely created actors, the alias), and the
+// slot of its locality descriptor on the current node.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "common/slot_pool.hpp"
+#include "runtime/actor_base.hpp"
+#include "runtime/message.hpp"
+
+namespace hal {
+
+struct ActorRecord {
+  std::unique_ptr<ActorBase> impl;
+  BehaviorId behavior = kInvalidBehavior;
+
+  /// Ordinary mail address (home = birthplace).
+  MailAddress address;
+  /// Alias, when the actor was created in response to a remote request (§5).
+  MailAddress alias;
+
+  /// This node's locality descriptor for the actor (kind == kLocal).
+  SlotId self_desc{};
+  /// Second local descriptor when the actor lives on its alias's home node
+  /// (the alias address embeds that node's descriptor slot directly).
+  SlotId alias_desc{};
+
+  /// Buffered incoming messages (the Actor model's mail queue).
+  std::deque<Message> mailbox;
+  /// Messages whose method was disabled when dispatched (§6.1).
+  std::deque<Message> pending;
+
+  /// Actor is in the dispatcher's ready structure.
+  bool scheduled = false;
+  /// Actor requested migration; the kernel performs it after the current
+  /// method completes (actors are single-threaded, so migration never
+  /// interrupts a method body).
+  NodeId migrate_target = kInvalidNode;
+  /// The load balancer may relocate this actor (set via Context).
+  bool relocatable = false;
+  /// Completed migrations — the actor's location epoch (see
+  /// LocalityDescriptor::epoch).
+  std::uint32_t epoch = 0;
+  /// Actor called Context::terminate(); freed after the current method.
+  bool dying = false;
+
+  bool has_mail() const noexcept { return !mailbox.empty(); }
+};
+
+}  // namespace hal

@@ -1,0 +1,20 @@
+// Umbrella header: the public API of the Halcyon actor runtime.
+//
+// Halcyon reproduces the runtime system of:
+//   WooYoung Kim and Gul Agha, "Efficient Support of Location Transparency
+//   in Concurrent Object-Oriented Programming Languages", SC '95.
+//
+// Quick tour:
+//   * Declare behaviours with HAL_BEHAVIOR (behavior.hpp).
+//   * Boot a machine with hal::Runtime (runtime.hpp), load behaviours, spawn
+//     a root actor, run to quiescence.
+//   * Inside methods, hal::Context provides send / create / become /
+//     migrate_to / grpnew / broadcast / request-reply (context.hpp).
+//   * hal::compiled::send_static is the compiler fast path for local sends
+//     (compiled.hpp).
+#pragma once
+
+#include "runtime/behavior.hpp"   // IWYU pragma: export
+#include "runtime/compiled.hpp"   // IWYU pragma: export
+#include "runtime/context.hpp"    // IWYU pragma: export
+#include "runtime/runtime.hpp"    // IWYU pragma: export

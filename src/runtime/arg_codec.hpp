@@ -1,0 +1,175 @@
+// Argument marshalling between C++ method signatures and message words.
+//
+// This is the runtime half of what the HAL compiler does when it lowers a
+// message send to C: scalar arguments are bit-packed into the message's
+// inline words, mail addresses and continuation references take two words,
+// and at most one `Bytes` argument (which must be last) rides as the
+// message payload. Everything is checked at compile time, so a send whose
+// arguments don't match the target method's signature does not compile —
+// the moral equivalent of HAL's static type inference (§2).
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/message.hpp"
+
+namespace hal {
+
+class Context;
+
+namespace codec {
+
+template <typename T>
+struct Codec;  // undefined primary: unsupported argument type
+
+/// Scalars (integers, floats, bools, enums) occupy one word, bit-cast.
+template <typename T>
+  requires(std::is_arithmetic_v<T> || std::is_enum_v<T>)
+struct Codec<T> {
+  static constexpr std::size_t kWords = 1;
+  static void encode(Message& m, std::size_t at, const T& v) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, &v, sizeof(T));
+    m.args[at] = w;
+  }
+  static T decode(const Message& m, std::size_t at) {
+    T v;
+    std::memcpy(&v, &m.args[at], sizeof(T));
+    return v;
+  }
+};
+
+template <>
+struct Codec<MailAddress> {
+  static constexpr std::size_t kWords = 2;
+  static void encode(Message& m, std::size_t at, const MailAddress& a) {
+    m.args[at] = a.pack_word0();
+    m.args[at + 1] = a.pack_word1();
+  }
+  static MailAddress decode(const Message& m, std::size_t at) {
+    return MailAddress::unpack(m.args[at], m.args[at + 1]);
+  }
+};
+
+template <>
+struct Codec<ContRef> {
+  static constexpr std::size_t kWords = 2;
+  static void encode(Message& m, std::size_t at, const ContRef& c) {
+    m.args[at] = c.pack_word0();
+    m.args[at + 1] = c.pack_word1();
+  }
+  static ContRef decode(const Message& m, std::size_t at) {
+    return ContRef::unpack(m.args[at], m.args[at + 1]);
+  }
+};
+
+template <>
+struct Codec<GroupId> {
+  static constexpr std::size_t kWords = 1;
+  static void encode(Message& m, std::size_t at, const GroupId& g) {
+    m.args[at] = g.pack();
+  }
+  static GroupId decode(const Message& m, std::size_t at) {
+    return GroupId::unpack(m.args[at]);
+  }
+};
+
+/// The single bulk argument: consumes the message payload, zero words.
+template <>
+struct Codec<Bytes> {
+  static constexpr std::size_t kWords = 0;
+  static void encode(Message& m, std::size_t, Bytes v) {
+    m.payload = std::move(v);
+  }
+  static Bytes decode(Message& m, std::size_t) { return std::move(m.payload); }
+};
+
+template <typename T>
+using Decay = std::remove_cvref_t<T>;
+
+template <typename T>
+concept WordArg = requires { Codec<Decay<T>>::kWords; } &&
+                  !std::is_same_v<Decay<T>, Bytes>;
+template <typename T>
+concept AnyArg = requires { Codec<Decay<T>>::kWords; };
+
+template <typename... Ts>
+inline constexpr std::size_t total_words = (0 + ... + Codec<Decay<Ts>>::kWords);
+
+template <typename... Ts>
+inline constexpr std::size_t bytes_args =
+    (0 + ... + (std::is_same_v<Decay<Ts>, Bytes> ? 1 : 0));
+
+/// Encode a full argument list into a message. A Bytes argument, if present,
+/// must be the final parameter (enforced by the method-signature traits).
+template <typename... Ts>
+void encode_args(Message& m, Ts&&... vs) {
+  static_assert(total_words<Ts...> <= kMsgInlineWords,
+                "too many inline argument words for one message");
+  static_assert(bytes_args<Ts...> <= 1,
+                "a message can carry at most one Bytes payload argument");
+  std::size_t at = 0;
+  ((Codec<Decay<Ts>>::encode(m, at, std::forward<Ts>(vs)),
+    at += Codec<Decay<Ts>>::kWords),
+   ...);
+  m.argc = static_cast<std::uint8_t>(at);
+}
+
+/// Invoke `obj->*method(ctx, args...)` with arguments decoded from `m`.
+template <typename B, typename... As, std::size_t... Is>
+void invoke_decoded_impl(B& obj, void (B::*method)(Context&, As...),
+                         Context& ctx, Message& m,
+                         std::index_sequence<Is...>) {
+  // Word offsets are prefix sums of the argument widths.
+  constexpr std::size_t kN = sizeof...(As);
+  constexpr std::array<std::size_t, kN + 1> offs = [] {
+    std::array<std::size_t, kN + 1> o{};
+    std::size_t acc = 0;
+    std::size_t i = 0;
+    ((o[i++] = acc, acc += Codec<Decay<As>>::kWords), ...);
+    o[kN] = acc;
+    return o;
+  }();
+  (void)offs;  // unused for nullary methods
+  (obj.*method)(ctx, Codec<Decay<As>>::decode(m, offs[Is])...);
+}
+
+template <typename B, typename... As>
+void invoke_decoded(B& obj, void (B::*method)(Context&, As...), Context& ctx,
+                    Message& m) {
+  static_assert((AnyArg<As> && ...),
+                "unsupported argument type in actor method signature");
+  invoke_decoded_impl(obj, method, ctx, m, std::index_sequence_for<As...>{});
+}
+
+}  // namespace codec
+
+// --- Method-pointer traits --------------------------------------------------
+
+namespace detail {
+
+template <typename T>
+struct MemberTraits;
+
+template <typename C, typename... As>
+struct MemberTraits<void (C::*)(Context&, As...)> {
+  using Class = C;
+  static constexpr std::size_t kArgWords = codec::total_words<As...>;
+};
+
+}  // namespace detail
+
+/// The behaviour class a method pointer belongs to.
+template <auto Method>
+using class_of = typename detail::MemberTraits<decltype(Method)>::Class;
+
+/// Selector of a method within its behaviour's method list. Requires the
+/// behaviour to declare its methods with HAL_BEHAVIOR.
+template <auto Method>
+constexpr Selector sel() {
+  return class_of<Method>::MethodsT::template index_of<Method>();
+}
+
+}  // namespace hal

@@ -1,0 +1,77 @@
+// Behaviour declaration machinery: the stand-in for HAL's compiler output.
+//
+// A behaviour class derives from ActorBase and lists its methods with the
+// HAL_BEHAVIOR macro; MethodList generates the selector-indexed dispatch
+// table (what the HAL compiler emits as C switch code) and the compile-time
+// selector lookup used by Context::send<&B::method>. Synchronization
+// constraints are expressed by overriding method_enabled — the disabling
+// conditions of §2.2/§6.1.
+//
+//   class Counter : public hal::ActorBase {
+//    public:
+//     void on_inc(hal::Context& ctx, std::int64_t by) { value_ += by; }
+//     void on_get(hal::Context& ctx) { ctx.reply(value_); }
+//     HAL_BEHAVIOR(Counter, &Counter::on_inc, &Counter::on_get)
+//    private:
+//     std::int64_t value_ = 0;
+//   };
+#pragma once
+
+#include <string_view>
+
+#include "runtime/actor_base.hpp"
+#include "runtime/context.hpp"
+
+namespace hal {
+
+template <typename B, auto... Methods>
+struct MethodList {
+  static constexpr Selector kCount = sizeof...(Methods);
+
+  static void dispatch(B& self, Context& ctx, Message& m) {
+    HAL_ASSERT(m.selector < kCount);
+    Selector i = 0;
+    // Expands to an if-chain the optimizer folds into a jump table.
+    (void)((m.selector == i++
+                ? (codec::invoke_decoded(self, Methods, ctx, m), true)
+                : false) ||
+           ...);
+  }
+
+  template <auto M>
+  static constexpr Selector index_of() {
+    Selector i = 0;
+    Selector found = kCount;
+    (void)((same_method<M, Methods>() ? (found = i, true) : (++i, false)) ||
+           ...);
+    static_assert(sizeof...(Methods) > 0, "behaviour declares no methods");
+    if (found == kCount) {
+      // Not a constant-expression failure path: index_of is only called in
+      // constant evaluation, so reaching here fails compilation.
+      HAL_PANIC("method not in behaviour's HAL_BEHAVIOR list");
+    }
+    return found;
+  }
+
+ private:
+  template <auto A, auto Bm>
+  static constexpr bool same_method() {
+    if constexpr (std::is_same_v<decltype(A), decltype(Bm)>) {
+      return A == Bm;
+    } else {
+      return false;
+    }
+  }
+};
+
+}  // namespace hal
+
+/// Declare a behaviour's method table. First argument is the class name,
+/// the rest are member-function pointers in selector order.
+#define HAL_BEHAVIOR(Type, ...)                                             \
+  using MethodsT = ::hal::MethodList<Type, __VA_ARGS__>;                    \
+  void dispatch_message(::hal::Context& ctx, ::hal::Message& m) override {  \
+    MethodsT::dispatch(*this, ctx, m);                                      \
+  }                                                                         \
+  ::hal::Selector method_count() const override { return MethodsT::kCount; } \
+  std::string_view behavior_name() const override { return #Type; }

@@ -1,0 +1,49 @@
+// Runtime configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "am/cost_model.hpp"
+#include "common/types.hpp"
+
+namespace hal {
+
+enum class MachineKind : std::uint8_t {
+  kSim,     ///< deterministic virtual-time simulator (default)
+  kThread,  ///< one OS thread per node
+};
+
+struct RuntimeConfig {
+  NodeId nodes = 4;
+  MachineKind machine = MachineKind::kSim;
+  am::CostModel costs = am::CostModel::cm5();
+  std::uint64_t seed = 0x5eed;
+
+  /// Receiver-initiated random-polling load balancing (Table 4). Idle nodes
+  /// poll random victims continuously while the machine-wide work hint is
+  /// positive (the front-end stands in for the termination detector Kumar
+  /// et al. pair with random polling), so an idle machine stays quiescent.
+  bool load_balancing = false;
+
+  /// Cache remote descriptor addresses in locality descriptors (§4.1).
+  /// Disabled only by bench/ablation_namecache.
+  bool name_cache = true;
+  /// Minimal flow control on bulk transfers (§6.5). Disabled only by
+  /// bench/ablation_flowcontrol.
+  bool flow_control = true;
+  /// Collective (quantum) scheduling of broadcast deliveries (§6.4).
+  bool collective_broadcast = true;
+
+  /// Compiler-controlled stack-based scheduling bound: send_static falls
+  /// back to the generic buffered send beyond this nesting depth.
+  std::uint32_t max_stack_depth = 64;
+
+  /// SimMachine safety valve (0 = unlimited events).
+  std::uint64_t sim_event_limit = 0;
+
+  /// Record protocol-level events for Chrome-trace export
+  /// (Runtime::write_trace). Deterministic under SimMachine.
+  bool trace = false;
+};
+
+}  // namespace hal

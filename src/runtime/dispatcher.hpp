@@ -1,0 +1,69 @@
+// Intra-node dispatcher (§3, §6.3, §6.4).
+//
+// "The dispatcher provides the data structures that are necessary for
+// scheduling actors; the responsibility to actually schedule actors is
+// delegated to individual actors" — when an actor finishes a method it asks
+// the dispatcher for the next item and yields to it directly, with no
+// context switch. Two item kinds exist: a ready actor (one buffered message
+// to dispatch) and a broadcast *quantum* (§6.4) — all local members of a
+// group processing the same broadcast message consecutively, TAM-style.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/slot_pool.hpp"
+#include "runtime/message.hpp"
+
+namespace hal {
+
+class Dispatcher {
+ public:
+  struct Item {
+    enum class Kind : std::uint8_t { kActor, kQuantum };
+    Kind kind = Kind::kActor;
+    SlotId actor{};    // kActor
+    GroupId group{};   // kQuantum
+    Message message;   // kQuantum: the broadcast being delivered
+  };
+
+  void schedule_actor(SlotId actor) {
+    ready_.push_back(Item{Item::Kind::kActor, actor, {}, {}});
+  }
+
+  void schedule_quantum(GroupId group, Message m) {
+    ready_.push_back(
+        Item{Item::Kind::kQuantum, {}, group, std::move(m)});
+  }
+
+  std::optional<Item> next() {
+    if (ready_.empty()) return std::nullopt;
+    Item item = std::move(ready_.front());
+    ready_.pop_front();
+    return item;
+  }
+
+  bool empty() const noexcept { return ready_.empty(); }
+  std::size_t size() const noexcept { return ready_.size(); }
+
+  /// Load-balancer support: remove and return the first ready *actor* item
+  /// accepted by `pred(SlotId)` (e.g. "relocatable and still alive").
+  /// Victims give away the oldest ready actor — for divide-and-conquer
+  /// trees that is the one closest to the root, i.e. the largest subtree.
+  template <typename Pred>
+  std::optional<SlotId> steal_if(Pred&& pred) {
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+      if (it->kind == Item::Kind::kActor && pred(it->actor)) {
+        SlotId victim = it->actor;
+        ready_.erase(it);
+        return victim;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::deque<Item> ready_;
+};
+
+}  // namespace hal

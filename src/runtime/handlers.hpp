@@ -1,0 +1,74 @@
+// Active-message handler identifiers used by the runtime kernel.
+//
+// These are the customized CMAM handlers of the paper's communication module
+// (§3): every inter-node interaction in the runtime is one of these packet
+// types, routed by Kernel::handle on the receiving node's execution stream.
+#pragma once
+
+#include <cstdint>
+
+namespace hal {
+
+enum Handler : std::uint32_t {
+  /// Generic actor message: words = [addr0, addr1, sel|argc, cont0, cont1,
+  /// desc_hint]; payload = encoded args + user payload.
+  kHActorMessage = 1,
+  /// Receiver caches its descriptor slot back at the sender (§4.1):
+  /// words = [addr0, addr1, desc_slot].
+  kHCacheFill,
+  /// Forwarding information request (§4.3): words = [addr0, addr1].
+  kHFir,
+  /// FIR response: words = [addr0, addr1, cur_node, cur_desc_slot].
+  kHFirResponse,
+  /// Remote creation (§5): words = [alias0, alias1, behavior].
+  kHCreateRequest,
+  /// Creation acknowledgment (background): words = [alias0, alias1,
+  /// desc_slot].
+  kHCreateAck,
+  /// Join-continuation reply: words = [jc_slot, arg_slot, value, has_blob];
+  /// payload = blob.
+  kHReply,
+  /// Group creation, MST-relayed: words = [gid, behavior, count, root].
+  kHGroupCreate,
+  /// Group broadcast, MST-relayed: words = [gid, sel|argc, cont0, cont1,
+  /// root]; payload = encoded args.
+  kHGroupBroadcast,
+  /// Send to group member by index: words = [gid, index, sel|argc, cont0,
+  /// cont1]; payload = encoded args.
+  kHGroupMemberSend,
+  /// Load balancing (receiver-initiated random polling): words = [thief].
+  kHStealRequest,
+  kHStealDeny,
+  /// Migration landed: words = [addr0, addr1, new_node, new_desc_slot].
+  kHMigrateAck,
+  /// Three-phase bulk transfer protocol (am/bulk.hpp).
+  kHBulkRequest,
+  kHBulkAck,
+  kHBulkData,
+  /// Console I/O request to the front-end via node 0 (§3, Fig. 1):
+  /// words = [emit_time, emitting_node]; payload = text.
+  kHConsole,
+};
+
+/// Tags distinguishing bulk-transfer uses.
+enum BulkTag : std::uint64_t {
+  kTagLargeMessage = 1,  ///< actor message whose body exceeded inline size
+  kTagMigration,         ///< serialized actor (state + mail)
+  kTagReplyBlob,         ///< join-continuation reply with a large payload
+  kTagMemberMessage,     ///< member-indexed send with a large payload;
+                         ///< meta = {group id, member index}
+};
+
+/// selector|argc packing helpers for packet words.
+constexpr std::uint64_t pack_sel_argc(std::uint32_t sel,
+                                      std::uint8_t argc) noexcept {
+  return (static_cast<std::uint64_t>(argc) << 32) | sel;
+}
+constexpr std::uint32_t unpack_sel(std::uint64_t w) noexcept {
+  return static_cast<std::uint32_t>(w & 0xffffffffU);
+}
+constexpr std::uint8_t unpack_argc(std::uint64_t w) noexcept {
+  return static_cast<std::uint8_t>((w >> 32) & 0xffU);
+}
+
+}  // namespace hal

@@ -1,0 +1,87 @@
+// Join continuations (§6.2, Fig. 4).
+//
+// The HAL compiler transforms a blocking `request` into an asynchronous send
+// whose continuation is separated out by dependence analysis; sends with no
+// mutual dependence share one continuation. A join continuation has four
+// components — counter, function, creator, and argument slots. Some slots
+// are pre-filled at creation; the rest are filled by replies. When the
+// counter reaches zero the function runs with the continuation as its
+// argument. Its deterministic behaviour (receives exactly `counter` replies,
+// then never again) is what makes this cheaper than a full actor.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+#include "runtime/message.hpp"
+
+namespace hal {
+
+class Context;
+
+/// Read-only view of a completed continuation's slots, handed to the body.
+class JoinView {
+ public:
+  JoinView(std::span<const std::uint64_t> words, std::span<const Bytes> blobs)
+      : words_(words), blobs_(blobs) {}
+
+  std::size_t size() const noexcept { return words_.size(); }
+  std::uint64_t word(std::size_t i) const {
+    HAL_ASSERT(i < words_.size());
+    return words_[i];
+  }
+  template <typename T>
+    requires(std::is_trivially_copyable_v<T> && sizeof(T) <= 8)
+  T get(std::size_t i) const {
+    T v;
+    std::memcpy(&v, &words_[i], sizeof(T));
+    return v;
+  }
+  /// Payload attached to slot i's reply; empty for word-only replies.
+  const Bytes& blob(std::size_t i) const {
+    static const Bytes kEmpty;
+    return i < blobs_.size() ? blobs_[i] : kEmpty;
+  }
+
+ private:
+  std::span<const std::uint64_t> words_;
+  std::span<const Bytes> blobs_;
+};
+
+struct JoinContinuation {
+  /// Empty slots remaining; the continuation fires when this reaches zero.
+  std::uint32_t counter = 0;
+  /// The compiler-generated continuation body. Node-local by construction:
+  /// join continuations never cross node boundaries (only ContRefs do), so
+  /// holding code here does not violate the distributed-memory discipline.
+  std::function<void(Context&, const JoinView&)> function;
+  /// The actor which created the continuation (the paper keeps this to
+  /// notify the creator of completion when necessary; we also run the body
+  /// with the creator as `self`).
+  MailAddress creator;
+  std::vector<std::uint64_t> slots;
+  std::vector<Bytes> blob_slots;
+
+  void fill(std::uint32_t slot, std::uint64_t word, Bytes blob) {
+    HAL_ASSERT(slot < slots.size());
+    HAL_ASSERT(counter > 0);
+    slots[slot] = word;
+    if (!blob.empty()) {
+      if (blob_slots.size() <= slot) blob_slots.resize(slots.size());
+      blob_slots[slot] = std::move(blob);
+    }
+    --counter;
+  }
+
+  bool ready() const noexcept { return counter == 0; }
+
+  JoinView view() const {
+    return JoinView(std::span(slots),
+                    std::span(blob_slots.data(), blob_slots.size()));
+  }
+};
+
+}  // namespace hal

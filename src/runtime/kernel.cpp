@@ -1,0 +1,649 @@
+#include "runtime/kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "am/mst.hpp"
+#include "common/hash.hpp"
+#include "runtime/context.hpp"
+#include "runtime/node_manager.hpp"
+
+namespace hal {
+
+Kernel::Kernel(am::Machine& machine, NodeId self,
+               const BehaviorRegistry& registry, const RuntimeConfig& config)
+    : machine_(machine),
+      self_(self),
+      registry_(registry),
+      config_(config),
+      names_(self, stats_),
+      bulk_(machine, self,
+            am::BulkHandlers{kHBulkRequest, kHBulkAck, kHBulkData}, stats_,
+            [this](NodeId src, std::uint64_t tag,
+                   const std::array<std::uint64_t, 2>& meta, Bytes data) {
+              node_manager_->bulk_delivered(src, tag, meta, std::move(data));
+            }),
+      node_manager_(std::make_unique<NodeManager>(*this)),
+      rng_(mix64(config.seed) ^ mix64(0x9e3779b9ULL + self)) {
+  bulk_.set_flow_control(config.flow_control);
+}
+
+Kernel::~Kernel() = default;
+
+// --- NodeClient ---------------------------------------------------------------
+
+void Kernel::handle(am::Packet p) {
+  switch (p.handler) {
+    case kHActorMessage:
+      node_manager_->on_actor_message(p);
+      break;
+    case kHCacheFill:
+      node_manager_->on_cache_fill(p);
+      break;
+    case kHFir:
+      node_manager_->on_fir(p);
+      break;
+    case kHFirResponse:
+      node_manager_->on_fir_response(p);
+      break;
+    case kHCreateRequest:
+      node_manager_->on_create_request(p);
+      break;
+    case kHCreateAck:
+      node_manager_->on_create_ack(p);
+      break;
+    case kHReply:
+      node_manager_->on_reply(p);
+      break;
+    case kHGroupCreate:
+      node_manager_->on_group_create(p);
+      break;
+    case kHGroupBroadcast:
+      node_manager_->on_group_broadcast(p);
+      break;
+    case kHGroupMemberSend:
+      node_manager_->on_group_member_send(p);
+      break;
+    case kHStealRequest:
+      node_manager_->on_steal_request(p);
+      break;
+    case kHStealDeny:
+      node_manager_->on_steal_deny(p);
+      break;
+    case kHMigrateAck:
+      node_manager_->on_migrate_ack(p);
+      break;
+    case kHBulkRequest:
+    case kHBulkAck:
+    case kHBulkData:
+      bulk_.route(p);
+      break;
+    case kHConsole: {
+      HAL_ASSERT(self_ == 0 && front_end_ != nullptr);
+      front_end_->append(
+          p.words[0], static_cast<NodeId>(p.words[1]),
+          std::string(reinterpret_cast<const char*>(p.payload.data()),
+                      p.payload.size()));
+      break;
+    }
+    default:
+      HAL_PANIC("Kernel::handle: unknown handler id");
+  }
+}
+
+bool Kernel::step() {
+  auto item = dispatcher_.next();
+  if (!item.has_value()) return false;
+  // The work hint counts this item until processing *completes*, so idle
+  // nodes keep polling while a long method is generating more work.
+  if (item->kind == Dispatcher::Item::Kind::kActor) {
+    ActorRecord* rec = actors_.try_get(item->actor);
+    if (rec == nullptr || rec->mailbox.empty()) {
+      // Stolen or terminated while queued.
+      if (rec != nullptr) rec->scheduled = false;
+      machine_.work_hint_add(-1);
+      return true;
+    }
+    rec->scheduled = false;
+    Message m = std::move(rec->mailbox.front());
+    rec->mailbox.pop_front();
+    run_method(item->actor, std::move(m), /*cheap_dispatch=*/false);
+  } else {
+    run_quantum(item->group, std::move(item->message));
+  }
+  machine_.work_hint_add(-1);
+  return true;
+}
+
+bool Kernel::has_work() const { return !dispatcher_.empty(); }
+
+void Kernel::on_idle() { node_manager_->maybe_poll(); }
+
+// --- Creation (§5) --------------------------------------------------------------
+
+MailAddress Kernel::create_local(BehaviorId behavior) {
+  charge(costs().actor_alloc_ns + costs().descriptor_alloc_ns);
+  std::unique_ptr<ActorBase> impl = registry_.construct(behavior);
+  const SlotId aslot = install_actor(std::move(impl), behavior, {}, {});
+  stats_.bump(Stat::kActorsCreatedLocal);
+  trace_mark(trace::EventKind::kCreateLocal, behavior);
+  return actors_.get(aslot).address;
+}
+
+MailAddress Kernel::create(BehaviorId behavior, NodeId target) {
+  if (target == self_) return create_local(behavior);
+  // Alias scheme (§5): allocate the alias, fire the creation request, and
+  // return immediately — the caller's continuation proceeds while the remote
+  // node does the actual allocation.
+  charge(costs().descriptor_alloc_ns);
+  const SlotId dslot =
+      names_.allocate(LocalityDescriptor::make_remote(target));
+  MailAddress alias;
+  alias.home = self_;
+  alias.desc = dslot;
+  alias.created_on = target;
+  alias.behavior = behavior;
+  alias.alias = true;
+  stats_.bump(Stat::kAliasesAllocated);
+  trace_mark(trace::EventKind::kCreateAlias, target, behavior);
+
+  am::Packet p;
+  p.src = self_;
+  p.dst = target;
+  p.handler = kHCreateRequest;
+  p.words = {alias.pack_word0(), alias.pack_word1(), behavior, 0, 0, 0};
+  machine_.send(std::move(p));
+  return alias;
+}
+
+SlotId Kernel::install_actor(std::unique_ptr<ActorBase> impl,
+                             BehaviorId behavior, const MailAddress& addr_in,
+                             const MailAddress& alias, std::uint32_t epoch) {
+  const SlotId aslot = actors_.allocate();
+  MailAddress addr = addr_in;
+  SlotId dslot;
+  if (!addr.valid()) {
+    // Fresh ordinary address: the mail address embeds this node's
+    // descriptor slot — the paper's "real address" pair.
+    dslot = names_.allocate();
+    addr.home = self_;
+    addr.desc = dslot;
+    addr.created_on = self_;
+    addr.behavior = behavior;
+  } else if (addr.home == self_) {
+    // Actor returning to its birthplace: the address's embedded descriptor
+    // is ours; it becomes local again (collapsing the forward chain).
+    HAL_ASSERT(names_.try_descriptor(addr.desc) != nullptr);
+    dslot = addr.desc;
+  } else {
+    // Migrated-in foreigner: reuse any descriptor we already hold for it
+    // (this is what prevents forwarding cycles) or allocate one.
+    dslot = names_.lookup(addr);
+    if (!dslot.valid()) {
+      dslot = names_.allocate();
+      names_.bind(addr, dslot);
+    }
+  }
+  names_.descriptor(dslot) = LocalityDescriptor::make_local(aslot, epoch);
+
+  SlotId alias_dslot{};
+  if (alias.valid()) {
+    if (alias.home == self_) {
+      // Actor migrated onto the node that requested its creation: the alias
+      // embeds a descriptor slot here; make it local too.
+      HAL_ASSERT(names_.try_descriptor(alias.desc) != nullptr);
+      alias_dslot = alias.desc;
+      names_.descriptor(alias_dslot) =
+          LocalityDescriptor::make_local(aslot, epoch);
+    } else {
+      names_.bind(alias, dslot);
+    }
+  }
+
+  ActorRecord& rec = actors_.get(aslot);
+  rec.impl = std::move(impl);
+  rec.behavior = behavior;
+  rec.address = addr;
+  rec.alias = alias;
+  rec.self_desc = dslot;
+  rec.alias_desc = alias_dslot;
+  rec.epoch = epoch;
+
+  node_manager_->registered(addr);
+  if (alias.valid()) node_manager_->registered(alias);
+  return aslot;
+}
+
+// --- Send path (Fig. 3, sender side) ---------------------------------------------
+
+void Kernel::send_message(Message m) {
+  // Name translation happens even when the recipient is local (§4): the
+  // home-node fast path costs a locality check, the foreign path a hash
+  // lookup.
+  SlotId ds = names_.resolve(m.dest);
+  charge(m.dest.home == self_ ? costs().locality_check_ns
+                              : costs().name_lookup_ns);
+  if (!ds.valid()) {
+    if (m.dest.home == self_) {
+      dead_letter(m);
+      return;
+    }
+    // First send to this address from this node: allocate a best-guess
+    // descriptor toward the birthplace (or, for aliases, the actual
+    // creation node) encoded in the address itself (§4.1).
+    charge(costs().descriptor_alloc_ns + costs().name_insert_ns);
+    ds = names_.allocate(
+        LocalityDescriptor::make_remote(m.dest.fallback_node()));
+    names_.bind(m.dest, ds);
+  }
+  const LocalityDescriptor& d = names_.descriptor(ds);
+  if (d.local()) {
+    stats_.bump(Stat::kMessagesSentLocal);
+    deliver_local(d.actor, std::move(m));
+  } else {
+    stats_.bump(Stat::kMessagesSentRemote);
+    node_manager_->ship(std::move(m), ds);
+  }
+}
+
+void Kernel::deliver_local(SlotId actor_slot, Message m) {
+  ActorRecord* rec = actors_.try_get(actor_slot);
+  if (rec == nullptr) {
+    dead_letter(m);
+    return;
+  }
+  charge(costs().enqueue_ns);
+  rec->mailbox.push_back(std::move(m));
+  stats_.bump(Stat::kMessagesDelivered);
+  schedule(actor_slot);
+}
+
+void Kernel::schedule(SlotId actor_slot) {
+  ActorRecord* rec = actors_.try_get(actor_slot);
+  if (rec == nullptr || rec->scheduled || !rec->has_mail()) return;
+  rec->scheduled = true;
+  charge(costs().schedule_ns);
+  dispatcher_.schedule_actor(actor_slot);
+  machine_.work_hint_add(1);
+}
+
+void Kernel::schedule_quantum(GroupId gid, Message m) {
+  charge(costs().schedule_ns);
+  dispatcher_.schedule_quantum(gid, std::move(m));
+  machine_.work_hint_add(1);
+}
+
+SlotId Kernel::locality_check(const MailAddress& addr) {
+  charge(costs().locality_check_ns);
+  const SlotId ds = names_.resolve(addr);
+  if (!ds.valid()) return {};
+  const LocalityDescriptor& d = names_.descriptor(ds);
+  if (!d.local()) return {};
+  return actors_.try_get(d.actor) != nullptr ? d.actor : SlotId{};
+}
+
+// --- Method execution -------------------------------------------------------------
+
+void Kernel::execute_message(SlotId actor_slot, Message& m) {
+  ActorRecord& rec = actors_.get(actor_slot);
+  // The behaviour object is heap-stable; the record reference is not (the
+  // method may create actors and grow the pool), so take the raw pointer
+  // first and re-fetch the record afterwards.
+  ActorBase* impl = rec.impl.get();
+  Context ctx(*this, actor_slot, rec.address, &m);
+  impl->dispatch_message(ctx, m);
+  if (auto next = ctx.take_become()) {
+    charge(costs().become_ns);
+    actors_.get(actor_slot).impl = std::move(next);
+  }
+}
+
+void Kernel::run_method(SlotId actor_slot, Message m, bool cheap_dispatch) {
+  ActorRecord* rec = actors_.try_get(actor_slot);
+  if (rec == nullptr) {
+    dead_letter(m);
+    return;
+  }
+  // Local synchronization constraints (§6.1): a disabled method's message
+  // moves to the pending queue and is re-examined after later executions.
+  charge(costs().constraint_check_ns);
+  if (!rec->impl->method_enabled(m.selector)) {
+    charge(costs().enqueue_ns);
+    rec->pending.push_back(std::move(m));
+    stats_.bump(Stat::kPendingEnqueued);
+    post_method(actor_slot, *rec);
+    return;
+  }
+  charge(cheap_dispatch ? costs().static_dispatch_ns : costs().dispatch_ns);
+  stats_.bump(cheap_dispatch ? Stat::kStaticDispatches
+                             : Stat::kGenericDispatches);
+  const SimTime t0 = tracing() ? machine_.now(self_) : 0;
+  const BehaviorId traced_behavior = rec->behavior;
+  const Selector traced_selector = m.selector;
+  execute_message(actor_slot, m);
+  if (tracing()) {
+    trace_event(trace::EventKind::kMethod, t0, machine_.now(self_) - t0,
+                traced_behavior, traced_selector);
+  }
+  rec = actors_.try_get(actor_slot);
+  HAL_ASSERT(rec != nullptr);  // actors are only freed in post_method
+  if (!rec->dying && rec->migrate_target == kInvalidNode) {
+    replay_pending(actor_slot);
+    rec = actors_.try_get(actor_slot);
+    HAL_ASSERT(rec != nullptr);
+  }
+  post_method(actor_slot, *rec);
+}
+
+void Kernel::replay_pending(SlotId actor_slot) {
+  // "Whenever an actor completes its method execution, it examines whether
+  // or not it has pending messages. If it does, it dispatches the pending
+  // messages one by one before it schedules the next actor." (§6.1)
+  for (;;) {
+    ActorRecord* rec = actors_.try_get(actor_slot);
+    if (rec == nullptr || rec->pending.empty() || rec->dying ||
+        rec->migrate_target != kInvalidNode) {
+      return;
+    }
+    bool fired = false;
+    for (auto it = rec->pending.begin(); it != rec->pending.end(); ++it) {
+      charge(costs().constraint_check_ns);
+      if (rec->impl->method_enabled(it->selector)) {
+        Message m = std::move(*it);
+        rec->pending.erase(it);
+        stats_.bump(Stat::kPendingReplayed);
+        charge(costs().dispatch_ns);
+        execute_message(actor_slot, m);
+        fired = true;
+        break;  // record may have moved; rescan from the front
+      }
+    }
+    if (!fired) return;
+  }
+}
+
+void Kernel::post_method(SlotId actor_slot, ActorRecord& rec) {
+  if (rec.dying) {
+    // Unprocessed mail dies with the actor — surface it, don't lose it
+    // silently.
+    dead_letters_ += rec.mailbox.size() + rec.pending.size();
+    // Descriptors are never reclaimed (the paper defers this to a future
+    // distributed GC, §9): they become dead-letter sinks so stale senders
+    // fail loudly in stats rather than corrupt a recycled slot.
+    names_.descriptor(rec.self_desc) =
+        LocalityDescriptor::make_local(SlotId{}, rec.epoch);
+    if (rec.alias_desc.valid()) {
+      names_.descriptor(rec.alias_desc) =
+          LocalityDescriptor::make_local(SlotId{}, rec.epoch);
+    }
+    actors_.free(actor_slot);
+    return;
+  }
+  if (rec.migrate_target != kInvalidNode) {
+    const NodeId target = rec.migrate_target;
+    rec.migrate_target = kInvalidNode;
+    perform_migration(actor_slot, target);
+    return;
+  }
+  if (rec.has_mail()) schedule(actor_slot);
+}
+
+void Kernel::run_quantum(GroupId gid, Message m) {
+  GroupInfo* g = groups_.find(gid);
+  HAL_ASSERT(g != nullptr);  // quanta are scheduled only for known groups
+  const bool collective = config_.collective_broadcast;
+  if (collective) {
+    // One method lookup for the whole quantum (§6.4): the per-member
+    // dispatch below then runs at fast-path cost.
+    charge(costs().dispatch_ns);
+  }
+  // Member list is fixed at creation; copy defensively because methods may
+  // create groups and rehash the table.
+  const auto members = g->members;
+  for (const auto& [index, addr] : members) {
+    (void)index;
+    Message copy = m;
+    copy.dest = addr;
+    const SlotId ds = names_.resolve(addr);
+    const LocalityDescriptor* d =
+        ds.valid() ? &names_.descriptor(ds) : nullptr;
+    if (d != nullptr && d->local()) {
+      run_method(d->actor, std::move(copy), /*cheap_dispatch=*/collective);
+    } else {
+      // Member migrated away: fall back to the generic send path.
+      send_message(std::move(copy));
+    }
+  }
+}
+
+// --- Join continuations (§6.2) -------------------------------------------------
+
+ContRef Kernel::make_join(std::uint32_t slot_count,
+                          std::function<void(Context&, const JoinView&)> body,
+                          const MailAddress& creator) {
+  HAL_ASSERT(slot_count > 0);
+  charge(costs().join_alloc_ns);
+  const SlotId s = joins_.allocate();
+  JoinContinuation& jc = joins_.get(s);
+  jc.counter = slot_count;
+  jc.function = std::move(body);
+  jc.creator = creator;
+  jc.slots.assign(slot_count, 0);
+  jc.blob_slots.clear();
+  stats_.bump(Stat::kJoinContinuationsCreated);
+  // A continuation that never completes is a protocol bug; hold a work
+  // token so quiescence detection turns it into a loud failure.
+  machine_.token_acquire();
+  return ContRef{self_, s, 0};
+}
+
+void Kernel::prefill_join(const ContRef& ref, std::uint64_t word) {
+  fill_join(ref, word, {});
+}
+
+void Kernel::reply_to(const ContRef& ref, std::uint64_t word, Bytes blob) {
+  HAL_ASSERT(ref.valid());
+  if (ref.node == self_) {
+    fill_join(ref, word, std::move(blob));
+    return;
+  }
+  if (blob.size() > am::kMaxInlinePayload) {
+    // Large reply (e.g. a matrix block): three-phase bulk transfer with the
+    // continuation slot in the metadata and the value word prefixed.
+    Bytes data;
+    data.resize(sizeof(std::uint64_t) + blob.size());
+    std::memcpy(data.data(), &word, sizeof(word));
+    std::memcpy(data.data() + sizeof(word), blob.data(), blob.size());
+    bulk_.send(ref.node, kTagReplyBlob, {ref.jc.pack(), ref.slot},
+               std::move(data));
+    return;
+  }
+  am::Packet p;
+  p.src = self_;
+  p.dst = ref.node;
+  p.handler = kHReply;
+  p.words = {ref.jc.pack(), ref.slot, word, blob.empty() ? 0ULL : 1ULL, 0, 0};
+  p.payload = std::move(blob);
+  machine_.send(std::move(p));
+}
+
+void Kernel::fill_join(const ContRef& ref, std::uint64_t word, Bytes blob) {
+  HAL_ASSERT(ref.node == self_);
+  JoinContinuation* jc = joins_.try_get(ref.jc);
+  HAL_ASSERT(jc != nullptr);  // replies never outlive their continuation
+  charge(costs().join_fill_ns);
+  jc->fill(ref.slot, word, std::move(blob));
+  stats_.bump(Stat::kRepliesJoined);
+  if (!jc->ready()) return;
+  // Counter hit zero: run the compiled continuation body on this stream.
+  JoinContinuation done = std::move(*jc);
+  joins_.free(ref.jc);
+  machine_.token_release();
+  trace_mark(trace::EventKind::kJoinFired, done.slots.size());
+  Context ctx(*this, SlotId{}, done.creator, nullptr);
+  done.function(ctx, done.view());
+}
+
+// --- Groups (§2.2, §6.4) ---------------------------------------------------------
+
+GroupId Kernel::group_new(BehaviorId behavior, std::uint32_t count) {
+  HAL_ASSERT(count > 0);
+  const GroupId gid{self_, group_seq_++};
+  node_manager_->group_create_local(gid, behavior, count, self_);
+  am::Packet p;
+  p.src = self_;
+  p.handler = kHGroupCreate;
+  p.words = {gid.pack(), behavior, count, self_, 0, 0};
+  node_manager_->relay_mst(p, self_);
+  return gid;
+}
+
+void Kernel::group_broadcast(
+    GroupId gid, Selector sel, std::uint8_t argc,
+    const std::array<std::uint64_t, kMsgInlineWords>& args,
+    const ContRef& cont, Bytes payload) {
+  stats_.bump(Stat::kBroadcastsSent);
+  trace_mark(trace::EventKind::kBroadcast, gid.seq);
+  Message m;
+  m.selector = sel;
+  m.argc = argc;
+  m.args = args;
+  m.cont = cont;
+  m.payload = std::move(payload);
+  const Bytes body = m.encode_body();
+  HAL_ASSERT(body.size() <= am::kMaxInlinePayload);  // broadcasts stay small
+
+  am::Packet p;
+  p.src = self_;
+  p.handler = kHGroupBroadcast;
+  p.words = {gid.pack(), pack_sel_argc(sel, argc), cont.pack_word0(),
+             cont.pack_word1(), self_, 0};
+  p.payload = body;
+  node_manager_->relay_mst(p, self_);
+
+  // Local delivery: a quantum if the group is known here, parked otherwise.
+  node_manager_->broadcast_deliver_local(gid, std::move(m));
+}
+
+void Kernel::group_member_send(GroupId gid, NodeId root, std::uint32_t index,
+                               Message m) {
+  const NodeId home = static_cast<NodeId>((root + index) % node_count());
+  if (home == self_) {
+    node_manager_->member_deliver_local(gid, index, std::move(m));
+    return;
+  }
+  Bytes body = m.encode_body();
+  if (body.size() > am::kMaxInlinePayload) {
+    // Large member-directed message (e.g. a matrix column): three-phase
+    // bulk transfer, resolved against the group table on the birth node.
+    ByteWriter w;
+    m.encode_full(w);
+    bulk_.send(home, kTagMemberMessage, {gid.pack(), index},
+               std::move(w).take());
+    return;
+  }
+  am::Packet p;
+  p.src = self_;
+  p.dst = home;
+  p.handler = kHGroupMemberSend;
+  p.words = {gid.pack(), index, pack_sel_argc(m.selector, m.argc),
+             m.cont.pack_word0(), m.cont.pack_word1(), 0};
+  p.payload = std::move(body);
+  machine_.send(std::move(p));
+}
+
+// --- Migration / termination ------------------------------------------------------
+
+void Kernel::request_migrate(SlotId actor_slot, NodeId target) {
+  ActorRecord* rec = actors_.try_get(actor_slot);
+  HAL_ASSERT(rec != nullptr);
+  HAL_ASSERT(target < node_count());
+  rec->migrate_target = target;
+}
+
+void Kernel::perform_migration(SlotId actor_slot, NodeId target) {
+  ActorRecord* recp = actors_.try_get(actor_slot);
+  HAL_ASSERT(recp != nullptr);
+  if (target == self_) {
+    if (recp->has_mail()) schedule(actor_slot);
+    return;
+  }
+  ActorRecord& rec = *recp;
+  HAL_ASSERT(rec.impl->migratable());
+  stats_.bump(Stat::kMigrationsOut);
+  const std::uint32_t new_epoch = rec.epoch + 1;
+  trace_mark(trace::EventKind::kMigrateOut, target, new_epoch);
+
+  ByteWriter w;
+  w.write(rec.behavior);
+  w.write(rec.address.pack_word0());
+  w.write(rec.address.pack_word1());
+  w.write(rec.alias.pack_word0());
+  w.write(rec.alias.pack_word1());
+  w.write(new_epoch);
+  w.write(static_cast<std::uint8_t>(rec.relocatable ? 1 : 0));
+  ByteWriter state;
+  rec.impl->pack_state(state);
+  w.write_bytes(std::move(state).take());
+  w.write(static_cast<std::uint32_t>(rec.mailbox.size()));
+  for (const Message& m : rec.mailbox) m.encode_full(w);
+  w.write(static_cast<std::uint32_t>(rec.pending.size()));
+  for (const Message& m : rec.pending) m.encode_full(w);
+
+  // The descriptors left behind become the forward chain (§4.3); the
+  // descriptor address at the new node is cached when the MigrateAck
+  // arrives. Epoch new_epoch: "after its next migration the actor is at
+  // `target`" — strictly fresher than anything this node held.
+  names_.descriptor(rec.self_desc) =
+      LocalityDescriptor::make_remote(target, SlotId{}, new_epoch);
+  if (rec.alias_desc.valid()) {
+    names_.descriptor(rec.alias_desc) =
+        LocalityDescriptor::make_remote(target, SlotId{}, new_epoch);
+  }
+  actors_.free(actor_slot);
+  bulk_.send(target, kTagMigration, {0, 0}, std::move(w).take());
+}
+
+void Kernel::terminate_actor(SlotId actor_slot) {
+  ActorRecord* rec = actors_.try_get(actor_slot);
+  HAL_ASSERT(rec != nullptr);
+  rec->dying = true;
+}
+
+void Kernel::reap_actor(SlotId actor_slot) {
+  ActorRecord* rec = actors_.try_get(actor_slot);
+  HAL_ASSERT(rec != nullptr);
+  // GC runs at quiescence: an unreachable actor cannot have buffered mail.
+  HAL_ASSERT(rec->mailbox.empty() && rec->pending.empty() &&
+             !rec->scheduled);
+  names_.descriptor(rec->self_desc) =
+      LocalityDescriptor::make_local(SlotId{}, rec->epoch);
+  if (rec->alias_desc.valid()) {
+    names_.descriptor(rec->alias_desc) =
+        LocalityDescriptor::make_local(SlotId{}, rec->epoch);
+  }
+  actors_.free(actor_slot);
+}
+
+void Kernel::console_print(std::string_view text) {
+  // I/O requests travel to the front-end through node 0, like the paper's
+  // partition manager. Lines are capped at the inline payload size.
+  const std::size_t n = std::min(text.size(), am::kMaxInlinePayload);
+  am::Packet p;
+  p.src = self_;
+  p.dst = 0;
+  p.handler = kHConsole;
+  p.words = {machine_.now(self_), self_, 0, 0, 0, 0};
+  p.payload.resize(n);
+  std::memcpy(p.payload.data(), text.data(), n);
+  machine_.send(std::move(p));
+}
+
+void Kernel::dead_letter(const Message& m) {
+  (void)m;
+  ++dead_letters_;
+}
+
+}  // namespace hal

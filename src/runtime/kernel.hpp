@@ -1,0 +1,249 @@
+// Per-node runtime kernel (§3, Fig. 2).
+//
+// The kernel is "a passive substrate on which individual actors execute":
+// it owns the node's name table, actor and join-continuation pools,
+// dispatcher, group table and bulk channel, and exposes the actor interface
+// the compiler targets. Kernel functions execute on the running actor's
+// stream — there is no kernel thread and no context switch. Remote-protocol
+// logic (message delivery per Fig. 3, FIR, remote creation, migration, load
+// balancing) lives in the NodeManager, the kernel's meta-actor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "am/bulk.hpp"
+#include "am/machine.hpp"
+#include "common/rng.hpp"
+#include "common/slot_pool.hpp"
+#include "common/stats.hpp"
+#include "name/name_table.hpp"
+#include "runtime/actor_record.hpp"
+#include "runtime/config.hpp"
+#include "runtime/dispatcher.hpp"
+#include "runtime/front_end.hpp"
+#include "runtime/group.hpp"
+#include "runtime/handlers.hpp"
+#include "runtime/join_continuation.hpp"
+#include "runtime/registry.hpp"
+#include "trace/trace.hpp"
+
+namespace hal {
+
+class Context;
+class NodeManager;
+
+class Kernel final : public am::NodeClient {
+ public:
+  Kernel(am::Machine& machine, NodeId self, const BehaviorRegistry& registry,
+         const RuntimeConfig& config);
+  ~Kernel() override;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- am::NodeClient -------------------------------------------------------
+  void handle(am::Packet p) override;
+  bool step() override;
+  bool has_work() const override;
+  void on_idle() override;
+
+  // --- Actor creation (§5) ---------------------------------------------------
+  /// Create an actor on this node; returns its ordinary mail address.
+  MailAddress create_local(BehaviorId behavior);
+  /// Create an actor on `target`. Remote targets use the alias scheme: the
+  /// returned address is usable immediately — the caller's continuation is
+  /// never blocked on the round trip.
+  MailAddress create(BehaviorId behavior, NodeId target);
+
+  // --- Message send (§4, Fig. 3 sender side) ---------------------------------
+  /// The generic message-send mechanism: consult the local name server,
+  /// deliver locally or ship to the best-guess node.
+  void send_message(Message m);
+  /// Enqueue into a local actor's mailbox and schedule it.
+  void deliver_local(SlotId actor_slot, Message m);
+
+  // --- Join continuations (§6.2) ---------------------------------------------
+  ContRef make_join(std::uint32_t slot_count,
+                    std::function<void(Context&, const JoinView&)> body,
+                    const MailAddress& creator);
+  /// Pre-fill a slot with a value known at creation time.
+  void prefill_join(const ContRef& ref, std::uint64_t word);
+  /// Route a reply to a continuation slot (local fill or kHReply packet).
+  void reply_to(const ContRef& ref, std::uint64_t word, Bytes blob = {});
+  /// Fill a slot of a continuation living on this node; runs the body when
+  /// the counter reaches zero.
+  void fill_join(const ContRef& ref, std::uint64_t word, Bytes blob);
+
+  // --- Groups (§2.2, §6.4) ---------------------------------------------------
+  GroupId group_new(BehaviorId behavior, std::uint32_t count);
+  void group_broadcast(GroupId gid, Selector sel, std::uint8_t argc,
+                       const std::array<std::uint64_t, kMsgInlineWords>& args,
+                       const ContRef& cont, Bytes payload);
+  void group_member_send(GroupId gid, NodeId root, std::uint32_t index,
+                         Message m);
+
+  // --- Dynamic placement -------------------------------------------------------
+  /// Next node under round-robin spreading (per-kernel cursor).
+  NodeId place_round_robin() {
+    const NodeId n = static_cast<NodeId>(place_cursor_++ % node_count());
+    return n;
+  }
+  /// Uniformly random node (seeded stream: deterministic under SimMachine).
+  NodeId place_random() {
+    return static_cast<NodeId>(rng_.below(node_count()));
+  }
+
+  // --- Front-end I/O (§3, Fig. 1) -----------------------------------------------
+  /// Forward a console line to the front-end (an I/O request packet routed
+  /// through node 0, like the paper's partition-manager front-end).
+  void console_print(std::string_view text);
+  void set_front_end(FrontEnd* fe) noexcept { front_end_ = fe; }
+
+  // --- Tracing ---------------------------------------------------------------------
+  void set_tracer(trace::TraceRecorder* t) noexcept { tracer_ = t; }
+  bool tracing() const noexcept { return tracer_ != nullptr; }
+  void trace_event(trace::EventKind kind, SimTime start, SimTime duration,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (tracer_ == nullptr) return;
+    tracer_->record(trace::Event{start, duration, self_, kind, a, b});
+  }
+  /// Instantaneous marker at the current virtual time.
+  void trace_mark(trace::EventKind kind, std::uint64_t a = 0,
+                  std::uint64_t b = 0) {
+    if (tracer_ == nullptr) return;
+    tracer_->record(
+        trace::Event{machine_.now(self_), 0, self_, kind, a, b});
+  }
+
+  // --- Migration / termination ----------------------------------------------
+  /// Flag the running actor for migration after its current method returns.
+  void request_migrate(SlotId actor_slot, NodeId target);
+  /// Pack the actor and ship it (bulk, kTagMigration). Used post-method and
+  /// by the load balancer when serving a steal.
+  void perform_migration(SlotId actor_slot, NodeId target);
+  void terminate_actor(SlotId actor_slot);
+
+  // --- Cost accounting --------------------------------------------------------
+  void charge(SimTime ns) { machine_.charge(self_, ns); }
+  void charge_flops(std::uint64_t flops) { machine_.charge_flops(self_, flops); }
+  void charge_work(std::uint64_t units) { machine_.charge_work(self_, units); }
+
+  // --- Accessors ---------------------------------------------------------------
+  NodeId self() const noexcept { return self_; }
+  NodeId node_count() const noexcept { return machine_.node_count(); }
+  am::Machine& machine() noexcept { return machine_; }
+  const am::CostModel& costs() const noexcept { return machine_.costs(); }
+  NameTable& names() noexcept { return names_; }
+  StatBlock& stats() noexcept { return stats_; }
+  const StatBlock& stats() const noexcept { return stats_; }
+  const BehaviorRegistry& registry() const noexcept { return registry_; }
+  const RuntimeConfig& config() const noexcept { return config_; }
+  GroupTable& groups() noexcept { return groups_; }
+  Dispatcher& dispatcher() noexcept { return dispatcher_; }
+  Xoshiro256& rng() noexcept { return rng_; }
+  am::BulkChannel& bulk() noexcept { return bulk_; }
+  NodeManager& node_manager() noexcept { return *node_manager_; }
+
+  ActorRecord* actor(SlotId slot) noexcept { return actors_.try_get(slot); }
+  std::size_t live_actors() const noexcept { return actors_.size(); }
+  std::uint64_t dead_letters() const noexcept { return dead_letters_; }
+
+  /// Visit every live actor record: `fn(SlotId, ActorRecord&)`. Used by the
+  /// garbage collector's sweep (in-process walk at quiescence).
+  template <typename Fn>
+  void for_each_actor(Fn&& fn) {
+    actors_.for_each(std::forward<Fn>(fn));
+  }
+  /// Reclaim an unreachable actor at quiescence (GC sweep): frees the
+  /// record, leaving its descriptors as dead-letter sinks.
+  void reap_actor(SlotId slot);
+
+  /// Resolve a mail address to a *local* actor slot (invalid SlotId if the
+  /// address is unknown here or the actor is not local). This is the
+  /// "locality check routine which is part of the generic message send
+  /// mechanism" exposed to the compiler (§6.3).
+  SlotId locality_check(const MailAddress& addr);
+
+  /// Behaviour object of a local actor, typed; nullptr when not local or of
+  /// a different type (the method-lookup escape hatch for compiled code).
+  template <typename B>
+  B* local_behavior(const MailAddress& addr) {
+    const SlotId s = locality_check(addr);
+    if (!s.valid()) return nullptr;
+    return dynamic_cast<B*>(actors_.get(s).impl.get());
+  }
+
+  // --- Compiler-controlled stack scheduling (§6.3) ---------------------------
+  /// RAII depth guard for stack-based direct dispatch.
+  class StackGuard {
+   public:
+    explicit StackGuard(Kernel& k) : k_(k) { ++k_.stack_depth_; }
+    ~StackGuard() { --k_.stack_depth_; }
+    StackGuard(const StackGuard&) = delete;
+    StackGuard& operator=(const StackGuard&) = delete;
+
+   private:
+    Kernel& k_;
+  };
+  bool stack_budget_left() const noexcept {
+    return stack_depth_ < config_.max_stack_depth;
+  }
+
+  /// Dispatch one message to an actor: constraint check, method execution,
+  /// pending-queue replay, then post-processing (become/migrate/terminate).
+  /// `cheap_dispatch` is the compiler/quantum fast path: the method lookup
+  /// has already been paid for, so only a call's worth of cost is charged.
+  void run_method(SlotId actor_slot, Message m, bool cheap_dispatch = false);
+
+  /// Used by NodeManager/Runtime: create an actor object for a remote
+  /// creation request or a migration arrival. `epoch` is the actor's
+  /// migration count (0 for fresh creations).
+  SlotId install_actor(std::unique_ptr<ActorBase> impl, BehaviorId behavior,
+                       const MailAddress& address, const MailAddress& alias,
+                       std::uint32_t epoch = 0);
+
+ private:
+  friend class NodeManager;
+
+  /// Put an actor in the ready structure if it has mail and isn't there.
+  void schedule(SlotId actor_slot);
+  /// Enqueue a broadcast quantum for this node's group members.
+  void schedule_quantum(GroupId gid, Message m);
+  /// Execute one message body: build a Context, dispatch, apply `become`.
+  void execute_message(SlotId actor_slot, Message& m);
+  /// Execute a broadcast quantum: all local group members process the same
+  /// message consecutively with a single method lookup (§6.4).
+  void run_quantum(GroupId gid, Message m);
+  /// Post-method bookkeeping shared by run_method and the quantum path.
+  void post_method(SlotId actor_slot, ActorRecord& rec);
+  /// Replay pending messages whose constraints are now enabled (§6.1).
+  void replay_pending(SlotId actor_slot);
+  void dead_letter(const Message& m);
+
+  am::Machine& machine_;
+  NodeId self_;
+  const BehaviorRegistry& registry_;
+  const RuntimeConfig& config_;
+
+  StatBlock stats_;
+  NameTable names_;
+  SlotPool<ActorRecord> actors_;
+  SlotPool<JoinContinuation> joins_;
+  Dispatcher dispatcher_;
+  GroupTable groups_;
+  am::BulkChannel bulk_;
+  std::unique_ptr<NodeManager> node_manager_;
+  Xoshiro256 rng_;
+
+  std::uint32_t group_seq_ = 0;
+  std::uint32_t stack_depth_ = 0;
+  std::uint64_t dead_letters_ = 0;
+  std::uint64_t place_cursor_ = 0;
+  FrontEnd* front_end_ = nullptr;  // node 0 only
+  trace::TraceRecorder* tracer_ = nullptr;
+};
+
+}  // namespace hal

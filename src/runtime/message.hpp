@@ -1,0 +1,141 @@
+// Actor messages and continuation references.
+//
+// "All actor messages have a destination mail address and a method selector.
+// Many of them may also contain a continuation address." (§3) The runtime
+// exploits exactly these properties when mapping messages onto active-message
+// packets: the header fits in one packet's words, arguments travel as a short
+// inline payload, and anything larger goes through the bulk protocol.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "name/mail_address.hpp"
+
+namespace hal {
+
+/// Reference to one argument slot of a join continuation living on `node`.
+/// This is the paper's "continuation address": replies are routed straight
+/// to the slot, not through the creating actor's mailbox.
+struct ContRef {
+  NodeId node = kInvalidNode;
+  SlotId jc{};
+  std::uint32_t slot = 0;
+
+  constexpr bool valid() const noexcept {
+    return node != kInvalidNode && jc.valid();
+  }
+
+  /// Same continuation, different argument slot.
+  constexpr ContRef at(std::uint32_t s) const noexcept {
+    return ContRef{node, jc, s};
+  }
+
+  constexpr std::uint64_t pack_word0() const noexcept {
+    return (static_cast<std::uint64_t>(node & 0xffffU) << 32) | slot;
+  }
+  constexpr std::uint64_t pack_word1() const noexcept { return jc.pack(); }
+
+  static constexpr ContRef unpack(std::uint64_t w0,
+                                  std::uint64_t w1) noexcept {
+    ContRef c;
+    c.node = static_cast<NodeId>((w0 >> 32) & 0xffffU);
+    if (c.node == 0xffffU) c.node = kInvalidNode;
+    c.slot = static_cast<std::uint32_t>(w0 & 0xffffffffU);
+    c.jc = SlotId::unpack(w1);
+    return c;
+  }
+
+  friend constexpr bool operator==(const ContRef&, const ContRef&) noexcept =
+      default;
+};
+
+/// Inline argument words a message can carry without a payload buffer.
+inline constexpr std::size_t kMsgInlineWords = 8;
+
+struct Message {
+  MailAddress dest;
+  Selector selector = 0;
+  ContRef cont{};  ///< reply target (invalid if the method never replies)
+  std::array<std::uint64_t, kMsgInlineWords> args{};
+  std::uint8_t argc = 0;  ///< words of args[] in use
+  Bytes payload;          ///< optional bulk argument (e.g. a matrix block)
+
+  /// Sender-side routing hint: the receiving node's descriptor slot for the
+  /// destination, when cached (§4.1). Lets the receiving node manager skip
+  /// its name-table lookup.
+  SlotId dest_desc_hint{};
+
+  /// Serialize everything except the header words that ride in the packet.
+  Bytes encode_body() const {
+    ByteWriter w;
+    for (std::uint8_t i = 0; i < argc; ++i) w.write(args[i]);
+    w.write_bytes(payload);
+    return std::move(w).take();
+  }
+
+  void decode_body(std::span<const std::byte> body) {
+    ByteReader r(body);
+    for (std::uint8_t i = 0; i < argc; ++i) args[i] = r.read<std::uint64_t>();
+    auto b = r.read_bytes();
+    payload.assign(b.begin(), b.end());
+  }
+
+  /// Full serialization (used when a message itself is data: migration
+  /// carries the actor's queued mail with it).
+  void encode_full(ByteWriter& w) const {
+    w.write(dest.pack_word0());
+    w.write(dest.pack_word1());
+    w.write(selector);
+    w.write(cont.pack_word0());
+    w.write(cont.pack_word1());
+    w.write(argc);
+    for (std::uint8_t i = 0; i < argc; ++i) w.write(args[i]);
+    w.write_bytes(payload);
+  }
+
+  static Message decode_full(ByteReader& r) {
+    Message m;
+    const auto a0 = r.read<std::uint64_t>();
+    const auto a1 = r.read<std::uint64_t>();
+    m.dest = MailAddress::unpack(a0, a1);
+    m.selector = r.read<Selector>();
+    const auto c0 = r.read<std::uint64_t>();
+    const auto c1 = r.read<std::uint64_t>();
+    m.cont = ContRef::unpack(c0, c1);
+    m.argc = r.read<std::uint8_t>();
+    HAL_ASSERT(m.argc <= kMsgInlineWords);
+    for (std::uint8_t i = 0; i < m.argc; ++i)
+      m.args[i] = r.read<std::uint64_t>();
+    auto b = r.read_bytes();
+    m.payload.assign(b.begin(), b.end());
+    return m;
+  }
+};
+
+/// Group identity returned by grpnew: creator node + per-node sequence.
+struct GroupId {
+  NodeId creator = kInvalidNode;
+  std::uint32_t seq = 0;
+
+  constexpr bool valid() const noexcept { return creator != kInvalidNode; }
+  constexpr std::uint64_t pack() const noexcept {
+    return (static_cast<std::uint64_t>(creator) << 32) | seq;
+  }
+  static constexpr GroupId unpack(std::uint64_t w) noexcept {
+    return GroupId{static_cast<NodeId>(w >> 32),
+                   static_cast<std::uint32_t>(w & 0xffffffffU)};
+  }
+  friend constexpr bool operator==(const GroupId&, const GroupId&) noexcept =
+      default;
+};
+
+struct GroupIdHash {
+  std::size_t operator()(const GroupId& g) const noexcept {
+    return static_cast<std::size_t>(mix64(g.pack()));
+  }
+};
+
+}  // namespace hal

@@ -1,0 +1,94 @@
+// Behaviour registry — the runtime's program-load module.
+//
+// The paper's front-end dynamically loads a compiled executable into every
+// kernel, after which any node can instantiate any behaviour by identifier
+// (remote creation sends only the behaviour id, §5). The registry supplies
+// exactly that: every node shares one immutable table, populated during
+// Runtime setup ("program loading"), mapping BehaviorId → constructor.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "runtime/actor_base.hpp"
+
+namespace hal {
+
+class BehaviorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ActorBase>()>;
+
+  template <typename B>
+    requires std::derived_from<B, ActorBase> &&
+             std::default_initializable<B>
+  BehaviorId register_behavior() {
+    const std::type_index ti(typeid(B));
+    if (auto it = by_type_.find(ti); it != by_type_.end()) return it->second;
+    const auto id = register_factory(
+        std::string(B{}.behavior_name()),
+        []() -> std::unique_ptr<ActorBase> { return std::make_unique<B>(); });
+    by_type_.emplace(ti, id);
+    return id;
+  }
+
+  /// Register a behaviour by name + factory. This is what dynamic loading
+  /// really needs (the template overload is sugar for statically known C++
+  /// behaviours): interpreted languages on top of the runtime register one
+  /// factory per source-level behaviour.
+  BehaviorId register_factory(std::string name, Factory factory) {
+    if (auto it = by_name_.find(name); it != by_name_.end()) {
+      return it->second;
+    }
+    const auto id = static_cast<BehaviorId>(entries_.size());
+    by_name_.emplace(name, id);
+    entries_.push_back(Entry{std::move(name), std::move(factory)});
+    return id;
+  }
+
+  /// Lookup by behaviour name; kInvalidBehavior when absent.
+  BehaviorId id_of_name(std::string_view name) const {
+    auto it = by_name_.find(std::string(name));
+    return it == by_name_.end() ? kInvalidBehavior : it->second;
+  }
+
+  template <typename B>
+  BehaviorId id_of() const {
+    auto it = by_type_.find(std::type_index(typeid(B)));
+    HAL_ASSERT(it != by_type_.end());  // behaviour was never "loaded"
+    return it->second;
+  }
+
+  template <typename B>
+  bool registered() const {
+    return by_type_.contains(std::type_index(typeid(B)));
+  }
+
+  std::unique_ptr<ActorBase> construct(BehaviorId id) const {
+    HAL_ASSERT(id < entries_.size());
+    return entries_[id].construct();
+  }
+
+  const std::string& name(BehaviorId id) const {
+    HAL_ASSERT(id < entries_.size());
+    return entries_[id].name;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Factory construct;
+  };
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::type_index, BehaviorId> by_type_;
+  std::unordered_map<std::string, BehaviorId> by_name_;
+};
+
+}  // namespace hal

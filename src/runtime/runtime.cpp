@@ -1,0 +1,136 @@
+#include "runtime/runtime.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <unordered_set>
+#include <utility>
+
+#include "am/sim_machine.hpp"
+#include "am/thread_machine.hpp"
+
+namespace hal {
+
+Runtime::Runtime(RuntimeConfig config) : config_(config) {
+  HAL_ASSERT(config_.nodes >= 1);
+  switch (config_.machine) {
+    case MachineKind::kSim: {
+      auto sim = std::make_unique<am::SimMachine>(config_.nodes, config_.costs);
+      if (config_.sim_event_limit != 0) {
+        sim->set_event_limit(config_.sim_event_limit);
+      }
+      machine_ = std::move(sim);
+      break;
+    }
+    case MachineKind::kThread:
+      machine_ =
+          std::make_unique<am::ThreadMachine>(config_.nodes, config_.costs);
+      break;
+  }
+  kernels_.reserve(config_.nodes);
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    kernels_.push_back(
+        std::make_unique<Kernel>(*machine_, n, registry_, config_));
+    machine_->attach(n, kernels_[n].get());
+  }
+  // Node 0's kernel relays I/O requests to the front-end (Fig. 1).
+  kernels_[0]->set_front_end(&front_end_);
+  if (config_.trace) {
+    for (auto& k : kernels_) k->set_tracer(&tracer_);
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run() {
+  HAL_ASSERT(!ran_);
+  ran_ = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  machine_->run();
+  const auto t1 = std::chrono::steady_clock::now();
+  wall_ns_ = static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+SimTime Runtime::makespan() const {
+  if (config_.machine == MachineKind::kSim) {
+    return static_cast<const am::SimMachine&>(*machine_).makespan();
+  }
+  return wall_ns_;
+}
+
+StatBlock Runtime::total_stats() const {
+  StatBlock total;
+  for (const auto& k : kernels_) total += k->stats();
+  return total;
+}
+
+std::uint64_t Runtime::dead_letters() const {
+  std::uint64_t n = 0;
+  for (const auto& k : kernels_) n += k->dead_letters();
+  return n;
+}
+
+std::size_t Runtime::collect_garbage(std::span<const MailAddress> roots) {
+  HAL_ASSERT(ran_);  // only a quiescent machine has a stable snapshot
+
+  // Locate an address's current host by walking the forward chain (an
+  // in-process shortcut: at quiescence the chains are stable).
+  auto locate = [&](const MailAddress& addr) -> std::pair<NodeId, SlotId> {
+    NodeId node = addr.home;
+    if (node == kInvalidNode) return {kInvalidNode, {}};
+    for (NodeId hops = 0; hops <= config_.nodes; ++hops) {
+      Kernel& k = *kernels_[node];
+      const SlotId ds = k.names().resolve(addr);
+      if (!ds.valid()) return {kInvalidNode, {}};
+      const LocalityDescriptor& d = k.names().descriptor(ds);
+      if (d.local()) {
+        return k.actor(d.actor) != nullptr
+                   ? std::pair{node, d.actor}
+                   : std::pair{kInvalidNode, SlotId{}};
+      }
+      node = d.remote_node;
+    }
+    return {kInvalidNode, {}};
+  };
+
+  auto key = [](NodeId node, SlotId slot) {
+    return (static_cast<std::uint64_t>(node) << 32) | slot.index;
+  };
+
+  // Mark: BFS from the roots through held addresses.
+  std::unordered_set<std::uint64_t> marked;
+  std::vector<MailAddress> frontier(roots.begin(), roots.end());
+  while (!frontier.empty()) {
+    const MailAddress addr = frontier.back();
+    frontier.pop_back();
+    const auto [node, slot] = locate(addr);
+    if (node == kInvalidNode) continue;
+    if (!marked.insert(key(node, slot)).second) continue;
+    kernels_[node]->actor(slot)->impl->trace_refs(
+        [&frontier](const MailAddress& ref) { frontier.push_back(ref); });
+  }
+
+  // Sweep: reclaim every unmarked actor on every node.
+  std::size_t reclaimed = 0;
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    std::vector<SlotId> dead;
+    kernels_[n]->for_each_actor([&](SlotId slot, ActorRecord&) {
+      if (!marked.contains(key(n, slot))) dead.push_back(slot);
+    });
+    for (const SlotId slot : dead) {
+      kernels_[n]->reap_actor(slot);
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+std::size_t Runtime::write_trace(const std::string& path) {
+  const std::vector<trace::Event> events = tracer_.take();
+  std::ofstream out(path);
+  HAL_ASSERT(out.good());
+  trace::write_chrome_trace(out, events);
+  return events.size();
+}
+
+}  // namespace hal

@@ -1,0 +1,46 @@
+#include "trace/trace.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace hal::trace {
+
+namespace {
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(EventKind::kCount)>
+    kNames = {
+        "method",       "quantum",     "send_remote", "create_local",
+        "create_alias", "migrate_out", "migrate_in",  "steal_served",
+        "fir_sent",     "fir_resolved", "parked",     "join_fired",
+        "broadcast",
+};
+}  // namespace
+
+std::string_view event_name(EventKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  HAL_DASSERT(i < kNames.size());
+  return kNames[i];
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<Event>& events) {
+  out << "[\n";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out << ",\n";
+    first = false;
+    const double ts = static_cast<double>(e.start) / 1000.0;  // ns → µs
+    out << R"({"name":")" << event_name(e.kind) << R"(","pid":0,"tid":)"
+        << e.node;
+    if (e.duration > 0) {
+      out << R"(,"ph":"X","ts":)" << ts << R"(,"dur":)"
+          << static_cast<double>(e.duration) / 1000.0;
+    } else {
+      out << R"(,"ph":"i","s":"t","ts":)" << ts;
+    }
+    out << R"(,"args":{"a":)" << e.a << R"(,"b":)" << e.b << "}}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace hal::trace

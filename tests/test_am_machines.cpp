@@ -1,0 +1,290 @@
+// Unit tests: active-message substrate (SimMachine, ThreadMachine, MST,
+// bulk transfer protocol with minimal flow control).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "am/bulk.hpp"
+#include "am/mst.hpp"
+#include "am/sim_machine.hpp"
+#include "am/thread_machine.hpp"
+
+namespace hal::am {
+namespace {
+
+// A scriptable node client for substrate tests.
+class TestClient : public NodeClient {
+ public:
+  std::function<void(TestClient&, Packet)> on_packet;
+  std::vector<Packet> received;
+
+  void handle(Packet p) override {
+    received.push_back(p);
+    if (on_packet) on_packet(*this, std::move(p));
+  }
+  bool step() override { return false; }
+  bool has_work() const override { return false; }
+};
+
+template <typename M>
+struct Harness {
+  M machine;
+  std::vector<TestClient> clients;
+
+  Harness(NodeId nodes, CostModel costs = CostModel::zero())
+      : machine(nodes, costs), clients(nodes) {
+    for (NodeId n = 0; n < nodes; ++n) machine.attach(n, &clients[n]);
+  }
+};
+
+Packet make_packet(NodeId src, NodeId dst, std::uint64_t tag) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.handler = 1;
+  p.words[0] = tag;
+  return p;
+}
+
+// --- SimMachine -------------------------------------------------------------------
+
+TEST(SimMachine, DeliversPacket) {
+  Harness<SimMachine> h(2);
+  h.machine.send(make_packet(0, 1, 77));
+  h.machine.run();
+  ASSERT_EQ(h.clients[1].received.size(), 1u);
+  EXPECT_EQ(h.clients[1].received[0].words[0], 77u);
+}
+
+TEST(SimMachine, PerLinkFifoWithEqualSizes) {
+  Harness<SimMachine> h(2);
+  for (std::uint64_t i = 0; i < 50; ++i) h.machine.send(make_packet(0, 1, i));
+  h.machine.run();
+  ASSERT_EQ(h.clients[1].received.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(h.clients[1].received[i].words[0], i);
+  }
+}
+
+TEST(SimMachine, VirtualTimeAdvancesWithCosts) {
+  Harness<SimMachine> h(2, CostModel::cm5());
+  h.machine.send(make_packet(0, 1, 0));
+  h.machine.run();
+  const CostModel c = CostModel::cm5();
+  // Sender pays injection, receiver pays handler entry, wire in between.
+  EXPECT_GE(h.machine.makespan(),
+            c.packet_inject_ns + c.wire_latency_ns + c.handler_entry_ns);
+}
+
+TEST(SimMachine, DeterministicEventCount) {
+  auto run_once = [] {
+    Harness<SimMachine> h(4, CostModel::cm5());
+    // Each node relays once: 0→1→2→3.
+    for (NodeId n = 0; n < 3; ++n) {
+      h.clients[n].on_packet = [](TestClient&, Packet) {};
+    }
+    h.clients[0].on_packet = nullptr;
+    for (int i = 0; i < 10; ++i) h.machine.send(make_packet(0, 1, 5));
+    h.machine.run();
+    return h.machine.events_processed();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimMachine, HandlerMaySendOnward) {
+  Harness<SimMachine> h(3);
+  h.clients[1].on_packet = [&h](TestClient&, Packet p) {
+    h.machine.send(make_packet(1, 2, p.words[0] + 1));
+  };
+  h.machine.send(make_packet(0, 1, 10));
+  h.machine.run();
+  ASSERT_EQ(h.clients[2].received.size(), 1u);
+  EXPECT_EQ(h.clients[2].received[0].words[0], 11u);
+}
+
+TEST(SimMachine, ChargeAccumulatesPerNode) {
+  Harness<SimMachine> h(2);
+  h.machine.charge(0, 500);
+  h.machine.charge(0, 250);
+  EXPECT_EQ(h.machine.now(0), 750u);
+  EXPECT_EQ(h.machine.now(1), 0u);
+}
+
+// --- ThreadMachine -----------------------------------------------------------------
+
+TEST(ThreadMachine, DeliversAndQuiesces) {
+  Harness<ThreadMachine> h(2);
+  h.machine.send(make_packet(0, 1, 99));
+  h.machine.run();
+  ASSERT_EQ(h.clients[1].received.size(), 1u);
+  EXPECT_EQ(h.clients[1].received[0].words[0], 99u);
+}
+
+TEST(ThreadMachine, RelayChainQuiesces) {
+  Harness<ThreadMachine> h(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    h.clients[n].on_packet = [&h, n](TestClient&, Packet p) {
+      if (p.words[0] > 0) {
+        h.machine.send(make_packet(n, (n + 1) % 4, p.words[0] - 1));
+      }
+    };
+  }
+  h.machine.send(make_packet(0, 1, 100));
+  h.machine.run();
+  std::size_t total = 0;
+  for (auto& c : h.clients) total += c.received.size();
+  EXPECT_EQ(total, 101u);
+}
+
+// --- MST ---------------------------------------------------------------------------
+
+TEST(Mst, CoversAllNodesExactlyOnce) {
+  for (NodeId nodes : {1u, 2u, 3u, 4u, 7u, 8u, 16u, 33u, 64u}) {
+    for (NodeId root : {0u, 1u, nodes - 1}) {
+      if (root >= nodes) continue;
+      std::map<NodeId, int> indegree;
+      for (NodeId self = 0; self < nodes; ++self) {
+        mst_for_each_child(self, root, nodes,
+                           [&](NodeId child) { ++indegree[child]; });
+      }
+      EXPECT_EQ(indegree.count(root), 0u) << "root has a parent";
+      for (NodeId n = 0; n < nodes; ++n) {
+        if (n == root) continue;
+        EXPECT_EQ(indegree[n], 1) << "node " << n << " of " << nodes;
+      }
+    }
+  }
+}
+
+TEST(Mst, ParentChildConsistent) {
+  const NodeId nodes = 13, root = 5;
+  for (NodeId self = 0; self < nodes; ++self) {
+    mst_for_each_child(self, root, nodes, [&](NodeId child) {
+      EXPECT_EQ(mst_parent(child, root, nodes), self);
+    });
+  }
+}
+
+TEST(Mst, DepthIsLogarithmic) {
+  const NodeId nodes = 64;
+  for (NodeId self = 0; self < nodes; ++self) {
+    EXPECT_LE(mst_depth(self, 0, nodes), 6u);
+  }
+}
+
+// --- Bulk transfer -------------------------------------------------------------------
+
+struct BulkHarness {
+  SimMachine machine;
+  struct BulkClient : NodeClient {
+    BulkChannel* channel = nullptr;
+    std::vector<std::pair<std::uint64_t, Bytes>> delivered;  // (tag, data)
+    void handle(Packet p) override { channel->route(p); }
+    bool step() override { return false; }
+    bool has_work() const override { return false; }
+  };
+  std::vector<BulkClient> clients;
+  std::vector<StatBlock> stats;
+  std::vector<std::unique_ptr<BulkChannel>> channels;
+
+  explicit BulkHarness(NodeId nodes, CostModel costs = CostModel::zero())
+      : machine(nodes, costs), clients(nodes), stats(nodes) {
+    const BulkHandlers h{10, 11, 12};
+    for (NodeId n = 0; n < nodes; ++n) {
+      auto* client = &clients[n];
+      channels.push_back(std::make_unique<BulkChannel>(
+          machine, n, h, stats[n],
+          [client](NodeId, std::uint64_t tag,
+                   const std::array<std::uint64_t, 2>&, Bytes data) {
+            client->delivered.emplace_back(tag, std::move(data));
+          }));
+      clients[n].channel = channels[n].get();
+      machine.attach(n, &clients[n]);
+    }
+  }
+};
+
+Bytes pattern_bytes(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::byte>(i * 31 % 251);
+  }
+  return b;
+}
+
+TEST(Bulk, TransfersLargeBuffer) {
+  BulkHarness h(2);
+  const Bytes data = pattern_bytes(3 * kBulkChunkBytes + 100);
+  h.channels[0]->send(1, 42, {7, 8}, data);
+  h.machine.run();
+  ASSERT_EQ(h.clients[1].delivered.size(), 1u);
+  EXPECT_EQ(h.clients[1].delivered[0].first, 42u);
+  EXPECT_EQ(h.clients[1].delivered[0].second, data);
+}
+
+TEST(Bulk, ZeroLengthTransferCompletes) {
+  BulkHarness h(2);
+  h.channels[0]->send(1, 5, {0, 0}, {});
+  h.machine.run();
+  ASSERT_EQ(h.clients[1].delivered.size(), 1u);
+  EXPECT_TRUE(h.clients[1].delivered[0].second.empty());
+}
+
+TEST(Bulk, FlowControlSerializesInboundTransfers) {
+  BulkHarness h(3, CostModel::cm5());
+  const Bytes data = pattern_bytes(8 * kBulkChunkBytes);
+  h.channels[0]->send(2, 1, {0, 0}, data);
+  h.channels[1]->send(2, 2, {0, 0}, data);
+  h.machine.run();
+  ASSERT_EQ(h.clients[2].delivered.size(), 2u);
+  // With flow control on, at least one REQUEST had to wait for a grant.
+  EXPECT_GE(h.stats[2].get(Stat::kBulkFlowStalls), 1u);
+}
+
+TEST(Bulk, NoFlowControlGrantsImmediately) {
+  BulkHarness h(3, CostModel::cm5());
+  h.channels[2]->set_flow_control(false);
+  const Bytes data = pattern_bytes(8 * kBulkChunkBytes);
+  h.channels[0]->send(2, 1, {0, 0}, data);
+  h.channels[1]->send(2, 2, {0, 0}, data);
+  h.machine.run();
+  ASSERT_EQ(h.clients[2].delivered.size(), 2u);
+  EXPECT_EQ(h.stats[2].get(Stat::kBulkFlowStalls), 0u);
+}
+
+TEST(Bulk, ManyTransfersAllComplete) {
+  BulkHarness h(4);
+  int expected = 0;
+  for (NodeId src = 1; src < 4; ++src) {
+    for (int i = 0; i < 5; ++i) {
+      h.channels[src]->send(0, src * 100 + static_cast<std::uint64_t>(i),
+                            {0, 0}, pattern_bytes(1000 + 512 * src));
+      ++expected;
+    }
+  }
+  h.machine.run();
+  EXPECT_EQ(h.clients[0].delivered.size(), static_cast<std::size_t>(expected));
+}
+
+TEST(Bulk, MetaWordsArriveIntact) {
+  BulkHarness h(2);
+  std::array<std::uint64_t, 2> got{};
+  auto* client = &h.clients[1];
+  (void)client;
+  // Re-wire deliver to capture meta.
+  h.channels[1] = std::make_unique<BulkChannel>(
+      h.machine, 1, BulkHandlers{10, 11, 12}, h.stats[1],
+      [&got](NodeId, std::uint64_t, const std::array<std::uint64_t, 2>& meta,
+             Bytes) { got = meta; });
+  h.clients[1].channel = h.channels[1].get();
+  h.channels[0]->send(1, 9, {0xdeadULL, 0xbeefULL}, pattern_bytes(10));
+  h.machine.run();
+  EXPECT_EQ(got[0], 0xdeadULL);
+  EXPECT_EQ(got[1], 0xbeefULL);
+}
+
+}  // namespace
+}  // namespace hal::am

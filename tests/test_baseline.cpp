@@ -1,0 +1,195 @@
+// Tests: baseline substrates — sequential kernels and the Chase–Lev
+// work-stealing pool (the paper's C and Cilk comparators).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "baseline/seq_kernels.hpp"
+#include "baseline/worksteal.hpp"
+
+namespace hal::baseline {
+namespace {
+
+// --- Sequential kernels ------------------------------------------------------------
+
+TEST(SeqKernels, FibValues) {
+  EXPECT_EQ(fib_seq(0), 0u);
+  EXPECT_EQ(fib_seq(1), 1u);
+  EXPECT_EQ(fib_seq(10), 55u);
+  EXPECT_EQ(fib_seq(20), 6765u);
+}
+
+TEST(SeqKernels, FibCallCountMatchesPaper) {
+  // The paper: "executing the Fibonacci of 33 results in the creation of
+  // 11,405,773 actors."
+  EXPECT_EQ(fib_call_count(33), 11405773u);
+}
+
+TEST(SeqKernels, CholeskyReconstructsInput) {
+  const std::size_t n = 24;
+  const auto a = make_spd(n, 42);
+  auto l = a;
+  cholesky_seq(l, n);
+  // Check A == L·Lᵀ.
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+        s += l[i * n + k] * l[j * n + k];
+      }
+      max_err = std::max(max_err, std::abs(s - a[i * n + j]));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(SeqKernels, CholeskyUpperTriangleZeroed) {
+  const std::size_t n = 8;
+  auto l = make_spd(n, 7);
+  cholesky_seq(l, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(l[i * n + j], 0.0);
+    }
+  }
+}
+
+TEST(SeqKernels, MatmulBlockMatchesNaive) {
+  const std::size_t n = 17;
+  const auto a = make_dense(n, 1);
+  const auto b = make_dense(n, 2);
+  const auto c = matmul_seq(a, b, n);
+  // Naive triple loop.
+  std::vector<double> ref(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += a[i * n + k] * b[k * n + j];
+      ref[i * n + j] = s;
+    }
+  }
+  EXPECT_LT(max_abs_diff(c, ref), 1e-12);
+}
+
+TEST(SeqKernels, MatmulBlockAccumulates) {
+  const std::size_t n = 4;
+  std::vector<double> a(n * n, 1.0), b(n * n, 1.0), c(n * n, 5.0);
+  matmul_block(a.data(), b.data(), c.data(), n);
+  for (double v : c) EXPECT_EQ(v, 5.0 + static_cast<double>(n));
+}
+
+// --- Work-stealing deque --------------------------------------------------------------
+
+TEST(WsDeque, LifoForOwner) {
+  WsDeque<int> d;
+  int items[3] = {1, 2, 3};
+  for (auto& i : items) d.push_bottom(&i);
+  EXPECT_EQ(*d.pop_bottom(), 3);
+  EXPECT_EQ(*d.pop_bottom(), 2);
+  EXPECT_EQ(*d.pop_bottom(), 1);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(WsDeque, FifoForThief) {
+  WsDeque<int> d;
+  int items[3] = {1, 2, 3};
+  for (auto& i : items) d.push_bottom(&i);
+  EXPECT_EQ(*d.steal_top(), 1);
+  EXPECT_EQ(*d.steal_top(), 2);
+  EXPECT_EQ(*d.pop_bottom(), 3);
+  EXPECT_EQ(d.steal_top(), nullptr);
+}
+
+TEST(WsDeque, ConcurrentStealsLoseNothing) {
+  WsDeque<std::uint64_t> d(1u << 16);
+  constexpr std::uint64_t kN = 20000;
+  std::vector<std::uint64_t> items(kN);
+  std::iota(items.begin(), items.end(), 0);
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<bool> done{false};
+  std::thread thief([&] {
+    while (!done.load(std::memory_order_acquire) || !d.empty()) {
+      if (auto* p = d.steal_top()) {
+        sum.fetch_add(*p, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::uint64_t own = 0;
+  for (auto& i : items) {
+    d.push_bottom(&i);
+    if (i % 3 == 0) {
+      if (auto* p = d.pop_bottom()) own += *p;
+    }
+  }
+  while (auto* p = d.pop_bottom()) own += *p;
+  done.store(true, std::memory_order_release);
+  thief.join();
+  const std::uint64_t expect = kN * (kN - 1) / 2;
+  EXPECT_EQ(sum.load() + own, expect);
+}
+
+// --- Work-stealing pool -----------------------------------------------------------------
+
+TEST(WorkStealPool, RunsSingleTask) {
+  WorkStealPool pool(2);
+  std::atomic<int> hits{0};
+  pool.run([&] { ++hits; });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(WorkStealPool, ForkFanOutAllRun) {
+  WorkStealPool pool(4);
+  std::atomic<int> hits{0};
+  pool.run([&] {
+    for (int i = 0; i < 500; ++i) {
+      pool.fork([&] { ++hits; });
+    }
+  });
+  EXPECT_EQ(hits.load(), 500);
+}
+
+TEST(WorkStealPool, RecursiveFibViaContinuations) {
+  // Continuation-passing fib: each node owns a join cell; leaves report up.
+  struct Node {
+    std::atomic<int> pending{2};
+    std::uint64_t parts[2] = {0, 0};
+    Node* parent = nullptr;
+    int slot = 0;
+  };
+  WorkStealPool pool(3);
+  std::uint64_t result = 0;
+  std::function<void(unsigned, Node*, int)> spawn =
+      [&](unsigned n, Node* parent, int slot) {
+        if (n < 2) {
+          // Report a leaf value upward, completing ancestors as they fill.
+          std::uint64_t value = n;
+          Node* cur = parent;
+          int s = slot;
+          while (cur != nullptr) {
+            cur->parts[s] = value;
+            if (cur->pending.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+              return;
+            }
+            value = cur->parts[0] + cur->parts[1];
+            Node* up = cur->parent;
+            s = cur->slot;
+            delete cur;
+            cur = up;
+          }
+          result = value;
+          return;
+        }
+        auto* node = new Node;
+        node->parent = parent;
+        node->slot = slot;
+        pool.fork([&spawn, n, node] { spawn(n - 1, node, 0); });
+        pool.fork([&spawn, n, node] { spawn(n - 2, node, 1); });
+      };
+  pool.run([&] { spawn(20, nullptr, 0); });
+  EXPECT_EQ(result, 6765u);
+}
+
+}  // namespace
+}  // namespace hal::baseline

@@ -1,0 +1,187 @@
+// Tests: distributed garbage collection (the paper's §9 future work) —
+// mark-sweep from roots across nodes, cross-node cycle collection, and the
+// automatic reference tracing of interpreted (HALlite) actors.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "lang/interp.hpp"
+#include "runtime/api.hpp"
+
+namespace hal {
+namespace {
+
+/// Holds up to two references to other actors, traced for GC.
+class RefHolder : public ActorBase {
+ public:
+  void on_set(Context&, MailAddress a, MailAddress b) {
+    a_ = a;
+    b_ = b;
+  }
+  HAL_BEHAVIOR(RefHolder, &RefHolder::on_set)
+  void trace_refs(const std::function<void(const MailAddress&)>& visit)
+      const override {
+    if (a_.valid()) visit(a_);
+    if (b_.valid()) visit(b_);
+  }
+  bool migratable() const override { return true; }
+  void pack_state(ByteWriter& w) const override {
+    w.write(a_.pack_word0());
+    w.write(a_.pack_word1());
+    w.write(b_.pack_word0());
+    w.write(b_.pack_word1());
+  }
+  void unpack_state(ByteReader& r) override {
+    const auto a0 = r.read<std::uint64_t>();
+    const auto a1 = r.read<std::uint64_t>();
+    a_ = MailAddress::unpack(a0, a1);
+    const auto b0 = r.read<std::uint64_t>();
+    const auto b1 = r.read<std::uint64_t>();
+    b_ = MailAddress::unpack(b0, b1);
+  }
+
+ private:
+  MailAddress a_, b_;
+};
+
+std::size_t live_total(Runtime& rt) {
+  std::size_t n = 0;
+  for (NodeId i = 0; i < rt.nodes(); ++i) n += rt.kernel(i).live_actors();
+  return n;
+}
+
+TEST(Gc, ReclaimsUnreachableKeepsRooted) {
+  RuntimeConfig cfg;
+  cfg.nodes = 4;
+  Runtime rt(cfg);
+  rt.load<RefHolder>();
+  // Chain: root → a → b; plus two unreachable strays.
+  const MailAddress root = rt.spawn<RefHolder>(0);
+  const MailAddress a = rt.spawn<RefHolder>(1);
+  const MailAddress b = rt.spawn<RefHolder>(2);
+  (void)rt.spawn<RefHolder>(3);
+  (void)rt.spawn<RefHolder>(1);
+  rt.inject<&RefHolder::on_set>(root, a, MailAddress{});
+  rt.inject<&RefHolder::on_set>(a, b, MailAddress{});
+  rt.run();
+  ASSERT_EQ(live_total(rt), 5u);
+
+  const std::array<MailAddress, 1> roots = {root};
+  EXPECT_EQ(rt.collect_garbage(roots), 2u);
+  EXPECT_EQ(live_total(rt), 3u);
+  // Rooted chain still resolvable.
+  EXPECT_NE(rt.find_behavior<RefHolder>(b), nullptr);
+}
+
+TEST(Gc, CollectsCrossNodeCycles) {
+  RuntimeConfig cfg;
+  cfg.nodes = 3;
+  Runtime rt(cfg);
+  rt.load<RefHolder>();
+  // x → y → z → x across three nodes: a cycle no per-node refcount could
+  // reclaim; unreachable from the (empty) root set.
+  const MailAddress x = rt.spawn<RefHolder>(0);
+  const MailAddress y = rt.spawn<RefHolder>(1);
+  const MailAddress z = rt.spawn<RefHolder>(2);
+  rt.inject<&RefHolder::on_set>(x, y, MailAddress{});
+  rt.inject<&RefHolder::on_set>(y, z, MailAddress{});
+  rt.inject<&RefHolder::on_set>(z, x, MailAddress{});
+  rt.run();
+  EXPECT_EQ(rt.collect_garbage({}), 3u);
+  EXPECT_EQ(live_total(rt), 0u);
+}
+
+TEST(Gc, CycleRootedAnywhereSurvivesWhole) {
+  RuntimeConfig cfg;
+  cfg.nodes = 3;
+  Runtime rt(cfg);
+  rt.load<RefHolder>();
+  const MailAddress x = rt.spawn<RefHolder>(0);
+  const MailAddress y = rt.spawn<RefHolder>(1);
+  const MailAddress z = rt.spawn<RefHolder>(2);
+  rt.inject<&RefHolder::on_set>(x, y, MailAddress{});
+  rt.inject<&RefHolder::on_set>(y, z, MailAddress{});
+  rt.inject<&RefHolder::on_set>(z, x, MailAddress{});
+  rt.run();
+  const std::array<MailAddress, 1> roots = {y};
+  EXPECT_EQ(rt.collect_garbage(roots), 0u);
+  EXPECT_EQ(live_total(rt), 3u);
+}
+
+TEST(Gc, FollowsMigratedActors) {
+  RuntimeConfig cfg;
+  cfg.nodes = 4;
+  Runtime rt(cfg);
+  rt.load<RefHolder>();
+  // A migratable target referenced by the root; it moves twice, so the
+  // marker must walk forward chains.
+  class Mover : public ActorBase {
+   public:
+    void on_hop(Context& ctx, NodeId t) { ctx.migrate_to(t); }
+    HAL_BEHAVIOR(Mover, &Mover::on_hop)
+    bool migratable() const override { return true; }
+    void pack_state(ByteWriter&) const override {}
+    void unpack_state(ByteReader&) override {}
+  };
+  rt.load<Mover>();
+  const MailAddress root = rt.spawn<RefHolder>(0);
+  const MailAddress mover = rt.spawn<Mover>(0);
+  rt.inject<&RefHolder::on_set>(root, mover, MailAddress{});
+  rt.inject<&Mover::on_hop>(mover, NodeId{2});
+  rt.inject<&Mover::on_hop>(mover, NodeId{3});
+  rt.run();
+  const std::array<MailAddress, 1> roots = {root};
+  EXPECT_EQ(rt.collect_garbage(roots), 0u);
+  // Referencing the mover through its (stale-home) address still works.
+  EXPECT_NE(rt.find_behavior<Mover>(mover), nullptr);
+}
+
+TEST(Gc, SendingToReclaimedActorDeadLetters) {
+  RuntimeConfig cfg;
+  cfg.nodes = 2;
+  Runtime rt(cfg);
+  rt.load<RefHolder>();
+  const MailAddress stray = rt.spawn<RefHolder>(1);
+  rt.run();
+  EXPECT_EQ(rt.collect_garbage({}), 1u);
+  // The descriptor survives as a dead-letter sink: a stale send is counted
+  // and dropped, not a crash.
+  Kernel& k1 = rt.kernel(1);
+  EXPECT_FALSE(k1.locality_check(stray).valid());
+}
+
+TEST(Gc, InterpretedActorsTraceAutomatically) {
+  RuntimeConfig cfg;
+  cfg.nodes = 3;
+  Runtime rt(cfg);
+  auto program = lang::load_program(rt, R"(
+    behavior Node {
+      state next = nil;
+      method link(n) { next = n; }
+    }
+    main {
+      let a = new Node on 0;
+      let b = new Node on 1;
+      let c = new Node on 2;   // never linked: unreachable after main dies
+      send a.link(b);
+    }
+  )");
+  const MailAddress main_actor = lang::start_main(rt, program);
+  rt.run();
+  // Actors: __main, a, b, c. Root only `a` (we must find it first: it's the
+  // only Node on node 0).
+  MailAddress a_addr;
+  rt.kernel(0).for_each_actor([&](SlotId slot, ActorRecord& rec) {
+    if (rec.impl->behavior_name() == "Node") a_addr = rec.address;
+    (void)slot;
+  });
+  ASSERT_TRUE(a_addr.valid());
+  const std::array<MailAddress, 1> roots = {a_addr};
+  // Reclaims __main and c; a→b chain survives through HALlite state.
+  EXPECT_EQ(rt.collect_garbage(roots), 2u);
+  EXPECT_EQ(live_total(rt), 2u);
+  (void)main_actor;
+}
+
+}  // namespace
+}  // namespace hal

@@ -1,0 +1,351 @@
+// Tests: the HALlite language layer — lexer, parser, compile-time request
+// lowering, and end-to-end interpreted actor programs exercising sends,
+// request/reply, guards (synchronization constraints), become, placement,
+// and migration on the real runtime.
+#include <gtest/gtest.h>
+
+#include "lang/interp.hpp"
+#include "lang/lexer.hpp"
+
+namespace hal::lang {
+namespace {
+
+// --- Lexer ---------------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  const auto toks = lex("x <= 42 + 3.5 -> \"hi\\n\" != // comment\n y");
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].kind, Tok::kLe);
+  EXPECT_EQ(toks[2].kind, Tok::kInt);
+  EXPECT_EQ(toks[2].int_val, 42);
+  EXPECT_EQ(toks[3].kind, Tok::kPlus);
+  EXPECT_EQ(toks[4].kind, Tok::kFloat);
+  EXPECT_DOUBLE_EQ(toks[4].float_val, 3.5);
+  EXPECT_EQ(toks[5].kind, Tok::kArrow);
+  EXPECT_EQ(toks[6].kind, Tok::kString);
+  EXPECT_EQ(toks[6].text, "hi\n");
+  EXPECT_EQ(toks[7].kind, Tok::kNe);
+  EXPECT_EQ(toks[8].kind, Tok::kIdent);  // comment skipped
+  EXPECT_EQ(toks[8].line, 2);
+}
+
+TEST(Lexer, KeywordsAreNotIdentifiers) {
+  const auto toks = lex("behavior sendx send");
+  EXPECT_EQ(toks[0].kind, Tok::kBehavior);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].text, "sendx");
+  EXPECT_EQ(toks[2].kind, Tok::kSend);
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(lex("a # b"), LangError);
+  EXPECT_THROW(lex("\"unterminated"), LangError);
+  EXPECT_THROW(lex("a & b"), LangError);
+}
+
+// --- Parser / compile -------------------------------------------------------------
+
+TEST(Compile, RequestLoweringCreatesSyntheticContinuation) {
+  const auto p = Program::compile(R"(
+    behavior Client {
+      state total = 0;
+      method go(server) {
+        let bonus = 10;
+        request server.ask(1) -> (v) {
+          total = v + bonus;
+        }
+      }
+    }
+  )");
+  const auto& b = p->behavior(0);
+  ASSERT_EQ(b.methods.size(), 2u);  // go + synthetic continuation
+  EXPECT_FALSE(b.methods[0].synthetic);
+  EXPECT_TRUE(b.methods[1].synthetic);
+  // The continuation captures the live locals (server, bonus) after the
+  // reply parameter.
+  ASSERT_EQ(b.methods[1].params.size(), 3u);
+  EXPECT_EQ(b.methods[1].params[0], "v");
+  EXPECT_EQ(b.methods[1].captures.size(), 2u);
+}
+
+TEST(Compile, ErrorsCarryLines) {
+  try {
+    Program::compile("behavior B { method m() { let = 3; } }");
+    FAIL() << "expected LangError";
+  } catch (const LangError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW(Program::compile("behavior B { method m() {} method m() {} }"),
+               LangError);
+  EXPECT_THROW(Program::compile("main {} main {}"), LangError);
+}
+
+// --- End-to-end programs -----------------------------------------------------------
+
+RuntimeConfig lang_cfg(NodeId nodes) {
+  RuntimeConfig c;
+  c.nodes = nodes;
+  return c;
+}
+
+/// Run a program's main block to quiescence; return the console lines.
+std::vector<std::string> run_lines(std::string_view source, NodeId nodes = 4) {
+  Runtime rt(lang_cfg(nodes));
+  auto program = load_program(rt, source);
+  start_main(rt, program);
+  rt.run();
+  EXPECT_EQ(rt.dead_letters(), 0u);
+  std::vector<std::string> lines;
+  for (auto& l : rt.console()) lines.push_back(l.text);
+  return lines;
+}
+
+TEST(LangE2E, ArithmeticAndControlFlow) {
+  const auto lines = run_lines(R"(
+    main {
+      let sum = 0;
+      let i = 1;
+      while (i <= 10) {
+        if (i % 2 == 0) { sum = sum + i; }
+        i = i + 1;
+      }
+      print "even sum: " + sum;
+      print 7 / 2;
+      print 7.0 / 2.0;
+      print -3 * -4;
+      print true && !false;
+    }
+  )");
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "even sum: 30");
+  EXPECT_EQ(lines[1], "3");
+  EXPECT_EQ(lines[2], "3.5");
+  EXPECT_EQ(lines[3], "12");
+  EXPECT_EQ(lines[4], "true");
+}
+
+TEST(LangE2E, ActorsSendAndReply) {
+  const auto lines = run_lines(R"(
+    behavior Counter {
+      state value = 0;
+      method inc(by) { value = value + by; }
+      method get() { reply value; }
+    }
+    main {
+      let c = new Counter on 2;          // alias-based remote creation
+      send c.inc(40);
+      send c.inc(2);
+      request c.get() -> (v) {
+        print "counter says " + v;
+      }
+    }
+  )");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "counter says 42");
+}
+
+TEST(LangE2E, GuardsAreSynchronizationConstraints) {
+  // The take arrives before the put; the `when` guard parks it (§6.1).
+  const auto lines = run_lines(R"(
+    behavior Cell {
+      state full = false;
+      state value = nil;
+      method put(v) when (!full) { value = v; full = true; }
+      method take() when (full) { full = false; reply value; }
+    }
+    main {
+      let cell = new Cell on 1;
+      request cell.take() -> (v) { print "took " + v; }
+      send cell.put(99);
+    }
+  )");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "took 99");
+}
+
+TEST(LangE2E, BecomeReplacesBehavior) {
+  const auto lines = run_lines(R"(
+    behavior Chicken {
+      method speak() { reply "cluck"; }
+    }
+    behavior Egg {
+      method speak() { reply "..."; }
+      method hatch() { become Chicken; }
+    }
+    main {
+      let e = new Egg;
+      send e.hatch();
+      request e.speak() -> (s) { print s; }
+    }
+  )");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "cluck");
+}
+
+TEST(LangE2E, MigrationCarriesInterpretedState) {
+  const auto lines = run_lines(R"(
+    behavior Wanderer {
+      state hops = 0;
+      method hop(target) {
+        hops = hops + 1;
+        migrate target;
+      }
+      method where() { reply "node " + node() + " after " + hops + " hops"; }
+    }
+    main {
+      let w = new Wanderer;       // born on node 0
+      send w.hop(1);
+      send w.hop(2);
+      send w.hop(3);
+      request w.where() -> (s) { print s; }
+    }
+  )",
+                               /*nodes=*/4);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "node 3 after 3 hops");
+}
+
+TEST(LangE2E, RecursiveFanOutWithRequests) {
+  // Interpreted divide and conquer: sum 1..n by splitting across nodes.
+  const auto lines = run_lines(R"(
+    behavior Summer {
+      method sum(lo, hi) {
+        if (hi - lo < 4) {
+          let s = 0;
+          let i = lo;
+          while (i <= hi) { s = s + i; i = i + 1; }
+          reply s;
+        } else {
+          let mid = (lo + hi) / 2;
+          let left = new Summer on (lo % nodes());
+          let right = new Summer on (hi % nodes());
+          request left.sum(lo, mid) -> (a) {
+            request right.sum(mid + 1, hi) -> (b) {
+              reply a + b;
+            }
+          }
+        }
+      }
+    }
+    main {
+      let s = new Summer;
+      request s.sum(1, 100) -> (total) {
+        print "sum = " + total;
+      }
+    }
+  )");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "sum = 5050");
+}
+
+TEST(LangE2E, AddressesAreFirstClass) {
+  const auto lines = run_lines(R"(
+    behavior Relay {
+      method pass(target, n) { send target.recv(n * 2); }
+    }
+    behavior Sink {
+      method recv(n) { print "got " + n; }
+    }
+    main {
+      let sink = new Sink on 1;
+      let relay = new Relay on 2;
+      send relay.pass(sink, 21);
+    }
+  )");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "got 42");
+}
+
+TEST(LangE2E, GroupsBroadcastAndMemberSends) {
+  const auto lines = run_lines(R"(
+    behavior Cell {
+      state sum = 0;
+      state me = -1;
+      method tag(i) { me = i; }
+      method add(v) { sum = sum + v; }
+      method report(boss) { send boss.line(me, sum); }
+    }
+    behavior Boss {
+      state remaining;
+      state grid = nil;
+      method start(n) {
+        remaining = n;
+        grid = group Cell(n);
+        let i = 0;
+        while (i < n) {
+          send grid[i].tag(i);       // member-indexed sends
+          i = i + 1;
+        }
+        broadcast grid.add(10);       // replicated to every member
+        broadcast grid.add(5);
+        broadcast grid.report(self);
+      }
+      method line(who, total) {
+        print "cell " + who + " total " + total;
+        remaining = remaining - 1;
+        if (remaining == 0) { print "all reported"; }
+      }
+    }
+    main {
+      let b = new Boss;
+      send b.start(6);
+    }
+  )",
+                               /*nodes=*/3);
+  ASSERT_EQ(lines.size(), 7u);
+  // Every cell got both broadcasts exactly once.
+  int reported = 0;
+  for (const auto& l : lines) {
+    if (l.find("total 15") != std::string::npos) ++reported;
+  }
+  EXPECT_EQ(reported, 6);
+  EXPECT_EQ(lines.back(), "all reported");
+}
+
+TEST(LangE2E, GroupMemberRequestReplies) {
+  const auto lines = run_lines(R"(
+    behavior Worker {
+      method square(x) { reply x * x; }
+    }
+    main {
+      let g = group Worker(4);
+      request g[2].square(9) -> (v) {
+        print "squared: " + v;
+      }
+    }
+  )");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "squared: 81");
+}
+
+TEST(LangE2E, RuntimeTypeErrorsSurface) {
+  Runtime rt(lang_cfg(2));
+  auto program = load_program(rt, R"(
+    main { print 1 + true; }
+  )");
+  start_main(rt, program);
+  EXPECT_THROW(rt.run(), LangError);
+}
+
+TEST(LangE2E, StateInspectionFromTests) {
+  Runtime rt(lang_cfg(1));
+  auto program = load_program(rt, R"(
+    behavior Acc {
+      state total = 100;
+      method add(v) { total = total + v; }
+    }
+    main { }
+  )");
+  const BehaviorId bid = rt.registry().id_of_name("Acc");
+  const MailAddress a = rt.spawn_id(bid, 0);
+  rt.inject_message(make_interp_message(*program, a, "add",
+                                        {Value(std::int64_t{23})}));
+  rt.run();
+  const auto* actor = rt.find_behavior<InterpActor>(a);
+  ASSERT_NE(actor, nullptr);
+  EXPECT_EQ(actor->state_of("total").as_int(), 123);
+}
+
+}  // namespace
+}  // namespace hal::lang

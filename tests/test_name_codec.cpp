@@ -1,0 +1,224 @@
+// Unit tests: mail addresses, continuation references, argument codec,
+// message serialization, and the per-node name table.
+#include <gtest/gtest.h>
+
+#include "name/name_table.hpp"
+#include "runtime/arg_codec.hpp"
+#include "runtime/message.hpp"
+
+namespace hal {
+namespace {
+
+// --- MailAddress ----------------------------------------------------------------
+
+TEST(MailAddress, PackUnpackOrdinary) {
+  MailAddress a;
+  a.home = 3;
+  a.desc = SlotId{17, 4};
+  a.created_on = 3;
+  a.behavior = 9;
+  const MailAddress b = MailAddress::unpack(a.pack_word0(), a.pack_word1());
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(b.created_on, 3u);
+  EXPECT_EQ(b.behavior, 9u);
+  EXPECT_FALSE(b.alias);
+}
+
+TEST(MailAddress, PackUnpackAlias) {
+  MailAddress a;
+  a.home = 1;
+  a.desc = SlotId{5, 2};
+  a.created_on = 7;
+  a.behavior = 11;
+  a.alias = true;
+  const MailAddress b = MailAddress::unpack(a.pack_word0(), a.pack_word1());
+  EXPECT_TRUE(b.alias);
+  EXPECT_EQ(b.created_on, 7u);
+  EXPECT_EQ(b.fallback_node(), 7u);
+}
+
+TEST(MailAddress, FallbackNodeOrdinaryIsBirthplace) {
+  MailAddress a;
+  a.home = 4;
+  a.desc = SlotId{1, 1};
+  EXPECT_EQ(a.fallback_node(), 4u);
+}
+
+TEST(MailAddress, InvalidRoundTrips) {
+  const MailAddress a{};  // invalid
+  const MailAddress b = MailAddress::unpack(a.pack_word0(), a.pack_word1());
+  EXPECT_FALSE(b.valid());
+  EXPECT_EQ(b.home, kInvalidNode);
+  EXPECT_EQ(b.behavior, kInvalidBehavior);
+}
+
+TEST(MailAddress, IdentityIgnoresAnnotations) {
+  MailAddress a;
+  a.home = 2;
+  a.desc = SlotId{3, 1};
+  MailAddress b = a;
+  b.behavior = 42;
+  b.created_on = 5;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(MailAddressHash{}(a), MailAddressHash{}(b));
+}
+
+// --- ContRef ---------------------------------------------------------------------
+
+TEST(ContRef, PackUnpack) {
+  const ContRef c{6, SlotId{100, 7}, 3};
+  const ContRef d = ContRef::unpack(c.pack_word0(), c.pack_word1());
+  EXPECT_EQ(d, c);
+}
+
+TEST(ContRef, InvalidRoundTrips) {
+  const ContRef c{};
+  EXPECT_FALSE(c.valid());
+  const ContRef d = ContRef::unpack(c.pack_word0(), c.pack_word1());
+  EXPECT_FALSE(d.valid());
+}
+
+TEST(ContRef, AtSelectsSlot) {
+  const ContRef c{1, SlotId{2, 3}, 0};
+  EXPECT_EQ(c.at(5).slot, 5u);
+  EXPECT_EQ(c.at(5).jc, c.jc);
+}
+
+// --- Argument codec -----------------------------------------------------------------
+
+TEST(ArgCodec, ScalarsRoundTrip) {
+  Message m;
+  codec::encode_args(m, std::int64_t{-5}, 3.5, true, std::uint32_t{9});
+  EXPECT_EQ(m.argc, 4);
+  EXPECT_EQ((codec::Codec<std::int64_t>::decode(m, 0)), -5);
+  EXPECT_EQ((codec::Codec<double>::decode(m, 1)), 3.5);
+  EXPECT_EQ((codec::Codec<bool>::decode(m, 2)), true);
+  EXPECT_EQ((codec::Codec<std::uint32_t>::decode(m, 3)), 9u);
+}
+
+TEST(ArgCodec, AddressesTakeTwoWords) {
+  Message m;
+  MailAddress a;
+  a.home = 1;
+  a.desc = SlotId{2, 3};
+  codec::encode_args(m, a, std::int64_t{7});
+  EXPECT_EQ(m.argc, 3);
+  EXPECT_EQ((codec::Codec<MailAddress>::decode(m, 0)), a);
+  EXPECT_EQ((codec::Codec<std::int64_t>::decode(m, 2)), 7);
+}
+
+TEST(ArgCodec, BytesBecomePayload) {
+  Message m;
+  Bytes b{std::byte{1}, std::byte{2}};
+  codec::encode_args(m, std::int64_t{1}, b);
+  EXPECT_EQ(m.argc, 1);
+  EXPECT_EQ(m.payload.size(), 2u);
+}
+
+// --- Message serialization ------------------------------------------------------------
+
+TEST(Message, BodyRoundTrip) {
+  Message m;
+  m.argc = 3;
+  m.args[0] = 10;
+  m.args[1] = 20;
+  m.args[2] = 30;
+  m.payload = {std::byte{9}, std::byte{8}};
+  const Bytes body = m.encode_body();
+  Message n;
+  n.argc = 3;
+  n.decode_body(body);
+  EXPECT_EQ(n.args[0], 10u);
+  EXPECT_EQ(n.args[2], 30u);
+  EXPECT_EQ(n.payload, m.payload);
+}
+
+TEST(Message, FullRoundTrip) {
+  Message m;
+  m.dest.home = 2;
+  m.dest.desc = SlotId{4, 1};
+  m.selector = 5;
+  m.cont = ContRef{1, SlotId{7, 2}, 3};
+  m.argc = 2;
+  m.args[0] = 111;
+  m.args[1] = 222;
+  m.payload = {std::byte{5}};
+  ByteWriter w;
+  m.encode_full(w);
+  const Bytes buf = std::move(w).take();
+  ByteReader r{std::span<const std::byte>{buf}};
+  const Message n = Message::decode_full(r);
+  EXPECT_EQ(n.dest, m.dest);
+  EXPECT_EQ(n.selector, m.selector);
+  EXPECT_EQ(n.cont, m.cont);
+  EXPECT_EQ(n.argc, m.argc);
+  EXPECT_EQ(n.args[1], 222u);
+  EXPECT_EQ(n.payload, m.payload);
+  EXPECT_TRUE(r.exhausted());
+}
+
+// --- GroupId ----------------------------------------------------------------------------
+
+TEST(GroupId, PackUnpack) {
+  const GroupId g{5, 77};
+  EXPECT_EQ(GroupId::unpack(g.pack()), g);
+  EXPECT_TRUE(g.valid());
+  EXPECT_FALSE(GroupId{}.valid());
+}
+
+// --- NameTable ------------------------------------------------------------------------
+
+struct NameTableTest : ::testing::Test {
+  StatBlock stats;
+  NameTable table{2, stats};  // we are node 2
+};
+
+TEST_F(NameTableTest, HomeFastPathUsesEmbeddedSlot) {
+  const SlotId d = table.allocate(LocalityDescriptor::make_local(SlotId{9, 1}));
+  MailAddress a;
+  a.home = 2;  // our node
+  a.desc = d;
+  EXPECT_EQ(table.resolve(a), d);
+  // The fast path must not touch the hash tier.
+  EXPECT_EQ(stats.get(Stat::kNameTableLookups), 0u);
+}
+
+TEST_F(NameTableTest, ForeignAddressNeedsBinding) {
+  MailAddress a;
+  a.home = 0;
+  a.desc = SlotId{3, 1};
+  EXPECT_FALSE(table.resolve(a).valid());
+  EXPECT_EQ(stats.get(Stat::kNameTableLookups), 1u);
+  const SlotId d = table.allocate(LocalityDescriptor::make_remote(0));
+  table.bind(a, d);
+  EXPECT_EQ(table.resolve(a), d);
+  EXPECT_EQ(stats.get(Stat::kNameTableHits), 1u);
+}
+
+TEST_F(NameTableTest, StaleEmbeddedSlotResolvesInvalid) {
+  MailAddress a;
+  a.home = 2;
+  a.desc = SlotId{42, 9};  // never allocated
+  EXPECT_FALSE(table.resolve(a).valid());
+}
+
+TEST_F(NameTableTest, UnbindRemoves) {
+  MailAddress a;
+  a.home = 1;
+  a.desc = SlotId{1, 1};
+  const SlotId d = table.allocate();
+  table.bind(a, d);
+  EXPECT_TRUE(table.resolve(a).valid());
+  table.unbind(a);
+  EXPECT_FALSE(table.resolve(a).valid());
+}
+
+TEST_F(NameTableTest, DescriptorStateTransitions) {
+  const SlotId d = table.allocate(LocalityDescriptor::make_remote(7));
+  EXPECT_FALSE(table.descriptor(d).local());
+  table.descriptor(d) = LocalityDescriptor::make_local(SlotId{1, 1});
+  EXPECT_TRUE(table.descriptor(d).local());
+}
+
+}  // namespace
+}  // namespace hal

@@ -1,0 +1,318 @@
+// Integration tests: core actor runtime — creation, sends (local/remote),
+// aliases, request/reply via join continuations, become, synchronization
+// constraints, and the compiled fast path. Parameterized over both machine
+// kinds: the protocols must behave identically under virtual time and under
+// real threads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/api.hpp"
+
+namespace hal {
+namespace {
+
+// --- Test behaviours --------------------------------------------------------------
+
+class Counter : public ActorBase {
+ public:
+  void on_inc(Context&, std::int64_t by) { value_ += by; }
+  void on_get(Context& ctx) { ctx.reply(value_); }
+  HAL_BEHAVIOR(Counter, &Counter::on_inc, &Counter::on_get)
+
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Sink : public ActorBase {
+ public:
+  void on_value(Context&, std::int64_t v) { values.push_back(v); }
+  HAL_BEHAVIOR(Sink, &Sink::on_value)
+  std::vector<std::int64_t> values;
+};
+
+/// Ping-pong pair: bounces a counter back and forth `hops` times, then
+/// reports the total to a sink.
+class Ponger;
+class Pinger : public ActorBase {
+ public:
+  void on_start(Context& ctx, MailAddress peer, MailAddress sink,
+                std::int64_t hops);
+  void on_pong(Context& ctx, std::int64_t remaining);
+  HAL_BEHAVIOR(Pinger, &Pinger::on_start, &Pinger::on_pong)
+
+ private:
+  MailAddress peer_;
+  MailAddress sink_;
+  std::int64_t count_ = 0;
+};
+
+class Ponger : public ActorBase {
+ public:
+  void on_ping(Context& ctx, MailAddress from, std::int64_t remaining);
+  HAL_BEHAVIOR(Ponger, &Ponger::on_ping)
+};
+
+void Pinger::on_start(Context& ctx, MailAddress peer, MailAddress sink,
+                      std::int64_t hops) {
+  peer_ = peer;
+  sink_ = sink;
+  ctx.send<&Ponger::on_ping>(peer_, ctx.self(), hops);
+}
+
+void Pinger::on_pong(Context& ctx, std::int64_t remaining) {
+  ++count_;
+  if (remaining > 0) {
+    ctx.send<&Ponger::on_ping>(peer_, ctx.self(), remaining);
+  } else {
+    ctx.send<&Sink::on_value>(sink_, count_);
+  }
+}
+
+void Ponger::on_ping(Context& ctx, MailAddress from, std::int64_t remaining) {
+  ctx.send<&Pinger::on_pong>(from, remaining - 1);
+}
+
+/// A bounded cell demonstrating synchronization constraints (§6.1): on_take
+/// is disabled while empty, on_put is disabled while full.
+class Cell : public ActorBase {
+ public:
+  void on_put(Context&, std::int64_t v) {
+    HAL_ASSERT(!full_);
+    value_ = v;
+    full_ = true;
+  }
+  void on_take(Context& ctx) {
+    HAL_ASSERT(full_);
+    full_ = false;
+    ctx.reply(value_);
+  }
+  HAL_BEHAVIOR(Cell, &Cell::on_put, &Cell::on_take)
+
+  bool method_enabled(Selector s) const override {
+    if (s == sel<&Cell::on_put>()) return !full_;
+    if (s == sel<&Cell::on_take>()) return full_;
+    return true;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+  bool full_ = false;
+};
+
+/// Behaviour replacement: an egg becomes a chicken.
+class Chicken : public ActorBase {
+ public:
+  void on_query(Context& ctx) { ctx.reply(std::int64_t{2}); }
+  HAL_BEHAVIOR(Chicken, &Chicken::on_query)
+};
+
+class Egg : public ActorBase {
+ public:
+  void on_query(Context& ctx) { ctx.reply(std::int64_t{1}); }
+  void on_hatch(Context& ctx) { ctx.become<Chicken>(); }
+  HAL_BEHAVIOR(Egg, &Egg::on_query, &Egg::on_hatch)
+};
+
+/// Collects one int64 reply for test assertions.
+class Probe : public ActorBase {
+ public:
+  void on_ask_counter(Context& ctx, MailAddress target) {
+    ctx.request<&Counter::on_get>(
+        target, [](Context& inner_ctx, const JoinView& v) {
+          // Relay the observed value to ourselves via a plain field write —
+          // the body runs on the probe's node with the probe as creator.
+          (void)inner_ctx;
+          last_seen = v.get<std::int64_t>(0);
+        });
+  }
+  HAL_BEHAVIOR(Probe, &Probe::on_ask_counter)
+  static std::int64_t last_seen;
+};
+std::int64_t Probe::last_seen = -1;
+
+// --- Fixture ------------------------------------------------------------------------
+
+class RuntimeCore : public ::testing::TestWithParam<MachineKind> {
+ protected:
+  RuntimeConfig cfg(NodeId nodes) {
+    RuntimeConfig c;
+    c.nodes = nodes;
+    c.machine = GetParam();
+    return c;
+  }
+};
+
+TEST_P(RuntimeCore, LocalSendAndReply) {
+  Runtime rt(cfg(1));
+  rt.load<Counter>();
+  const MailAddress c = rt.spawn<Counter>(0);
+  rt.inject<&Counter::on_inc>(c, std::int64_t{5});
+  rt.inject<&Counter::on_inc>(c, std::int64_t{7});
+  rt.run();
+  Counter* obj = rt.find_behavior<Counter>(c);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->value(), 12);
+  EXPECT_EQ(rt.dead_letters(), 0u);
+}
+
+TEST_P(RuntimeCore, RemoteSendCrossesNodes) {
+  Runtime rt(cfg(4));
+  rt.load<Counter>();
+  const MailAddress c = rt.spawn<Counter>(3);
+  rt.inject<&Counter::on_inc>(c, std::int64_t{1});
+  rt.run();
+  Counter* obj = rt.find_behavior<Counter>(c);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->value(), 1);
+  // inject ran on node 3 (the home), so this delivery was local; but the
+  // bootstrap injection charged the local path. Now check stats exist.
+  EXPECT_EQ(rt.total_stats().get(Stat::kActorsCreatedLocal), 1u);
+}
+
+TEST_P(RuntimeCore, PingPongAcrossNodes) {
+  Runtime rt(cfg(2));
+  rt.load<Pinger>();
+  rt.load<Ponger>();
+  rt.load<Sink>();
+  const MailAddress sink = rt.spawn<Sink>(0);
+  const MailAddress ping = rt.spawn<Pinger>(0);
+  const MailAddress pong = rt.spawn<Ponger>(1);
+  rt.inject<&Pinger::on_start>(ping, pong, sink, std::int64_t{20});
+  rt.run();
+  Sink* s = rt.find_behavior<Sink>(sink);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->values.size(), 1u);
+  // ping(20) yields pongs carrying 19, 18, …, 0: exactly 20 round trips.
+  EXPECT_EQ(s->values[0], 20);
+  const StatBlock stats = rt.total_stats();
+  EXPECT_GT(stats.get(Stat::kMessagesSentRemote), 0u);
+  EXPECT_EQ(rt.dead_letters(), 0u);
+}
+
+/// Remote creation through the alias scheme (§5): a spawner actor creates a
+/// counter on another node and immediately sends to the alias.
+class Spawner : public ActorBase {
+ public:
+  void on_go(Context& ctx, NodeId target) {
+    created = ctx.create_on<Counter>(target);
+    // Use the alias immediately: the creation round trip is still in
+    // flight, which is exactly the latency the alias hides.
+    ctx.send<&Counter::on_inc>(created, std::int64_t{10});
+    ctx.send<&Counter::on_inc>(created, std::int64_t{32});
+  }
+  HAL_BEHAVIOR(Spawner, &Spawner::on_go)
+  static MailAddress created;
+};
+MailAddress Spawner::created;
+
+TEST_P(RuntimeCore, RemoteCreationWithAlias) {
+  Runtime rt(cfg(3));
+  rt.load<Counter>();
+  rt.load<Spawner>();
+  const MailAddress sp = rt.spawn<Spawner>(0);
+  rt.inject<&Spawner::on_go>(sp, NodeId{2});
+  rt.run();
+  ASSERT_TRUE(Spawner::created.valid());
+  EXPECT_TRUE(Spawner::created.alias);
+  EXPECT_EQ(Spawner::created.home, 0u);
+  EXPECT_EQ(Spawner::created.created_on, 2u);
+  Counter* obj = rt.find_behavior<Counter>(Spawner::created);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->value(), 42);
+  const StatBlock stats = rt.total_stats();
+  EXPECT_EQ(stats.get(Stat::kAliasesAllocated), 1u);
+  EXPECT_EQ(stats.get(Stat::kActorsCreatedRemote), 1u);
+}
+
+TEST_P(RuntimeCore, RequestReplyViaJoinContinuation) {
+  Probe::last_seen = -1;
+  Runtime rt(cfg(2));
+  rt.load<Counter>();
+  rt.load<Probe>();
+  const MailAddress c = rt.spawn<Counter>(1);
+  const MailAddress p = rt.spawn<Probe>(0);
+  rt.inject<&Counter::on_inc>(c, std::int64_t{123});
+  rt.inject<&Probe::on_ask_counter>(p, c);
+  rt.run();
+  EXPECT_EQ(Probe::last_seen, 123);
+  const StatBlock stats = rt.total_stats();
+  EXPECT_GE(stats.get(Stat::kJoinContinuationsCreated), 1u);
+  EXPECT_GE(stats.get(Stat::kRepliesJoined), 1u);
+}
+
+/// Drives the Cell: issues a take *before* the put, so the constraint must
+/// park the take in the pending queue until the put enables it.
+class Taker : public ActorBase {
+ public:
+  void on_go(Context& ctx, MailAddress cell) {
+    ctx.request<&Cell::on_take>(cell, [](Context&, const JoinView& v) {
+      taken = v.get<std::int64_t>(0);
+    });
+    ctx.send<&Cell::on_put>(cell, std::int64_t{55});
+  }
+  HAL_BEHAVIOR(Taker, &Taker::on_go)
+  static std::int64_t taken;
+};
+std::int64_t Taker::taken = -1;
+
+TEST_P(RuntimeCore, SynchronizationConstraintDefersTake) {
+  Taker::taken = -1;
+  Runtime rt(cfg(2));
+  rt.load<Cell>();
+  rt.load<Taker>();
+  const MailAddress cell = rt.spawn<Cell>(1);
+  const MailAddress taker = rt.spawn<Taker>(0);
+  rt.inject<&Taker::on_go>(taker, cell);
+  rt.run();
+  EXPECT_EQ(Taker::taken, 55);
+  const StatBlock stats = rt.total_stats();
+  EXPECT_GE(stats.get(Stat::kPendingEnqueued), 1u);
+  EXPECT_GE(stats.get(Stat::kPendingReplayed), 1u);
+}
+
+TEST_P(RuntimeCore, BecomeReplacesBehavior) {
+  Runtime rt(cfg(1));
+  rt.load<Egg>();
+  const MailAddress e = rt.spawn<Egg>(0);
+  rt.inject<&Egg::on_hatch>(e);
+  rt.run();
+  EXPECT_EQ(rt.find_behavior<Egg>(e), nullptr);
+  EXPECT_NE(rt.find_behavior<Chicken>(e), nullptr);
+}
+
+TEST_P(RuntimeCore, ManyActorsManyMessages) {
+  Runtime rt(cfg(4));
+  rt.load<Counter>();
+  std::vector<MailAddress> counters;
+  for (NodeId n = 0; n < 4; ++n) {
+    for (int i = 0; i < 25; ++i) counters.push_back(rt.spawn<Counter>(n));
+  }
+  for (const auto& c : counters) {
+    for (int i = 1; i <= 4; ++i) {
+      rt.inject<&Counter::on_inc>(c, std::int64_t{i});
+    }
+  }
+  rt.run();
+  for (const auto& c : counters) {
+    Counter* obj = rt.find_behavior<Counter>(c);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_EQ(obj->value(), 10);
+  }
+  EXPECT_EQ(rt.dead_letters(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, RuntimeCore,
+                         ::testing::Values(MachineKind::kSim,
+                                           MachineKind::kThread),
+                         [](const auto& param_info) {
+                           return param_info.param == MachineKind::kSim
+                                      ? "Sim"
+                                      : "Thread";
+                         });
+
+}  // namespace
+}  // namespace hal

@@ -1,0 +1,122 @@
+// Tests: execution tracing — event capture, determinism, and Chrome-trace
+// serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/api.hpp"
+
+namespace hal {
+namespace {
+
+class Busy : public ActorBase {
+ public:
+  void on_work(Context& ctx, std::int64_t units) {
+    ctx.charge_work(static_cast<std::uint64_t>(units));
+  }
+  void on_hop(Context& ctx, NodeId target) { ctx.migrate_to(target); }
+  HAL_BEHAVIOR(Busy, &Busy::on_work, &Busy::on_hop)
+  bool migratable() const override { return true; }
+  void pack_state(ByteWriter&) const override {}
+  void unpack_state(ByteReader&) override {}
+};
+
+RuntimeConfig traced_cfg(NodeId nodes) {
+  RuntimeConfig c;
+  c.nodes = nodes;
+  c.trace = true;
+  return c;
+}
+
+std::vector<trace::Event> run_traced() {
+  Runtime rt(traced_cfg(3));
+  rt.load<Busy>();
+  const MailAddress b = rt.spawn<Busy>(0);
+  rt.inject<&Busy::on_work>(b, std::int64_t{1000});
+  rt.inject<&Busy::on_hop>(b, NodeId{2});
+  rt.inject<&Busy::on_work>(b, std::int64_t{500});
+  rt.run();
+  return rt.trace_events();
+}
+
+std::size_t count_kind(const std::vector<trace::Event>& ev,
+                       trace::EventKind k) {
+  std::size_t n = 0;
+  for (const auto& e : ev) {
+    if (e.kind == k) ++n;
+  }
+  return n;
+}
+
+TEST(Trace, CapturesMethodsAndMigrations) {
+  const auto ev = run_traced();
+  EXPECT_GE(count_kind(ev, trace::EventKind::kMethod), 3u);
+  EXPECT_EQ(count_kind(ev, trace::EventKind::kMigrateOut), 1u);
+  EXPECT_EQ(count_kind(ev, trace::EventKind::kMigrateIn), 1u);
+  EXPECT_EQ(count_kind(ev, trace::EventKind::kCreateLocal), 1u);
+  // Method events carry durations; the first on_work charged 1000 units.
+  bool found_long_method = false;
+  for (const auto& e : ev) {
+    if (e.kind == trace::EventKind::kMethod && e.duration >= 50000) {
+      found_long_method = true;
+    }
+  }
+  EXPECT_TRUE(found_long_method);
+}
+
+TEST(Trace, DisabledByDefault) {
+  RuntimeConfig c;
+  c.nodes = 2;
+  Runtime rt(c);
+  rt.load<Busy>();
+  const MailAddress b = rt.spawn<Busy>(0);
+  rt.inject<&Busy::on_work>(b, std::int64_t{10});
+  rt.run();
+  EXPECT_TRUE(rt.trace_events().empty());
+}
+
+TEST(Trace, DeterministicUnderSim) {
+  const auto a = run_traced();
+  const auto b = run_traced();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(static_cast<int>(a[i].kind), static_cast<int>(b[i].kind));
+    EXPECT_EQ(a[i].node, b[i].node);
+  }
+}
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  const auto ev = run_traced();
+  std::ostringstream out;
+  trace::write_chrome_trace(out, ev);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // One object per event; braces balance.
+  std::int64_t depth = 0;
+  std::size_t objects = 0;
+  for (const char c : json) {
+    if (c == '{') {
+      if (depth == 0) ++objects;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(objects, ev.size());
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // durations
+  EXPECT_NE(json.find("migrate_out"), std::string::npos);
+}
+
+TEST(Trace, EventNamesCoverAllKinds) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(trace::EventKind::kCount);
+       ++i) {
+    EXPECT_FALSE(
+        trace::event_name(static_cast<trace::EventKind>(i)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace hal
