@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aliases.dir/ablation_aliases.cpp.o"
+  "CMakeFiles/ablation_aliases.dir/ablation_aliases.cpp.o.d"
+  "ablation_aliases"
+  "ablation_aliases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aliases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

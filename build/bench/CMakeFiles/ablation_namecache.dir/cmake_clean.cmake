@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_namecache.dir/ablation_namecache.cpp.o"
+  "CMakeFiles/ablation_namecache.dir/ablation_namecache.cpp.o.d"
+  "ablation_namecache"
+  "ablation_namecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_namecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_pagerank.dir/futurework_pagerank.cpp.o"
+  "CMakeFiles/futurework_pagerank.dir/futurework_pagerank.cpp.o.d"
+  "futurework_pagerank"
+  "futurework_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

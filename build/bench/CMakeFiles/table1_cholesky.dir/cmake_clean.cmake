@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cholesky.dir/table1_cholesky.cpp.o"
+  "CMakeFiles/table1_cholesky.dir/table1_cholesky.cpp.o.d"
+  "table1_cholesky"
+  "table1_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

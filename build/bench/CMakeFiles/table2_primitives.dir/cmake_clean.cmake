@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_primitives.dir/table2_primitives.cpp.o"
+  "CMakeFiles/table2_primitives.dir/table2_primitives.cpp.o.d"
+  "table2_primitives"
+  "table2_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dispatch.dir/table3_dispatch.cpp.o"
+  "CMakeFiles/table3_dispatch.dir/table3_dispatch.cpp.o.d"
+  "table3_dispatch"
+  "table3_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fib.dir/table4_fib.cpp.o"
+  "CMakeFiles/table4_fib.dir/table4_fib.cpp.o.d"
+  "table4_fib"
+  "table4_fib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

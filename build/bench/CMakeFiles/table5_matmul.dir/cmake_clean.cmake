@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_matmul.dir/table5_matmul.cpp.o"
+  "CMakeFiles/table5_matmul.dir/table5_matmul.cpp.o.d"
+  "table5_matmul"
+  "table5_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

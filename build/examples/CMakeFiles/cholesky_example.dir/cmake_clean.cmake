@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_example.dir/cholesky.cpp.o"
+  "CMakeFiles/cholesky_example.dir/cholesky.cpp.o.d"
+  "cholesky_example"
+  "cholesky_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

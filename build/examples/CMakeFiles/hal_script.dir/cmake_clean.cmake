@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_script.dir/hal_script.cpp.o"
+  "CMakeFiles/hal_script.dir/hal_script.cpp.o.d"
+  "hal_script"
+  "hal_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/am/bulk.cpp" "src/am/CMakeFiles/hal_am.dir/bulk.cpp.o" "gcc" "src/am/CMakeFiles/hal_am.dir/bulk.cpp.o.d"
+  "/root/repo/src/am/sim_machine.cpp" "src/am/CMakeFiles/hal_am.dir/sim_machine.cpp.o" "gcc" "src/am/CMakeFiles/hal_am.dir/sim_machine.cpp.o.d"
+  "/root/repo/src/am/thread_machine.cpp" "src/am/CMakeFiles/hal_am.dir/thread_machine.cpp.o" "gcc" "src/am/CMakeFiles/hal_am.dir/thread_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

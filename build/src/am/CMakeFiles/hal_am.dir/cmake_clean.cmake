@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_am.dir/bulk.cpp.o"
+  "CMakeFiles/hal_am.dir/bulk.cpp.o.d"
+  "CMakeFiles/hal_am.dir/sim_machine.cpp.o"
+  "CMakeFiles/hal_am.dir/sim_machine.cpp.o.d"
+  "CMakeFiles/hal_am.dir/thread_machine.cpp.o"
+  "CMakeFiles/hal_am.dir/thread_machine.cpp.o.d"
+  "libhal_am.a"
+  "libhal_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cholesky.cpp" "src/apps/CMakeFiles/hal_apps.dir/cholesky.cpp.o" "gcc" "src/apps/CMakeFiles/hal_apps.dir/cholesky.cpp.o.d"
+  "/root/repo/src/apps/fib.cpp" "src/apps/CMakeFiles/hal_apps.dir/fib.cpp.o" "gcc" "src/apps/CMakeFiles/hal_apps.dir/fib.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/hal_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/hal_apps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/apps/CMakeFiles/hal_apps.dir/pagerank.cpp.o" "gcc" "src/apps/CMakeFiles/hal_apps.dir/pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hal_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/hal_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_apps.dir/cholesky.cpp.o"
+  "CMakeFiles/hal_apps.dir/cholesky.cpp.o.d"
+  "CMakeFiles/hal_apps.dir/fib.cpp.o"
+  "CMakeFiles/hal_apps.dir/fib.cpp.o.d"
+  "CMakeFiles/hal_apps.dir/matmul.cpp.o"
+  "CMakeFiles/hal_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/hal_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/hal_apps.dir/pagerank.cpp.o.d"
+  "libhal_apps.a"
+  "libhal_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/seq_kernels.cpp" "src/baseline/CMakeFiles/hal_baseline.dir/seq_kernels.cpp.o" "gcc" "src/baseline/CMakeFiles/hal_baseline.dir/seq_kernels.cpp.o.d"
+  "/root/repo/src/baseline/worksteal.cpp" "src/baseline/CMakeFiles/hal_baseline.dir/worksteal.cpp.o" "gcc" "src/baseline/CMakeFiles/hal_baseline.dir/worksteal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

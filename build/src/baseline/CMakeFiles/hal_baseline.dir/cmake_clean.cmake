@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_baseline.dir/seq_kernels.cpp.o"
+  "CMakeFiles/hal_baseline.dir/seq_kernels.cpp.o.d"
+  "CMakeFiles/hal_baseline.dir/worksteal.cpp.o"
+  "CMakeFiles/hal_baseline.dir/worksteal.cpp.o.d"
+  "libhal_baseline.a"
+  "libhal_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_common.dir/logging.cpp.o"
+  "CMakeFiles/hal_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hal_common.dir/stats.cpp.o"
+  "CMakeFiles/hal_common.dir/stats.cpp.o.d"
+  "libhal_common.a"
+  "libhal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_lang.dir/interp.cpp.o"
+  "CMakeFiles/hal_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/hal_lang.dir/lexer.cpp.o"
+  "CMakeFiles/hal_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/hal_lang.dir/parser.cpp.o"
+  "CMakeFiles/hal_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/hal_lang.dir/program.cpp.o"
+  "CMakeFiles/hal_lang.dir/program.cpp.o.d"
+  "CMakeFiles/hal_lang.dir/value.cpp.o"
+  "CMakeFiles/hal_lang.dir/value.cpp.o.d"
+  "libhal_lang.a"
+  "libhal_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

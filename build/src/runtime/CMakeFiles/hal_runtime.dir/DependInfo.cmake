@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/kernel.cpp" "src/runtime/CMakeFiles/hal_runtime.dir/kernel.cpp.o" "gcc" "src/runtime/CMakeFiles/hal_runtime.dir/kernel.cpp.o.d"
+  "/root/repo/src/runtime/node_manager.cpp" "src/runtime/CMakeFiles/hal_runtime.dir/node_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/hal_runtime.dir/node_manager.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/hal_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/hal_runtime.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/am/CMakeFiles/hal_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

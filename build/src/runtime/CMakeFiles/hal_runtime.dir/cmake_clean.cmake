@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_runtime.dir/kernel.cpp.o"
+  "CMakeFiles/hal_runtime.dir/kernel.cpp.o.d"
+  "CMakeFiles/hal_runtime.dir/node_manager.cpp.o"
+  "CMakeFiles/hal_runtime.dir/node_manager.cpp.o.d"
+  "CMakeFiles/hal_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/hal_runtime.dir/runtime.cpp.o.d"
+  "libhal_runtime.a"
+  "libhal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_trace.dir/trace.cpp.o"
+  "CMakeFiles/hal_trace.dir/trace.cpp.o.d"
+  "libhal_trace.a"
+  "libhal_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

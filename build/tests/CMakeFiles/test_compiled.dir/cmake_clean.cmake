@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiled.dir/test_compiled.cpp.o"
+  "CMakeFiles/test_compiled.dir/test_compiled.cpp.o.d"
+  "test_compiled"
+  "test_compiled.pdb"
+  "test_compiled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_groups.dir/test_groups.cpp.o"
+  "CMakeFiles/test_groups.dir/test_groups.cpp.o.d"
+  "test_groups"
+  "test_groups.pdb"
+  "test_groups[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_misc_units.cpp" "tests/CMakeFiles/test_misc_units.dir/test_misc_units.cpp.o" "gcc" "tests/CMakeFiles/test_misc_units.dir/test_misc_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hal_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hal_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hal_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/hal_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misc_units.dir/test_misc_units.cpp.o"
+  "CMakeFiles/test_misc_units.dir/test_misc_units.cpp.o.d"
+  "test_misc_units"
+  "test_misc_units.pdb"
+  "test_misc_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misc_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_name_codec.dir/test_name_codec.cpp.o"
+  "CMakeFiles/test_name_codec.dir/test_name_codec.cpp.o.d"
+  "test_name_codec"
+  "test_name_codec.pdb"
+  "test_name_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_name_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
