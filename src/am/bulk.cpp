@@ -76,6 +76,9 @@ void BulkChannel::on_request(const Packet& p) {
     return;
   }
   grant(g);
+  // A zero-size grant completes inline and leaves no active transfer, so it
+  // cannot rely on on_data to unblock the queue.
+  pump_grants();
 }
 
 void BulkChannel::on_ack(const Packet& p) {
@@ -124,12 +127,22 @@ void BulkChannel::on_data(const Packet& p) {
   // Grant the next queued transfer before delivering: delivery may trigger
   // long method execution, and the grant lets the next sender overlap its
   // DATA phase with that execution (software pipelining).
-  if (flow_control_ && !grant_queue_.empty() && active_inbound_grants_ == 0) {
+  pump_grants();
+  deliver_(p.src, done.tag, done.meta, std::move(done.data));
+}
+
+void BulkChannel::pump_grants() {
+  // Drain the grant queue until a streaming transfer is active or it
+  // empties. A zero-size grant completes inline without ever entering the
+  // DATA phase (so on_data never fires for it); granting just one queue
+  // entry — as this code once did — stranded everything queued behind a
+  // zero-size transfer: no ACK, senders' outbound_ records never retired,
+  // and the machine deadlocked on their work tokens.
+  while (active_inbound_grants_ == 0 && !grant_queue_.empty()) {
     PendingGrant g = grant_queue_.front();
     grant_queue_.pop_front();
     grant(g);
   }
-  deliver_(p.src, done.tag, done.meta, std::move(done.data));
 }
 
 }  // namespace hal::am

@@ -84,6 +84,7 @@ class BulkChannel {
   void on_ack(const Packet& p);
   void on_data(const Packet& p);
   void grant(const PendingGrant& g);
+  void pump_grants();
   static std::uint64_t key(NodeId src, std::uint64_t id) {
     return (static_cast<std::uint64_t>(src) << 40) ^ id;
   }

@@ -94,7 +94,10 @@ class Machine {
   virtual void run() = 0;
 
   /// Ask run() to return as soon as possible (callable from any thread).
-  void stop() noexcept { stop_.store(true, std::memory_order_release); }
+  void stop() noexcept {
+    stop_.store(true, std::memory_order_release);
+    wake_hook();
+  }
   bool stop_requested() const noexcept {
     return stop_.load(std::memory_order_acquire);
   }
@@ -107,7 +110,12 @@ class Machine {
   // while this is positive, which keeps an idle machine quiescent without
   // giving up continuous polling during computation.
   void work_hint_add(std::int64_t delta) noexcept {
-    work_hint_.fetch_add(delta, std::memory_order_acq_rel);
+    const std::int64_t prev =
+        work_hint_.fetch_add(delta, std::memory_order_acq_rel);
+    // The machine went from drained to having work: idle nodes that stopped
+    // polling (their steal chain went silent at hint == 0) must be told, or
+    // an event-driven executor would leave them asleep and never re-poll.
+    if (delta > 0 && prev <= 0) wake_hook();
   }
   std::int64_t work_hint() const noexcept {
     return work_hint_.load(std::memory_order_acquire);
@@ -134,6 +142,12 @@ class Machine {
     HAL_ASSERT(node < node_count() && clients_[node] != nullptr);
     return *clients_[node];
   }
+
+  /// Executor hook: the global run state changed in a way sleeping node
+  /// loops must observe (stop requested, work hint went positive).
+  /// ThreadMachine overrides it to wake every blocked node; SimMachine is
+  /// single-threaded and needs nothing. Must be safe from any thread.
+  virtual void wake_hook() noexcept {}
 
   /// Validate a packet at injection time.
   void check_packet(const Packet& p) const {

@@ -4,10 +4,10 @@
 
 namespace hal::am {
 
-using namespace std::chrono_literals;
-
 ThreadMachine::ThreadMachine(NodeId nodes, CostModel costs)
-    : Machine(nodes, costs), epoch_(std::chrono::steady_clock::now()) {
+    : Machine(nodes, costs),
+      detector_(nodes),
+      epoch_(std::chrono::steady_clock::now()) {
   nodes_.reserve(nodes);
   for (NodeId n = 0; n < nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeRec>());
@@ -19,9 +19,32 @@ ThreadMachine::~ThreadMachine() = default;
 void ThreadMachine::send(Packet p) {
   check_packet(p);
   NodeRec& dst = *nodes_[p.dst];
-  packets_sent_.fetch_add(1, std::memory_order_acq_rel);
+  // Epoch order matters for termination detection: the send must be counted
+  // before the packet becomes visible, so a checker that reads
+  // sent == handled knows no packet is hiding in a queue.
+  detector_.note_sent();
   dst.queue.push(std::move(p));
-  dst.cv.notify_one();
+  // Wakeup handshake. Every access to `sleeping` (here and in node_loop) is
+  // a seq_cst read-modify-write, so they form a single modification-order
+  // chain in which each RMW reads the write immediately before it and every
+  // link synchronizes-with the next. Take the receiver's pre-park RMW C
+  // (writes true) and this sender's RMW S (after the push):
+  //   - S precedes C: the RMW chain from S to C carries happens-before, so
+  //     the wait predicate (sequenced after C) sees the push — no park.
+  //   - C precedes S: the first sender RMW after C reads true and notifies
+  //     while holding the receiver's mutex, so the notify cannot land
+  //     between the predicate check and the park; later senders that read
+  //     false are covered by that pending notify.
+  // Either way the wakeup cannot be lost — the seed machine notified
+  // without the lock and papered over the lost-wakeup window with a 200 µs
+  // wait timeout, giving idle nodes a ~100 µs median message latency. Busy
+  // receivers keep this path lock-free (one uncontended RMW). RMWs instead
+  // of a seq_cst fence keep the protocol visible to ThreadSanitizer, which
+  // does not model atomic_thread_fence.
+  if (dst.sleeping.exchange(false, std::memory_order_seq_cst)) {
+    std::lock_guard lock(dst.mutex);
+    dst.cv.notify_one();
+  }
 }
 
 void ThreadMachine::charge(NodeId node, SimTime /*ns*/) {
@@ -36,67 +59,81 @@ SimTime ThreadMachine::now(NodeId node) const {
           .count());
 }
 
-bool ThreadMachine::quiescent() const {
-  for (const auto& rec : nodes_) {
-    if (!rec->idle.load(std::memory_order_acquire)) return false;
+void ThreadMachine::wake_all() noexcept {
+  for (auto& rec : nodes_) {
+    {
+      std::lock_guard lock(rec->mutex);
+      ++rec->wake_gen;
+    }
+    rec->cv.notify_all();
   }
-  const auto sent = packets_sent_.load(std::memory_order_acquire);
-  const auto handled = packets_handled_.load(std::memory_order_acquire);
-  if (sent != handled || tokens() != 0) return false;
-  // Double scan: a send that raced the first pass would have bumped
-  // packets_sent_ (senders increment before pushing) or cleared an idle
-  // flag by the time we re-read. New sends can only originate from a
-  // non-idle node, so a stable snapshot proves quiescence.
-  for (const auto& rec : nodes_) {
-    if (!rec->idle.load(std::memory_order_acquire)) return false;
-  }
-  return packets_sent_.load(std::memory_order_acquire) == sent &&
-         packets_handled_.load(std::memory_order_acquire) == sent &&
-         tokens() == 0;
 }
+
+void ThreadMachine::wake_hook() noexcept { wake_all(); }
 
 void ThreadMachine::node_loop(NodeId node) {
   NodeRec& rec = *nodes_[node];
   NodeClient& c = client(node);
-  bool idle_notified = false;
 
   while (!stop_requested()) {
     bool did_work = false;
     while (auto p = rec.queue.pop()) {
       c.handle(std::move(*p));
-      packets_handled_.fetch_add(1, std::memory_order_acq_rel);
+      detector_.note_handled();
       did_work = true;
     }
     if (c.step()) did_work = true;
-    if (did_work) {
-      idle_notified = false;
-      continue;
+    if (did_work) continue;
+
+    // Idle transition. Snapshot the wake generation first: a work-hint or
+    // stop wake that fires from here on is caught by the wait predicate, so
+    // the on_idle() poll below always sees the freshest global state.
+    std::uint64_t gen;
+    {
+      std::lock_guard lock(rec.mutex);
+      gen = rec.wake_gen;
     }
-    if (!idle_notified) {
-      idle_notified = true;
-      c.on_idle();  // may send packets (load-balancer poll)
-      continue;     // re-drain: the poll's reply may already be queued
-    }
-    // Genuinely idle: advertise it, then either detect global quiescence or
-    // sleep until a packet arrives.
-    rec.idle.store(true, std::memory_order_release);
-    if (rec.queue.empty() && quiescent()) {
-      stop();
-      for (auto& other : nodes_) other->cv.notify_all();
-      rec.idle.store(false, std::memory_order_release);
-      return;
+    c.on_idle();  // may send packets (load-balancer poll)
+    if (!rec.queue.empty() || c.has_work()) continue;  // re-drain
+
+    // Leave the active set, then ask the detector whether the whole machine
+    // is done. The last node to deactivate is guaranteed to see a passing
+    // double scan (termination.hpp, point 4), so nobody sleeps through
+    // quiescence. A kBusy verdict is always safe: some packet, active node,
+    // or token will wake us (or already queued into us — the predicate
+    // re-checks under the mutex).
+    detector_.deactivate(node);
+    switch (detector_.check([this] { return tokens(); })) {
+      case TerminationDetector::Verdict::kQuiescent:
+        stop();  // wake_hook() rouses every sleeping node; they see stop
+        return;
+      case TerminationDetector::Verdict::kStalled:
+        // Mirrors SimMachine's end-of-run assert: every node idle, nothing
+        // in flight, yet work tokens outstanding — a protocol deadlock
+        // (e.g. a message parked on an FIR whose response was lost). Fail
+        // fast instead of hanging the process.
+        HAL_PANIC(
+            "ThreadMachine: all nodes idle with work tokens outstanding "
+            "(protocol deadlock?)");
+      case TerminationDetector::Verdict::kBusy:
+        break;
     }
     {
       std::unique_lock lock(rec.mutex);
-      rec.cv.wait_for(lock, 200us, [&] {
-        return !rec.queue.empty() || stop_requested();
+      // Pairs with the exchange in send() — see the proof there. Both sides
+      // use seq_cst RMWs so every push that preceded a sender's exchange is
+      // visible to the predicate below; we never park over a packet whose
+      // sender skipped the notify.
+      rec.sleeping.exchange(true, std::memory_order_seq_cst);
+      rec.cv.wait(lock, [&] {
+        return !rec.queue.empty() || stop_requested() || rec.wake_gen != gen;
       });
+      rec.sleeping.exchange(false, std::memory_order_seq_cst);
     }
-    rec.idle.store(false, std::memory_order_release);
-    // Re-arm the idle notification: a node that stays idle re-polls (e.g.
-    // the load balancer) every wakeup, like an idle PE spinning in its
-    // polling loop on the real machine.
-    idle_notified = false;
+    detector_.activate(node);
+    // Loop around: drain the queue, or re-run the idle poll if this was a
+    // generation wake (work appeared elsewhere — the balancer may want to
+    // steal some of it).
   }
 }
 

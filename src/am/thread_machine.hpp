@@ -2,15 +2,30 @@
 //
 // This executor demonstrates that the runtime above it is a genuine
 // concurrent system: nodes exchange packets through MPSC endpoint queues and
-// all protocol code (name server, FIR, migration, flow control) runs under
-// true preemption. Quiescence is detected by the front-end service: all
-// nodes idle, every injected packet handled, and no external work tokens —
-// verified with a double scan so a racing send cannot be missed.
+// all protocol code (name server, FIR chasing, migration, flow control) runs
+// under true preemption.
+//
+// The machine is fully event-driven — there is no polling anywhere:
+//   * An idle node blocks on its condition variable with no timeout. A
+//     sender publishes the packet, then acquires the receiver's mutex before
+//     notifying, which closes the classic lost-wakeup window (the notify can
+//     no longer land between the sleeper's predicate check and its wait).
+//   * Global quiescence is detected by the TerminationDetector
+//     (common/termination.hpp): a sharded active-participant counter plus
+//     send/handle epoch counters, confirmed with a provably race-free double
+//     scan run only on idle transitions. The last node to go idle detects
+//     termination and wakes everyone; see docs/threadmachine.md for the
+//     correctness argument.
+//   * Idle nodes that stopped load-balancer polling because the machine-wide
+//     work hint hit zero are re-woken through Machine::wake_hook() when the
+//     hint turns positive again (a per-node generation counter makes that
+//     wake visible through the wait predicate).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -18,6 +33,7 @@
 
 #include "am/machine.hpp"
 #include "common/mpsc_queue.hpp"
+#include "common/termination.hpp"
 
 namespace hal::am {
 
@@ -31,20 +47,32 @@ class ThreadMachine final : public Machine {
   SimTime now(NodeId node) const override;
   void run() override;
 
+  /// Packets injected / fully handled so far (stress tests, stats).
+  std::uint64_t packets_sent() const noexcept { return detector_.sent(); }
+  std::uint64_t packets_handled() const noexcept {
+    return detector_.handled();
+  }
+
+ protected:
+  void wake_hook() noexcept override;
+
  private:
   struct NodeRec {
     MpscQueue<Packet> queue;
     std::mutex mutex;
     std::condition_variable cv;
-    std::atomic<bool> idle{false};
+    std::uint64_t wake_gen = 0;  // guarded by mutex; bumped by wake_hook
+    // True only while the owner is parked in cv.wait (set/cleared under
+    // mutex). Senders skip the mutex+notify entirely when the receiver is
+    // awake — see the RMW handshake in ThreadMachine::send.
+    std::atomic<bool> sleeping{false};
   };
 
   void node_loop(NodeId node);
-  bool quiescent() const;
+  void wake_all() noexcept;
 
   std::vector<std::unique_ptr<NodeRec>> nodes_;
-  std::atomic<std::uint64_t> packets_sent_{0};
-  std::atomic<std::uint64_t> packets_handled_{0};
+  TerminationDetector detector_;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -27,20 +27,24 @@ void WorkStealPool::fork(Task task) {
   while (inject_lock_.test_and_set(std::memory_order_acquire)) {
   }
   inject_queue_.push_back(node);
+  inject_count_.fetch_add(1, std::memory_order_release);
   inject_lock_.clear(std::memory_order_release);
 }
 
 WorkStealPool::TaskNode* WorkStealPool::try_acquire(unsigned id,
                                                     Xoshiro256& rng) {
   if (TaskNode* n = deques_[id]->pop_bottom()) return n;
-  // Injection queue (rare; bootstrap only).
-  if (!inject_queue_.empty()) {
+  // Injection queue (rare; bootstrap only). The lock-free gate reads the
+  // atomic count, not the vector itself — peeking at inject_queue_.empty()
+  // outside the spinlock would race with fork()'s push_back.
+  if (inject_count_.load(std::memory_order_acquire) != 0) {
     TaskNode* n = nullptr;
     while (inject_lock_.test_and_set(std::memory_order_acquire)) {
     }
     if (!inject_queue_.empty()) {
       n = inject_queue_.back();
       inject_queue_.pop_back();
+      inject_count_.fetch_sub(1, std::memory_order_release);
     }
     inject_lock_.clear(std::memory_order_release);
     if (n != nullptr) return n;

@@ -40,10 +40,14 @@ class WsDeque {
   }
 
   T* pop_bottom() {
+    // The classic formulation puts a seq_cst fence between the bottom store
+    // and the top load; seq_cst accesses on both are equivalent here (the
+    // store/load pair lands in the single total order S, so the symmetric
+    // store-buffering race with steal_top is excluded) and, unlike fences,
+    // are modeled by ThreadSanitizer.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (t > b) {  // empty
       bottom_.store(b + 1, std::memory_order_relaxed);
       return nullptr;
@@ -61,9 +65,10 @@ class WsDeque {
   }
 
   T* steal_top() {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    // seq_cst accesses in place of the classic load/fence/load — see
+    // pop_bottom for why.
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return nullptr;  // empty
     T* item = buffer_[static_cast<std::size_t>(t) & mask_].load(
         std::memory_order_relaxed);
@@ -127,6 +132,7 @@ class WorkStealPool {
   // simple mutex-free single-slot design is insufficient; use a deque with
   // a spinlock — injection is rare).
   std::vector<TaskNode*> inject_queue_;
+  std::atomic<std::size_t> inject_count_{0};  // lock-free emptiness gate
   std::atomic_flag inject_lock_ = ATOMIC_FLAG_INIT;
 
   static thread_local int tl_worker_id_;

@@ -7,14 +7,23 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 namespace hal {
 
 template <typename T>
 class MpscQueue {
+  // pop() moves out of next->value before advancing tail_; if that move
+  // could throw, the element would be lost while still linked and the queue
+  // state would be ambiguous to the caller. Packet (vector + scalars) is
+  // nothrow-move-constructible, as any payload type here must be.
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "MpscQueue requires a nothrow-move-constructible T");
+
  public:
   MpscQueue() {
     Node* stub = new Node{};
@@ -25,6 +34,9 @@ class MpscQueue {
   MpscQueue(const MpscQueue&) = delete;
   MpscQueue& operator=(const MpscQueue&) = delete;
 
+  // Destruction is a consumer-side operation: no producer may push
+  // concurrently (the ThreadMachine joins every node thread before its
+  // NodeRecs die). Drains remaining elements, then frees the stub.
   ~MpscQueue() {
     while (pop().has_value()) {
     }
@@ -34,6 +46,7 @@ class MpscQueue {
   /// Push from any thread. Wait-free except for the allocation.
   void push(T value) {
     Node* node = new Node{std::move(value)};
+    size_.fetch_add(1, std::memory_order_relaxed);
     Node* prev = head_.exchange(node, std::memory_order_acq_rel);
     prev->next.store(node, std::memory_order_release);
   }
@@ -46,6 +59,7 @@ class MpscQueue {
     std::optional<T> out(std::move(next->value));
     tail_ = next;
     delete tail;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return out;
   }
 
@@ -53,6 +67,13 @@ class MpscQueue {
   /// it returns false; may race with concurrent pushes when true).
   bool empty() const {
     return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Approximate element count: racy snapshot for stress tests and stats.
+  /// Exact once producers and the consumer are quiescent; may transiently
+  /// overshoot while a push is mid-flight (counted before linked).
+  std::size_t approx_size() const {
+    return size_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -63,6 +84,7 @@ class MpscQueue {
 
   alignas(64) std::atomic<Node*> head_;  // producers CAS here
   alignas(64) Node* tail_;               // consumer-private
+  alignas(64) std::atomic<std::size_t> size_{0};
 };
 
 }  // namespace hal

@@ -177,8 +177,9 @@ TEST(Mst, DepthIsLogarithmic) {
 
 // --- Bulk transfer -------------------------------------------------------------------
 
-struct BulkHarness {
-  SimMachine machine;
+template <typename M>
+struct BulkHarnessT {
+  M machine;
   struct BulkClient : NodeClient {
     BulkChannel* channel = nullptr;
     std::vector<std::pair<std::uint64_t, Bytes>> delivered;  // (tag, data)
@@ -190,7 +191,7 @@ struct BulkHarness {
   std::vector<StatBlock> stats;
   std::vector<std::unique_ptr<BulkChannel>> channels;
 
-  explicit BulkHarness(NodeId nodes, CostModel costs = CostModel::zero())
+  explicit BulkHarnessT(NodeId nodes, CostModel costs = CostModel::zero())
       : machine(nodes, costs), clients(nodes), stats(nodes) {
     const BulkHandlers h{10, 11, 12};
     for (NodeId n = 0; n < nodes; ++n) {
@@ -206,6 +207,8 @@ struct BulkHarness {
     }
   }
 };
+
+using BulkHarness = BulkHarnessT<SimMachine>;
 
 Bytes pattern_bytes(std::size_t n) {
   Bytes b(n);
@@ -284,6 +287,105 @@ TEST(Bulk, MetaWordsArriveIntact) {
   h.machine.run();
   EXPECT_EQ(got[0], 0xdeadULL);
   EXPECT_EQ(got[1], 0xbeefULL);
+}
+
+// Regression: a zero-size transfer granted from the queue completes inline
+// (there is no DATA phase to finish), so the channel must keep draining the
+// grant queue. The seed granted exactly one entry per completion and
+// stranded everything queued behind a zero-size grant — those senders never
+// saw an ACK, their outbound_ records never retired, and in the full runtime
+// their work tokens deadlocked the machine (run() never returned).
+TEST(Bulk, ZeroSizeGrantDoesNotStrandQueuedGrants) {
+  BulkHarness h(5, CostModel::cm5());
+  const Bytes big = pattern_bytes(4 * kBulkChunkBytes);
+  // Arrival order at node 0 is injection order (deterministic under
+  // SimMachine): the big transfer is granted first, the rest queue.
+  h.channels[1]->send(0, 1, {0, 0}, big);
+  h.channels[2]->send(0, 2, {0, 0}, {});   // zero-size, queued
+  h.channels[3]->send(0, 3, {0, 0}, {});   // zero-size, queued behind it
+  h.channels[4]->send(0, 4, {0, 0}, big);  // queued behind both
+  h.machine.run();
+  ASSERT_EQ(h.clients[0].delivered.size(), 4u);
+  for (NodeId n = 1; n < 5; ++n) {
+    EXPECT_EQ(h.channels[n]->outbound_pending(), 0u) << "sender " << n;
+  }
+  EXPECT_GE(h.stats[0].get(Stat::kBulkFlowStalls), 3u);
+}
+
+// The same edge cases must hold under true preemption, where request order
+// at the receiver is nondeterministic: every transfer — zero-size or not —
+// completes, byte-exact, and every sender retires its outbound record.
+template <typename M>
+void run_bulk_edge_cases() {
+  BulkHarnessT<M> h(4);
+  std::vector<std::size_t> sizes = {0,    1,      100,  0,
+                                    4096, 4097,   0,    3 * 4096 + 7};
+  int expected = 0;
+  for (NodeId src = 1; src < 4; ++src) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      h.channels[src]->send(0, src * 100 + i, {src, i},
+                            pattern_bytes(sizes[i]));
+      ++expected;
+    }
+  }
+  h.machine.run();
+  ASSERT_EQ(h.clients[0].delivered.size(),
+            static_cast<std::size_t>(expected));
+  // Byte-exact delivery: look each tag up and compare to the pattern.
+  for (const auto& [tag, data] : h.clients[0].delivered) {
+    const std::size_t i = tag % 100;
+    ASSERT_LT(i, sizes.size());
+    EXPECT_EQ(data, pattern_bytes(sizes[i])) << "tag " << tag;
+  }
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(h.channels[n]->outbound_pending(), 0u) << "sender " << n;
+    EXPECT_EQ(h.channels[n]->inbound_active(), 0u) << "receiver " << n;
+  }
+}
+
+TEST(Bulk, EdgeCaseMixCompletesUnderSimMachine) {
+  run_bulk_edge_cases<SimMachine>();
+}
+
+TEST(Bulk, EdgeCaseMixCompletesUnderThreadMachine) {
+  run_bulk_edge_cases<ThreadMachine>();
+}
+
+TEST(Bulk, ZeroLengthTransferCompletesUnderThreadMachine) {
+  BulkHarnessT<ThreadMachine> h(2);
+  h.channels[0]->send(1, 5, {0, 0}, {});
+  h.machine.run();
+  ASSERT_EQ(h.clients[1].delivered.size(), 1u);
+  EXPECT_TRUE(h.clients[1].delivered[0].second.empty());
+  EXPECT_EQ(h.channels[0]->outbound_pending(), 0u);
+}
+
+// Back-to-back queued grants: three senders hammer one receiver with flow
+// control on, so at least two REQUESTs must wait in the grant queue and be
+// released one at a time as their predecessors drain.
+template <typename M>
+void run_back_to_back_grants() {
+  BulkHarnessT<M> h(4, CostModel::cm5());
+  const Bytes data = pattern_bytes(6 * kBulkChunkBytes);
+  for (NodeId src = 1; src < 4; ++src) {
+    h.channels[src]->send(0, src, {0, 0}, data);
+  }
+  h.machine.run();
+  ASSERT_EQ(h.clients[0].delivered.size(), 3u);
+  for (const auto& [tag, bytes] : h.clients[0].delivered) {
+    EXPECT_EQ(bytes, data) << "tag " << tag;
+  }
+  for (NodeId n = 1; n < 4; ++n) {
+    EXPECT_EQ(h.channels[n]->outbound_pending(), 0u);
+  }
+}
+
+TEST(Bulk, BackToBackQueuedGrantsUnderSimMachine) {
+  run_back_to_back_grants<SimMachine>();
+}
+
+TEST(Bulk, BackToBackQueuedGrantsUnderThreadMachine) {
+  run_back_to_back_grants<ThreadMachine>();
 }
 
 }  // namespace

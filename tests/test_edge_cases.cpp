@@ -122,31 +122,39 @@ class BlobDriver : public ActorBase {
   Bytes expected_;
 };
 
-class PayloadBoundary : public ::testing::TestWithParam<std::int64_t> {};
+class PayloadBoundary
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, MachineKind>> {
+};
 
 TEST_P(PayloadBoundary, BlobRoundTripsAtEverySizeClass) {
+  const auto [size, machine] = GetParam();
   Echo::reset();
   BlobDriver::round_trip_ok = false;
   RuntimeConfig cfg;
   cfg.nodes = 2;
+  cfg.machine = machine;
   Runtime rt(cfg);
   rt.load<Echo>();
   rt.load<BlobDriver>();
   const MailAddress e = rt.spawn<Echo>(1);
   const MailAddress d = rt.spawn<BlobDriver>(0);
-  rt.inject<&BlobDriver::on_go>(d, e, GetParam());
+  rt.inject<&BlobDriver::on_go>(d, e, size);
   rt.run();
-  EXPECT_TRUE(BlobDriver::round_trip_ok) << "size " << GetParam();
-  EXPECT_EQ(Echo::bytes_seen, GetParam());
+  EXPECT_TRUE(BlobDriver::round_trip_ok) << "size " << size;
+  EXPECT_EQ(Echo::bytes_seen, size);
   EXPECT_EQ(rt.dead_letters(), 0u);
 }
 
 // Sizes straddling every transport crossover: empty, inline packet payload
 // (≤512 incl. codec framing), bulk threshold, one chunk (4096), chunk ± 1,
-// several chunks, and a large buffer.
-INSTANTIATE_TEST_SUITE_P(Sizes, PayloadBoundary,
-                         ::testing::Values(0, 1, 100, 480, 481, 512, 513,
-                                           4095, 4096, 4097, 12288, 100000));
+// several chunks, and a large buffer — each through NodeManager::ship under
+// both the deterministic simulator and real preemption.
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PayloadBoundary,
+    ::testing::Combine(::testing::Values(0, 1, 100, 480, 481, 512, 513, 4095,
+                                         4096, 4097, 12288, 100000),
+                       ::testing::Values(MachineKind::kSim,
+                                         MachineKind::kThread)));
 
 // --- Argument codec limits -------------------------------------------------------------
 
