@@ -58,7 +58,8 @@ class Driver : public ActorBase {
   std::uint64_t remaining_ = 0;
 };
 
-SimTime run_mode(bool alias_mode, std::uint64_t k) {
+SimTime run_mode(bool alias_mode, std::uint64_t k,
+                 obs::RunReport* report = nullptr) {
   RuntimeConfig cfg;
   cfg.nodes = 4;
   Runtime rt(cfg);
@@ -72,6 +73,7 @@ SimTime run_mode(bool alias_mode, std::uint64_t k) {
     rt.inject<&Driver::on_run_sync>(d, k);
   }
   rt.run();
+  if (report != nullptr) *report = rt.report();
   return Driver::done_at;
 }
 
@@ -83,11 +85,14 @@ int main() {
          "paper §5 — 5.83 µs initiation vs 20.83 µs actual creation");
 
   const std::uint64_t ks[] = {1, 8, 64, 256};
+  hal::obs::RunReport rep;
   std::printf("%8s %20s %20s %10s\n", "K", "aliases (µs)",
               "no aliases (µs)", "ratio");
   for (const std::uint64_t k : ks) {
     const SimTime with_alias = run_mode(true, k);
-    const SimTime without = run_mode(false, k);
+    // Keep the largest no-alias run's report: its request/reply chains
+    // populate the join and remote-delivery histograms.
+    const SimTime without = run_mode(false, k, &rep);
     std::printf("%8llu %20.2f %20.2f %9.1fx\n",
                 static_cast<unsigned long long>(k), us(with_alias),
                 us(without),
@@ -100,5 +105,6 @@ int main() {
       "per creation; without, it serializes a full round trip per\n"
       "creation (the paper's split-phase alternative needs a context\n"
       "switch instead, which stock hardware makes even costlier).\n");
+  report_json(rep, "ablation_aliases");
   return 0;
 }

@@ -21,7 +21,8 @@ class Cell : public ActorBase {
     ctx.charge_work(32);  // the per-member method body
     ++total_steps;
   }
-  HAL_BEHAVIOR(Cell, &Cell::on_step)
+  void on_ask(Context& ctx) { ctx.reply(std::int64_t{0}); }
+  HAL_BEHAVIOR(Cell, &Cell::on_step, &Cell::on_ask)
   inline static std::uint64_t total_steps = 0;
 };
 
@@ -32,6 +33,11 @@ class Driver : public ActorBase {
     for (std::int64_t r = 0; r < rounds; ++r) {
       ctx.broadcast<&Cell::on_step>(gid, r);
     }
+    // One cross-node request/reply so the emitted report also covers the
+    // point-to-point delivery and join histograms next to the broadcasts.
+    const MailAddress probe =
+        ctx.create_on<Cell>(static_cast<NodeId>(ctx.node_count() - 1));
+    ctx.request<&Cell::on_ask>(probe, [](Context&, const JoinView&) {});
   }
   HAL_BEHAVIOR(Driver, &Driver::on_run)
 };
@@ -40,6 +46,7 @@ struct Result {
   SimTime makespan;
   std::uint64_t static_dispatches;
   std::uint64_t generic_dispatches;
+  obs::RunReport report;
 };
 
 Result run(bool collective, std::uint32_t members, std::int64_t rounds) {
@@ -56,9 +63,9 @@ Result run(bool collective, std::uint32_t members, std::int64_t rounds) {
   HAL_ASSERT(Cell::total_steps ==
              static_cast<std::uint64_t>(members) *
                  static_cast<std::uint64_t>(rounds));
-  const StatBlock stats = rt.total_stats();
-  return {rt.makespan(), stats.get(Stat::kStaticDispatches),
-          stats.get(Stat::kGenericDispatches)};
+  obs::RunReport report = rt.report();
+  return {report.makespan_ns, report.total.get(Stat::kStaticDispatches),
+          report.total.get(Stat::kGenericDispatches), std::move(report)};
 }
 
 }  // namespace
@@ -90,5 +97,6 @@ int main() {
       "and runs every local member at fast-path cost (%.2fx faster here).\n",
       static_cast<double>(indiv.makespan) /
           static_cast<double>(coll.makespan));
+  report_json(coll.report, "ablation_broadcast");
   return 0;
 }

@@ -48,6 +48,7 @@ class Producer : public ActorBase {
 struct FanInResult {
   SimTime first;
   SimTime total;
+  obs::RunReport report;
 };
 
 FanInResult fan_in(bool flow_control) {
@@ -67,7 +68,8 @@ FanInResult fan_in(bool flow_control) {
   }
   rt.run();
   HAL_ASSERT(Consumer::received == 24);
-  return {Consumer::first_at, rt.makespan()};
+  obs::RunReport report = rt.report();
+  return {Consumer::first_at, report.makespan_ns, std::move(report)};
 }
 
 }  // namespace
@@ -118,5 +120,8 @@ int main() {
       "network model has no packet backup beyond receiver serialization);\n"
       "the fan-in experiment above isolates the mechanism the paper\n"
       "credits for correct software pipelining.\n");
+  // The with-flow-control fan-in exercises the bulk-transfer and
+  // grant-queue stall probes; emit that run's report.
+  report_json(with_fc.report, "ablation_flowcontrol");
   return 0;
 }

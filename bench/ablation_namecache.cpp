@@ -53,6 +53,7 @@ struct Result {
   SimTime makespan;
   std::uint64_t receiver_lookups;
   std::uint64_t cache_hits;
+  obs::RunReport report;
 };
 
 Result run(bool cache, std::int64_t messages) {
@@ -67,9 +68,11 @@ Result run(bool cache, std::int64_t messages) {
   rt.inject<&Driver::on_run>(d, messages);
   rt.run();
   HAL_ASSERT(Sink::count == static_cast<std::uint64_t>(messages));
-  return {rt.makespan(),
+  obs::RunReport report = rt.report();
+  return {report.makespan_ns,
           rt.kernel(1).stats().get(Stat::kNameTableLookups),
-          rt.kernel(1).stats().get(Stat::kDescriptorCacheHits)};
+          rt.kernel(1).stats().get(Stat::kDescriptorCacheHits),
+          std::move(report)};
 }
 
 }  // namespace
@@ -97,5 +100,6 @@ int main() {
       "\nWith the cache, only the first deliveries consult the receiving\n"
       "node's hash table; every later message ships the descriptor's\n"
       "\"real address\" and delivery dereferences it in O(1).\n");
+  report_json(on.report, "ablation_namecache");
   return 0;
 }

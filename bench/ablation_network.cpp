@@ -43,6 +43,9 @@ int main() {
     const auto b = run_fib(p);
     HAL_ASSERT(a.value == b.value);
     row("fib(22), 8 nodes, stealing", a.makespan_ns, b.makespan_ns);
+    // The NOW-calibrated stealing run exercises migration, steal and join
+    // probes under the higher-latency model; emit it as this binary's report.
+    report_json(b.report, "ablation_network");
   }
   {
     CholeskyParams p;

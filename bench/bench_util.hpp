@@ -1,7 +1,9 @@
 // Shared helpers for the benchmark harness.
 //
-// Every bench binary prints a paper-style table to stdout and exits 0; the
-// HAL_BENCH_SCALE environment variable selects problem sizes:
+// Every bench binary prints a paper-style table to stdout, writes a
+// machine-readable BENCH_<name>.json (the perf trajectory tracked across
+// PRs), and exits 0; the HAL_BENCH_SCALE environment variable selects
+// problem sizes:
 //   small (default) — seconds-scale, CI friendly
 //   paper           — closer to the paper's sizes (minutes on one core)
 #pragma once
@@ -9,9 +11,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "common/types.hpp"
+#include "obs/run_report.hpp"
 
 namespace hal::bench {
 
@@ -20,9 +24,35 @@ inline bool paper_scale() {
   return s != nullptr && std::strcmp(s, "paper") == 0;
 }
 
+/// Read an unsigned integer from the environment. Malformed values (empty,
+/// non-digit characters, overflow) are rejected with a stderr warning and
+/// the default is used — the old atoi version silently turned "abc12" into 0
+/// and quietly ran the wrong experiment.
 inline unsigned env_unsigned(const char* name, unsigned fallback) {
   const char* s = std::getenv(name);
-  return s != nullptr ? static_cast<unsigned>(std::atoi(s)) : fallback;
+  if (s == nullptr) return fallback;
+  unsigned value = 0;
+  bool ok = *s != '\0';
+  for (const char* p = s; ok && *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      ok = false;
+      break;
+    }
+    const unsigned digit = static_cast<unsigned>(*p - '0');
+    if (value > (std::numeric_limits<unsigned>::max() - digit) / 10u) {
+      ok = false;  // overflow
+      break;
+    }
+    value = value * 10u + digit;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "warning: ignoring malformed %s='%s' (expected an unsigned "
+                 "integer); using default %u\n",
+                 name, s, fallback);
+    return fallback;
+  }
+  return value;
 }
 
 inline double ms(SimTime ns) { return static_cast<double>(ns) / 1e6; }
@@ -35,6 +65,28 @@ inline void header(const char* title, const char* paper_ref) {
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("machine: virtual-time simulator calibrated to a CM-5 node\n");
   std::printf("==============================================================\n");
+}
+
+/// Write a run's structured report to `path` (deterministic JSON).
+inline void report_json_path(const hal::obs::RunReport& report,
+                             const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  const std::string json = report.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("report: %s\n", path.c_str());
+}
+
+/// Standard emission point for bench binaries: BENCH_<name>.json in the
+/// working directory, next to the text table.
+inline void report_json(const hal::obs::RunReport& report, const char* name) {
+  report_json_path(report, std::string("BENCH_") + name + ".json");
 }
 
 }  // namespace hal::bench

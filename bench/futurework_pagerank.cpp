@@ -60,5 +60,6 @@ int main() {
       " %.1e).\nThe rebalanced run pays a one-time migration spike, then"
       " every later\nround runs at the levelled speed.\n",
       with_rb.max_error);
+  report_json(with_rb.report, "futurework_pagerank");
   return 0;
 }

@@ -122,7 +122,7 @@ std::vector<Measurement> measure_primitives() {
     // Makespan covers request delivery + actual creation + the background
     // descriptor-caching ack.
     out.push_back({"remote creation, completed at target",
-                   hal::bench::us(rt.makespan() - t0), "20.83"});
+                   hal::bench::us(rt.report().makespan_ns - t0), "20.83"});
   }
 
   // --- End-to-end remote message latency. ---------------------------------
@@ -139,6 +139,90 @@ std::vector<Measurement> measure_primitives() {
   }
 
   return out;
+}
+
+// --- Probe distribution workload ---------------------------------------------
+// The table above gives single-shot costs; the observability layer records
+// full distributions. This mixed scenario exercises most of the probe set at
+// once: a stateful actor tours the ring (migration + bulk transfer) while a
+// chaser on every node keeps sending to its fixed address (remote delivery,
+// park-and-chase FIR traffic) and finally requests a report (join
+// round-trip). The resulting per-probe histograms are printed as quantiles
+// and emitted to BENCH_table2_primitives.json.
+
+class Rover : public ActorBase {
+ public:
+  void on_work(Context& ctx, std::int64_t amount) {
+    sum_ += amount;
+    ctx.charge_ns(200);  // a little modeled work per deposit
+  }
+  void on_tour(Context& ctx, NodeId next, std::int64_t remaining) {
+    if (remaining > 0) {
+      const auto after =
+          static_cast<NodeId>((next + 1) % ctx.node_count());
+      // Queue the next hop to ourselves before moving: it travels with us.
+      ctx.send<&Rover::on_tour>(ctx.self(), after, remaining - 1);
+      ctx.migrate_to(next);
+    }
+  }
+  void on_query(Context& ctx) { ctx.reply(sum_); }
+  HAL_BEHAVIOR(Rover, &Rover::on_work, &Rover::on_tour, &Rover::on_query)
+
+  bool migratable() const override { return true; }
+  void pack_state(ByteWriter& w) const override { w.write(sum_); }
+  void unpack_state(ByteReader& r) override { sum_ = r.read<std::int64_t>(); }
+
+ private:
+  std::int64_t sum_ = 0;
+};
+
+class Chaser : public ActorBase {
+ public:
+  void on_go(Context& ctx, MailAddress rover, std::int64_t count,
+             std::int64_t gap_ns) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      ctx.charge_ns(static_cast<SimTime>(gap_ns));
+      ctx.send<&Rover::on_work>(rover, std::int64_t{1});
+    }
+    ctx.request<&Rover::on_query>(rover, [](Context&, const JoinView&) {});
+  }
+  HAL_BEHAVIOR(Chaser, &Chaser::on_go)
+};
+
+obs::RunReport measure_probe_distribution(NodeId nodes) {
+  Runtime rt(sim_cfg(nodes));
+  rt.load<Rover>();
+  rt.load<Chaser>();
+  const MailAddress rover = rt.spawn<Rover>(0);
+  rt.inject<&Rover::on_tour>(rover, NodeId{1},
+                             static_cast<std::int64_t>(nodes) * 4);
+  for (NodeId n = 0; n < nodes; ++n) {
+    const MailAddress c = rt.spawn<Chaser>(n);
+    // Stagger the send gaps so deposits land throughout the tour.
+    rt.inject<&Chaser::on_go>(c, rover, std::int64_t{48},
+                              std::int64_t{40000 + 7000 * n});
+  }
+  rt.run();
+  return rt.report();
+}
+
+void print_probe_distribution(const obs::RunReport& r) {
+  std::printf("\nprobe distributions (mixed migration/chase workload, "
+              "%llu nodes):\n",
+              static_cast<unsigned long long>(r.nodes));
+  std::printf("%-24s %9s %12s %12s %12s %12s\n", "probe", "count", "p50",
+              "p90", "p99", "max");
+  for (std::size_t i = 0; i < obs::kProbeCount; ++i) {
+    const auto& h = r.probes.histogram(static_cast<obs::Probe>(i));
+    if (h.empty()) continue;
+    std::printf("%-24s %9llu %12llu %12llu %12llu %12llu\n",
+                std::string(obs::kProbeNames[i]).c_str(),
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.quantile(0.5)),
+                static_cast<unsigned long long>(h.quantile(0.9)),
+                static_cast<unsigned long long>(h.quantile(0.99)),
+                static_cast<unsigned long long>(h.max()));
+  }
 }
 
 // --- Host-nanosecond microbenchmarks of the same code paths ------------------
@@ -210,6 +294,10 @@ int main(int argc, char** argv) {
   for (const Measurement& m : measure_primitives()) {
     std::printf("%-52s %12.2f %10s\n", m.name, m.sim_us, m.paper_us);
   }
+  const hal::obs::RunReport dist = measure_probe_distribution(
+      static_cast<hal::NodeId>(hal::bench::env_unsigned("HAL_BENCH_NODES", 8)));
+  print_probe_distribution(dist);
+  hal::bench::report_json(dist, "table2_primitives");
   std::printf("\nhost-nanosecond microbenchmarks of the same code paths:\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

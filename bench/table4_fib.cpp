@@ -87,6 +87,7 @@ int main() {
               n, cutoff);
   std::printf("%4s %16s %16s %10s\n", "P", "without LB", "with LB",
               "speedup");
+  hal::obs::RunReport rep;  // representative run: with LB at the largest P
 
   for (const hal::NodeId p : {1u, 2u, 4u, 8u, 16u}) {
     FibParams params;
@@ -101,6 +102,7 @@ int main() {
       std::fprintf(stderr, "VERIFICATION FAILED\n");
       return 1;
     }
+    rep = with_lb.report;
     std::printf("%4u %16.3f %16.3f %9.2fx\n", p, secs(without.makespan_ns),
                 secs(with_lb.makespan_ns),
                 static_cast<double>(without.makespan_ns) /
@@ -138,5 +140,6 @@ int main() {
   std::printf(
       "\nshape check: the without-LB column is flat in P; the with-LB\n"
       "column falls as P grows (Table 4's contrast).\n");
+  report_json(rep, "table4_fib");
   return 0;
 }

@@ -97,8 +97,8 @@ double run(hal::NodeId nodes, bool lb, hal::SimTime* makespan,
   const auto root = rt.spawn<QuadRoot>(0);
   rt.inject<&QuadRoot::on_start>(root, 0.0, 1.0);
   rt.run();
-  *makespan = rt.makespan();
-  *stats = rt.total_stats();
+  *makespan = rt.report().makespan_ns;
+  *stats = rt.report().total;
   return QuadRoot::done ? QuadRoot::value : std::nan("");
 }
 

@@ -116,6 +116,6 @@ int main(int argc, char** argv) {
                 line.text.c_str());
   }
   std::printf("(simulated makespan %.1f us over %u nodes)\n",
-              static_cast<double>(rt.makespan()) / 1000.0, nodes);
+              static_cast<double>(rt.report().makespan_ns) / 1000.0, nodes);
   return 0;
 }

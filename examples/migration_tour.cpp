@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(t->total()),
               static_cast<long long>(expect), laps);
 
-  const hal::StatBlock stats = rt.total_stats();
+  const hal::StatBlock stats = rt.report().total;
   std::printf("migrations: %llu, messages parked for FIR: %llu, FIR chases"
               " resolved: %llu\n",
               static_cast<unsigned long long>(

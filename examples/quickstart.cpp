@@ -105,9 +105,9 @@ int main() {
   rt.inject<&Driver::on_start>(driver, std::int64_t{8}, std::int64_t{5});
   rt.run();
 
-  const hal::StatBlock stats = rt.total_stats();
+  const hal::StatBlock stats = rt.report().total;
   std::printf("simulated makespan: %.1f us\n",
-              static_cast<double>(rt.makespan()) / 1000.0);
+              static_cast<double>(rt.report().makespan_ns) / 1000.0);
   std::printf("remote sends: %llu, local sends: %llu, aliases: %llu\n",
               static_cast<unsigned long long>(
                   stats.get(hal::Stat::kMessagesSentRemote)),

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json run report (schema halcyon.run_report.v1).
+
+Checks, per file:
+  - required top-level fields and the schema id
+  - per-node stats sum to the aggregate stats, counter by counter
+  - per-probe invariants: count == sum of bucket counts, min <= p50 <= p90
+    <= p99 <= max, and every listed bucket is non-empty with a power-of-two
+    (or zero) lower bound
+  - at least --min-populated probes carry samples
+
+Usage: check_report.py [--min-populated N] report.json [report.json ...]
+
+stdlib only; exits non-zero on the first failing file.
+"""
+import argparse
+import json
+import sys
+
+SCHEMA = "halcyon.run_report.v1"
+TOP_FIELDS = [
+    "schema",
+    "machine",
+    "nodes",
+    "seed",
+    "makespan_ns",
+    "dead_letters",
+    "stats",
+    "per_node_stats",
+    "probes",
+]
+HIST_FIELDS = ["unit", "count", "sum", "min", "max", "p50", "p90", "p99", "buckets"]
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    return False
+
+
+def check_histogram(path, name, h):
+    for f in HIST_FIELDS:
+        if f not in h:
+            return fail(path, f"probe {name} missing field '{f}'")
+    bucket_total = sum(count for _, count in h["buckets"])
+    if bucket_total != h["count"]:
+        return fail(
+            path,
+            f"probe {name}: bucket counts sum to {bucket_total}, "
+            f"count says {h['count']}",
+        )
+    for lower, count in h["buckets"]:
+        if count <= 0:
+            return fail(path, f"probe {name}: empty bucket listed at {lower}")
+        if lower != 0 and (lower & (lower - 1)) != 0:
+            return fail(
+                path, f"probe {name}: bucket lower {lower} is not a power of two"
+            )
+    if h["count"] > 0:
+        order = [h["min"], h["p50"], h["p90"], h["p99"], h["max"]]
+        # Quantiles are bucket lower bounds, so p50 may round below min;
+        # clamp the comparison to the quantile chain itself plus max.
+        chain = order[1:]
+        if any(a > b for a, b in zip(chain, chain[1:])):
+            return fail(path, f"probe {name}: quantiles out of order {order}")
+        if h["min"] > h["max"] or h["sum"] < h["max"]:
+            return fail(path, f"probe {name}: inconsistent min/max/sum")
+    return True
+
+
+def check(path, min_populated):
+    try:
+        with open(path) as f:
+            d = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable: {e}")
+
+    for f in TOP_FIELDS:
+        if f not in d:
+            return fail(path, f"missing top-level field '{f}'")
+    if d["schema"] != SCHEMA:
+        return fail(path, f"schema is '{d['schema']}', expected '{SCHEMA}'")
+    if d["machine"] not in ("sim", "thread"):
+        return fail(path, f"unknown machine '{d['machine']}'")
+    if d["nodes"] < 1:
+        return fail(path, f"nodes = {d['nodes']}")
+    if len(d["per_node_stats"]) != d["nodes"]:
+        return fail(
+            path,
+            f"{len(d['per_node_stats'])} per-node stat blocks for "
+            f"{d['nodes']} nodes",
+        )
+
+    for counter, total in d["stats"].items():
+        node_sum = sum(blk.get(counter, 0) for blk in d["per_node_stats"])
+        if node_sum != total:
+            return fail(
+                path,
+                f"stat {counter}: per-node sum {node_sum} != aggregate {total}",
+            )
+
+    populated = 0
+    for name, h in d["probes"].items():
+        if not check_histogram(path, name, h):
+            return False
+        if h["count"] > 0:
+            populated += 1
+    if populated < min_populated:
+        return fail(
+            path,
+            f"only {populated} populated probes, expected >= {min_populated}",
+        )
+
+    print(
+        f"{path}: ok ({d['machine']}, {d['nodes']} nodes, "
+        f"makespan {d['makespan_ns']} ns, {populated} populated probes)"
+    )
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--min-populated", type=int, default=5)
+    ap.add_argument("reports", nargs="+")
+    args = ap.parse_args()
+    for path in args.reports:
+        if not check(path, args.min_populated):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,11 +7,13 @@
 namespace hal::am {
 
 BulkChannel::BulkChannel(Machine& machine, NodeId self, BulkHandlers handlers,
-                         StatBlock& stats, DeliverFn deliver)
+                         StatBlock& stats, obs::ProbeRecorder& probes,
+                         DeliverFn deliver)
     : machine_(machine),
       self_(self),
       handlers_(handlers),
       stats_(stats),
+      probes_(probes),
       deliver_(std::move(deliver)) {
   HAL_ASSERT(deliver_ != nullptr);
 }
@@ -26,7 +28,9 @@ std::uint64_t BulkChannel::send(NodeId dst, std::uint64_t tag,
   req.src = self_;
   req.dst = dst;
   req.handler = handlers_.request;
-  req.words = {id, data.size(), tag, meta[0], meta[1], 0};
+  // Word 5 carries the transfer's start time so the receiver can charge the
+  // end-to-end duration probe at completion.
+  req.words = {id, data.size(), tag, meta[0], meta[1], machine_.now(self_)};
   outbound_.emplace(id, Outbound{dst, std::move(data)});
   machine_.send(std::move(req));
   return id;
@@ -50,10 +54,13 @@ void BulkChannel::grant(const PendingGrant& g) {
   in.tag = g.tag;
   in.meta = g.meta;
   in.data.resize(g.size);
+  in.started_at = g.started_at;
   if (g.size == 0) {
     // Degenerate transfer: nothing to stream; complete at grant time. Still
     // ACK so the sender can retire its outbound record.
     --active_inbound_grants_;
+    probes_.record_span(obs::Probe::kBulkTransfer, g.started_at,
+                        machine_.now(self_));
     deliver_(g.src, g.tag, g.meta, {});
   } else {
     inbound_.emplace(key(g.src, g.id), std::move(in));
@@ -67,11 +74,12 @@ void BulkChannel::grant(const PendingGrant& g) {
 }
 
 void BulkChannel::on_request(const Packet& p) {
-  PendingGrant g{p.src, p.words[0], p.words[1], p.words[2],
-                 {p.words[3], p.words[4]}};
+  PendingGrant g{p.src,        p.words[0], p.words[1], p.words[2],
+                 {p.words[3], p.words[4]}, p.words[5], 0};
   if (flow_control_ && active_inbound_grants_ > 0) {
     // Minimal flow control: hold the ACK until the active transfer drains.
     stats_.bump(Stat::kBulkFlowStalls);
+    g.queued_at = machine_.now(self_);
     grant_queue_.push_back(g);
     return;
   }
@@ -124,6 +132,8 @@ void BulkChannel::on_data(const Packet& p) {
   inbound_.erase(it);
   HAL_ASSERT(active_inbound_grants_ > 0);
   --active_inbound_grants_;
+  probes_.record_span(obs::Probe::kBulkTransfer, done.started_at,
+                      machine_.now(self_));
   // Grant the next queued transfer before delivering: delivery may trigger
   // long method execution, and the grant lets the next sender overlap its
   // DATA phase with that execution (software pipelining).
@@ -141,6 +151,8 @@ void BulkChannel::pump_grants() {
   while (active_inbound_grants_ == 0 && !grant_queue_.empty()) {
     PendingGrant g = grant_queue_.front();
     grant_queue_.pop_front();
+    probes_.record_span(obs::Probe::kBulkFlowStall, g.queued_at,
+                        machine_.now(self_));
     grant(g);
   }
 }

@@ -18,6 +18,7 @@
 
 #include "am/machine.hpp"
 #include "common/stats.hpp"
+#include "obs/probe_recorder.hpp"
 
 namespace hal::am {
 
@@ -39,7 +40,7 @@ class BulkChannel {
                          const std::array<std::uint64_t, 2>& meta, Bytes data)>;
 
   BulkChannel(Machine& machine, NodeId self, BulkHandlers handlers,
-              StatBlock& stats, DeliverFn deliver);
+              StatBlock& stats, obs::ProbeRecorder& probes, DeliverFn deliver);
 
   /// Begin a transfer; returns the local transfer id. The data is held until
   /// the receiver grants the transfer. `tag`/`meta` travel with the REQUEST
@@ -71,6 +72,7 @@ class BulkChannel {
     std::array<std::uint64_t, 2> meta{};
     Bytes data;
     std::size_t received = 0;
+    SimTime started_at = 0;  // sender-side REQUEST injection time
   };
   struct PendingGrant {
     NodeId src;
@@ -78,6 +80,8 @@ class BulkChannel {
     std::uint64_t size;
     std::uint64_t tag;
     std::array<std::uint64_t, 2> meta;
+    SimTime started_at = 0;  // sender-side REQUEST injection time
+    SimTime queued_at = 0;   // when flow control parked the grant here
   };
 
   void on_request(const Packet& p);
@@ -93,6 +97,7 @@ class BulkChannel {
   NodeId self_;
   BulkHandlers handlers_;
   StatBlock& stats_;
+  obs::ProbeRecorder& probes_;
   DeliverFn deliver_;
   std::uint64_t next_id_ = 1;
   bool flow_control_ = true;

@@ -39,6 +39,11 @@ struct Packet {
   std::uint32_t handler = 0;
   std::array<std::uint64_t, kPacketWords> words{};
   Bytes payload;  // ≤ kMaxInlinePayload except for bulk DATA chunks
+  /// Injection timestamp, stamped by Machine::send — virtual ns under
+  /// SimMachine, wall ns under ThreadMachine. Feeds the delivery-latency
+  /// probes; not part of the modeled wire format (the real CMAM packet has
+  /// no room for it — a hardware implementation would timestamp at the NI).
+  SimTime stamp = 0;
 };
 
 }  // namespace hal::am

@@ -35,7 +35,8 @@ void SimMachine::send(Packet p) {
   charge(p.src, c.packet_inject_ns +
                     c.per_word_ns * static_cast<SimTime>(kPacketWords) +
                     c.payload_byte_ns * static_cast<SimTime>(p.payload.size()));
-  const SimTime arrival = current_time(p.src) + c.wire_latency_ns;
+  p.stamp = current_time(p.src);
+  const SimTime arrival = p.stamp + c.wire_latency_ns;
   const NodeId dst = p.dst;
   push_event(Event{arrival, 0, EventKind::kDelivery, dst, std::move(p)});
 }

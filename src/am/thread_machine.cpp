@@ -18,6 +18,7 @@ ThreadMachine::~ThreadMachine() = default;
 
 void ThreadMachine::send(Packet p) {
   check_packet(p);
+  p.stamp = now(p.src);
   NodeRec& dst = *nodes_[p.dst];
   // Epoch order matters for termination detection: the send must be counted
   // before the packet becomes visible, so a checker that reads

@@ -308,8 +308,9 @@ CholeskyResult run_cholesky(const CholeskyParams& params) {
   rt.run();
 
   CholeskyResult out;
-  out.makespan_ns = rt.makespan();
-  out.stats = rt.total_stats();
+  out.report = rt.report();
+  out.makespan_ns = out.report.makespan_ns;
+  out.stats = out.report.total;
   out.dead_letters = rt.dead_letters();
 
   if (params.verify) {

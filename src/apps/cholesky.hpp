@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/run_report.hpp"
 #include "runtime/config.hpp"
 
 namespace hal::apps {
@@ -49,10 +50,11 @@ struct CholeskyParams {
 };
 
 struct CholeskyResult {
-  SimTime makespan_ns = 0;
+  SimTime makespan_ns = 0;  ///< == report.makespan_ns (kept for convenience)
   double max_error = 0.0;  // vs cholesky_seq (0 when verify == false)
-  StatBlock stats;
+  StatBlock stats;          ///< == report.total
   std::uint64_t dead_letters = 0;
+  obs::RunReport report;    ///< full structured results
 };
 
 CholeskyResult run_cholesky(const CholeskyParams& params);

@@ -102,8 +102,9 @@ FibResult run_fib(const FibParams& params) {
   FibResult out;
   const FibRoot* r = rt.find_behavior<FibRoot>(root);
   out.value = r == nullptr ? 0 : r->result;
-  out.makespan_ns = rt.makespan();
-  out.stats = rt.total_stats();
+  out.report = rt.report();
+  out.makespan_ns = out.report.makespan_ns;
+  out.stats = out.report.total;
   out.dead_letters = rt.dead_letters();
   return out;
 }

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/stats.hpp"
+#include "obs/run_report.hpp"
 #include "runtime/config.hpp"
 
 namespace hal::apps {
@@ -34,9 +35,10 @@ struct FibParams {
 
 struct FibResult {
   std::uint64_t value = 0;
-  SimTime makespan_ns = 0;
-  StatBlock stats;
+  SimTime makespan_ns = 0;  ///< == report.makespan_ns (kept for convenience)
+  StatBlock stats;          ///< == report.total
   std::uint64_t dead_letters = 0;
+  obs::RunReport report;    ///< full structured results
 };
 
 /// Build a runtime, run fib(n), and return value + measurements.

@@ -186,9 +186,10 @@ MatmulResult run_matmul(const MatmulParams& params) {
   rt.run();
 
   MatmulResult out;
-  out.makespan_ns = rt.makespan();
+  out.report = rt.report();
+  out.makespan_ns = out.report.makespan_ns;
   out.distribution_ns = CannonCell::last_init_done.load();
-  out.stats = rt.total_stats();
+  out.stats = out.report.total;
   out.dead_letters = rt.dead_letters();
   const double flops = 2.0 * static_cast<double>(params.n) *
                        static_cast<double>(params.n) *

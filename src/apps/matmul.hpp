@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/stats.hpp"
+#include "obs/run_report.hpp"
 #include "runtime/config.hpp"
 
 namespace hal::apps {
@@ -36,8 +37,9 @@ struct MatmulResult {
   double mflops = 0.0;          ///< 2n³ / total simulated time
   double mflops_compute = 0.0;  ///< 2n³ / (time after distribution) — the
                                 ///< Table 5 metric
-  StatBlock stats;
+  StatBlock stats;  ///< == report.total
   std::uint64_t dead_letters = 0;
+  obs::RunReport report;  ///< full structured results
 };
 
 MatmulResult run_matmul(const MatmulParams& params);

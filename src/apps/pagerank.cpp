@@ -489,10 +489,11 @@ PageRankResult run_pagerank(const PageRankParams& params) {
   rt.run();
 
   PageRankResult out;
-  out.makespan_ns = rt.makespan();
+  out.report = rt.report();
+  out.makespan_ns = out.report.makespan_ns;
   out.round_ns = PrCoordinator::round_ns;
   out.migrations = PrCoordinator::moves;
-  out.stats = rt.total_stats();
+  out.stats = out.report.total;
   out.dead_letters = rt.dead_letters();
 
   if (params.verify) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/run_report.hpp"
 #include "runtime/config.hpp"
 
 namespace hal::apps {
@@ -46,8 +47,9 @@ struct PageRankResult {
   /// start → all partitions reported); shows the rebalancing effect.
   std::vector<SimTime> round_ns;
   std::uint64_t migrations = 0;
-  StatBlock stats;
+  StatBlock stats;  ///< == report.total
   std::uint64_t dead_letters = 0;
+  obs::RunReport report;  ///< full structured results
 };
 
 PageRankResult run_pagerank(const PageRankParams& params);

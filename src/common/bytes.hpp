@@ -28,16 +28,12 @@ class ByteWriter {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void write(const T& value) {
-    const std::size_t off = buffer_.size();
-    buffer_.resize(off + sizeof(T));
-    std::memcpy(buffer_.data() + off, &value, sizeof(T));
+    append(reinterpret_cast<const std::byte*>(&value), sizeof(T));
   }
 
   void write_bytes(std::span<const std::byte> data) {
     write<std::uint64_t>(data.size());
-    const std::size_t off = buffer_.size();
-    buffer_.resize(off + data.size());
-    if (!data.empty()) std::memcpy(buffer_.data() + off, data.data(), data.size());
+    append(data.data(), data.size());
   }
 
   void write_string(const std::string& s) {
@@ -54,6 +50,18 @@ class ByteWriter {
   std::size_t size() const noexcept { return buffer_.size(); }
 
  private:
+  // Kept out of line: when GCC 12 inlines vector::resize here it mis-infers
+  // a fixed buffer bound from the caller and raises bogus -Warray-bounds /
+  // -Wstringop-overflow errors under -Werror.
+#if defined(__GNUC__) && !defined(__clang__)
+  [[gnu::noinline]]
+#endif
+  void append(const std::byte* p, std::size_t n) {
+    const std::size_t off = buffer_.size();
+    buffer_.resize(off + n);
+    if (n != 0) std::memcpy(buffer_.data() + off, p, n);
+  }
+
   Bytes buffer_;
 };
 

@@ -1,0 +1,90 @@
+// Fixed-bucket log2 latency histogram.
+//
+// 65 buckets cover the full uint64 range: bucket 0 holds the value 0 and
+// bucket b (1 <= b <= 64) holds [2^(b-1), 2^b). Recording is a bit_width and
+// an increment — cheap enough to leave on unconditionally in the kernel's
+// hot paths — and the fixed layout makes per-node histograms mergeable and
+// the JSON serialization deterministic. Quantiles return the *lower bound*
+// of the bucket containing the requested rank, so they are exact whenever
+// the samples themselves are bucket lower bounds (the unit tests exploit
+// this) and otherwise underestimate by at most 2x.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace hal::obs {
+
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value) noexcept {
+    ++buckets_[bucket_of(value)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  std::uint64_t bucket_count(std::size_t b) const noexcept {
+    return buckets_[b];
+  }
+
+  /// Lower bound of bucket b: 0, 1, 2, 4, ... 2^63.
+  static constexpr std::uint64_t bucket_lower(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  /// Index of the bucket that holds `value`.
+  static constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  /// Lower bound of the bucket containing the sample of rank ceil(q * count)
+  /// (1-based, samples in ascending order). 0 on an empty histogram.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    HAL_DASSERT(q > 0.0 && q <= 1.0);
+    // ceil(q * count) without FP edge cases on the boundary: the smallest
+    // rank r with r >= q * count.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) return bucket_lower(b);
+    }
+    return bucket_lower(kBuckets - 1);  // unreachable
+  }
+
+  Log2Histogram& operator+=(const Log2Histogram& other) noexcept {
+    if (other.count_ == 0) return *this;
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return *this;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace hal::obs

@@ -1,0 +1,48 @@
+// Structured run results: the one thing a Halcyon run hands back.
+//
+// RunReport replaces the makespan()/total_stats() accessor pair with a
+// single value object carrying everything the paper's evaluation tables
+// need: machine kind, node count, makespan, per-node and aggregate event
+// counters, and per-probe latency histograms. to_json() is deterministic —
+// fixed key order, integers only — so two SimMachine runs of the same seed
+// serialize byte-identically and BENCH_*.json files diff cleanly across PRs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/probe_recorder.hpp"
+
+namespace hal::obs {
+
+/// Schema identifier embedded in the JSON (bump on layout changes).
+inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v1";
+
+struct RunReport {
+  std::string machine;  ///< "sim" or "thread"
+  std::uint64_t nodes = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t makespan_ns = 0;
+  std::uint64_t dead_letters = 0;
+
+  StatBlock total;                        ///< sum of per_node
+  std::vector<StatBlock> per_node;        ///< index = NodeId
+  ProbeRecorder probes;                   ///< merged across nodes
+  std::vector<ProbeRecorder> per_node_probes;  ///< index = NodeId
+
+  /// Deterministic JSON serialization (schema halcyon.run_report.v1):
+  /// {
+  ///   "schema": "...", "machine": "sim", "nodes": N, "seed": S,
+  ///   "makespan_ns": M, "dead_letters": D,
+  ///   "stats": {"<stat>": count, ...},            // all counters, in order
+  ///   "per_node_stats": [{...}, ...],
+  ///   "probes": {"<probe>": {"unit": "...", "count": C, "sum": S,
+  ///               "min": m, "max": M, "p50": q, "p90": q, "p99": q,
+  ///               "buckets": [[lower_bound, count], ...]}, ...}
+  /// }
+  std::string to_json() const;
+};
+
+}  // namespace hal::obs

@@ -7,11 +7,16 @@
 // Quick tour:
 //   * Declare behaviours with HAL_BEHAVIOR (behavior.hpp).
 //   * Boot a machine with hal::Runtime (runtime.hpp), load behaviours, spawn
-//     a root actor, run to quiescence.
+//     a root actor, run to quiescence. An invalid RuntimeConfig throws a
+//     typed hal::ConfigError (config.hpp) at construction.
 //   * Inside methods, hal::Context provides send / create / become /
 //     migrate_to / grpnew / broadcast / request-reply (context.hpp).
 //   * hal::compiled::send_static is the compiler fast path for local sends
 //     (compiled.hpp).
+//   * After run(), Runtime::report() returns the structured results — the
+//     makespan, per-node and aggregate counters, and per-probe latency
+//     histograms, with deterministic JSON via RunReport::to_json()
+//     (obs/run_report.hpp, docs/observability.md).
 #pragma once
 
 #include "runtime/behavior.hpp"   // IWYU pragma: export

@@ -1,7 +1,10 @@
-// Runtime configuration.
+// Runtime configuration and its validation.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "am/cost_model.hpp"
 #include "common/types.hpp"
@@ -12,6 +15,38 @@ enum class MachineKind : std::uint8_t {
   kSim,     ///< deterministic virtual-time simulator (default)
   kThread,  ///< one OS thread per node
 };
+
+/// Why a RuntimeConfig was rejected (ConfigError::code()).
+enum class ConfigErrorCode : std::uint8_t {
+  kZeroNodes,          ///< nodes == 0: nothing to boot
+  kTooManyNodes,       ///< node id does not fit the 16-bit wire encoding
+  kStackDepthTooLarge, ///< stack-scheduling quantum risks host-stack overflow
+};
+
+/// Typed rejection of an invalid RuntimeConfig. Constructing a Runtime from
+/// an invalid config throws this instead of aborting on an assert, so
+/// embedders (language front-ends, long-lived tools) can surface the problem
+/// to their users.
+class ConfigError : public std::runtime_error {
+ public:
+  ConfigError(ConfigErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ConfigErrorCode code() const noexcept { return code_; }
+
+ private:
+  ConfigErrorCode code_;
+};
+
+/// Node-count ceiling: mail addresses, continuation references and group ids
+/// pack node ids into 16 bits on the wire with 0xffff reserved as the
+/// invalid sentinel, so ids 0..0xfffe are addressable. (The binomial-tree
+/// MST broadcast spans any count below this.)
+inline constexpr NodeId kMaxNodes = 0xffff;
+
+/// Stack-scheduling depth ceiling: each level of compiler-controlled direct
+/// dispatch (§6.3) is a real host-stack frame, so an unbounded quantum turns
+/// deep actor chains into stack overflow.
+inline constexpr std::uint32_t kMaxStackDepth = 4096;
 
 struct RuntimeConfig {
   NodeId nodes = 4;
@@ -44,6 +79,30 @@ struct RuntimeConfig {
   /// Record protocol-level events for Chrome-trace export
   /// (Runtime::write_trace). Deterministic under SimMachine.
   bool trace = false;
+
+  /// Validated construction: returns the first problem found, or nullopt for
+  /// a usable config. Runtime's constructor throws the returned error.
+  std::optional<ConfigError> validate() const {
+    if (nodes == 0) {
+      return ConfigError(ConfigErrorCode::kZeroNodes,
+                         "RuntimeConfig: nodes must be >= 1");
+    }
+    if (nodes > kMaxNodes) {
+      return ConfigError(
+          ConfigErrorCode::kTooManyNodes,
+          "RuntimeConfig: " + std::to_string(nodes) +
+              " nodes exceeds the 16-bit mail-address wire encoding (max " +
+              std::to_string(kMaxNodes) + ")");
+    }
+    if (max_stack_depth > kMaxStackDepth) {
+      return ConfigError(
+          ConfigErrorCode::kStackDepthTooLarge,
+          "RuntimeConfig: max_stack_depth " + std::to_string(max_stack_depth) +
+              " exceeds " + std::to_string(kMaxStackDepth) +
+              " (each level is a host stack frame)");
+    }
+    return std::nullopt;
+  }
 };
 
 }  // namespace hal

@@ -64,6 +64,9 @@ struct JoinContinuation {
   MailAddress creator;
   std::vector<std::uint64_t> slots;
   std::vector<Bytes> blob_slots;
+  /// Creation timestamp (join round-trip probe); continuations are
+  /// node-local, so creation and completion read the same clock.
+  SimTime created_at = 0;
 
   void fill(std::uint32_t slot, std::uint64_t word, Bytes blob) {
     HAL_ASSERT(slot < slots.size());

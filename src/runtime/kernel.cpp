@@ -21,6 +21,7 @@ Kernel::Kernel(am::Machine& machine, NodeId self,
       names_(self, stats_),
       bulk_(machine, self,
             am::BulkHandlers{kHBulkRequest, kHBulkAck, kHBulkData}, stats_,
+            probes_,
             [this](NodeId src, std::uint64_t tag,
                    const std::array<std::uint64_t, 2>& meta, Bytes data) {
               node_manager_->bulk_delivered(src, tag, meta, std::move(data));
@@ -95,7 +96,11 @@ void Kernel::handle(am::Packet p) {
 
 bool Kernel::step() {
   auto item = dispatcher_.next();
-  if (!item.has_value()) return false;
+  if (!item.has_value()) {
+    flush_probes();
+    return false;
+  }
+  ++dispatch_batch_len_;
   // The work hint counts this item until processing *completes*, so idle
   // nodes keep polling while a long method is generating more work.
   if (item->kind == Dispatcher::Item::Kind::kActor) {
@@ -109,6 +114,10 @@ bool Kernel::step() {
     rec->scheduled = false;
     Message m = std::move(rec->mailbox.front());
     rec->mailbox.pop_front();
+    if (m.enqueued_at != 0) {
+      probes_.record_span(obs::Probe::kMailboxResidency, m.enqueued_at,
+                          machine_.now(self_));
+    }
     run_method(item->actor, std::move(m), /*cheap_dispatch=*/false);
   } else {
     run_quantum(item->group, std::move(item->message));
@@ -119,7 +128,18 @@ bool Kernel::step() {
 
 bool Kernel::has_work() const { return !dispatcher_.empty(); }
 
-void Kernel::on_idle() { node_manager_->maybe_poll(); }
+void Kernel::on_idle() {
+  flush_probes();
+  node_manager_->maybe_poll();
+}
+
+void Kernel::flush_probes() {
+  // A dispatcher busy period ends when the ready queue drains (or, for runs
+  // that never idle, when the report is assembled).
+  if (dispatch_batch_len_ == 0) return;
+  probes_.record(obs::Probe::kDispatchBatch, dispatch_batch_len_);
+  dispatch_batch_len_ = 0;
+}
 
 // --- Creation (§5) --------------------------------------------------------------
 
@@ -255,6 +275,7 @@ void Kernel::deliver_local(SlotId actor_slot, Message m) {
     return;
   }
   charge(costs().enqueue_ns);
+  m.enqueued_at = machine_.now(self_);
   rec->mailbox.push_back(std::move(m));
   stats_.bump(Stat::kMessagesDelivered);
   schedule(actor_slot);
@@ -287,6 +308,7 @@ SlotId Kernel::locality_check(const MailAddress& addr) {
 // --- Method execution -------------------------------------------------------------
 
 void Kernel::execute_message(SlotId actor_slot, Message& m) {
+  const SimTime t0 = machine_.now(self_);
   ActorRecord& rec = actors_.get(actor_slot);
   // The behaviour object is heap-stable; the record reference is not (the
   // method may create actors and grow the pool), so take the raw pointer
@@ -298,6 +320,7 @@ void Kernel::execute_message(SlotId actor_slot, Message& m) {
     charge(costs().become_ns);
     actors_.get(actor_slot).impl = std::move(next);
   }
+  probes_.record_span(obs::Probe::kMethodExecution, t0, machine_.now(self_));
 }
 
 void Kernel::run_method(SlotId actor_slot, Message m, bool cheap_dispatch) {
@@ -311,6 +334,7 @@ void Kernel::run_method(SlotId actor_slot, Message m, bool cheap_dispatch) {
   charge(costs().constraint_check_ns);
   if (!rec->impl->method_enabled(m.selector)) {
     charge(costs().enqueue_ns);
+    m.enqueued_at = machine_.now(self_);
     rec->pending.push_back(std::move(m));
     stats_.bump(Stat::kPendingEnqueued);
     post_method(actor_slot, *rec);
@@ -354,6 +378,10 @@ void Kernel::replay_pending(SlotId actor_slot) {
         Message m = std::move(*it);
         rec->pending.erase(it);
         stats_.bump(Stat::kPendingReplayed);
+        if (m.enqueued_at != 0) {
+          probes_.record_span(obs::Probe::kPendingResidency, m.enqueued_at,
+                              machine_.now(self_));
+        }
         charge(costs().dispatch_ns);
         execute_message(actor_slot, m);
         fired = true;
@@ -432,6 +460,7 @@ ContRef Kernel::make_join(std::uint32_t slot_count,
   jc.creator = creator;
   jc.slots.assign(slot_count, 0);
   jc.blob_slots.clear();
+  jc.created_at = machine_.now(self_);
   stats_.bump(Stat::kJoinContinuationsCreated);
   // A continuation that never completes is a protocol bug; hold a work
   // token so quiescence detection turns it into a loud failure.
@@ -481,6 +510,8 @@ void Kernel::fill_join(const ContRef& ref, std::uint64_t word, Bytes blob) {
   JoinContinuation done = std::move(*jc);
   joins_.free(ref.jc);
   machine_.token_release();
+  probes_.record_span(obs::Probe::kJoinRoundTrip, done.created_at,
+                      machine_.now(self_));
   trace_mark(trace::EventKind::kJoinFired, done.slots.size());
   Context ctx(*this, SlotId{}, done.creator, nullptr);
   done.function(ctx, done.view());
@@ -603,7 +634,10 @@ void Kernel::perform_migration(SlotId actor_slot, NodeId target) {
         LocalityDescriptor::make_remote(target, SlotId{}, new_epoch);
   }
   actors_.free(actor_slot);
-  bulk_.send(target, kTagMigration, {0, 0}, std::move(w).take());
+  // meta[0] = departure time: the arrival side charges the end-to-end
+  // migration probe against it.
+  bulk_.send(target, kTagMigration, {machine_.now(self_), 0},
+             std::move(w).take());
 }
 
 void Kernel::terminate_actor(SlotId actor_slot) {

@@ -20,6 +20,7 @@
 #include "common/slot_pool.hpp"
 #include "common/stats.hpp"
 #include "name/name_table.hpp"
+#include "obs/probe_recorder.hpp"
 #include "runtime/actor_record.hpp"
 #include "runtime/config.hpp"
 #include "runtime/dispatcher.hpp"
@@ -139,6 +140,11 @@ class Kernel final : public am::NodeClient {
   NameTable& names() noexcept { return names_; }
   StatBlock& stats() noexcept { return stats_; }
   const StatBlock& stats() const noexcept { return stats_; }
+  obs::ProbeRecorder& probes() noexcept { return probes_; }
+  const obs::ProbeRecorder& probes() const noexcept { return probes_; }
+  /// Close out any open dispatch batch (called by Runtime::report() so a
+  /// run that never idled still contributes its batch-length samples).
+  void flush_probes();
   const BehaviorRegistry& registry() const noexcept { return registry_; }
   const RuntimeConfig& config() const noexcept { return config_; }
   GroupTable& groups() noexcept { return groups_; }
@@ -229,6 +235,7 @@ class Kernel final : public am::NodeClient {
   const RuntimeConfig& config_;
 
   StatBlock stats_;
+  obs::ProbeRecorder probes_;
   NameTable names_;
   SlotPool<ActorRecord> actors_;
   SlotPool<JoinContinuation> joins_;
@@ -240,6 +247,7 @@ class Kernel final : public am::NodeClient {
 
   std::uint32_t group_seq_ = 0;
   std::uint32_t stack_depth_ = 0;
+  std::uint64_t dispatch_batch_len_ = 0;
   std::uint64_t dead_letters_ = 0;
   std::uint64_t place_cursor_ = 0;
   FrontEnd* front_end_ = nullptr;  // node 0 only

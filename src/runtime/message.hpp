@@ -68,6 +68,12 @@ struct Message {
   /// its name-table lookup.
   SlotId dest_desc_hint{};
 
+  /// Queue-residency probe anchor: set when the message enters a mailbox or
+  /// pending queue on the node that will execute it. Never serialized — a
+  /// message that crosses nodes (or migrates inside a mailbox) restarts at 0,
+  /// the "not stamped" sentinel, and its residency sample is skipped.
+  SimTime enqueued_at = 0;
+
   /// Serialize everything except the header words that ride in the packet.
   Bytes encode_body() const {
     ByteWriter w;

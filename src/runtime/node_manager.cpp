@@ -46,6 +46,8 @@ void NodeManager::ship(Message m, SlotId desc_slot) {
 // --- Receiving side (Fig. 3) -----------------------------------------------------
 
 void NodeManager::on_actor_message(const am::Packet& p) {
+  k_.probes().record_span(obs::Probe::kRemoteDelivery, p.stamp,
+                          k_.machine().now(k_.self()));
   Message m;
   m.dest = MailAddress::unpack(p.words[0], p.words[1]);
   m.selector = unpack_sel(p.words[2]);
@@ -131,6 +133,9 @@ void NodeManager::park(const MailAddress& addr, Message m, NodeId origin) {
 void NodeManager::send_fir(const MailAddress& addr, NodeId toward) {
   k_.trace_mark(trace::EventKind::kFirSent, toward);
   k_.stats().bump(Stat::kFirSent);
+  // Anchor the round-trip probe (keep the first anchor if a chase for this
+  // address is somehow re-fired before its response lands).
+  fir_sent_at_.try_emplace(addr, k_.machine().now(k_.self()));
   am::Packet p;
   p.src = k_.self();
   p.dst = toward;
@@ -188,6 +193,13 @@ void NodeManager::on_fir_response(const am::Packet& p) {
   const NodeId node = static_cast<NodeId>(p.words[2]);
   const SlotId rdesc = SlotId::unpack(p.words[3]);
   const auto epoch = static_cast<std::uint32_t>(p.words[4]);
+  if (auto it = fir_sent_at_.find(addr); it != fir_sent_at_.end()) {
+    // Responses also reach nodes that never asked (parked-sender teaching,
+    // migrate acks routed here) — only a node with an anchored FIR samples.
+    k_.probes().record_span(obs::Probe::kFirRoundTrip, it->second,
+                            k_.machine().now(k_.self()));
+    fir_sent_at_.erase(it);
+  }
   k_.stats().bump(Stat::kFirResolved);
   k_.trace_mark(trace::EventKind::kFirResolved, node);
   location_learned(addr, node, rdesc, epoch, /*clear_fir=*/true,
@@ -385,6 +397,8 @@ void NodeManager::member_deliver_local(GroupId gid, std::uint32_t index,
 }
 
 void NodeManager::on_group_broadcast(const am::Packet& p) {
+  k_.probes().record_span(obs::Probe::kBroadcastRelay, p.stamp,
+                          k_.machine().now(k_.self()));
   const GroupId gid = GroupId::unpack(p.words[0]);
   const NodeId root = static_cast<NodeId>(p.words[4]);
   relay_mst(p, root);
@@ -470,7 +484,12 @@ void NodeManager::registered(const MailAddress& addr) {
 
 // --- Migration ----------------------------------------------------------------------------
 
-void NodeManager::migration_arrived(NodeId src, Bytes data) {
+void NodeManager::migration_arrived(NodeId src, SimTime departed_at,
+                                    Bytes data) {
+  if (departed_at != 0) {
+    k_.probes().record_span(obs::Probe::kMigration, departed_at,
+                            k_.machine().now(k_.self()));
+  }
   ByteReader r{std::span<const std::byte>{data}};
   const auto behavior = r.read<BehaviorId>();
   const auto a0 = r.read<std::uint64_t>();
@@ -503,6 +522,13 @@ void NodeManager::migration_arrived(NodeId src, Bytes data) {
   }
   k_.stats().bump(Stat::kMigrationsIn);
   k_.trace_mark(trace::EventKind::kMigrateIn, src, epoch);
+  if (poll_outstanding_) {
+    // Steal success: the poll this node had outstanding was answered with a
+    // migrated actor. (An unsolicited migration racing the poll inflates
+    // the sample set by one — acceptable for a latency distribution.)
+    k_.probes().record_span(obs::Probe::kStealRoundTrip, poll_sent_at_,
+                            k_.machine().now(k_.self()));
+  }
   poll_outstanding_ = false;
   if (rec->has_mail()) k_.schedule(aslot);
 
@@ -548,7 +574,7 @@ void NodeManager::bulk_delivered(NodeId src, std::uint64_t tag,
       break;
     }
     case kTagMigration:
-      migration_arrived(src, std::move(data));
+      migration_arrived(src, meta[0], std::move(data));
       break;
     case kTagMemberMessage: {
       ByteReader r{std::span<const std::byte>{data}};
@@ -586,6 +612,7 @@ void NodeManager::maybe_poll() {
       static_cast<NodeId>(k_.rng().below(k_.node_count() - 1));
   if (victim >= k_.self()) ++victim;
   poll_outstanding_ = true;
+  poll_sent_at_ = k_.machine().now(k_.self());
   k_.stats().bump(Stat::kStealRequestsSent);
   am::Packet p;
   p.src = k_.self();
@@ -630,6 +657,8 @@ void NodeManager::on_steal_request(const am::Packet& p) {
 }
 
 void NodeManager::on_steal_deny(const am::Packet& /*p*/) {
+  k_.probes().record_span(obs::Probe::kStealRoundTrip, poll_sent_at_,
+                          k_.machine().now(k_.self()));
   poll_outstanding_ = false;
   // Poll another random victim while work exists somewhere; the hint check
   // in maybe_poll stops the chatter once the machine drains.

@@ -84,8 +84,10 @@ class NodeManager {
   // --- Load balancing (receiver-initiated random polling, Table 4) -----------
   void maybe_poll();
 
-  /// Migration landed here (also the steal-success path).
-  void migration_arrived(NodeId src, Bytes data);
+  /// Migration landed here (also the steal-success path). `departed_at` is
+  /// the source node's clock when it started packing (bulk meta[0]); 0 means
+  /// unknown and skips the end-to-end migration probe.
+  void migration_arrived(NodeId src, SimTime departed_at, Bytes data);
 
   // --- Introspection (tests) ---------------------------------------------------
   std::size_t parked_messages() const;
@@ -133,7 +135,11 @@ class NodeManager {
   std::unordered_map<GroupId, std::vector<PendingGroupOp>, GroupIdHash>
       await_group_;
 
+  /// FIR round-trip probe anchors: when this node fired the FIR for `addr`.
+  std::unordered_map<MailAddress, SimTime, MailAddressHash> fir_sent_at_;
+
   bool poll_outstanding_ = false;
+  SimTime poll_sent_at_ = 0;  // steal round-trip probe anchor
 };
 
 }  // namespace hal

@@ -11,7 +11,7 @@
 namespace hal {
 
 Runtime::Runtime(RuntimeConfig config) : config_(config) {
-  HAL_ASSERT(config_.nodes >= 1);
+  if (auto err = config_.validate()) throw *err;
   switch (config_.machine) {
     case MachineKind::kSim: {
       auto sim = std::make_unique<am::SimMachine>(config_.nodes, config_.costs);
@@ -51,17 +51,36 @@ void Runtime::run() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
 }
 
-SimTime Runtime::makespan() const {
+SimTime Runtime::makespan_impl() const {
   if (config_.machine == MachineKind::kSim) {
     return static_cast<const am::SimMachine&>(*machine_).makespan();
   }
   return wall_ns_;
 }
 
-StatBlock Runtime::total_stats() const {
+StatBlock Runtime::total_stats_impl() const {
   StatBlock total;
   for (const auto& k : kernels_) total += k->stats();
   return total;
+}
+
+obs::RunReport Runtime::report() {
+  obs::RunReport r;
+  r.machine = config_.machine == MachineKind::kSim ? "sim" : "thread";
+  r.nodes = config_.nodes;
+  r.seed = config_.seed;
+  r.makespan_ns = makespan_impl();
+  r.dead_letters = dead_letters();
+  r.per_node.reserve(kernels_.size());
+  r.per_node_probes.reserve(kernels_.size());
+  for (const auto& k : kernels_) {
+    k->flush_probes();  // close the final dispatch batch of each node
+    r.per_node.push_back(k->stats());
+    r.per_node_probes.push_back(k->probes());
+    r.total += k->stats();
+    r.probes += k->probes();
+  }
+  return r;
 }
 
 std::uint64_t Runtime::dead_letters() const {

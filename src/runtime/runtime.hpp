@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "am/machine.hpp"
+#include "obs/run_report.hpp"
 #include "runtime/context.hpp"
 #include "runtime/front_end.hpp"
 #include "runtime/kernel.hpp"
@@ -95,12 +96,25 @@ class Runtime {
   void run();
 
   // --- Results ------------------------------------------------------------------
-  /// Simulated makespan in virtual ns (SimMachine) or measured wall ns of
-  /// run() (ThreadMachine). This is the "execution time" benchmarks report.
-  SimTime makespan() const;
+  /// The one results entry point: machine kind, node count, makespan,
+  /// per-node + aggregate counters, and per-probe latency histograms, with
+  /// deterministic JSON serialization (obs::RunReport::to_json). Makespan is
+  /// virtual ns under SimMachine and measured wall ns of run() under
+  /// ThreadMachine.
+  obs::RunReport report();
 
-  /// Aggregate per-node counters.
-  StatBlock total_stats() const;
+  /// \deprecated Use report().makespan_ns.
+  [[deprecated("use Runtime::report().makespan_ns")]] SimTime makespan()
+      const {
+    return makespan_impl();
+  }
+
+  /// \deprecated Use report().total (or report().per_node for one node).
+  [[deprecated("use Runtime::report().total")]] StatBlock total_stats()
+      const {
+    return total_stats_impl();
+  }
+
   std::uint64_t dead_letters() const;
 
   /// Console output collected by the front-end, ordered by virtual emission
@@ -152,6 +166,9 @@ class Runtime {
   }
 
  private:
+  SimTime makespan_impl() const;
+  StatBlock total_stats_impl() const;
+
   RuntimeConfig config_;
   BehaviorRegistry registry_;
   std::unique_ptr<am::Machine> machine_;

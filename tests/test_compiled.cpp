@@ -75,7 +75,7 @@ TEST_F(CompiledTest, LocalStaticDispatchBypassesQueue) {
   rt.inject<&Driver::on_static_sends>(d, a, std::int64_t{10});
   rt.run();
   EXPECT_EQ(rt.find_behavior<Acc>(a)->total(), 10);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_GE(stats.get(Stat::kStaticDispatches), 10u);
   // Static dispatches bypass the mailbox entirely: the only buffered local
   // send is the bootstrap injection to the driver.
@@ -91,7 +91,7 @@ TEST_F(CompiledTest, RemoteTargetFallsBackToGenericSend) {
   rt.inject<&Driver::on_static_sends>(d, a, std::int64_t{5});
   rt.run();
   EXPECT_EQ(rt.find_behavior<Acc>(a)->total(), 5);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_GE(stats.get(Stat::kMessagesSentRemote), 5u);
 }
 
@@ -124,7 +124,7 @@ TEST_F(CompiledTest, DepthBudgetBoundsStackNesting) {
   rt.run();
   // All 1001 hops ran (fast path + generic fallbacks), none lost.
   EXPECT_EQ(ChainLink::depth_reached, 1001);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_GT(stats.get(Stat::kGenericDispatches), 0u);
   EXPECT_GT(stats.get(Stat::kStaticDispatches), 0u);
 }

@@ -120,7 +120,7 @@ TEST_F(ContextApi, SendStaticContDeliversReply) {
   rt.inject<&Driver::on_static_cont>(d, w);
   rt.run();
   EXPECT_EQ(Driver::observed, 40);
-  EXPECT_GT(rt.total_stats().get(Stat::kStaticDispatches), 0u);
+  EXPECT_GT(rt.report().total.get(Stat::kStaticDispatches), 0u);
 }
 
 // --- HALlite under the threaded machine ------------------------------------------

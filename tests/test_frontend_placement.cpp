@@ -153,7 +153,7 @@ TEST(NowPreset, HigherLatencyStretchesRemoteTraffic) {
     const MailAddress t = rt.spawn<Talker>(1);
     rt.inject<&Talker::on_say>(t, std::int64_t{0}, std::int64_t{1});
     rt.run();
-    return rt.makespan();
+    return rt.report().makespan_ns;
   };
   const SimTime cm5 = ping_time(am::CostModel::cm5());
   const SimTime now_t = ping_time(am::CostModel::now());

@@ -131,7 +131,7 @@ TEST_P(GroupTest, BroadcastReachesEveryMemberOnce) {
   for (Member* m : members) {
     EXPECT_EQ(m->value(), 7) << "member got duplicated/lost broadcast";
   }
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_EQ(stats.get(Stat::kBroadcastsSent), 2u);
   // MST relays: ≤ P-1 per broadcast (plus the group-create relay).
   EXPECT_LE(stats.get(Stat::kBroadcastFanout), 3u * (4 - 1));

@@ -74,7 +74,7 @@ TEST_P(LoadBalanceTest, StealingSpreadsWork) {
   rt.run();
   EXPECT_EQ(Seeder::completed, 64u);
   EXPECT_EQ(rt.dead_letters(), 0u);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_EQ(stats.get(Stat::kMigrationsIn),
             stats.get(Stat::kMigrationsOut));
   if (GetParam() == MachineKind::kSim) {
@@ -101,7 +101,7 @@ TEST_P(LoadBalanceTest, WithoutLbEverythingRunsAtSeed) {
   EXPECT_EQ(Seeder::completed, 32u);
   EXPECT_EQ(Seeder::node_histogram.size(), 1u);
   EXPECT_EQ(Seeder::node_histogram[0], 32);
-  EXPECT_EQ(rt.total_stats().get(Stat::kStealRequestsSent), 0u);
+  EXPECT_EQ(rt.report().total.get(Stat::kStealRequestsSent), 0u);
 }
 
 TEST_P(LoadBalanceTest, SimLbReducesMakespan) {
@@ -118,7 +118,7 @@ TEST_P(LoadBalanceTest, SimLbReducesMakespan) {
     rt.inject<&Seeder::on_seed>(s, std::int64_t{128}, std::int64_t{50000});
     rt.run();
     EXPECT_EQ(Seeder::completed, 128u);
-    return rt.makespan();
+    return rt.report().makespan_ns;
   };
   const SimTime without = measure(false);
   const SimTime with = measure(true);
@@ -133,7 +133,7 @@ TEST_P(LoadBalanceTest, IdleMachineStaysQuiescent) {
   Runtime rt(cfg(4, /*lb=*/true));
   rt.load<WorkItem>();
   rt.run();
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_EQ(stats.get(Stat::kStealRequestsSent), 0u);
 }
 

@@ -107,7 +107,7 @@ TEST_P(MigrationTest, StateAndMailboxTravel) {
   EXPECT_EQ(obj->hops(), 2);
   EXPECT_EQ(host_of(rt, w), 2u);
   EXPECT_EQ(rt.dead_letters(), 0u);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_EQ(stats.get(Stat::kMigrationsOut), 2u);
   EXPECT_EQ(stats.get(Stat::kMigrationsIn), 2u);
 }
@@ -130,7 +130,7 @@ TEST_P(MigrationTest, ThirdPartySendTriggersFirChase) {
   EXPECT_EQ(obj->sum(), 10);  // exactly-once despite the chase
   EXPECT_EQ(rt.dead_letters(), 0u);
   if (is_sim()) {
-    const StatBlock stats = rt.total_stats();
+    const StatBlock stats = rt.report().total;
     EXPECT_GE(stats.get(Stat::kMessagesForwarded), 1u);
     EXPECT_GE(stats.get(Stat::kFirSent), 1u);
     EXPECT_GE(stats.get(Stat::kFirResolved), 1u);
@@ -179,7 +179,7 @@ TEST_P(MigrationTest, SecondSendUsesUpdatedTables) {
   Wanderer* obj = rt.find_behavior<Wanderer>(w);
   ASSERT_NE(obj, nullptr);
   EXPECT_EQ(obj->sum(), 5);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   // Only the probe should have been forwarded; the burst went direct.
   EXPECT_EQ(stats.get(Stat::kMessagesForwarded), 1u);
   // Node 3 learned the location: its descriptor names node 2 directly.
@@ -219,7 +219,7 @@ TEST_P(MigrationTest, PendingConstraintMessagesTravel) {
   // The guarded add executed after unlock, on the new node.
   EXPECT_EQ(obj->sum(), 2000);
   EXPECT_EQ(host_of(rt, w), 2u);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_GE(stats.get(Stat::kPendingEnqueued), 1u);
 }
 

@@ -106,7 +106,7 @@ TEST_P(MigrationStorm, ExactlyOnceDeliveryUnderRelocation) {
   EXPECT_EQ(received, StormDriver::sent_adds.load());
   EXPECT_EQ(rt.dead_letters(), 0u);
   EXPECT_EQ(rt.machine().tokens(), 0u);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_EQ(stats.get(Stat::kMigrationsIn), stats.get(Stat::kMigrationsOut));
 }
 
@@ -178,8 +178,8 @@ TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
     const MailAddress drv = rt.spawn<StormDriver>(1);
     rt.inject<&StormDriver::on_storm>(drv, seed, std::int64_t{150}, a, b, a);
     rt.run();
-    return std::pair(rt.makespan(),
-                     rt.total_stats().get(Stat::kMessagesSentRemote));
+    return std::pair(rt.report().makespan_ns,
+                     rt.report().total.get(Stat::kMessagesSentRemote));
   };
   const auto r1 = run_once(77);
   const auto r2 = run_once(77);

@@ -170,7 +170,7 @@ TEST_P(RuntimeCore, RemoteSendCrossesNodes) {
   EXPECT_EQ(obj->value(), 1);
   // inject ran on node 3 (the home), so this delivery was local; but the
   // bootstrap injection charged the local path. Now check stats exist.
-  EXPECT_EQ(rt.total_stats().get(Stat::kActorsCreatedLocal), 1u);
+  EXPECT_EQ(rt.report().total.get(Stat::kActorsCreatedLocal), 1u);
 }
 
 TEST_P(RuntimeCore, PingPongAcrossNodes) {
@@ -188,7 +188,7 @@ TEST_P(RuntimeCore, PingPongAcrossNodes) {
   ASSERT_EQ(s->values.size(), 1u);
   // ping(20) yields pongs carrying 19, 18, …, 0: exactly 20 round trips.
   EXPECT_EQ(s->values[0], 20);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_GT(stats.get(Stat::kMessagesSentRemote), 0u);
   EXPECT_EQ(rt.dead_letters(), 0u);
 }
@@ -223,7 +223,7 @@ TEST_P(RuntimeCore, RemoteCreationWithAlias) {
   Counter* obj = rt.find_behavior<Counter>(Spawner::created);
   ASSERT_NE(obj, nullptr);
   EXPECT_EQ(obj->value(), 42);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_EQ(stats.get(Stat::kAliasesAllocated), 1u);
   EXPECT_EQ(stats.get(Stat::kActorsCreatedRemote), 1u);
 }
@@ -239,7 +239,7 @@ TEST_P(RuntimeCore, RequestReplyViaJoinContinuation) {
   rt.inject<&Probe::on_ask_counter>(p, c);
   rt.run();
   EXPECT_EQ(Probe::last_seen, 123);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_GE(stats.get(Stat::kJoinContinuationsCreated), 1u);
   EXPECT_GE(stats.get(Stat::kRepliesJoined), 1u);
 }
@@ -269,7 +269,7 @@ TEST_P(RuntimeCore, SynchronizationConstraintDefersTake) {
   rt.inject<&Taker::on_go>(taker, cell);
   rt.run();
   EXPECT_EQ(Taker::taken, 55);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_GE(stats.get(Stat::kPendingEnqueued), 1u);
   EXPECT_GE(stats.get(Stat::kPendingReplayed), 1u);
 }

@@ -282,15 +282,19 @@ struct BulkStressHarness {
   };
   std::vector<Client> clients;
   std::vector<StatBlock> stats;
+  std::vector<obs::ProbeRecorder> probes;
   std::vector<std::unique_ptr<am::BulkChannel>> channels;
 
   explicit BulkStressHarness(NodeId nodes)
-      : machine(nodes, am::CostModel::zero()), clients(nodes), stats(nodes) {
+      : machine(nodes, am::CostModel::zero()),
+        clients(nodes),
+        stats(nodes),
+        probes(nodes) {
     const am::BulkHandlers h{10, 11, 12};
     for (NodeId n = 0; n < nodes; ++n) {
       auto* client = &clients[n];
       channels.push_back(std::make_unique<am::BulkChannel>(
-          machine, n, h, stats[n],
+          machine, n, h, stats[n], probes[n],
           [client](NodeId, std::uint64_t tag,
                    const std::array<std::uint64_t, 2>&, Bytes data) {
             client->delivered.emplace(tag, std::move(data));
@@ -429,7 +433,7 @@ TEST(ThreadMachineStress, MigrationStormWithLoadBalancer) {
   EXPECT_EQ(received, StressDriver::sent_adds.load());
   EXPECT_EQ(rt.dead_letters(), 0u);
   EXPECT_EQ(rt.machine().tokens(), 0u);
-  const StatBlock stats = rt.total_stats();
+  const StatBlock stats = rt.report().total;
   EXPECT_EQ(stats.get(Stat::kMigrationsIn), stats.get(Stat::kMigrationsOut));
 }
 
