@@ -8,12 +8,13 @@ namespace hal::am {
 
 BulkChannel::BulkChannel(Machine& machine, NodeId self, BulkHandlers handlers,
                          StatBlock& stats, obs::ProbeRecorder& probes,
-                         DeliverFn deliver)
+                         BufferPool& pool, DeliverFn deliver)
     : machine_(machine),
       self_(self),
       handlers_(handlers),
       stats_(stats),
       probes_(probes),
+      pool_(pool),
       deliver_(std::move(deliver)) {
   HAL_ASSERT(deliver_ != nullptr);
 }
@@ -53,7 +54,7 @@ void BulkChannel::grant(const PendingGrant& g) {
   Inbound in;
   in.tag = g.tag;
   in.meta = g.meta;
-  in.data.resize(g.size);
+  in.data = pool_.acquire(g.size);
   in.started_at = g.started_at;
   if (g.size == 0) {
     // Degenerate transfer: nothing to stream; complete at grant time. Still
@@ -107,11 +108,13 @@ void BulkChannel::on_ack(const Packet& p) {
     d.dst = out.dst;
     d.handler = handlers_.data;
     d.words = {id, offset, 0, 0, 0, 0};
-    d.payload.assign(out.data.begin() + static_cast<std::ptrdiff_t>(offset),
-                     out.data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    d.payload = pool_.acquire(len);
+    std::memcpy(d.payload.data(), out.data.data() + offset, len);
     machine_.send(std::move(d));
     offset += len;
   }
+  // The whole buffer has been streamed; recycle it.
+  pool_.release(std::move(out.data));
 }
 
 void BulkChannel::on_data(const Packet& p) {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "am/machine.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/stats.hpp"
 #include "obs/probe_recorder.hpp"
 
@@ -39,8 +40,12 @@ class BulkChannel {
       std::function<void(NodeId src, std::uint64_t tag,
                          const std::array<std::uint64_t, 2>& meta, Bytes data)>;
 
+  /// `pool` recycles transfer buffers (assembly targets, DATA chunk
+  /// payloads); it is the owning kernel's pool, touched only on this node's
+  /// execution stream.
   BulkChannel(Machine& machine, NodeId self, BulkHandlers handlers,
-              StatBlock& stats, obs::ProbeRecorder& probes, DeliverFn deliver);
+              StatBlock& stats, obs::ProbeRecorder& probes, BufferPool& pool,
+              DeliverFn deliver);
 
   /// Begin a transfer; returns the local transfer id. The data is held until
   /// the receiver grants the transfer. `tag`/`meta` travel with the REQUEST
@@ -98,6 +103,7 @@ class BulkChannel {
   BulkHandlers handlers_;
   StatBlock& stats_;
   obs::ProbeRecorder& probes_;
+  BufferPool& pool_;
   DeliverFn deliver_;
   std::uint64_t next_id_ = 1;
   bool flow_control_ = true;

@@ -38,7 +38,14 @@ struct Packet {
   NodeId dst = kInvalidNode;
   std::uint32_t handler = 0;
   std::array<std::uint64_t, kPacketWords> words{};
-  Bytes payload;  // ≤ kMaxInlinePayload except for bulk DATA chunks
+  /// ≤ kMaxInlinePayload except for bulk DATA chunks. For actor messages
+  /// the layout is Message::encode_body_into's: the inline argument words
+  /// (count announced in the header's sel/argc word) followed directly by
+  /// the bulk-argument bytes — no length word; the remainder of the buffer
+  /// *is* the message payload, so an arg-only message costs zero payload
+  /// bytes. Buffers come from the sending kernel's BufferPool and retire
+  /// into the receiving kernel's pool after the handler runs.
+  Bytes payload;
   /// Injection timestamp, stamped by Machine::send — virtual ns under
   /// SimMachine, wall ns under ThreadMachine. Feeds the delivery-latency
   /// probes; not part of the modeled wire format (the real CMAM packet has

@@ -106,7 +106,10 @@ void SimMachine::run() {
   }
 
   while (!queue_.empty() && !stop_requested()) {
-    Event e = queue_.top();
+    // top() yields a const ref; moving through it is safe because the
+    // element is popped immediately, and it avoids copying the packet
+    // payload (one heap allocation per delivery otherwise).
+    Event e = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     ++events_done_;
     if (event_limit_ != 0 && events_done_ > event_limit_) {

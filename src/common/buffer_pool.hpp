@@ -1,0 +1,126 @@
+// Size-classed free-list pool of payload buffers.
+//
+// Every message that crosses a node boundary needs an owned byte buffer
+// (packet payload, bulk transfer body, migration image). Allocating a fresh
+// `Bytes` per message puts malloc/free on the messaging hot path — exactly
+// the overhead the paper's active-message mapping is meant to avoid, and
+// what CAF attributes most of its fine-grain throughput loss to. A
+// BufferPool recycles retired buffers in per-size-class free lists so
+// steady-state messaging performs no heap allocation at all.
+//
+// Ownership discipline matches the rest of the runtime (DESIGN.md §5):
+// each kernel owns one pool and touches it only from its own execution
+// stream, so there is no locking. Under the ThreadMachine the pools are
+// thereby sharded per node thread; a buffer acquired on the sending node
+// travels inside the packet and retires into the *receiving* node's pool,
+// which is safe because `Bytes` carries its own allocation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace hal {
+
+class BufferPool {
+ public:
+  /// Size-class capacities. Classes cover the wire traffic tiers: inline
+  /// message bodies (≤ 8 args · 8 B = 64 B), small payload-bearing packets
+  /// (≤ kMaxInlinePayload = 512 B), bulk DATA chunks (kBulkChunkBytes =
+  /// 4 KiB), and whole bulk transfers / migration images (64 KiB). Larger
+  /// requests fall through to plain allocation and are dropped on release.
+  static constexpr std::array<std::size_t, 4> kClassBytes = {64, 512, 4096,
+                                                            65536};
+  /// Free-list depth bound per class: a pool retains at most this many idle
+  /// buffers per class (≈ 2.3 MiB worst case per node), so a burst cannot
+  /// permanently pin its high-water mark in memory.
+  static constexpr std::size_t kMaxFreePerClass = 32;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer with size() == len, recycled when possible. The memory is not
+  /// zeroed beyond what vector::resize of a recycled buffer defines —
+  /// callers overwrite the full extent.
+  Bytes acquire(std::size_t len) {
+    Bytes b = reserve(len);
+    b.resize(len);  // within reserved capacity: no allocation
+    return b;
+  }
+
+  /// An empty buffer with capacity() >= cap (for ByteWriter-style append
+  /// serialization). Oversized requests get a plain fresh buffer.
+  Bytes reserve(std::size_t cap) {
+    const std::size_t cls = class_for(cap);
+    if (cls < kClassBytes.size()) {
+      FreeList& fl = free_[cls];
+      if (fl.count > 0) {
+        ++hits_;
+        Bytes b = std::move(fl.buffers[--fl.count]);
+        b.clear();
+        return b;
+      }
+      ++misses_;
+      Bytes b;
+      b.reserve(kClassBytes[cls]);
+      return b;
+    }
+    ++misses_;
+    Bytes b;
+    b.reserve(cap);
+    return b;
+  }
+
+  /// Retire a buffer into the free list of the largest class its capacity
+  /// covers. Buffers too small for the smallest class (e.g. moved-from
+  /// shells), oversized one-offs, and overflow beyond the per-class bound
+  /// are simply dropped (freed by ~Bytes).
+  void release(Bytes&& b) {
+    const std::size_t cap = b.capacity();
+    if (cap < kClassBytes.front()) return;  // nothing worth keeping
+    // Largest class with kClassBytes[cls] <= cap serves any request of that
+    // class without reallocating.
+    std::size_t cls = 0;
+    while (cls + 1 < kClassBytes.size() && kClassBytes[cls + 1] <= cap) ++cls;
+    if (cap > 2 * kClassBytes.back()) return;  // oversized one-off
+    FreeList& fl = free_[cls];
+    if (fl.count >= kMaxFreePerClass) return;  // bounded
+    ++returns_;
+    fl.buffers[fl.count++] = std::move(b);
+  }
+
+  // --- Introspection (tests, diagnostics) ----------------------------------
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t returns() const noexcept { return returns_; }
+  std::size_t idle_buffers() const noexcept {
+    std::size_t n = 0;
+    for (const FreeList& fl : free_) n += fl.count;
+    return n;
+  }
+
+ private:
+  /// Smallest class that can hold `len`; kClassBytes.size() if none.
+  static std::size_t class_for(std::size_t len) noexcept {
+    for (std::size_t i = 0; i < kClassBytes.size(); ++i) {
+      if (len <= kClassBytes[i]) return i;
+    }
+    return kClassBytes.size();
+  }
+
+  struct FreeList {
+    std::array<Bytes, kMaxFreePerClass> buffers{};
+    std::size_t count = 0;
+  };
+
+  std::array<FreeList, kClassBytes.size()> free_{};
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t returns_ = 0;
+};
+
+}  // namespace hal

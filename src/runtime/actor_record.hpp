@@ -7,9 +7,9 @@
 // slot of its locality descriptor on the current node.
 #pragma once
 
-#include <deque>
 #include <memory>
 
+#include "common/ring_buffer.hpp"
 #include "common/slot_pool.hpp"
 #include "runtime/actor_base.hpp"
 #include "runtime/message.hpp"
@@ -32,9 +32,9 @@ struct ActorRecord {
   SlotId alias_desc{};
 
   /// Buffered incoming messages (the Actor model's mail queue).
-  std::deque<Message> mailbox;
+  RingDeque<Message> mailbox;
   /// Messages whose method was disabled when dispatched (§6.1).
-  std::deque<Message> pending;
+  RingDeque<Message> pending;
 
   /// Actor is in the dispatcher's ready structure.
   bool scheduled = false;

@@ -7,11 +7,17 @@
 // context switch. Two item kinds exist: a ready actor (one buffered message
 // to dispatch) and a broadcast *quantum* (§6.4) — all local members of a
 // group processing the same broadcast message consecutively, TAM-style.
+//
+// The ready structure is a growable power-of-two ring of 40-byte items:
+// the broadcast message of a kQuantum item lives in a small side pool and
+// the item carries only its SlotId, so scheduling an actor never copies a
+// Message and steady-state dispatch performs no heap allocation (the ring
+// stops growing at the run's high-water depth).
 #pragma once
 
-#include <deque>
 #include <optional>
 
+#include "common/ring_buffer.hpp"
 #include "common/slot_pool.hpp"
 #include "runtime/message.hpp"
 
@@ -22,9 +28,9 @@ class Dispatcher {
   struct Item {
     enum class Kind : std::uint8_t { kActor, kQuantum };
     Kind kind = Kind::kActor;
-    SlotId actor{};    // kActor
-    GroupId group{};   // kQuantum
-    Message message;   // kQuantum: the broadcast being delivered
+    SlotId actor{};  // kActor
+    GroupId group{};  // kQuantum
+    SlotId qmsg{};   // kQuantum: side-pool slot of the broadcast being delivered
   };
 
   void schedule_actor(SlotId actor) {
@@ -32,15 +38,21 @@ class Dispatcher {
   }
 
   void schedule_quantum(GroupId group, Message m) {
-    ready_.push_back(
-        Item{Item::Kind::kQuantum, {}, group, std::move(m)});
+    const SlotId qmsg = quantum_msgs_.allocate(std::move(m));
+    ready_.push_back(Item{Item::Kind::kQuantum, {}, group, qmsg});
   }
 
   std::optional<Item> next() {
     if (ready_.empty()) return std::nullopt;
-    Item item = std::move(ready_.front());
-    ready_.pop_front();
-    return item;
+    return ready_.take_front();
+  }
+
+  /// Claim the broadcast message of a kQuantum item (frees its pool slot).
+  Message take_message(const Item& item) {
+    HAL_DASSERT(item.kind == Item::Kind::kQuantum);
+    Message m = std::move(quantum_msgs_.get(item.qmsg));
+    quantum_msgs_.free(item.qmsg);
+    return m;
   }
 
   bool empty() const noexcept { return ready_.empty(); }
@@ -52,10 +64,11 @@ class Dispatcher {
   /// trees that is the one closest to the root, i.e. the largest subtree.
   template <typename Pred>
   std::optional<SlotId> steal_if(Pred&& pred) {
-    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
-      if (it->kind == Item::Kind::kActor && pred(it->actor)) {
-        SlotId victim = it->actor;
-        ready_.erase(it);
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      const Item& item = ready_[i];
+      if (item.kind == Item::Kind::kActor && pred(item.actor)) {
+        SlotId victim = item.actor;
+        ready_.erase_at(i);
         return victim;
       }
     }
@@ -63,7 +76,8 @@ class Dispatcher {
   }
 
  private:
-  std::deque<Item> ready_;
+  RingDeque<Item> ready_;
+  SlotPool<Message> quantum_msgs_;
 };
 
 }  // namespace hal

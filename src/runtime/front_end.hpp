@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -29,10 +30,12 @@ class FrontEnd {
   };
 
   /// Called on node 0's execution stream (ThreadMachine: node 0's thread;
-  /// bootstrap: the main thread) — serialized defensively anyway.
-  void append(SimTime time, NodeId node, std::string text) {
+  /// bootstrap: the main thread) — serialized defensively anyway. Takes a
+  /// view over the packet payload; the owning string is built in place here,
+  /// not by the caller.
+  void append(SimTime time, NodeId node, std::string_view text) {
     std::lock_guard lock(mutex_);
-    lines_.push_back(Line{time, node, std::move(text)});
+    lines_.push_back(Line{time, node, std::string(text)});
   }
 
   /// All output, ordered by virtual emission time (stable for ties).

@@ -21,7 +21,7 @@ Kernel::Kernel(am::Machine& machine, NodeId self,
       names_(self, stats_),
       bulk_(machine, self,
             am::BulkHandlers{kHBulkRequest, kHBulkAck, kHBulkData}, stats_,
-            probes_,
+            probes_, pool_,
             [this](NodeId src, std::uint64_t tag,
                    const std::array<std::uint64_t, 2>& meta, Bytes data) {
               node_manager_->bulk_delivered(src, tag, meta, std::move(data));
@@ -85,13 +85,18 @@ void Kernel::handle(am::Packet p) {
       HAL_ASSERT(self_ == 0 && front_end_ != nullptr);
       front_end_->append(
           p.words[0], static_cast<NodeId>(p.words[1]),
-          std::string(reinterpret_cast<const char*>(p.payload.data()),
-                      p.payload.size()));
+          std::string_view(reinterpret_cast<const char*>(p.payload.data()),
+                           p.payload.size()));
       break;
     }
     default:
       HAL_PANIC("Kernel::handle: unknown handler id");
   }
+  // Every handler above takes the packet by const reference (message bodies
+  // are decoded into pooled buffers, bulk chunks memcpy'd out), so the
+  // payload buffer retires here — into the *receiving* node's pool, closing
+  // the recycling loop for cross-node traffic.
+  pool_.release(std::move(p.payload));
 }
 
 bool Kernel::step() {
@@ -120,7 +125,7 @@ bool Kernel::step() {
     }
     run_method(item->actor, std::move(m), /*cheap_dispatch=*/false);
   } else {
-    run_quantum(item->group, std::move(item->message));
+    run_quantum(item->group, dispatcher_.take_message(*item));
   }
   machine_.work_hint_add(-1);
   return true;
@@ -321,6 +326,9 @@ void Kernel::execute_message(SlotId actor_slot, Message& m) {
     actors_.get(actor_slot).impl = std::move(next);
   }
   probes_.record_span(obs::Probe::kMethodExecution, t0, machine_.now(self_));
+  // The message is consumed; recycle its payload buffer (a no-op shell if
+  // the method moved the blob out).
+  pool_.release(std::move(m.payload));
 }
 
 void Kernel::run_method(SlotId actor_slot, Message m, bool cheap_dispatch) {
@@ -372,11 +380,11 @@ void Kernel::replay_pending(SlotId actor_slot) {
       return;
     }
     bool fired = false;
-    for (auto it = rec->pending.begin(); it != rec->pending.end(); ++it) {
+    for (std::size_t i = 0; i < rec->pending.size(); ++i) {
       charge(costs().constraint_check_ns);
-      if (rec->impl->method_enabled(it->selector)) {
-        Message m = std::move(*it);
-        rec->pending.erase(it);
+      if (rec->impl->method_enabled(rec->pending[i].selector)) {
+        Message m = std::move(rec->pending[i]);
+        rec->pending.erase_at(i);
         stats_.bump(Stat::kPendingReplayed);
         if (m.enqueued_at != 0) {
           probes_.record_span(obs::Probe::kPendingResidency, m.enqueued_at,
@@ -432,7 +440,7 @@ void Kernel::run_quantum(GroupId gid, Message m) {
   const auto members = g->members;
   for (const auto& [index, addr] : members) {
     (void)index;
-    Message copy = m;
+    Message copy = m.clone_using(pool_);
     copy.dest = addr;
     const SlotId ds = names_.resolve(addr);
     const LocalityDescriptor* d =
@@ -444,6 +452,7 @@ void Kernel::run_quantum(GroupId gid, Message m) {
       send_message(std::move(copy));
     }
   }
+  pool_.release(std::move(m.payload));
 }
 
 // --- Join continuations (§6.2) -------------------------------------------------
@@ -481,10 +490,10 @@ void Kernel::reply_to(const ContRef& ref, std::uint64_t word, Bytes blob) {
   if (blob.size() > am::kMaxInlinePayload) {
     // Large reply (e.g. a matrix block): three-phase bulk transfer with the
     // continuation slot in the metadata and the value word prefixed.
-    Bytes data;
-    data.resize(sizeof(std::uint64_t) + blob.size());
+    Bytes data = pool_.acquire(sizeof(std::uint64_t) + blob.size());
     std::memcpy(data.data(), &word, sizeof(word));
     std::memcpy(data.data() + sizeof(word), blob.data(), blob.size());
+    pool_.release(std::move(blob));
     bulk_.send(ref.node, kTagReplyBlob, {ref.jc.pack(), ref.slot},
                std::move(data));
     return;
@@ -543,16 +552,18 @@ void Kernel::group_broadcast(
   m.args = args;
   m.cont = cont;
   m.payload = std::move(payload);
-  const Bytes body = m.encode_body();
-  HAL_ASSERT(body.size() <= am::kMaxInlinePayload);  // broadcasts stay small
+  HAL_ASSERT(m.body_bytes() <= am::kMaxInlinePayload);  // broadcasts stay small
+  Bytes body = pool_.reserve(m.body_bytes());
+  m.encode_body_into(body);
 
   am::Packet p;
   p.src = self_;
   p.handler = kHGroupBroadcast;
   p.words = {gid.pack(), pack_sel_argc(sel, argc), cont.pack_word0(),
              cont.pack_word1(), self_, 0};
-  p.payload = body;
+  p.payload = std::move(body);
   node_manager_->relay_mst(p, self_);
+  pool_.release(std::move(p.payload));
 
   // Local delivery: a quantum if the group is known here, parked otherwise.
   node_manager_->broadcast_deliver_local(gid, std::move(m));
@@ -565,12 +576,12 @@ void Kernel::group_member_send(GroupId gid, NodeId root, std::uint32_t index,
     node_manager_->member_deliver_local(gid, index, std::move(m));
     return;
   }
-  Bytes body = m.encode_body();
-  if (body.size() > am::kMaxInlinePayload) {
+  if (m.body_bytes() > am::kMaxInlinePayload) {
     // Large member-directed message (e.g. a matrix column): three-phase
     // bulk transfer, resolved against the group table on the birth node.
-    ByteWriter w;
+    ByteWriter w(pool_.reserve(m.full_bytes()));
     m.encode_full(w);
+    pool_.release(std::move(m.payload));
     bulk_.send(home, kTagMemberMessage, {gid.pack(), index},
                std::move(w).take());
     return;
@@ -581,7 +592,9 @@ void Kernel::group_member_send(GroupId gid, NodeId root, std::uint32_t index,
   p.handler = kHGroupMemberSend;
   p.words = {gid.pack(), index, pack_sel_argc(m.selector, m.argc),
              m.cont.pack_word0(), m.cont.pack_word1(), 0};
-  p.payload = std::move(body);
+  p.payload = pool_.reserve(m.body_bytes());
+  m.encode_body_into(p.payload);
+  pool_.release(std::move(m.payload));
   machine_.send(std::move(p));
 }
 
@@ -607,7 +620,7 @@ void Kernel::perform_migration(SlotId actor_slot, NodeId target) {
   const std::uint32_t new_epoch = rec.epoch + 1;
   trace_mark(trace::EventKind::kMigrateOut, target, new_epoch);
 
-  ByteWriter w;
+  ByteWriter w(pool_.reserve(am::kBulkChunkBytes));
   w.write(rec.behavior);
   w.write(rec.address.pack_word0());
   w.write(rec.address.pack_word1());
@@ -615,13 +628,17 @@ void Kernel::perform_migration(SlotId actor_slot, NodeId target) {
   w.write(rec.alias.pack_word1());
   w.write(new_epoch);
   w.write(static_cast<std::uint8_t>(rec.relocatable ? 1 : 0));
-  ByteWriter state;
+  ByteWriter state(pool_.reserve(0));
   rec.impl->pack_state(state);
-  w.write_bytes(std::move(state).take());
+  Bytes state_bytes = std::move(state).take();
+  w.write_bytes(state_bytes);
+  pool_.release(std::move(state_bytes));
   w.write(static_cast<std::uint32_t>(rec.mailbox.size()));
-  for (const Message& m : rec.mailbox) m.encode_full(w);
+  for (std::size_t i = 0; i < rec.mailbox.size(); ++i)
+    rec.mailbox[i].encode_full(w);
   w.write(static_cast<std::uint32_t>(rec.pending.size()));
-  for (const Message& m : rec.pending) m.encode_full(w);
+  for (std::size_t i = 0; i < rec.pending.size(); ++i)
+    rec.pending[i].encode_full(w);
 
   // The descriptors left behind become the forward chain (§4.3); the
   // descriptor address at the new node is cached when the MigrateAck
@@ -670,8 +687,8 @@ void Kernel::console_print(std::string_view text) {
   p.dst = 0;
   p.handler = kHConsole;
   p.words = {machine_.now(self_), self_, 0, 0, 0, 0};
-  p.payload.resize(n);
-  std::memcpy(p.payload.data(), text.data(), n);
+  p.payload = pool_.acquire(n);
+  if (n != 0) std::memcpy(p.payload.data(), text.data(), n);
   machine_.send(std::move(p));
 }
 

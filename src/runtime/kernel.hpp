@@ -16,6 +16,7 @@
 
 #include "am/bulk.hpp"
 #include "am/machine.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/rng.hpp"
 #include "common/slot_pool.hpp"
 #include "common/stats.hpp"
@@ -148,6 +149,10 @@ class Kernel final : public am::NodeClient {
   const BehaviorRegistry& registry() const noexcept { return registry_; }
   const RuntimeConfig& config() const noexcept { return config_; }
   GroupTable& groups() noexcept { return groups_; }
+  /// This node's payload-buffer pool. Single-owner: touched only from this
+  /// kernel's execution stream (thread under ThreadMachine, interleaved
+  /// stream under SimMachine).
+  BufferPool& pool() noexcept { return pool_; }
   Dispatcher& dispatcher() noexcept { return dispatcher_; }
   Xoshiro256& rng() noexcept { return rng_; }
   am::BulkChannel& bulk() noexcept { return bulk_; }
@@ -236,6 +241,7 @@ class Kernel final : public am::NodeClient {
 
   StatBlock stats_;
   obs::ProbeRecorder probes_;
+  BufferPool pool_;  // declared before bulk_: BulkChannel holds a reference
   NameTable names_;
   SlotPool<ActorRecord> actors_;
   SlotPool<JoinContinuation> joins_;

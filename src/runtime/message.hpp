@@ -9,7 +9,9 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 
+#include "common/buffer_pool.hpp"
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "name/mail_address.hpp"
@@ -55,6 +57,12 @@ struct ContRef {
 /// Inline argument words a message can carry without a payload buffer.
 inline constexpr std::size_t kMsgInlineWords = 8;
 
+/// Spare bit of the serialized argc byte (argc <= 8 needs 4 bits) marking
+/// "a payload block follows" in the full encoding. An empty payload costs
+/// zero bytes on the wire instead of the 8-byte length word the original
+/// format always wrote.
+inline constexpr std::uint8_t kArgcPayloadFlag = 0x80;
+
 struct Message {
   MailAddress dest;
   Selector selector = 0;
@@ -74,35 +82,81 @@ struct Message {
   /// the "not stamped" sentinel, and its residency sample is skipped.
   SimTime enqueued_at = 0;
 
-  /// Serialize everything except the header words that ride in the packet.
-  Bytes encode_body() const {
-    ByteWriter w;
-    for (std::uint8_t i = 0; i < argc; ++i) w.write(args[i]);
-    w.write_bytes(payload);
-    return std::move(w).take();
+  /// Wire size of the body: inline argument words followed directly by the
+  /// payload bytes. No length word — the payload extent is implied by the
+  /// packet's payload size minus the argc announced in the header word.
+  std::size_t body_bytes() const noexcept {
+    return sizeof(std::uint64_t) * argc + payload.size();
   }
 
-  void decode_body(std::span<const std::byte> body) {
-    ByteReader r(body);
-    for (std::uint8_t i = 0; i < argc; ++i) args[i] = r.read<std::uint64_t>();
-    auto b = r.read_bytes();
-    payload.assign(b.begin(), b.end());
+  /// Wire size of the full encoding (header + body; see encode_full).
+  std::size_t full_bytes() const noexcept {
+    return 4 * sizeof(std::uint64_t) + sizeof(Selector) +
+           sizeof(std::uint8_t) + sizeof(std::uint64_t) * argc +
+           (payload.empty() ? 0 : sizeof(std::uint64_t) + payload.size());
+  }
+
+  /// Serialize the body into `out` (resized to body_bytes()). The fast
+  /// path: two memcpys into a caller-supplied — typically pooled — buffer,
+  /// no ByteWriter, no length word, zero bytes for an arg-only message...
+  /// and zero heap allocation when out.capacity() >= body_bytes().
+  void encode_body_into(Bytes& out) const {
+    out.resize(body_bytes());
+    if (argc != 0) {
+      std::memcpy(out.data(), args.data(), sizeof(std::uint64_t) * argc);
+    }
+    if (!payload.empty()) {
+      std::memcpy(out.data() + sizeof(std::uint64_t) * argc, payload.data(),
+                  payload.size());
+    }
+  }
+
+  /// Serialize everything except the header words that ride in the packet.
+  /// Convenience wrapper over encode_body_into (tests, cold paths).
+  Bytes encode_body() const {
+    Bytes out;
+    encode_body_into(out);
+    return out;
+  }
+
+  /// Decode a body produced by encode_body_into. `argc` must already hold
+  /// the header's value; the payload is the remainder past the arg words.
+  /// With `pool`, a non-empty payload lands in a recycled buffer.
+  void decode_body(std::span<const std::byte> body,
+                   BufferPool* pool = nullptr) {
+    const std::size_t arg_bytes = sizeof(std::uint64_t) * argc;
+    HAL_ASSERT(body.size() >= arg_bytes);
+    if (argc != 0) std::memcpy(args.data(), body.data(), arg_bytes);
+    const std::size_t tail = body.size() - arg_bytes;
+    if (tail == 0) {
+      payload.clear();
+      return;
+    }
+    if (pool != nullptr && payload.capacity() < tail) {
+      payload = pool->acquire(tail);
+    } else {
+      payload.resize(tail);
+    }
+    std::memcpy(payload.data(), body.data() + arg_bytes, tail);
   }
 
   /// Full serialization (used when a message itself is data: migration
-  /// carries the actor's queued mail with it).
+  /// carries the actor's queued mail with it). Payload presence rides the
+  /// spare kArgcPayloadFlag bit of the argc byte, so an empty payload costs
+  /// nothing on the wire.
   void encode_full(ByteWriter& w) const {
     w.write(dest.pack_word0());
     w.write(dest.pack_word1());
     w.write(selector);
     w.write(cont.pack_word0());
     w.write(cont.pack_word1());
-    w.write(argc);
+    w.write(static_cast<std::uint8_t>(
+        argc | (payload.empty() ? 0 : kArgcPayloadFlag)));
     for (std::uint8_t i = 0; i < argc; ++i) w.write(args[i]);
-    w.write_bytes(payload);
+    if (!payload.empty()) w.write_bytes(payload);
   }
 
-  static Message decode_full(ByteReader& r) {
+  static Message decode_full(ByteReader& r, BufferPool* pool = nullptr) {
     Message m;
     const auto a0 = r.read<std::uint64_t>();
     const auto a1 = r.read<std::uint64_t>();
@@ -111,13 +165,38 @@ struct Message {
     const auto c0 = r.read<std::uint64_t>();
     const auto c1 = r.read<std::uint64_t>();
     m.cont = ContRef::unpack(c0, c1);
-    m.argc = r.read<std::uint8_t>();
+    const auto argc_byte = r.read<std::uint8_t>();
+    m.argc = argc_byte & static_cast<std::uint8_t>(~kArgcPayloadFlag);
     HAL_ASSERT(m.argc <= kMsgInlineWords);
     for (std::uint8_t i = 0; i < m.argc; ++i)
       m.args[i] = r.read<std::uint64_t>();
-    auto b = r.read_bytes();
-    m.payload.assign(b.begin(), b.end());
+    if ((argc_byte & kArgcPayloadFlag) != 0) {
+      auto b = r.read_bytes();
+      if (pool != nullptr) {
+        m.payload = pool->acquire(b.size());
+        std::memcpy(m.payload.data(), b.data(), b.size());
+      } else {
+        m.payload.assign(b.begin(), b.end());
+      }
+    }
     return m;
+  }
+
+  /// Copy for fan-out (broadcast quanta): like the copy constructor, but a
+  /// non-empty payload is cloned into a pooled buffer.
+  Message clone_using(BufferPool& pool) const {
+    Message c;
+    c.dest = dest;
+    c.selector = selector;
+    c.cont = cont;
+    c.args = args;
+    c.argc = argc;
+    c.dest_desc_hint = dest_desc_hint;
+    if (!payload.empty()) {
+      c.payload = pool.acquire(payload.size());
+      std::memcpy(c.payload.data(), payload.data(), payload.size());
+    }
+    return c;
   }
 };
 

@@ -19,12 +19,12 @@ void NodeManager::ship(Message m, SlotId desc_slot) {
   HAL_DASSERT(dst != k_.self());  // monotone epochs forbid self-pointers
   const SlotId hint = k_.config().name_cache ? d.remote_desc : SlotId{};
 
-  Bytes body = m.encode_body();
-  if (body.size() > am::kMaxInlinePayload) {
+  if (m.body_bytes() > am::kMaxInlinePayload) {
     // Large message: three-phase bulk protocol (§6.5). The full message is
     // serialized; the receiving node manager re-enters the delivery path.
-    ByteWriter w;
+    ByteWriter w(k_.pool().reserve(m.full_bytes()));
     m.encode_full(w);
+    k_.pool().release(std::move(m.payload));
     k_.bulk().send(dst, kTagLargeMessage, {0, 0}, std::move(w).take());
     return;
   }
@@ -39,7 +39,12 @@ void NodeManager::ship(Message m, SlotId desc_slot) {
              m.cont.pack_word0(),
              m.cont.pack_word1(),
              hint.pack()};
-  p.payload = std::move(body);
+  // Small-message fast path: args + payload memcpy'd straight into a pooled
+  // packet buffer — no ByteWriter, no length word, no heap allocation at
+  // steady state.
+  p.payload = k_.pool().reserve(m.body_bytes());
+  m.encode_body_into(p.payload);
+  k_.pool().release(std::move(m.payload));
   k_.machine().send(std::move(p));
 }
 
@@ -54,7 +59,7 @@ void NodeManager::on_actor_message(const am::Packet& p) {
   m.argc = unpack_argc(p.words[2]);
   m.cont = ContRef::unpack(p.words[3], p.words[4]);
   m.dest_desc_hint = SlotId::unpack(p.words[5]);
-  m.decode_body(p.payload);
+  m.decode_body(p.payload, &k_.pool());
   const bool had_hint = m.dest_desc_hint.valid();
   local_or_forward(std::move(m), p.src, had_hint);
 }
@@ -328,7 +333,10 @@ void NodeManager::on_reply(const am::Packet& p) {
   const ContRef ref{k_.self(), SlotId::unpack(p.words[0]),
                     static_cast<std::uint32_t>(p.words[1])};
   Bytes blob;
-  if (p.words[3] != 0) blob = p.payload;
+  if (p.words[3] != 0) {
+    blob = k_.pool().acquire(p.payload.size());
+    std::memcpy(blob.data(), p.payload.data(), p.payload.size());
+  }
   k_.fill_join(ref, p.words[2], std::move(blob));
 }
 
@@ -406,7 +414,7 @@ void NodeManager::on_group_broadcast(const am::Packet& p) {
   m.selector = unpack_sel(p.words[1]);
   m.argc = unpack_argc(p.words[1]);
   m.cont = ContRef::unpack(p.words[2], p.words[3]);
-  m.decode_body(p.payload);
+  m.decode_body(p.payload, &k_.pool());
   broadcast_deliver_local(gid, std::move(m));
 }
 
@@ -417,7 +425,7 @@ void NodeManager::on_group_member_send(const am::Packet& p) {
   m.selector = unpack_sel(p.words[2]);
   m.argc = unpack_argc(p.words[2]);
   m.cont = ContRef::unpack(p.words[3], p.words[4]);
-  m.decode_body(p.payload);
+  m.decode_body(p.payload, &k_.pool());
   member_deliver_local(gid, index, std::move(m));
 }
 
@@ -514,11 +522,11 @@ void NodeManager::migration_arrived(NodeId src, SimTime departed_at,
   rec->relocatable = relocatable;
   const auto mail_count = r.read<std::uint32_t>();
   for (std::uint32_t i = 0; i < mail_count; ++i) {
-    rec->mailbox.push_back(Message::decode_full(r));
+    rec->mailbox.push_back(Message::decode_full(r, &k_.pool()));
   }
   const auto pending_count = r.read<std::uint32_t>();
   for (std::uint32_t i = 0; i < pending_count; ++i) {
-    rec->pending.push_back(Message::decode_full(r));
+    rec->pending.push_back(Message::decode_full(r, &k_.pool()));
   }
   k_.stats().bump(Stat::kMigrationsIn);
   k_.trace_mark(trace::EventKind::kMigrateIn, src, epoch);
@@ -547,6 +555,8 @@ void NodeManager::migration_arrived(NodeId src, SimTime departed_at,
   };
   send_ack(src);
   if (addr.home != src) send_ack(addr.home);
+  // The migration image has been fully unpacked; recycle its buffer.
+  k_.pool().release(std::move(data));
 }
 
 void NodeManager::on_migrate_ack(const am::Packet& p) {
@@ -569,7 +579,8 @@ void NodeManager::bulk_delivered(NodeId src, std::uint64_t tag,
   switch (tag) {
     case kTagLargeMessage: {
       ByteReader r{std::span<const std::byte>{data}};
-      Message m = Message::decode_full(r);
+      Message m = Message::decode_full(r, &k_.pool());
+      k_.pool().release(std::move(data));
       local_or_forward(std::move(m), src, /*had_hint=*/false);
       break;
     }
@@ -578,7 +589,8 @@ void NodeManager::bulk_delivered(NodeId src, std::uint64_t tag,
       break;
     case kTagMemberMessage: {
       ByteReader r{std::span<const std::byte>{data}};
-      Message m = Message::decode_full(r);
+      Message m = Message::decode_full(r, &k_.pool());
+      k_.pool().release(std::move(data));
       member_deliver_local(GroupId::unpack(meta[0]),
                            static_cast<std::uint32_t>(meta[1]), std::move(m));
       break;
@@ -587,7 +599,10 @@ void NodeManager::bulk_delivered(NodeId src, std::uint64_t tag,
       HAL_ASSERT(data.size() >= sizeof(std::uint64_t));
       std::uint64_t word = 0;
       std::memcpy(&word, data.data(), sizeof(word));
-      Bytes blob(data.begin() + sizeof(word), data.end());
+      Bytes blob = k_.pool().acquire(data.size() - sizeof(word));
+      std::memcpy(blob.data(), data.data() + sizeof(word),
+                  data.size() - sizeof(word));
+      k_.pool().release(std::move(data));
       const ContRef ref{k_.self(), SlotId::unpack(meta[0]),
                         static_cast<std::uint32_t>(meta[1])};
       k_.fill_join(ref, word, std::move(blob));

@@ -190,15 +190,20 @@ struct BulkHarnessT {
   std::vector<BulkClient> clients;
   std::vector<StatBlock> stats;
   std::vector<obs::ProbeRecorder> probes;
+  std::vector<BufferPool> pools;
   std::vector<std::unique_ptr<BulkChannel>> channels;
 
   explicit BulkHarnessT(NodeId nodes, CostModel costs = CostModel::zero())
-      : machine(nodes, costs), clients(nodes), stats(nodes), probes(nodes) {
+      : machine(nodes, costs),
+        clients(nodes),
+        stats(nodes),
+        probes(nodes),
+        pools(nodes) {
     const BulkHandlers h{10, 11, 12};
     for (NodeId n = 0; n < nodes; ++n) {
       auto* client = &clients[n];
       channels.push_back(std::make_unique<BulkChannel>(
-          machine, n, h, stats[n], probes[n],
+          machine, n, h, stats[n], probes[n], pools[n],
           [client](NodeId, std::uint64_t tag,
                    const std::array<std::uint64_t, 2>&, Bytes data) {
             client->delivered.emplace_back(tag, std::move(data));
@@ -281,6 +286,7 @@ TEST(Bulk, MetaWordsArriveIntact) {
   // Re-wire deliver to capture meta.
   h.channels[1] = std::make_unique<BulkChannel>(
       h.machine, 1, BulkHandlers{10, 11, 12}, h.stats[1], h.probes[1],
+      h.pools[1],
       [&got](NodeId, std::uint64_t, const std::array<std::uint64_t, 2>& meta,
              Bytes) { got = meta; });
   h.clients[1].channel = h.channels[1].get();

@@ -29,7 +29,7 @@ TEST(Dispatcher, FifoOrderAcrossItemKinds) {
   auto i2 = d.next();
   EXPECT_EQ(i2->kind, Dispatcher::Item::Kind::kQuantum);
   EXPECT_EQ(i2->group, (GroupId{0, 3}));
-  EXPECT_EQ(i2->message.selector, 7u);
+  EXPECT_EQ(d.take_message(*i2).selector, 7u);
 
   auto i3 = d.next();
   EXPECT_EQ(i3->actor, (SlotId{2, 1}));

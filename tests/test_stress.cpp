@@ -283,18 +283,20 @@ struct BulkStressHarness {
   std::vector<Client> clients;
   std::vector<StatBlock> stats;
   std::vector<obs::ProbeRecorder> probes;
+  std::vector<BufferPool> pools;
   std::vector<std::unique_ptr<am::BulkChannel>> channels;
 
   explicit BulkStressHarness(NodeId nodes)
       : machine(nodes, am::CostModel::zero()),
         clients(nodes),
         stats(nodes),
-        probes(nodes) {
+        probes(nodes),
+        pools(nodes) {
     const am::BulkHandlers h{10, 11, 12};
     for (NodeId n = 0; n < nodes; ++n) {
       auto* client = &clients[n];
       channels.push_back(std::make_unique<am::BulkChannel>(
-          machine, n, h, stats[n], probes[n],
+          machine, n, h, stats[n], probes[n], pools[n],
           [client](NodeId, std::uint64_t tag,
                    const std::array<std::uint64_t, 2>&, Bytes data) {
             client->delivered.emplace(tag, std::move(data));
