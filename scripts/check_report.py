@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_*.json run report (schema halcyon.run_report.v1).
+"""Validate a BENCH_*.json run report (schema halcyon.run_report.v2).
 
 Checks, per file:
   - required top-level fields and the schema id
@@ -8,8 +8,12 @@ Checks, per file:
     <= p99 <= max, and every listed bucket is non-empty with a power-of-two
     (or zero) lower bound
   - at least --min-populated probes carry samples
+  - the hal::check buffer audit is clean: no leaked buffers, no
+    double-retires, no poison hits (HAL_CHECK=1 builds; a HAL_CHECK=0
+    build reports all-zero audit fields, which passes trivially)
 
-Usage: check_report.py [--min-populated N] report.json [report.json ...]
+Usage: check_report.py [--min-populated N] [--allow-buffer-leaks]
+       report.json [report.json ...]
 
 stdlib only; exits non-zero on the first failing file.
 """
@@ -17,7 +21,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "halcyon.run_report.v1"
+SCHEMA = "halcyon.run_report.v2"
 TOP_FIELDS = [
     "schema",
     "machine",
@@ -25,9 +29,20 @@ TOP_FIELDS = [
     "seed",
     "makespan_ns",
     "dead_letters",
+    "buffers",
     "stats",
     "per_node_stats",
     "probes",
+]
+BUFFER_FIELDS = [
+    "acquired",
+    "retired",
+    "adopted",
+    "escaped",
+    "in_flight",
+    "leaked",
+    "double_retires",
+    "poison_hits",
 ]
 HIST_FIELDS = ["unit", "count", "sum", "min", "max", "p50", "p90", "p99", "buckets"]
 
@@ -67,7 +82,35 @@ def check_histogram(path, name, h):
     return True
 
 
-def check(path, min_populated):
+def check_buffers(path, b, allow_leaks):
+    for f in BUFFER_FIELDS:
+        if f not in b:
+            return fail(path, f"buffers missing field '{f}'")
+        if not isinstance(b[f], int) or b[f] < 0:
+            return fail(path, f"buffers.{f} = {b[f]!r} is not a count")
+    # Ledger conservation: every acquired buffer is retired, escaped to user
+    # code, or still accounted for (in flight / leaked) at report time.
+    accounted = b["retired"] + b["escaped"] + b["in_flight"] + b["leaked"]
+    if accounted != b["acquired"]:
+        return fail(
+            path,
+            f"buffers: acquired {b['acquired']} != retired {b['retired']} "
+            f"+ escaped {b['escaped']} + in_flight {b['in_flight']} "
+            f"+ leaked {b['leaked']}",
+        )
+    for f in ("double_retires", "poison_hits"):
+        if b[f] != 0:
+            return fail(path, f"buffers.{f} = {b[f]} (lifecycle violation)")
+    if b["leaked"] != 0 and not allow_leaks:
+        return fail(
+            path,
+            f"buffers.leaked = {b['leaked']} "
+            "(pass --allow-buffer-leaks to waive)",
+        )
+    return True
+
+
+def check(path, min_populated, allow_leaks):
     try:
         with open(path) as f:
             d = json.load(f)
@@ -89,6 +132,9 @@ def check(path, min_populated):
             f"{len(d['per_node_stats'])} per-node stat blocks for "
             f"{d['nodes']} nodes",
         )
+
+    if not check_buffers(path, d["buffers"], allow_leaks):
+        return False
 
     for counter, total in d["stats"].items():
         node_sum = sum(blk.get(counter, 0) for blk in d["per_node_stats"])
@@ -120,10 +166,15 @@ def check(path, min_populated):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--min-populated", type=int, default=5)
+    ap.add_argument(
+        "--allow-buffer-leaks",
+        action="store_true",
+        help="do not fail on buffers.leaked != 0",
+    )
     ap.add_argument("reports", nargs="+")
     args = ap.parse_args()
     for path in args.reports:
-        if not check(path, args.min_populated):
+        if not check(path, args.min_populated, args.allow_buffer_leaks):
             return 1
     return 0
 

@@ -51,19 +51,22 @@ void BulkChannel::route(const Packet& p) {
 
 void BulkChannel::grant(const PendingGrant& g) {
   ++active_inbound_grants_;
-  Inbound in;
-  in.tag = g.tag;
-  in.meta = g.meta;
-  in.data = pool_.acquire(g.size);
-  in.started_at = g.started_at;
+  audit_.note_grant();
   if (g.size == 0) {
-    // Degenerate transfer: nothing to stream; complete at grant time. Still
+    // Degenerate transfer: nothing to stream (and no assembly buffer —
+    // acquiring one here just leaked it); complete at grant time. Still
     // ACK so the sender can retire its outbound record.
     --active_inbound_grants_;
+    audit_.note_complete();
     probes_.record_span(obs::Probe::kBulkTransfer, g.started_at,
                         machine_.now(self_));
     deliver_(g.src, g.tag, g.meta, {});
   } else {
+    Inbound in;
+    in.tag = g.tag;
+    in.meta = g.meta;
+    in.data = pool_.acquire(g.size);
+    in.started_at = g.started_at;
     inbound_.emplace(key(g.src, g.id), std::move(in));
   }
   Packet ack;
@@ -135,6 +138,7 @@ void BulkChannel::on_data(const Packet& p) {
   inbound_.erase(it);
   HAL_ASSERT(active_inbound_grants_ > 0);
   --active_inbound_grants_;
+  audit_.note_complete();
   probes_.record_span(obs::Probe::kBulkTransfer, done.started_at,
                       machine_.now(self_));
   // Grant the next queued transfer before delivering: delivery may trigger

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "am/machine.hpp"
+#include "check/protocol.hpp"
 #include "common/buffer_pool.hpp"
 #include "common/stats.hpp"
 #include "obs/probe_recorder.hpp"
@@ -59,7 +60,10 @@ class BulkChannel {
   /// Flow control on (default): one active inbound transfer at a time;
   /// further REQUESTs queue for the grant. Off: every REQUEST is ACKed
   /// immediately (the paper's broken-pipelining baseline).
-  void set_flow_control(bool enabled) noexcept { flow_control_ = enabled; }
+  void set_flow_control(bool enabled) noexcept {
+    flow_control_ = enabled;
+    audit_.configure(self_, enabled);
+  }
   bool flow_control() const noexcept { return flow_control_; }
 
   /// Transfers currently granted but not yet fully received.
@@ -108,6 +112,8 @@ class BulkChannel {
   std::uint64_t next_id_ = 1;
   bool flow_control_ = true;
   std::uint64_t active_inbound_grants_ = 0;
+  /// hal::check: audits the single-credit grant window (§6.5).
+  check::CreditWindowAuditor audit_;
   std::unordered_map<std::uint64_t, Outbound> outbound_;        // by local id
   std::unordered_map<std::uint64_t, Inbound> inbound_;          // by key()
   std::deque<PendingGrant> grant_queue_;

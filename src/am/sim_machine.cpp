@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/affinity.hpp"
+
 namespace hal::am {
 
 SimMachine::SimMachine(NodeId nodes, CostModel costs)
@@ -97,11 +99,13 @@ void SimMachine::run() {
   // Prime: nodes seeded with bootstrap work start executing at t=0; workless
   // nodes get their idle notification (where a load balancer would poll).
   for (NodeId n = 0; n < node_count(); ++n) {
+    check::ScopedExecutionNode scope(n);
     if (client(n).has_work()) {
       schedule_resume(n);
     }
   }
   for (NodeId n = 0; n < node_count(); ++n) {
+    check::ScopedExecutionNode scope(n);
     if (!client(n).has_work()) settle(n);
   }
 
@@ -116,6 +120,9 @@ void SimMachine::run() {
       HAL_PANIC("SimMachine event limit exceeded (protocol livelock?)");
     }
     const NodeId n = e.node;
+    // Everything below executes on node n's (simulated) stream; the affinity
+    // checker treats the whole dispatch as running "on" that node.
+    check::ScopedExecutionNode scope(n);
     switch (e.kind) {
       case EventKind::kDelivery: {
         // Preemptive handler (§3): runs at arrival time on the handler

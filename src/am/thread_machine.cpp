@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/affinity.hpp"
+
 namespace hal::am {
 
 ThreadMachine::ThreadMachine(NodeId nodes, CostModel costs)
@@ -75,6 +77,9 @@ void ThreadMachine::wake_hook() noexcept { wake_all(); }
 void ThreadMachine::node_loop(NodeId node) {
   NodeRec& rec = *nodes_[node];
   NodeClient& c = client(node);
+  // This thread IS node `node` for its whole lifetime (§3: one execution
+  // stream per node); bind it so affinity guards can attribute touches.
+  check::ScopedExecutionNode scope(node);
 
   while (!stop_requested()) {
     bool did_work = false;

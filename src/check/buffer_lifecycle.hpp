@@ -1,0 +1,163 @@
+// Buffer lifecycle tracking (hal::check level 2).
+//
+// Pooled payload buffers follow a strict acquire→ship→handle→retire
+// lifecycle (buffer_pool.hpp): the sender's pool acquires, the bytes travel
+// inside the packet, and the *receiver's* pool retires. Two trackers watch
+// it:
+//
+//  * BufferLifecycle — per pool, single-writer like the pool itself. Detects
+//    double-retire (an allocation already idle in the free list is retired
+//    again) and use-after-retire (idle buffers are filled with a poison
+//    pattern on retire and verified intact on reuse, catching writes through
+//    dangling pointers/spans into recycled memory).
+//
+//  * BufferLedger — one per Runtime, shared by all node pools (cross-node
+//    recycling means acquire and retire happen in different pools), so it is
+//    the one mutex-protected structure in the layer. It tracks the live set
+//    by allocation identity (data() pointer — stable for the buffer's whole
+//    pooled life) and classifies every exit: retired back to a pool, escaped
+//    to user code (payload moved out by a method), or adopted (a user-made
+//    buffer retired into a pool). What remains at accounting time minus the
+//    buffers still reachable in runtime structures is a leak.
+//
+// Everything here compiles to empty classes and no-op inline functions when
+// HAL_CHECK is off.
+#pragma once
+
+#include <cstdint>
+
+#include "check/affinity.hpp"
+#include "check/check.hpp"
+#include "common/bytes.hpp"
+
+#if HAL_CHECK
+#include <cstring>
+#include <mutex>
+#include <unordered_set>
+#endif
+
+namespace hal::check {
+
+/// Poison byte written over retired buffers while they sit idle in a free
+/// list. 0xD5 is unlikely as real data and easy to spot in a debugger.
+inline constexpr std::byte kPoisonByte{0xD5};
+
+#if HAL_CHECK
+
+class BufferLifecycle {
+ public:
+  /// `b` is about to be stored in a free list. Reports kDoubleRetire when
+  /// the same allocation is already idle, then poison-fills the buffer.
+  void note_idle(Bytes& b, const NodeAffinityGuard& owner) {
+    if (!idle_.insert(b.data()).second) {
+      ++double_retires_;
+      fail(Violation{ViolationKind::kDoubleRetire, "BufferPool",
+                     owner.owner(), current_node(),
+                     reinterpret_cast<std::uintptr_t>(b.data()), 0});
+      return;  // already poisoned + tracked
+    }
+    b.resize(b.capacity());
+    std::memset(b.data(), static_cast<int>(kPoisonByte), b.size());
+  }
+
+  /// `b` is being handed back out of a free list. Verifies the poison fill
+  /// survived its idle period and reports kUseAfterRetire (with the offset
+  /// of the first corrupted byte) if anything wrote through a stale pointer.
+  void note_reuse(Bytes& b, const NodeAffinityGuard& owner) {
+    idle_.erase(b.data());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (b[i] != kPoisonByte) {
+        ++poison_hits_;
+        fail(Violation{ViolationKind::kUseAfterRetire, "BufferPool",
+                       owner.owner(), current_node(), i,
+                       static_cast<std::uint64_t>(b[i])});
+        break;
+      }
+    }
+  }
+
+  std::uint64_t double_retires() const noexcept { return double_retires_; }
+  std::uint64_t poison_hits() const noexcept { return poison_hits_; }
+
+ private:
+  std::unordered_set<const void*> idle_;
+  std::uint64_t double_retires_ = 0;
+  std::uint64_t poison_hits_ = 0;
+};
+
+class BufferLedger {
+ public:
+  void note_acquire(const void* p) {
+    std::lock_guard lock(mu_);
+    ++acquired_;
+    live_.insert(p);
+  }
+
+  /// A buffer was handed back to some pool. Unknown allocations are user
+  /// buffers adopted into the recycling loop, not errors.
+  void note_retire(const void* p) {
+    std::lock_guard lock(mu_);
+    if (live_.erase(p) != 0) {
+      ++retired_;
+    } else {
+      ++adopted_;
+    }
+  }
+
+  /// A pooled payload was moved out to user code (Codec<Bytes>::decode);
+  /// ownership legitimately leaves the recycling loop.
+  void note_escape(const void* p) {
+    std::lock_guard lock(mu_);
+    if (live_.erase(p) != 0) ++escaped_;
+  }
+
+  bool contains(const void* p) const {
+    std::lock_guard lock(mu_);
+    return live_.contains(p);
+  }
+
+  std::uint64_t acquired() const { std::lock_guard l(mu_); return acquired_; }
+  std::uint64_t retired() const { std::lock_guard l(mu_); return retired_; }
+  std::uint64_t adopted() const { std::lock_guard l(mu_); return adopted_; }
+  std::uint64_t escaped() const { std::lock_guard l(mu_); return escaped_; }
+  /// Buffers acquired from some pool and not yet retired or escaped.
+  std::uint64_t outstanding() const {
+    std::lock_guard lock(mu_);
+    return live_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_set<const void*> live_;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t adopted_ = 0;
+  std::uint64_t escaped_ = 0;
+};
+
+#else  // !HAL_CHECK
+
+class BufferLifecycle {
+ public:
+  void note_idle(Bytes&, const NodeAffinityGuard&) {}
+  void note_reuse(Bytes&, const NodeAffinityGuard&) {}
+  std::uint64_t double_retires() const noexcept { return 0; }
+  std::uint64_t poison_hits() const noexcept { return 0; }
+};
+
+class BufferLedger {
+ public:
+  void note_acquire(const void*) {}
+  void note_retire(const void*) {}
+  void note_escape(const void*) {}
+  bool contains(const void*) const { return false; }
+  std::uint64_t acquired() const { return 0; }
+  std::uint64_t retired() const { return 0; }
+  std::uint64_t adopted() const { return 0; }
+  std::uint64_t escaped() const { return 0; }
+  std::uint64_t outstanding() const { return 0; }
+};
+
+#endif  // HAL_CHECK
+
+}  // namespace hal::check

@@ -1,0 +1,57 @@
+// Compile-time node-capability annotations (hal::check level 1).
+//
+// The runtime's ownership discipline — per-node state is touched only from
+// its owning node's execution stream (DESIGN.md §5) — is invisible to the
+// compiler: there are no mutexes, so nothing for a race detector to key on,
+// and under the SimMachine everything interleaves on one OS thread anyway.
+// Clang's thread-safety analysis can still see it, because the analysis is
+// really a *capability* analysis: we declare each node's execution stream a
+// capability (NodeAffinityGuard below carries the attribute), mark the
+// single-writer structures GUARDED_BY their owner's guard, and assert the
+// capability at every entry point. A cross-node touch that skips the assert
+// becomes a clang -Wthread-safety compile error; the asserts themselves
+// compile to nothing unless HAL_CHECK is on.
+//
+// The macros map 1:1 onto clang's attributes and expand to nothing under
+// other compilers (GCC would warn on the unknown attributes). This is the
+// standard "assert-capability" idiom (abseil's AssertHeld): annotating with
+// HAL_ASSERT_CAPABILITY instead of REQUIRES keeps the annotations local to
+// each class — callers need no annotation cascade.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HAL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HAL_THREAD_ANNOTATION
+#define HAL_THREAD_ANNOTATION(x)
+#endif
+
+/// Class attribute: instances represent a capability (here: the owning
+/// node's execution stream) in clang's thread-safety analysis.
+#define HAL_CAPABILITY(name) HAL_THREAD_ANNOTATION(capability(name))
+
+/// Data member attribute: reads/writes require the capability to be held.
+#define HAL_GUARDED_BY(x) HAL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member attribute: the pointee is guarded (the pointer is not).
+#define HAL_PT_GUARDED_BY(x) HAL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the capability.
+#define HAL_REQUIRES(...) \
+  HAL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: the function acquires / releases the capability.
+#define HAL_ACQUIRE(...) HAL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HAL_RELEASE(...) HAL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: after this call the analysis treats the capability as
+/// held (the runtime check inside is the dynamic counterpart).
+#define HAL_ASSERT_CAPABILITY(x) HAL_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function attribute: opt a function out of the analysis. Used for
+/// quiescent-time introspection (Runtime::report and tests read per-node
+/// state from the bootstrap thread after the machine has stopped).
+#define HAL_NO_THREAD_SAFETY_ANALYSIS \
+  HAL_THREAD_ANNOTATION(no_thread_safety_analysis)

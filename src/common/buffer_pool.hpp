@@ -21,6 +21,9 @@
 #include <cstdint>
 #include <utility>
 
+#include "check/affinity.hpp"
+#include "check/buffer_lifecycle.hpp"
+#include "check/capability.hpp"
 #include "common/bytes.hpp"
 
 namespace hal {
@@ -46,7 +49,7 @@ class BufferPool {
   /// A buffer with size() == len, recycled when possible. The memory is not
   /// zeroed beyond what vector::resize of a recycled buffer defines —
   /// callers overwrite the full extent.
-  Bytes acquire(std::size_t len) {
+  [[nodiscard]] Bytes acquire(std::size_t len) {
     Bytes b = reserve(len);
     b.resize(len);  // within reserved capacity: no allocation
     return b;
@@ -54,24 +57,29 @@ class BufferPool {
 
   /// An empty buffer with capacity() >= cap (for ByteWriter-style append
   /// serialization). Oversized requests get a plain fresh buffer.
-  Bytes reserve(std::size_t cap) {
+  [[nodiscard]] Bytes reserve(std::size_t cap) {
+    affinity_.assert_here();
     const std::size_t cls = class_for(cap);
     if (cls < kClassBytes.size()) {
       FreeList& fl = free_[cls];
       if (fl.count > 0) {
         ++hits_;
         Bytes b = std::move(fl.buffers[--fl.count]);
+        lifecycle_.note_reuse(b, affinity_);
         b.clear();
+        note_acquired(b);
         return b;
       }
       ++misses_;
       Bytes b;
       b.reserve(kClassBytes[cls]);
+      note_acquired(b);
       return b;
     }
     ++misses_;
     Bytes b;
     b.reserve(cap);
+    note_acquired(b);
     return b;
   }
 
@@ -80,8 +88,12 @@ class BufferPool {
   /// shells), oversized one-offs, and overflow beyond the per-class bound
   /// are simply dropped (freed by ~Bytes).
   void release(Bytes&& b) {
+    affinity_.assert_here();
     const std::size_t cap = b.capacity();
     if (cap < kClassBytes.front()) return;  // nothing worth keeping
+#if HAL_CHECK
+    if (ledger_ != nullptr) ledger_->note_retire(b.data());
+#endif
     // Largest class with kClassBytes[cls] <= cap serves any request of that
     // class without reallocating.
     std::size_t cls = 0;
@@ -90,14 +102,68 @@ class BufferPool {
     FreeList& fl = free_[cls];
     if (fl.count >= kMaxFreePerClass) return;  // bounded
     ++returns_;
+    lifecycle_.note_idle(b, affinity_);
     fl.buffers[fl.count++] = std::move(b);
   }
 
+  // --- hal::check wiring ---------------------------------------------------
+  /// Name the owning node (level-2 affinity checking). Called once from the
+  /// owning kernel's constructor; standalone pools stay unbound/unchecked.
+  void bind_owner(NodeId node) noexcept { affinity_.bind(node, "BufferPool"); }
+  /// Attach the runtime-wide leak ledger (nullptr = untracked).
+  void set_ledger(check::BufferLedger* ledger) noexcept {
+#if HAL_CHECK
+    ledger_ = ledger;
+#else
+    (void)ledger;
+#endif
+  }
+  /// Allocation identity of a payload before dispatch, for escape detection
+  /// (nullptr when untracked or checking is off).
+  const void* watch(const Bytes& b) const noexcept {
+#if HAL_CHECK
+    return ledger_ != nullptr ? b.data() : nullptr;
+#else
+    (void)b;
+    return nullptr;
+#endif
+  }
+  /// If the watched buffer's allocation is no longer `pre` — user code took
+  /// the payload's ownership via Codec<Bytes> during dispatch, or a writer
+  /// outgrew its reservation and vector growth freed the allocation —
+  /// record that `pre` left the recycling loop.
+  void note_escape_if_moved(const void* pre, const Bytes& now) noexcept {
+#if HAL_CHECK
+    if (pre != nullptr && now.data() != pre && ledger_ != nullptr) {
+      ledger_->note_escape(pre);
+    }
+#else
+    (void)pre;
+    (void)now;
+#endif
+  }
+  std::uint64_t check_double_retires() const noexcept
+      HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return lifecycle_.double_retires();
+  }
+  std::uint64_t check_poison_hits() const noexcept
+      HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return lifecycle_.poison_hits();
+  }
+
   // --- Introspection (tests, diagnostics) ----------------------------------
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
-  std::uint64_t returns() const noexcept { return returns_; }
-  std::size_t idle_buffers() const noexcept {
+  // Quiescent-time reads from the bootstrap thread (Runtime::report, tests):
+  // opted out of clang's capability analysis rather than asserted.
+  std::uint64_t hits() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return hits_;
+  }
+  std::uint64_t misses() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return misses_;
+  }
+  std::uint64_t returns() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return returns_;
+  }
+  std::size_t idle_buffers() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
     std::size_t n = 0;
     for (const FreeList& fl : free_) n += fl.count;
     return n;
@@ -112,15 +178,28 @@ class BufferPool {
     return kClassBytes.size();
   }
 
+  void note_acquired(const Bytes& b) noexcept {
+#if HAL_CHECK
+    if (ledger_ != nullptr) ledger_->note_acquire(b.data());
+#else
+    (void)b;
+#endif
+  }
+
   struct FreeList {
     std::array<Bytes, kMaxFreePerClass> buffers{};
     std::size_t count = 0;
   };
 
-  std::array<FreeList, kClassBytes.size()> free_{};
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t returns_ = 0;
+  check::NodeAffinityGuard affinity_;
+  check::BufferLifecycle lifecycle_ HAL_GUARDED_BY(affinity_);
+  std::array<FreeList, kClassBytes.size()> free_ HAL_GUARDED_BY(affinity_){};
+  std::uint64_t hits_ HAL_GUARDED_BY(affinity_) = 0;
+  std::uint64_t misses_ HAL_GUARDED_BY(affinity_) = 0;
+  std::uint64_t returns_ HAL_GUARDED_BY(affinity_) = 0;
+#if HAL_CHECK
+  check::BufferLedger* ledger_ = nullptr;
+#endif
 };
 
 }  // namespace hal

@@ -66,6 +66,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "check/affinity.hpp"
+#include "check/check.hpp"
 #include "common/assert.hpp"
 
 namespace hal {
@@ -106,7 +108,21 @@ class TerminationDetector {
   void note_sent() noexcept { sent_.fetch_add(1); }
 
   /// A unit of work has been fully consumed (call AFTER the handler ran).
-  void note_handled() noexcept { handled_.fetch_add(1); }
+  void note_handled() noexcept {
+    [[maybe_unused]] const std::uint64_t h = handled_.fetch_add(1) + 1;
+#if HAL_CHECK
+    // Conservation: every handle is preceded by its send (the invariant the
+    // double-scan proof leans on). sent_ read after the increment can only
+    // have grown past this unit's own send, so h > sent is a contract
+    // breach, not a benign race.
+    const std::uint64_t s = sent_.load();
+    if (h > s) {
+      check::fail(check::Violation{check::ViolationKind::kCounterConservation,
+                                   "TerminationDetector", kInvalidNode,
+                                   check::current_node(), h, s});
+    }
+#endif
+  }
 
   std::uint64_t sent() const noexcept { return sent_.load(); }
   std::uint64_t handled() const noexcept { return handled_.load(); }

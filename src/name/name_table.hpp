@@ -17,6 +17,9 @@
 #include <cstddef>
 #include <unordered_map>
 
+#include "check/affinity.hpp"
+#include "check/capability.hpp"
+#include "check/protocol.hpp"
 #include "common/stats.hpp"
 #include "name/locality_descriptor.hpp"
 #include "name/mail_address.hpp"
@@ -25,7 +28,9 @@ namespace hal {
 
 class NameTable {
  public:
-  NameTable(NodeId self, StatBlock& stats) : self_(self), stats_(stats) {}
+  NameTable(NodeId self, StatBlock& stats) : self_(self), stats_(stats) {
+    affinity_.bind(self, "NameTable");
+  }
 
   NameTable(const NameTable&) = delete;
   NameTable& operator=(const NameTable&) = delete;
@@ -33,26 +38,53 @@ class NameTable {
   NodeId self() const noexcept { return self_; }
 
   // --- Descriptor pool -----------------------------------------------------
-  SlotId allocate(LocalityDescriptor d = {}) { return pool_.allocate(d); }
-  void release(SlotId id) { pool_.free(id); }
-  LocalityDescriptor& descriptor(SlotId id) { return pool_.get(id); }
-  const LocalityDescriptor& descriptor(SlotId id) const {
+  [[nodiscard]] SlotId allocate(LocalityDescriptor d = {}) {
+    affinity_.assert_here();
+    return pool_.allocate(d);
+  }
+  void release(SlotId id) {
+    affinity_.assert_here();
+    pool_.free(id);
+  }
+  LocalityDescriptor& descriptor(SlotId id) {
+    affinity_.assert_here();
     return pool_.get(id);
   }
-  LocalityDescriptor* try_descriptor(SlotId id) noexcept {
+  const LocalityDescriptor& descriptor(SlotId id) const
+      HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return pool_.get(id);
+  }
+  LocalityDescriptor* try_descriptor(SlotId id) noexcept
+      HAL_NO_THREAD_SAFETY_ANALYSIS {
     return pool_.try_get(id);
+  }
+
+  /// Checked descriptor overwrite: protocol code that rewrites a whole
+  /// descriptor (install, migration, reap, FIR cache fill) must come through
+  /// here so the epoch-monotonicity invariant is audited — a regression
+  /// would make FIR chases cyclic (§4.2).
+  void update(SlotId id, const LocalityDescriptor& next) {
+    affinity_.assert_here();
+    LocalityDescriptor& d = pool_.get(id);
+    check::audit_epoch_monotone(self_, d.epoch, next.epoch);
+    d = next;
   }
 
   // --- Name mapping ----------------------------------------------------------
   /// Register `addr` → local descriptor slot. Used for aliases and for
   /// foreign addresses this node has cached locality for.
   void bind(const MailAddress& addr, SlotId desc) {
+    affinity_.assert_here();
     map_.insert_or_assign(addr, desc);
   }
-  void unbind(const MailAddress& addr) { map_.erase(addr); }
+  void unbind(const MailAddress& addr) {
+    affinity_.assert_here();
+    map_.erase(addr);
+  }
 
   /// Hash-lookup tier. Returns an invalid SlotId when unknown.
-  SlotId lookup(const MailAddress& addr) {
+  [[nodiscard]] SlotId lookup(const MailAddress& addr) {
+    affinity_.assert_here();
     stats_.bump(Stat::kNameTableLookups);
     auto it = map_.find(addr);
     if (it == map_.end()) return {};
@@ -63,7 +95,8 @@ class NameTable {
   /// Full resolution: home-node fast path first, hash tier otherwise.
   /// Returns the slot of this node's descriptor for the actor, or invalid if
   /// this node knows nothing about the address yet.
-  SlotId resolve(const MailAddress& addr) {
+  [[nodiscard]] SlotId resolve(const MailAddress& addr) {
+    affinity_.assert_here();
     if (addr.home == self_) {
       // The address embeds the descriptor's "real address" on this node.
       return pool_.contains(addr.desc) ? addr.desc : SlotId{};
@@ -71,19 +104,27 @@ class NameTable {
     return lookup(addr);
   }
 
-  std::size_t bound_names() const noexcept { return map_.size(); }
-  std::size_t live_descriptors() const noexcept { return pool_.size(); }
+  // Quiescent-time introspection (report, tests): opted out of the
+  // capability analysis rather than asserted.
+  std::size_t bound_names() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return map_.size();
+  }
+  std::size_t live_descriptors() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return pool_.size();
+  }
 
   template <typename Fn>
-  void for_each_descriptor(Fn&& fn) {
+  void for_each_descriptor(Fn&& fn) HAL_NO_THREAD_SAFETY_ANALYSIS {
     pool_.for_each(std::forward<Fn>(fn));
   }
 
  private:
   NodeId self_;
   StatBlock& stats_;
-  SlotPool<LocalityDescriptor> pool_;
-  std::unordered_map<MailAddress, SlotId, MailAddressHash> map_;
+  check::NodeAffinityGuard affinity_;
+  SlotPool<LocalityDescriptor> pool_ HAL_GUARDED_BY(affinity_);
+  std::unordered_map<MailAddress, SlotId, MailAddressHash> map_
+      HAL_GUARDED_BY(affinity_);
 };
 
 }  // namespace hal

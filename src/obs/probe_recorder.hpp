@@ -6,6 +6,8 @@
 // recorders into the aggregate distribution at quiescence.
 #pragma once
 
+#include "check/affinity.hpp"
+#include "check/capability.hpp"
 #include "obs/histogram.hpp"
 #include "obs/probe.hpp"
 
@@ -14,6 +16,7 @@ namespace hal::obs {
 class ProbeRecorder {
  public:
   void record(Probe p, std::uint64_t value) noexcept {
+    affinity_.assert_here();
     histograms_[static_cast<std::size_t>(p)].record(value);
   }
 
@@ -24,12 +27,15 @@ class ProbeRecorder {
     record(p, end >= start ? end - start : 0);
   }
 
-  const Log2Histogram& histogram(Probe p) const noexcept {
+  // Quiescent-time readers/mergers (Runtime::report on the bootstrap
+  // thread): opted out of the capability analysis rather than asserted.
+  const Log2Histogram& histogram(Probe p) const noexcept
+      HAL_NO_THREAD_SAFETY_ANALYSIS {
     return histograms_[static_cast<std::size_t>(p)];
   }
 
   /// Number of probes with at least one sample.
-  std::size_t populated() const noexcept {
+  std::size_t populated() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
     std::size_t n = 0;
     for (const auto& h : histograms_) {
       if (!h.empty()) ++n;
@@ -37,15 +43,22 @@ class ProbeRecorder {
     return n;
   }
 
-  ProbeRecorder& operator+=(const ProbeRecorder& other) noexcept {
+  ProbeRecorder& operator+=(const ProbeRecorder& other) noexcept
+      HAL_NO_THREAD_SAFETY_ANALYSIS {
     for (std::size_t i = 0; i < kProbeCount; ++i) {
       histograms_[i] += other.histograms_[i];
     }
     return *this;
   }
 
+  /// Name the owning node (called once by the owning kernel's constructor).
+  void bind_owner(NodeId node) noexcept {
+    affinity_.bind(node, "ProbeRecorder");
+  }
+
  private:
-  std::array<Log2Histogram, kProbeCount> histograms_{};
+  check::NodeAffinityGuard affinity_;
+  std::array<Log2Histogram, kProbeCount> histograms_ HAL_GUARDED_BY(affinity_){};
 };
 
 }  // namespace hal::obs

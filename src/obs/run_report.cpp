@@ -83,7 +83,23 @@ std::string RunReport::to_json() const {
   append_u64(out, makespan_ns);
   out += ",\"dead_letters\":";
   append_u64(out, dead_letters);
-  out += ",\"stats\":";
+  out += ",\"buffers\":{\"acquired\":";
+  append_u64(out, buffers.acquired);
+  out += ",\"retired\":";
+  append_u64(out, buffers.retired);
+  out += ",\"adopted\":";
+  append_u64(out, buffers.adopted);
+  out += ",\"escaped\":";
+  append_u64(out, buffers.escaped);
+  out += ",\"in_flight\":";
+  append_u64(out, buffers.in_flight);
+  out += ",\"leaked\":";
+  append_u64(out, buffers.leaked);
+  out += ",\"double_retires\":";
+  append_u64(out, buffers.double_retires);
+  out += ",\"poison_hits\":";
+  append_u64(out, buffers.poison_hits);
+  out += "},\"stats\":";
   append_stats(out, total);
   out += ",\"per_node_stats\":[";
   for (std::size_t n = 0; n < per_node.size(); ++n) {

@@ -18,7 +18,20 @@
 namespace hal::obs {
 
 /// Schema identifier embedded in the JSON (bump on layout changes).
-inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v1";
+inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v2";
+
+/// Payload-buffer lifecycle audit, filled from the hal::check ledger. All
+/// fields are zero in HAL_CHECK=0 builds (the ledger compiles away).
+struct BufferAudit {
+  std::uint64_t acquired = 0;   ///< pool acquisitions recorded
+  std::uint64_t retired = 0;    ///< releases of ledger-tracked buffers
+  std::uint64_t adopted = 0;    ///< releases of externally allocated buffers
+  std::uint64_t escaped = 0;    ///< payloads moved out to user code (decode)
+  std::uint64_t in_flight = 0;  ///< live buffers still reachable in queues
+  std::uint64_t leaked = 0;     ///< live buffers reachable from nowhere
+  std::uint64_t double_retires = 0;  ///< same buffer released twice
+  std::uint64_t poison_hits = 0;     ///< writes to a buffer after release
+};
 
 struct RunReport {
   std::string machine;  ///< "sim" or "thread"
@@ -26,16 +39,20 @@ struct RunReport {
   std::uint64_t seed = 0;
   std::uint64_t makespan_ns = 0;
   std::uint64_t dead_letters = 0;
+  BufferAudit buffers;  ///< hal::check buffer audit (zeros when disabled)
 
   StatBlock total;                        ///< sum of per_node
   std::vector<StatBlock> per_node;        ///< index = NodeId
   ProbeRecorder probes;                   ///< merged across nodes
   std::vector<ProbeRecorder> per_node_probes;  ///< index = NodeId
 
-  /// Deterministic JSON serialization (schema halcyon.run_report.v1):
+  /// Deterministic JSON serialization (schema halcyon.run_report.v2):
   /// {
   ///   "schema": "...", "machine": "sim", "nodes": N, "seed": S,
   ///   "makespan_ns": M, "dead_letters": D,
+  ///   "buffers": {"acquired": A, "retired": R, "adopted": a, "escaped": e,
+  ///               "in_flight": i, "leaked": l, "double_retires": d,
+  ///               "poison_hits": p},
   ///   "stats": {"<stat>": count, ...},            // all counters, in order
   ///   "per_node_stats": [{...}, ...],
   ///   "probes": {"<probe>": {"unit": "...", "count": C, "sum": S,

@@ -17,6 +17,8 @@
 
 #include <optional>
 
+#include "check/affinity.hpp"
+#include "check/capability.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/slot_pool.hpp"
 #include "runtime/message.hpp"
@@ -34,36 +36,68 @@ class Dispatcher {
   };
 
   void schedule_actor(SlotId actor) {
+    affinity_.assert_here();
     ready_.push_back(Item{Item::Kind::kActor, actor, {}, {}});
   }
 
   void schedule_quantum(GroupId group, Message m) {
+    affinity_.assert_here();
     const SlotId qmsg = quantum_msgs_.allocate(std::move(m));
     ready_.push_back(Item{Item::Kind::kQuantum, {}, group, qmsg});
   }
 
-  std::optional<Item> next() {
+  [[nodiscard]] std::optional<Item> next() {
+    affinity_.assert_here();
     if (ready_.empty()) return std::nullopt;
     return ready_.take_front();
   }
 
   /// Claim the broadcast message of a kQuantum item (frees its pool slot).
-  Message take_message(const Item& item) {
+  [[nodiscard]] Message take_message(const Item& item) {
+    affinity_.assert_here();
     HAL_DASSERT(item.kind == Item::Kind::kQuantum);
     Message m = std::move(quantum_msgs_.get(item.qmsg));
     quantum_msgs_.free(item.qmsg);
     return m;
   }
 
-  bool empty() const noexcept { return ready_.empty(); }
-  std::size_t size() const noexcept { return ready_.size(); }
+  bool empty() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return ready_.empty();
+  }
+  std::size_t size() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return ready_.size();
+  }
+
+  /// Name the owning node (called once by the owning kernel's constructor).
+  void bind_owner(NodeId node) noexcept { affinity_.bind(node, "Dispatcher"); }
+
+  /// Drain every buffered broadcast quantum (shutdown accounting): invokes
+  /// `fn(Message&)` for each side-pool message, then frees the slot.
+  template <typename Fn>
+  void drain_quanta(Fn&& fn) HAL_NO_THREAD_SAFETY_ANALYSIS {
+    std::vector<SlotId> slots;
+    quantum_msgs_.for_each(
+        [&](SlotId id, Message&) { slots.push_back(id); });
+    for (SlotId id : slots) {
+      fn(quantum_msgs_.get(id));
+      quantum_msgs_.free(id);
+    }
+  }
+
+  /// Visit every buffered broadcast quantum message: `fn(const Message&)`.
+  /// Read-only walk used by the hal::check leak audit (report time).
+  template <typename Fn>
+  void for_each_quantum(Fn&& fn) HAL_NO_THREAD_SAFETY_ANALYSIS {
+    quantum_msgs_.for_each([&](SlotId, Message& m) { fn(m); });
+  }
 
   /// Load-balancer support: remove and return the first ready *actor* item
   /// accepted by `pred(SlotId)` (e.g. "relocatable and still alive").
   /// Victims give away the oldest ready actor — for divide-and-conquer
   /// trees that is the one closest to the root, i.e. the largest subtree.
   template <typename Pred>
-  std::optional<SlotId> steal_if(Pred&& pred) {
+  [[nodiscard]] std::optional<SlotId> steal_if(Pred&& pred) {
+    affinity_.assert_here();
     for (std::size_t i = 0; i < ready_.size(); ++i) {
       const Item& item = ready_[i];
       if (item.kind == Item::Kind::kActor && pred(item.actor)) {
@@ -76,8 +110,9 @@ class Dispatcher {
   }
 
  private:
-  RingDeque<Item> ready_;
-  SlotPool<Message> quantum_msgs_;
+  check::NodeAffinityGuard affinity_;
+  RingDeque<Item> ready_ HAL_GUARDED_BY(affinity_);
+  SlotPool<Message> quantum_msgs_ HAL_GUARDED_BY(affinity_);
 };
 
 }  // namespace hal

@@ -29,6 +29,12 @@ Kernel::Kernel(am::Machine& machine, NodeId self,
       node_manager_(std::make_unique<NodeManager>(*this)),
       rng_(mix64(config.seed) ^ mix64(0x9e3779b9ULL + self)) {
   bulk_.set_flow_control(config.flow_control);
+  // hal::check: name this node as the owner of its single-writer structures
+  // (NameTable binds itself in its constructor).
+  affinity_.bind(self, "Kernel");
+  pool_.bind_owner(self);
+  dispatcher_.bind_owner(self);
+  probes_.bind_owner(self);
 }
 
 Kernel::~Kernel() = default;
@@ -36,6 +42,7 @@ Kernel::~Kernel() = default;
 // --- NodeClient ---------------------------------------------------------------
 
 void Kernel::handle(am::Packet p) {
+  affinity_.assert_here();
   switch (p.handler) {
     case kHActorMessage:
       node_manager_->on_actor_message(p);
@@ -100,6 +107,7 @@ void Kernel::handle(am::Packet p) {
 }
 
 bool Kernel::step() {
+  affinity_.assert_here();
   auto item = dispatcher_.next();
   if (!item.has_value()) {
     flush_probes();
@@ -211,7 +219,7 @@ SlotId Kernel::install_actor(std::unique_ptr<ActorBase> impl,
       names_.bind(addr, dslot);
     }
   }
-  names_.descriptor(dslot) = LocalityDescriptor::make_local(aslot, epoch);
+  names_.update(dslot, LocalityDescriptor::make_local(aslot, epoch));
 
   SlotId alias_dslot{};
   if (alias.valid()) {
@@ -220,8 +228,7 @@ SlotId Kernel::install_actor(std::unique_ptr<ActorBase> impl,
       // embeds a descriptor slot here; make it local too.
       HAL_ASSERT(names_.try_descriptor(alias.desc) != nullptr);
       alias_dslot = alias.desc;
-      names_.descriptor(alias_dslot) =
-          LocalityDescriptor::make_local(aslot, epoch);
+      names_.update(alias_dslot, LocalityDescriptor::make_local(aslot, epoch));
     } else {
       names_.bind(alias, dslot);
     }
@@ -244,6 +251,7 @@ SlotId Kernel::install_actor(std::unique_ptr<ActorBase> impl,
 // --- Send path (Fig. 3, sender side) ---------------------------------------------
 
 void Kernel::send_message(Message m) {
+  affinity_.assert_here();
   // Name translation happens even when the recipient is local (§4): the
   // home-node fast path costs a locality check, the foreign path a hash
   // lookup.
@@ -320,6 +328,7 @@ void Kernel::execute_message(SlotId actor_slot, Message& m) {
   // first and re-fetch the record afterwards.
   ActorBase* impl = rec.impl.get();
   Context ctx(*this, actor_slot, rec.address, &m);
+  const void* watched = pool_.watch(m.payload);
   impl->dispatch_message(ctx, m);
   if (auto next = ctx.take_become()) {
     charge(costs().become_ns);
@@ -327,7 +336,9 @@ void Kernel::execute_message(SlotId actor_slot, Message& m) {
   }
   probes_.record_span(obs::Probe::kMethodExecution, t0, machine_.now(self_));
   // The message is consumed; recycle its payload buffer (a no-op shell if
-  // the method moved the blob out).
+  // the method moved the blob out — recorded as an escape, the buffer now
+  // belongs to user code).
+  pool_.note_escape_if_moved(watched, m.payload);
   pool_.release(std::move(m.payload));
 }
 
@@ -402,17 +413,26 @@ void Kernel::replay_pending(SlotId actor_slot) {
 
 void Kernel::post_method(SlotId actor_slot, ActorRecord& rec) {
   if (rec.dying) {
-    // Unprocessed mail dies with the actor — surface it, don't lose it
-    // silently.
-    dead_letters_ += rec.mailbox.size() + rec.pending.size();
+    // Unprocessed mail dies with the actor — surface it in the dead-letter
+    // count and retire the payload buffers rather than dropping them.
+    while (!rec.mailbox.empty()) {
+      Message m = std::move(rec.mailbox.front());
+      rec.mailbox.pop_front();
+      dead_letter(m);
+    }
+    while (!rec.pending.empty()) {
+      Message m = std::move(rec.pending.front());
+      rec.pending.pop_front();
+      dead_letter(m);
+    }
     // Descriptors are never reclaimed (the paper defers this to a future
     // distributed GC, §9): they become dead-letter sinks so stale senders
     // fail loudly in stats rather than corrupt a recycled slot.
-    names_.descriptor(rec.self_desc) =
-        LocalityDescriptor::make_local(SlotId{}, rec.epoch);
+    names_.update(rec.self_desc,
+                  LocalityDescriptor::make_local(SlotId{}, rec.epoch));
     if (rec.alias_desc.valid()) {
-      names_.descriptor(rec.alias_desc) =
-          LocalityDescriptor::make_local(SlotId{}, rec.epoch);
+      names_.update(rec.alias_desc,
+                    LocalityDescriptor::make_local(SlotId{}, rec.epoch));
     }
     actors_.free(actor_slot);
     return;
@@ -524,6 +544,9 @@ void Kernel::fill_join(const ContRef& ref, std::uint64_t word, Bytes blob) {
   trace_mark(trace::EventKind::kJoinFired, done.slots.size());
   Context ctx(*this, SlotId{}, done.creator, nullptr);
   done.function(ctx, done.view());
+  // The body has consumed the joined values; retire the reply blobs
+  // (pool-acquired on arrival in on_reply / the bulk reply path).
+  for (Bytes& b : done.blob_slots) pool_.release(std::move(b));
 }
 
 // --- Groups (§2.2, §6.4) ---------------------------------------------------------
@@ -620,7 +643,13 @@ void Kernel::perform_migration(SlotId actor_slot, NodeId target) {
   const std::uint32_t new_epoch = rec.epoch + 1;
   trace_mark(trace::EventKind::kMigrateOut, target, new_epoch);
 
-  ByteWriter w(pool_.reserve(am::kBulkChunkBytes));
+  // The image and state writers can outgrow their reservation (pack_state
+  // and buffered mail are unbounded); a growth reallocation frees the
+  // pooled allocation, so its identity is watched and the free recorded as
+  // an escape — otherwise the hal::check ledger would misaccount it.
+  Bytes image_buf = pool_.reserve(am::kBulkChunkBytes);
+  const void* image_id = pool_.watch(image_buf);
+  ByteWriter w(std::move(image_buf));
   w.write(rec.behavior);
   w.write(rec.address.pack_word0());
   w.write(rec.address.pack_word1());
@@ -628,9 +657,12 @@ void Kernel::perform_migration(SlotId actor_slot, NodeId target) {
   w.write(rec.alias.pack_word1());
   w.write(new_epoch);
   w.write(static_cast<std::uint8_t>(rec.relocatable ? 1 : 0));
-  ByteWriter state(pool_.reserve(0));
+  Bytes state_buf = pool_.reserve(0);
+  const void* state_id = pool_.watch(state_buf);
+  ByteWriter state(std::move(state_buf));
   rec.impl->pack_state(state);
   Bytes state_bytes = std::move(state).take();
+  pool_.note_escape_if_moved(state_id, state_bytes);
   w.write_bytes(state_bytes);
   pool_.release(std::move(state_bytes));
   w.write(static_cast<std::uint32_t>(rec.mailbox.size()));
@@ -644,17 +676,19 @@ void Kernel::perform_migration(SlotId actor_slot, NodeId target) {
   // descriptor address at the new node is cached when the MigrateAck
   // arrives. Epoch new_epoch: "after its next migration the actor is at
   // `target`" — strictly fresher than anything this node held.
-  names_.descriptor(rec.self_desc) =
-      LocalityDescriptor::make_remote(target, SlotId{}, new_epoch);
+  names_.update(rec.self_desc,
+                LocalityDescriptor::make_remote(target, SlotId{}, new_epoch));
   if (rec.alias_desc.valid()) {
-    names_.descriptor(rec.alias_desc) =
-        LocalityDescriptor::make_remote(target, SlotId{}, new_epoch);
+    names_.update(rec.alias_desc,
+                  LocalityDescriptor::make_remote(target, SlotId{}, new_epoch));
   }
   actors_.free(actor_slot);
+  Bytes image = std::move(w).take();
+  pool_.note_escape_if_moved(image_id, image);
   // meta[0] = departure time: the arrival side charges the end-to-end
   // migration probe against it.
   bulk_.send(target, kTagMigration, {machine_.now(self_), 0},
-             std::move(w).take());
+             std::move(image));
 }
 
 void Kernel::terminate_actor(SlotId actor_slot) {
@@ -669,11 +703,11 @@ void Kernel::reap_actor(SlotId actor_slot) {
   // GC runs at quiescence: an unreachable actor cannot have buffered mail.
   HAL_ASSERT(rec->mailbox.empty() && rec->pending.empty() &&
              !rec->scheduled);
-  names_.descriptor(rec->self_desc) =
-      LocalityDescriptor::make_local(SlotId{}, rec->epoch);
+  names_.update(rec->self_desc,
+                LocalityDescriptor::make_local(SlotId{}, rec->epoch));
   if (rec->alias_desc.valid()) {
-    names_.descriptor(rec->alias_desc) =
-        LocalityDescriptor::make_local(SlotId{}, rec->epoch);
+    names_.update(rec->alias_desc,
+                  LocalityDescriptor::make_local(SlotId{}, rec->epoch));
   }
   actors_.free(actor_slot);
 }
@@ -692,9 +726,71 @@ void Kernel::console_print(std::string_view text) {
   machine_.send(std::move(p));
 }
 
-void Kernel::dead_letter(const Message& m) {
-  (void)m;
+void Kernel::dead_letter(Message& m) {
   ++dead_letters_;
+  // The message dies here, but its payload buffer goes back to the pool —
+  // dropping it would show up as a leak in the hal::check buffer ledger.
+  pool_.release(std::move(m.payload));
+}
+
+void Kernel::for_each_in_flight_payload(
+    const std::function<void(const Bytes&)>& fn) {
+  actors_.for_each([&](SlotId, ActorRecord& rec) {
+    for (std::size_t i = 0; i < rec.mailbox.size(); ++i) {
+      fn(rec.mailbox[i].payload);
+    }
+    for (std::size_t i = 0; i < rec.pending.size(); ++i) {
+      fn(rec.pending[i].payload);
+    }
+  });
+  dispatcher_.for_each_quantum([&](const Message& m) { fn(m.payload); });
+  joins_.for_each([&](SlotId, JoinContinuation& jc) {
+    for (const Bytes& b : jc.blob_slots) fn(b);
+  });
+  node_manager_->for_each_in_flight_payload(fn);
+}
+
+DrainStats Kernel::drain_in_flight() {
+  DrainStats out;
+  // Buffered actor mail: messages parked behind disabled constraints, or
+  // never dispatched because the run was stopped early.
+  actors_.for_each([&](SlotId, ActorRecord& rec) {
+    auto drain_queue = [&](RingDeque<Message>& q) {
+      while (!q.empty()) {
+        Message m = std::move(q.front());
+        q.pop_front();
+        ++out.messages;
+        if (m.payload.capacity() != 0) ++out.payloads;
+        pool_.release(std::move(m.payload));
+      }
+    };
+    drain_queue(rec.mailbox);
+    drain_queue(rec.pending);
+  });
+  // Broadcast quanta still buffered in the dispatcher's side pool.
+  dispatcher_.drain_quanta([&](Message& m) {
+    ++out.messages;
+    if (m.payload.capacity() != 0) ++out.payloads;
+    pool_.release(std::move(m.payload));
+  });
+  // Unfilled join continuations: retire the reply blobs already collected
+  // and give back the work token each continuation holds.
+  std::vector<SlotId> join_slots;
+  joins_.for_each(
+      [&](SlotId id, JoinContinuation&) { join_slots.push_back(id); });
+  for (SlotId id : join_slots) {
+    JoinContinuation& jc = joins_.get(id);
+    for (Bytes& b : jc.blob_slots) {
+      if (b.capacity() != 0) ++out.payloads;
+      pool_.release(std::move(b));
+    }
+    joins_.free(id);
+    machine_.token_release();
+  }
+  // NodeManager in-flight state: parked messages awaiting FIR responses and
+  // the awaiting-registration / awaiting-group queues.
+  node_manager_->drain_in_flight(out);
+  return out;
 }
 
 }  // namespace hal

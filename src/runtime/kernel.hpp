@@ -16,6 +16,7 @@
 
 #include "am/bulk.hpp"
 #include "am/machine.hpp"
+#include "check/affinity.hpp"
 #include "common/buffer_pool.hpp"
 #include "common/rng.hpp"
 #include "common/slot_pool.hpp"
@@ -36,6 +37,20 @@ namespace hal {
 
 class Context;
 class NodeManager;
+
+/// Shutdown-drain accounting: what was still in flight inside a kernel when
+/// the runtime tore down (buffered mail, parked messages, unfilled joins),
+/// and how many payload buffers were retired to the pools in the process.
+struct DrainStats {
+  std::uint64_t messages = 0;  ///< undelivered messages accounted
+  std::uint64_t payloads = 0;  ///< payload buffers retired to pools
+
+  DrainStats& operator+=(const DrainStats& o) noexcept {
+    messages += o.messages;
+    payloads += o.payloads;
+    return *this;
+  }
+};
 
 class Kernel final : public am::NodeClient {
  public:
@@ -172,6 +187,21 @@ class Kernel final : public am::NodeClient {
   /// record, leaving its descriptors as dead-letter sinks.
   void reap_actor(SlotId slot);
 
+  /// Shutdown accounting: count and retire every message still buffered in
+  /// this kernel (mailboxes, pending queues, broadcast quanta, parked and
+  /// awaiting queues in the NodeManager) and every unfilled join
+  /// continuation, releasing their payload buffers into the pool and giving
+  /// back the work tokens they hold. Idempotent; called by
+  /// Runtime::shutdown_drain and the Runtime destructor.
+  DrainStats drain_in_flight();
+
+  /// Visit the payload of every message still buffered inside this kernel
+  /// (mailboxes, pending queues, broadcast quanta, join reply blobs, and the
+  /// NodeManager's parked/awaiting queues). Read-only walk used by the
+  /// hal::check leak audit to separate in-flight buffers from leaked ones.
+  void for_each_in_flight_payload(
+      const std::function<void(const Bytes&)>& fn);
+
   /// Resolve a mail address to a *local* actor slot (invalid SlotId if the
   /// address is unknown here or the actor is not local). This is the
   /// "locality check routine which is part of the generic message send
@@ -232,13 +262,15 @@ class Kernel final : public am::NodeClient {
   void post_method(SlotId actor_slot, ActorRecord& rec);
   /// Replay pending messages whose constraints are now enabled (§6.1).
   void replay_pending(SlotId actor_slot);
-  void dead_letter(const Message& m);
+  /// Account an undeliverable message and retire its payload buffer.
+  void dead_letter(Message& m);
 
   am::Machine& machine_;
   NodeId self_;
   const BehaviorRegistry& registry_;
   const RuntimeConfig& config_;
 
+  check::NodeAffinityGuard affinity_;
   StatBlock stats_;
   obs::ProbeRecorder probes_;
   BufferPool pool_;  // declared before bulk_: BulkChannel holds a reference

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "am/mst.hpp"
+#include "check/protocol.hpp"
 #include "runtime/kernel.hpp"
 
 namespace hal {
@@ -120,10 +121,11 @@ void NodeManager::local_or_forward(Message m, NodeId src, bool had_hint) {
   k_.stats().bump(Stat::kMessagesForwarded);
   const MailAddress dest = m.dest;
   const NodeId toward = d.remote_node;
+  const std::uint32_t epoch = d.epoch;
   const bool need_fir = !d.fir_outstanding;
   d.fir_outstanding = true;
   park(dest, std::move(m), src);
-  if (need_fir) send_fir(dest, toward);
+  if (need_fir) send_fir(dest, toward, /*hops=*/0, epoch);
 }
 
 void NodeManager::park(const MailAddress& addr, Message m, NodeId origin) {
@@ -135,7 +137,8 @@ void NodeManager::park(const MailAddress& addr, Message m, NodeId origin) {
 
 // --- FIR protocol (§4.3) -----------------------------------------------------------
 
-void NodeManager::send_fir(const MailAddress& addr, NodeId toward) {
+void NodeManager::send_fir(const MailAddress& addr, NodeId toward,
+                           std::uint64_t hops, std::uint64_t epoch) {
   k_.trace_mark(trace::EventKind::kFirSent, toward);
   k_.stats().bump(Stat::kFirSent);
   // Anchor the round-trip probe (keep the first anchor if a chase for this
@@ -145,7 +148,11 @@ void NodeManager::send_fir(const MailAddress& addr, NodeId toward) {
   p.src = k_.self();
   p.dst = toward;
   p.handler = kHFir;
-  p.words = {addr.pack_word0(), addr.pack_word1(), 0, 0, 0, 0};
+  // words[2] carries the relay count so far and words[3] the chain's epoch
+  // watermark (highest descriptor epoch seen along the chase): monotone
+  // epochs keep forward chains acyclic (§4.3), so the hop count stays
+  // within node count + watermark — audited at each relay in on_fir.
+  p.words = {addr.pack_word0(), addr.pack_word1(), hops, epoch, 0, 0};
   k_.machine().send(std::move(p));
 }
 
@@ -186,10 +193,17 @@ void NodeManager::on_fir(const am::Packet& p) {
   // Relay along the forward chain; remember who asked so the response can
   // propagate back and update every name table on the way (§4.3).
   k_.stats().bump(Stat::kFirRelayed);
+  const std::uint64_t hops = p.words[2] + 1;
+  // Raise the chain's epoch watermark with what this relay knows. A relay
+  // node can legitimately know *less* than the chain (a fresh fallback
+  // descriptor during a registration race), so the watermark, not the local
+  // epoch, bounds the chain length.
+  const std::uint64_t seen = std::max<std::uint64_t>(p.words[3], d.epoch);
+  check::audit_fir_chain(k_.self(), hops, k_.node_count(), seen);
   fir_relays_[addr].push_back(from);
   if (!d.fir_outstanding) {
     d.fir_outstanding = true;
-    send_fir(addr, d.remote_node);
+    send_fir(addr, d.remote_node, hops, seen);
   }
 }
 
@@ -700,6 +714,57 @@ std::size_t NodeManager::awaiting_group() const {
   std::size_t n = 0;
   for (const auto& [gid, v] : await_group_) n += v.size();
   return n;
+}
+
+// --- Shutdown drain ---------------------------------------------------------------------
+
+void NodeManager::drain_in_flight(DrainStats& out) {
+  auto retire = [&](Message& m) {
+    ++out.messages;
+    if (m.payload.capacity() != 0) ++out.payloads;
+    k_.pool().release(std::move(m.payload));
+  };
+  for (auto& [addr, msgs] : parked_) {
+    for (ParkedMessage& pm : msgs) {
+      k_.machine().token_release();
+      retire(pm.m);
+    }
+  }
+  parked_.clear();
+  for (auto& [addr, ar] : await_reg_) {
+    for (Message& m : ar.messages) {
+      k_.machine().token_release();
+      retire(m);
+    }
+    // Unanswered FIRs hold a token each but carry no payload.
+    for (std::size_t i = 0; i < ar.fir_origins.size(); ++i) {
+      k_.machine().token_release();
+    }
+  }
+  await_reg_.clear();
+  for (auto& [gid, ops] : await_group_) {
+    for (PendingGroupOp& op : ops) {
+      k_.machine().token_release();
+      retire(op.m);
+    }
+  }
+  await_group_.clear();
+  // Relay records and probe anchors hold no messages or tokens.
+  fir_relays_.clear();
+  fir_sent_at_.clear();
+}
+
+void NodeManager::for_each_in_flight_payload(
+    const std::function<void(const Bytes&)>& fn) const {
+  for (const auto& [addr, msgs] : parked_) {
+    for (const ParkedMessage& pm : msgs) fn(pm.m.payload);
+  }
+  for (const auto& [addr, ar] : await_reg_) {
+    for (const Message& m : ar.messages) fn(m.payload);
+  }
+  for (const auto& [gid, ops] : await_group_) {
+    for (const PendingGroupOp& op : ops) fn(op.m.payload);
+  }
 }
 
 }  // namespace hal

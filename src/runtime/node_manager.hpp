@@ -14,6 +14,7 @@
 // migration, and the receiver-initiated random-polling load balancer.
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +24,7 @@
 namespace hal {
 
 class Kernel;
+struct DrainStats;
 
 class NodeManager {
  public:
@@ -94,6 +96,17 @@ class NodeManager {
   std::size_t awaiting_registration() const;
   std::size_t awaiting_group() const;
 
+  /// Shutdown accounting (see Kernel::drain_in_flight): count and retire
+  /// every message still held in the parked / awaiting-registration /
+  /// awaiting-group queues, releasing payload buffers into the kernel's
+  /// pool and returning the work token each entry holds.
+  void drain_in_flight(DrainStats& out);
+
+  /// Read-only walk over payloads held in the parked / awaiting queues
+  /// (hal::check leak audit; see Kernel::for_each_in_flight_payload).
+  void for_each_in_flight_payload(
+      const std::function<void(const Bytes&)>& fn) const;
+
  private:
   struct AwaitReg {
     std::vector<Message> messages;   // deliveries that raced registration
@@ -110,7 +123,8 @@ class NodeManager {
     NodeId origin;  // the node whose send got parked here (may be invalid)
   };
 
-  void send_fir(const MailAddress& addr, NodeId toward);
+  void send_fir(const MailAddress& addr, NodeId toward,
+                std::uint64_t hops = 0, std::uint64_t epoch = 0);
   void respond_fir(const MailAddress& addr, SlotId desc_slot, NodeId to);
   /// Apply location info "as of migration `epoch`, the actor is at `node`
   /// (descriptor `rdesc`)": update the descriptor unless the info is older

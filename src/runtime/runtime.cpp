@@ -31,6 +31,9 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
     kernels_.push_back(
         std::make_unique<Kernel>(*machine_, n, registry_, config_));
     machine_->attach(n, kernels_[n].get());
+    // One shared ledger: payload buffers recycle across nodes (the sender's
+    // pool acquires, the receiver's retires), so the live set is global.
+    kernels_[n]->pool().set_ledger(&ledger_);
   }
   // Node 0's kernel relays I/O requests to the front-end (Fig. 1).
   kernels_[0]->set_front_end(&front_end_);
@@ -39,7 +42,22 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // Retire whatever is still buffered (dead letters at teardown) so the
+  // pools get their buffers back and held work tokens are returned.
+  shutdown_drain();
+}
+
+DrainStats Runtime::shutdown_drain() {
+  DrainStats total;
+  for (auto& k : kernels_) {
+    // The drain releases buffers into each kernel's pool; run it "as" that
+    // node so the pools' affinity guards stay satisfied.
+    check::ScopedExecutionNode scope(k->self());
+    total += k->drain_in_flight();
+  }
+  return total;
+}
 
 void Runtime::run() {
   HAL_ASSERT(!ran_);
@@ -79,6 +97,25 @@ obs::RunReport Runtime::report() {
     r.per_node_probes.push_back(k->probes());
     r.total += k->stats();
     r.probes += k->probes();
+  }
+  if constexpr (HAL_CHECK != 0) {
+    // Buffer audit: ledger totals, then separate "still reachable in some
+    // queue" (in flight) from "reachable from nowhere" (leaked).
+    r.buffers.acquired = ledger_.acquired();
+    r.buffers.retired = ledger_.retired();
+    r.buffers.adopted = ledger_.adopted();
+    r.buffers.escaped = ledger_.escaped();
+    std::uint64_t in_flight = 0;
+    for (const auto& k : kernels_) {
+      k->for_each_in_flight_payload([&](const Bytes& b) {
+        if (b.capacity() != 0 && ledger_.contains(b.data())) ++in_flight;
+      });
+      r.buffers.double_retires += k->pool().check_double_retires();
+      r.buffers.poison_hits += k->pool().check_poison_hits();
+    }
+    const std::uint64_t outstanding = ledger_.outstanding();
+    r.buffers.in_flight = in_flight;
+    r.buffers.leaked = outstanding > in_flight ? outstanding - in_flight : 0;
   }
   return r;
 }

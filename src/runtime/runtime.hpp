@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "am/machine.hpp"
+#include "check/affinity.hpp"
+#include "check/buffer_lifecycle.hpp"
 #include "obs/run_report.hpp"
 #include "runtime/context.hpp"
 #include "runtime/front_end.hpp"
@@ -49,6 +51,9 @@ class Runtime {
   template <typename B>
   MailAddress spawn(NodeId node = 0) {
     HAL_ASSERT(node < config_.nodes && !ran_);
+    // Bootstrap runs on the caller's thread; for the affinity checker it is
+    // executing "as" the target node until the machine starts.
+    check::ScopedExecutionNode scope(node);
     return kernels_[node]->create_local(registry_.id_of<B>());
   }
 
@@ -59,6 +64,7 @@ class Runtime {
     Message m;
     m.dest = addr;
     m.selector = sel<Method>();
+    check::ScopedExecutionNode scope(addr.home);
     codec::encode_args(m, std::forward<Args>(args)...);
     // Inject on the home node so bootstrap delivery is a local enqueue.
     kernels_[addr.home]->send_message(std::move(m));
@@ -83,12 +89,15 @@ class Runtime {
   /// Spawn by behaviour id (registered via registry().register_factory).
   MailAddress spawn_id(BehaviorId behavior, NodeId node = 0) {
     HAL_ASSERT(node < config_.nodes && !ran_);
+    check::ScopedExecutionNode scope(node);
     return kernels_[node]->create_local(behavior);
   }
   /// Inject a fully built message (selector/args already encoded).
   void inject_message(Message m) {
     HAL_ASSERT(!ran_ && m.dest.valid());
-    kernels_[m.dest.home]->send_message(std::move(m));
+    const NodeId home = m.dest.home;
+    check::ScopedExecutionNode scope(home);
+    kernels_[home]->send_message(std::move(m));
   }
 
   /// Execute until quiescence (no messages in flight, all mailboxes empty,
@@ -102,6 +111,13 @@ class Runtime {
   /// virtual ns under SimMachine and measured wall ns of run() under
   /// ThreadMachine.
   obs::RunReport report();
+
+  /// Count and retire everything still buffered inside the kernels
+  /// (undelivered mail, parked messages, unfilled joins), releasing payload
+  /// buffers back to the pools and returning held work tokens. Idempotent —
+  /// the destructor calls it too — so a test can invoke it early to assert
+  /// on the counts. After a clean run to quiescence both counts are zero.
+  DrainStats shutdown_drain();
 
   /// \deprecated Use report().makespan_ns.
   [[deprecated("use Runtime::report().makespan_ns")]] SimTime makespan()
@@ -171,6 +187,10 @@ class Runtime {
 
   RuntimeConfig config_;
   BehaviorRegistry registry_;
+  /// hal::check: process-wide payload-buffer ledger (empty shell when the
+  /// checker is compiled out). Shared by every kernel's pool because buffers
+  /// recycle across nodes (sender acquires, receiver retires).
+  check::BufferLedger ledger_;
   std::unique_ptr<am::Machine> machine_;
   std::vector<std::unique_ptr<Kernel>> kernels_;
   FrontEnd front_end_;

@@ -305,7 +305,7 @@ TEST(DispatcherRing, StealScansAcrossWraparound) {
   // Rotate the ring so the live region physically wraps: fill, drain most,
   // then refill past the old tail.
   for (std::uint32_t i = 0; i < 8; ++i) d.schedule_actor(SlotId{i, 1});
-  for (int i = 0; i < 6; ++i) d.next();
+  for (int i = 0; i < 6; ++i) (void)d.next();
   for (std::uint32_t i = 8; i < 13; ++i) d.schedule_actor(SlotId{i, 1});
   ASSERT_EQ(d.size(), 7u);  // indices 6..12, wrapped in an 8-slot ring
 
