@@ -10,9 +10,12 @@
 // the marginal allocations per extra message cancel out warmup (pool fills,
 // ring growth, event-queue doubling).
 //
-// HAL_MSGPATH_MAX_ALLOCS=<n> (optional) turns the send-storm numbers into a
-// hard budget: the binary exits non-zero if allocations-per-small-message
-// exceeds n on the local or remote storm. CI runs with a budget of 1.
+// HAL_MSGPATH_MAX_ALLOCS=<n> (optional; set but empty counts as set) turns
+// the numbers into a hard budget: the binary exits non-zero if
+// allocations-per-small-message exceeds n on *any* storm — local, remote,
+// or reply. Since the join-continuation path went inline (InlineFunction
+// body, inline slot storage) the reply storm allocates nothing either, so
+// CI runs with a budget of 0.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -217,24 +220,31 @@ int main() {
                 r.msgs_per_sec);
   }
   std::printf(
-      "\nshape check: the send storms should sit at ~0 allocs/msg; the\n"
-      "reply storm adds a join continuation + std::function per round.\n");
+      "\nshape check: every storm should sit at ~0 allocs/msg — the reply\n"
+      "round's join continuation lives entirely inline (InlineFunction body,\n"
+      "inline slots, no pooled buffer for a body-less request).\n");
 
   // Structured report from the largest reply storm: it populates the remote
   // delivery, mailbox residency, method execution, dispatch batch, and join
   // round-trip histograms.
   hal::bench::report_json(reply_report.report, "msgpath_alloc");
 
-  // Optional hard budget on the pure small-message storms (CI sets 1).
-  const unsigned budget =
-      hal::bench::env_unsigned("HAL_MSGPATH_MAX_ALLOCS", 0);
-  if (budget != 0) {
-    for (int i = 0; i < 2; ++i) {
-      if (rows[i].allocs_per_msg > static_cast<double>(budget)) {
+  // Optional hard budget over all three storms (CI sets 0: the message
+  // path — including reply-to-continuation — must be allocation-free at
+  // the margin). Presence of the variable enables the check, so a budget
+  // of 0 is expressible.
+  if (std::getenv("HAL_MSGPATH_MAX_ALLOCS") != nullptr) {
+    const unsigned budget =
+        hal::bench::env_unsigned("HAL_MSGPATH_MAX_ALLOCS", 0);
+    // Tolerance for O(log n) effects (ring/event-queue doubling) that do
+    // not fully cancel in the marginal measurement.
+    const double limit = static_cast<double>(budget) + 0.01;
+    for (const Row& r : rows) {
+      if (r.allocs_per_msg > limit) {
         std::fprintf(stderr,
                      "FAIL: %s exceeded the allocation budget: %.3f > %u "
                      "allocs per small message\n",
-                     rows[i].name, rows[i].allocs_per_msg, budget);
+                     r.name, r.allocs_per_msg, budget);
         return 1;
       }
     }

@@ -12,6 +12,7 @@
 // seeding node); with LB it drops as P grows. The comparator rows give the
 // sequential and work-stealing baselines.
 #include <chrono>
+#include <functional>
 
 #include "apps/fib.hpp"
 #include "baseline/seq_kernels.hpp"

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Mechanical format checks, toolchain-independent and tree-wide.
+
+clang-format owns layout (see .clang-format); this script enforces the
+hygiene rules that need no compiler and hold for every tracked source
+file regardless of age:
+
+  - no tab characters (indentation is spaces everywhere in this tree)
+  - no trailing whitespace
+  - LF line endings (no CRLF)
+  - file ends with exactly one newline
+  - no line longer than 100 characters (hard cap; the 80-column target
+    is clang-format's job)
+
+Usage: check_format.py [paths...]   (default: git ls-files selection)
+stdlib only; exit 1 listing every violation, 0 when clean.
+"""
+import subprocess
+import sys
+from pathlib import Path
+
+EXTENSIONS = {".cpp", ".hpp", ".h", ".cc", ".py", ".cmake"}
+FILENAMES = {"CMakeLists.txt"}
+MAX_LINE = 100
+
+
+def tracked_files():
+    out = subprocess.run(
+        ["git", "ls-files"], capture_output=True, text=True, check=True
+    ).stdout
+    for name in out.splitlines():
+        p = Path(name)
+        if p.suffix in EXTENSIONS or p.name in FILENAMES:
+            yield p
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    try:
+        raw = path.read_bytes()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+    if not raw:
+        return []
+    if b"\r" in raw:
+        problems.append(f"{path}: CRLF line endings")
+    if not raw.endswith(b"\n"):
+        problems.append(f"{path}: missing final newline")
+    elif raw.endswith(b"\n\n"):
+        problems.append(f"{path}: multiple trailing newlines")
+    for lineno, line in enumerate(raw.split(b"\n"), start=1):
+        if b"\t" in line:
+            problems.append(f"{path}:{lineno}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{path}:{lineno}: trailing whitespace")
+        if len(line) > MAX_LINE:
+            problems.append(
+                f"{path}:{lineno}: line is {len(line)} chars (cap {MAX_LINE})"
+            )
+    return problems
+
+
+def main() -> int:
+    paths = [Path(p) for p in sys.argv[1:]] or list(tracked_files())
+    problems = []
+    for path in paths:
+        problems.extend(check_file(path))
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} format violation(s)", file=sys.stderr)
+        return 1
+    print(f"{len(paths)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

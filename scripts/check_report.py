@@ -21,7 +21,10 @@ import argparse
 import json
 import sys
 
-SCHEMA = "halcyon.run_report.v2"
+# Schema versions this validator understands. A report carrying any other
+# id (e.g. a future v3 emitted by a newer runtime) must fail loudly here:
+# silently "validating" fields whose meaning changed is worse than failing.
+KNOWN_SCHEMAS = {"halcyon.run_report.v2"}
 TOP_FIELDS = [
     "schema",
     "machine",
@@ -120,8 +123,13 @@ def check(path, min_populated, allow_leaks):
     for f in TOP_FIELDS:
         if f not in d:
             return fail(path, f"missing top-level field '{f}'")
-    if d["schema"] != SCHEMA:
-        return fail(path, f"schema is '{d['schema']}', expected '{SCHEMA}'")
+    if d["schema"] not in KNOWN_SCHEMAS:
+        return fail(
+            path,
+            f"unknown schema version '{d['schema']}' "
+            f"(this validator understands: {', '.join(sorted(KNOWN_SCHEMAS))}); "
+            "refusing to validate fields whose meaning may have changed",
+        )
     if d["machine"] not in ("sim", "thread"):
         return fail(path, f"unknown machine '{d['machine']}'")
     if d["nodes"] < 1:

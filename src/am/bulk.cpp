@@ -16,7 +16,7 @@ BulkChannel::BulkChannel(Machine& machine, NodeId self, BulkHandlers handlers,
       probes_(probes),
       pool_(pool),
       deliver_(std::move(deliver)) {
-  HAL_ASSERT(deliver_ != nullptr);
+  HAL_ASSERT(static_cast<bool>(deliver_));
 }
 
 std::uint64_t BulkChannel::send(NodeId dst, std::uint64_t tag,

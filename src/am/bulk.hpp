@@ -13,12 +13,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 
 #include "am/machine.hpp"
 #include "check/protocol.hpp"
 #include "common/buffer_pool.hpp"
+#include "common/inline_function.hpp"
 #include "common/stats.hpp"
 #include "obs/probe_recorder.hpp"
 
@@ -37,9 +37,12 @@ struct BulkHandlers {
 class BulkChannel {
  public:
   /// Completed-transfer callback: (src node, tag, meta words, data).
+  /// Inline callable — constructed once per kernel, but invoked on the
+  /// AM-handler path, so it must carry no hidden heap machinery.
   using DeliverFn =
-      std::function<void(NodeId src, std::uint64_t tag,
-                         const std::array<std::uint64_t, 2>& meta, Bytes data)>;
+      InlineFunction<void(NodeId src, std::uint64_t tag,
+                          const std::array<std::uint64_t, 2>& meta,
+                          Bytes data)>;
 
   /// `pool` recycles transfer buffers (assembly targets, DATA chunk
   /// payloads); it is the owning kernel's pool, touched only on this node's

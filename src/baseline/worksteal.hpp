@@ -10,12 +10,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/inline_function.hpp"
 #include "common/rng.hpp"
 
 namespace hal::baseline {
@@ -96,7 +96,10 @@ class WsDeque {
 /// expressed in task code via continuation counters.
 class WorkStealPool {
  public:
-  using Task = std::function<void()>;
+  /// Same inline-callable type as the runtime's own code slots: one task is
+  /// one heap node (Cilk-style), not one node plus a std::function control
+  /// block, and capture blocks are bounded at compile time.
+  using Task = InlineFunction<void()>;
 
   explicit WorkStealPool(unsigned workers);
   ~WorkStealPool();

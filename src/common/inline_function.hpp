@@ -1,0 +1,124 @@
+// Small-buffer type-erased callable with no heap fallback.
+//
+// The runtime's type-erased code slots — join-continuation bodies (§6.2),
+// behaviour factories, work-stealing tasks — used to be std::function,
+// whose small-object buffer (16 B in libstdc++) is too small for a typical
+// continuation closure (a MailAddress plus a counter is already 32 B), so
+// every request/reply round paid one heap allocation on the message path.
+// InlineFunction stores the callable inline, full stop: a capture block
+// that does not fit the declared capacity is a compile error, not a silent
+// allocation. This is what lets the zero-allocation fast path extend to
+// the reply path, and what lets hal-lint's handler-purity check treat
+// "constructs an InlineFunction" as allocation-free without special cases.
+//
+// Deliberately minimal: move-only, no allocator, no target_type, no
+// small-closure heroics — invoke, move, destroy.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hal {
+
+/// Default capture capacity. 48 bytes holds a MailAddress (24 B) plus three
+/// words — every closure the runtime itself creates, with room to spare —
+/// while keeping a JoinContinuation inside one cache-line pair.
+inline constexpr std::size_t kInlineFunctionCapacity = 48;
+
+template <typename Signature, std::size_t Capacity = kInlineFunctionCapacity>
+class InlineFunction;  // primary template: see the R(Args...) specialization
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture block exceeds InlineFunction capacity: shrink the "
+                  "captures (capture words, not objects) or raise Capacity "
+                  "at the declaration site");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    static_assert(std::is_move_constructible_v<Fn>,
+                  "callables must be move-constructible");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &ops_for<Fn>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.ops_ != nullptr) {
+        other.ops_->relocate(other.storage_, storage_);
+        ops_ = other.ops_;
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(const std::byte* storage, Args&&... args);
+    /// Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(std::byte* src, std::byte* dst) noexcept;
+    void (*destroy)(std::byte* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops ops_for{
+      [](const std::byte* storage, Args&&... args) -> R {
+        // The callable is invoked as non-const (matching std::function):
+        // mutable lambdas and stateful functors work.
+        auto* fn =
+            std::launder(reinterpret_cast<Fn*>(const_cast<std::byte*>(storage)));
+        return (*fn)(std::forward<Args>(args)...);
+      },
+      [](std::byte* src, std::byte* dst) noexcept {
+        auto* fn = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*fn));
+        fn->~Fn();
+      },
+      [](std::byte* storage) noexcept {
+        std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+      },
+  };
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hal

@@ -229,24 +229,34 @@ class Evaluator {
         for (const std::string& name : cont.captures) {
           captured.push_back(lookup(name, s.line));
         }
-        auto program = actor_.program_;
-        const MailAddress self = ctx->self();
-        const std::string cont_name = cont.name;
         // The continuation message inherits the *original* customer: a
         // `reply` inside the continuation block answers whoever requested
         // the method that issued this request (HAL's customer threading).
-        const ContRef customer = msg_ != nullptr ? msg_->cont : ContRef{};
+        // The interpreter's capture set (program handle, name, snapshot) is
+        // far wider than a compiled continuation's, so it is boxed behind
+        // one pointer: JoinBody holds captures inline and this is the
+        // deliberately-slow path — one allocation per interpreted request.
+        struct ContCapture {
+          std::shared_ptr<const Program> program;
+          MailAddress self;
+          std::string cont_name;
+          std::vector<Value> captured;
+          ContRef customer;
+        };
+        auto cap = std::make_unique<ContCapture>(ContCapture{
+            actor_.program_, ctx->self(), cont.name, std::move(captured),
+            msg_ != nullptr ? msg_->cont : ContRef{}});
         const ContRef join = ctx->make_join(
-            1, [program, self, cont_name, captured, customer](
-                   Context& jc, const JoinView& v) {
+            1, [cap = std::move(cap)](Context& jc, const JoinView& v) {
               // Reply value arrives serialized in the slot blob.
               ByteReader r(std::span<const std::byte>(v.blob(0)));
               std::vector<Value> args;
               args.push_back(Value::deserialize(r));
-              for (const Value& c : captured) args.push_back(c);
-              Message cm = make_interp_message(*program, self, cont_name,
+              for (const Value& c : cap->captured) args.push_back(c);
+              Message cm = make_interp_message(*cap->program, cap->self,
+                                               cap->cont_name,
                                                std::move(args));
-              cm.cont = customer;
+              cm.cont = cap->customer;
               jc.kernel().send_message(std::move(cm));
             });
         std::vector<Value> args;

@@ -119,7 +119,7 @@ class NameTable {
   }
 
  private:
-  NodeId self_;
+  const NodeId self_;  // write-once identity, never a shared-state race
   StatBlock& stats_;
   check::NodeAffinityGuard affinity_;
   SlotPool<LocalityDescriptor> pool_ HAL_GUARDED_BY(affinity_);

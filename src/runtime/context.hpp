@@ -7,7 +7,6 @@
 // paper's single-address-space kernel design.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <utility>
 
@@ -60,16 +59,15 @@ class Context {
   /// arrives (view slot 0 holds the reply value).
   template <auto Method, typename Then, typename... Args>
   void request(const MailAddress& addr, Then&& then, Args&&... args) {
-    const ContRef jc =
-        make_join(1, std::function<void(Context&, const JoinView&)>(
-                         std::forward<Then>(then)));
+    const ContRef jc = make_join(1, JoinBody(std::forward<Then>(then)));
     send_cont<Method>(addr, jc, std::forward<Args>(args)...);
   }
 
   /// Create a join continuation with `slots` reply slots; the body runs once
-  /// all slots are filled.
-  ContRef make_join(std::uint32_t slots,
-                    std::function<void(Context&, const JoinView&)> body) {
+  /// all slots are filled. The body's captures stay inline in the
+  /// continuation record (JoinBody) — no heap, and no raw pointers to actor
+  /// state: the actor may migrate between now and the join firing.
+  ContRef make_join(std::uint32_t slots, JoinBody body) {
     return kernel_.make_join(slots, std::move(body), self_);
   }
 

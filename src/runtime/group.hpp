@@ -12,6 +12,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/affinity.hpp"
+#include "check/capability.hpp"
 #include "common/assert.hpp"
 #include "runtime/message.hpp"
 
@@ -39,17 +41,23 @@ class GroupTable {
     return static_cast<NodeId>((root + index) % nodes);
   }
 
+  /// Names the owning node (called once from the owning kernel's ctor).
+  void bind(NodeId owner) noexcept { affinity_.bind(owner, "GroupTable"); }
+
   void insert(GroupInfo info) {
+    affinity_.assert_here();
     HAL_ASSERT(!table_.contains(info.id));
     table_.emplace(info.id, std::move(info));
   }
 
   GroupInfo* find(GroupId id) {
+    affinity_.assert_here();
     auto it = table_.find(id);
     return it == table_.end() ? nullptr : &it->second;
   }
 
   const GroupInfo* find(GroupId id) const {
+    affinity_.assert_here();
     auto it = table_.find(id);
     return it == table_.end() ? nullptr : &it->second;
   }
@@ -64,10 +72,16 @@ class GroupTable {
     HAL_PANIC("group member not born on this node");
   }
 
-  std::size_t size() const noexcept { return table_.size(); }
+  // Quiescent-time introspection (report, tests): opted out of the
+  // capability analysis rather than asserted.
+  std::size_t size() const noexcept HAL_NO_THREAD_SAFETY_ANALYSIS {
+    return table_.size();
+  }
 
  private:
-  std::unordered_map<GroupId, GroupInfo, GroupIdHash> table_;
+  check::NodeAffinityGuard affinity_;
+  std::unordered_map<GroupId, GroupInfo, GroupIdHash> table_
+      HAL_GUARDED_BY(affinity_);
 };
 
 }  // namespace hal

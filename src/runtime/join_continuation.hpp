@@ -7,20 +7,30 @@
 // are pre-filled at creation; the rest are filled by replies. When the
 // counter reaches zero the function runs with the continuation as its
 // argument. Its deterministic behaviour (receives exactly `counter` replies,
-// then never again) is what makes this cheaper than a full actor.
+// then never again) is what makes this cheaper than a full actor — and what
+// lets the whole structure live allocation-free: the body is an
+// InlineFunction (captures stay inside the record) and up to kInlineSlots
+// argument slots are stored inline, so the common request/reply round
+// touches the heap zero times.
 #pragma once
 
-#include <functional>
+#include <array>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/bytes.hpp"
+#include "common/inline_function.hpp"
 #include "runtime/message.hpp"
 
 namespace hal {
 
 class Context;
+class JoinView;
+
+/// The compiler-generated continuation body. Captures must fit the inline
+/// capacity — a compile error otherwise, never a hidden heap allocation.
+using JoinBody = InlineFunction<void(Context&, const JoinView&)>;
 
 /// Read-only view of a completed continuation's slots, handed to the body.
 class JoinView {
@@ -52,39 +62,76 @@ class JoinView {
 };
 
 struct JoinContinuation {
+  /// Argument slots stored inline in the record. Dependence analysis rarely
+  /// batches more than a handful of replies into one continuation; wider
+  /// joins (tests go up to 64) spill to a heap block.
+  static constexpr std::uint32_t kInlineSlots = 4;
+
   /// Empty slots remaining; the continuation fires when this reaches zero.
   std::uint32_t counter = 0;
-  /// The compiler-generated continuation body. Node-local by construction:
-  /// join continuations never cross node boundaries (only ContRefs do), so
-  /// holding code here does not violate the distributed-memory discipline.
-  std::function<void(Context&, const JoinView&)> function;
+  /// Total argument slots (fixed at creation).
+  std::uint32_t slot_count = 0;
+  /// Node-local by construction: join continuations never cross node
+  /// boundaries (only ContRefs do), so holding code here does not violate
+  /// the distributed-memory discipline.
+  JoinBody function;
   /// The actor which created the continuation (the paper keeps this to
   /// notify the creator of completion when necessary; we also run the body
   /// with the creator as `self`).
   MailAddress creator;
-  std::vector<std::uint64_t> slots;
-  std::vector<Bytes> blob_slots;
   /// Creation timestamp (join round-trip probe); continuations are
   /// node-local, so creation and completion read the same clock.
   SimTime created_at = 0;
 
-  void fill(std::uint32_t slot, std::uint64_t word, Bytes blob) {
-    HAL_ASSERT(slot < slots.size());
-    HAL_ASSERT(counter > 0);
-    slots[slot] = word;
-    if (!blob.empty()) {
-      if (blob_slots.size() <= slot) blob_slots.resize(slots.size());
-      blob_slots[slot] = std::move(blob);
+  /// Size the slot arrays for `n` replies (fresh record from the SlotPool:
+  /// members are default-initialized before this runs).
+  void init(std::uint32_t n) {
+    counter = n;
+    slot_count = n;
+    if (n <= kInlineSlots) {
+      inline_words_.fill(0);
+    } else {
+      spill_words_.assign(n, 0);
+      spill_blobs_.resize(n);
     }
+  }
+
+  void fill(std::uint32_t slot, std::uint64_t word, Bytes blob) {
+    HAL_ASSERT(slot < slot_count);
+    HAL_ASSERT(counter > 0);
+    words()[slot] = word;
+    if (!blob.empty()) blobs()[slot] = std::move(blob);
     --counter;
   }
 
   bool ready() const noexcept { return counter == 0; }
 
-  JoinView view() const {
-    return JoinView(std::span(slots),
-                    std::span(blob_slots.data(), blob_slots.size()));
+  std::span<std::uint64_t> words() noexcept {
+    return slot_count <= kInlineSlots
+               ? std::span(inline_words_.data(), slot_count)
+               : std::span(spill_words_);
   }
+  /// Reply payload slots (pool-acquired on arrival; the kernel retires them
+  /// after the body runs). Empty Bytes = word-only reply.
+  std::span<Bytes> blobs() noexcept {
+    return slot_count <= kInlineSlots
+               ? std::span(inline_blobs_.data(), slot_count)
+               : std::span(spill_blobs_);
+  }
+  std::span<const Bytes> blobs() const noexcept {
+    return const_cast<JoinContinuation*>(this)->blobs();
+  }
+
+  JoinView view() const {
+    auto* self = const_cast<JoinContinuation*>(this);
+    return JoinView(self->words(), self->blobs());
+  }
+
+ private:
+  std::array<std::uint64_t, kInlineSlots> inline_words_{};
+  std::array<Bytes, kInlineSlots> inline_blobs_{};
+  std::vector<std::uint64_t> spill_words_;
+  std::vector<Bytes> spill_blobs_;
 };
 
 }  // namespace hal

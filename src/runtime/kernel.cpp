@@ -35,6 +35,7 @@ Kernel::Kernel(am::Machine& machine, NodeId self,
   pool_.bind_owner(self);
   dispatcher_.bind_owner(self);
   probes_.bind_owner(self);
+  groups_.bind(self);
 }
 
 Kernel::~Kernel() = default;
@@ -477,18 +478,15 @@ void Kernel::run_quantum(GroupId gid, Message m) {
 
 // --- Join continuations (§6.2) -------------------------------------------------
 
-ContRef Kernel::make_join(std::uint32_t slot_count,
-                          std::function<void(Context&, const JoinView&)> body,
+ContRef Kernel::make_join(std::uint32_t slot_count, JoinBody body,
                           const MailAddress& creator) {
   HAL_ASSERT(slot_count > 0);
   charge(costs().join_alloc_ns);
   const SlotId s = joins_.allocate();
   JoinContinuation& jc = joins_.get(s);
-  jc.counter = slot_count;
+  jc.init(slot_count);
   jc.function = std::move(body);
   jc.creator = creator;
-  jc.slots.assign(slot_count, 0);
-  jc.blob_slots.clear();
   jc.created_at = machine_.now(self_);
   stats_.bump(Stat::kJoinContinuationsCreated);
   // A continuation that never completes is a protocol bug; hold a work
@@ -541,12 +539,12 @@ void Kernel::fill_join(const ContRef& ref, std::uint64_t word, Bytes blob) {
   machine_.token_release();
   probes_.record_span(obs::Probe::kJoinRoundTrip, done.created_at,
                       machine_.now(self_));
-  trace_mark(trace::EventKind::kJoinFired, done.slots.size());
+  trace_mark(trace::EventKind::kJoinFired, done.slot_count);
   Context ctx(*this, SlotId{}, done.creator, nullptr);
   done.function(ctx, done.view());
   // The body has consumed the joined values; retire the reply blobs
   // (pool-acquired on arrival in on_reply / the bulk reply path).
-  for (Bytes& b : done.blob_slots) pool_.release(std::move(b));
+  for (Bytes& b : done.blobs()) pool_.release(std::move(b));
 }
 
 // --- Groups (§2.2, §6.4) ---------------------------------------------------------
@@ -745,7 +743,7 @@ void Kernel::for_each_in_flight_payload(
   });
   dispatcher_.for_each_quantum([&](const Message& m) { fn(m.payload); });
   joins_.for_each([&](SlotId, JoinContinuation& jc) {
-    for (const Bytes& b : jc.blob_slots) fn(b);
+    for (const Bytes& b : jc.blobs()) fn(b);
   });
   node_manager_->for_each_in_flight_payload(fn);
 }
@@ -780,7 +778,7 @@ DrainStats Kernel::drain_in_flight() {
       [&](SlotId id, JoinContinuation&) { join_slots.push_back(id); });
   for (SlotId id : join_slots) {
     JoinContinuation& jc = joins_.get(id);
-    for (Bytes& b : jc.blob_slots) {
+    for (Bytes& b : jc.blobs()) {
       if (b.capacity() != 0) ++out.payloads;
       pool_.release(std::move(b));
     }

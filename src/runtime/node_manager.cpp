@@ -42,9 +42,15 @@ void NodeManager::ship(Message m, SlotId desc_slot) {
              hint.pack()};
   // Small-message fast path: args + payload memcpy'd straight into a pooled
   // packet buffer — no ByteWriter, no length word, no heap allocation at
-  // steady state.
-  p.payload = k_.pool().reserve(m.body_bytes());
-  m.encode_body_into(p.payload);
+  // steady state. A body-less message (argc == 0, e.g. a bare request)
+  // ships with no buffer at all: acquiring one would drain this node's
+  // free list one-way whenever the return traffic is buffer-less (replies
+  // carry no pool buffer), turning a zero-byte body into a malloc/free per
+  // message.
+  if (m.body_bytes() != 0) {
+    p.payload = k_.pool().reserve(m.body_bytes());
+    m.encode_body_into(p.payload);
+  }
   k_.pool().release(std::move(m.payload));
   k_.machine().send(std::move(p));
 }

@@ -7,7 +7,6 @@
 // Runtime setup ("program loading"), mapping BehaviorId → constructor.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <typeindex>
@@ -15,13 +14,18 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/inline_function.hpp"
 #include "runtime/actor_base.hpp"
 
 namespace hal {
 
 class BehaviorRegistry {
  public:
-  using Factory = std::function<std::unique_ptr<ActorBase>()>;
+  /// Constructor thunk. InlineFunction (not std::function) so instantiating
+  /// a behaviour — which happens on the remote-creation handler path — never
+  /// allocates for the thunk itself; factory captures (a program handle, an
+  /// id) must fit the inline capacity.
+  using Factory = InlineFunction<std::unique_ptr<ActorBase>()>;
 
   template <typename B>
     requires std::derived_from<B, ActorBase> &&

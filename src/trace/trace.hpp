@@ -55,6 +55,9 @@ struct Event {
 class TraceRecorder {
  public:
   void record(const Event& e) {
+    // HAL_LINT_SUPPRESS(hal-handler-purity): tracing is a diagnosis tool
+    // (see class comment) — kernels skip the call when tracing is off, and
+    // the lock is uncontended under the simulator's single event loop.
     std::lock_guard lock(mutex_);
     events_.push_back(e);
   }

@@ -1,0 +1,21 @@
+// Fixture: HL004 hal-wire-hygiene (known-bad).
+//
+// Lives under am/ so it is in wire scope. Serialisation must go through
+// the word-wise codec: no reinterpret_cast, no magic memcpy byte counts,
+// no sizeof(padded wire struct) shipped to another host.
+#include <cstring>
+
+namespace fix {
+
+struct Packet {
+  unsigned long long words[6];
+};
+
+void encode(Packet& p, const char* src, char* dst) {
+  const auto* w = reinterpret_cast<const unsigned long long*>(src);  // EXPECT: hal-wire-hygiene
+  p.words[0] = w[0];
+  std::memcpy(dst, src, 24);  // EXPECT: hal-wire-hygiene
+  std::memcpy(dst, &p, sizeof(Packet));  // EXPECT: hal-wire-hygiene
+}
+
+}  // namespace fix

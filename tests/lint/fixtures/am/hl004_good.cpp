@@ -1,0 +1,26 @@
+// Fixture: HL004 hal-wire-hygiene (known-good).
+//
+// The sanctioned shapes: word-wise stores, memcpy sized by a named
+// constant or sizeof of a fixed-width scalar, payloads moved as counted
+// byte ranges.
+#include <cstdint>
+#include <cstring>
+
+namespace fix {
+
+struct Packet {
+  std::uint64_t words[6];
+};
+
+constexpr std::size_t kHeaderBytes = 24;
+
+void encode(Packet& p, std::uint64_t a, std::uint64_t b, char* dst,
+            const char* payload, std::size_t payload_bytes) {
+  p.words[0] = a;
+  p.words[1] = b;
+  std::memcpy(dst, payload, payload_bytes);
+  std::memcpy(dst + payload_bytes, &p.words[0], sizeof(std::uint64_t));
+  std::memcpy(dst, payload, kHeaderBytes);
+}
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// Fixture: HL000 hal-suppress-needs-reason (known-bad).
+//
+// Every HAL_LINT_SUPPRESS must name a known check and carry a reason.
+// Markers: `EXPECT-NEXT:` flags the following line because the diagnostic
+// lands on the suppression comment itself, and putting `EXPECT:` inside
+// that comment would read as its reason string.
+namespace fix {
+
+// A suppression with no reason at all.
+// EXPECT-NEXT: hal-suppress-needs-reason
+// HAL_LINT_SUPPRESS(hal-handler-purity)
+void reasonless(int v);
+
+// A reason, but the check name is misspelled.
+// EXPECT-NEXT: hal-suppress-needs-reason
+// HAL_LINT_SUPPRESS(hal-handler-pureness): totally sound, trust me
+void misspelled(int v);
+
+// An empty check list (and a reason, so only the list is wrong).
+// EXPECT-NEXT: hal-suppress-needs-reason
+// HAL_LINT_SUPPRESS(): which check did you mean?
+void empty_list(int v);
+
+}  // namespace fix

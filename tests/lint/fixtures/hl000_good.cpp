@@ -1,0 +1,18 @@
+// Fixture: HL000 hal-suppress-needs-reason (known-good).
+namespace fix {
+
+// Canonical form: check id plus a reason.
+// HAL_LINT_SUPPRESS(hal-handler-purity): fixture — audited by hand.
+void own_line_form(int v);
+
+void same_line_form(int v);  // HAL_LINT_SUPPRESS(hal-buffer-lifecycle): fixture.
+
+// Several checks at once, by id or code, with one shared reason.
+// HAL_LINT_SUPPRESS(hal-wire-hygiene, HL005): fixture — legacy shim.
+void multi_check_form(int v);
+
+// Wildcard is allowed as long as the reason says why.
+// HAL_LINT_SUPPRESS(*): fixture — generated code, excluded wholesale.
+void wildcard_form(int v);
+
+}  // namespace fix

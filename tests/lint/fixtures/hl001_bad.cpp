@@ -1,0 +1,42 @@
+// Fixture: HL001 hal-handler-purity (known-bad).
+//
+// BadClient::handle is an AM handler root (a `handle` override of a
+// NodeClient-derived class); the closure must flag allocation, blocking
+// primitives, std::function, and executor re-entry both directly in the
+// handler and in helpers it reaches.
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace am {
+class NodeClient {};
+class Machine {
+ public:
+  void run();
+};
+}  // namespace am
+
+namespace fix {
+
+class BadClient : public am::NodeClient {
+ public:
+  void handle(int selector) {
+    auto boxed = std::make_unique<int>(selector);  // EXPECT: hal-handler-purity
+    int* raw = new int(selector);                  // EXPECT: hal-handler-purity
+    helper(*raw);
+    machine_.run();  // EXPECT: hal-handler-purity
+  }
+
+  void helper(int v) {
+    std::lock_guard<std::mutex> lock(mu_);  // EXPECT: hal-handler-purity
+    std::function<void(int)> cb = [](int) {};  // EXPECT: hal-handler-purity
+    pending_ = v;
+  }
+
+ private:
+  am::Machine& machine_;
+  std::mutex mu_;
+  int pending_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,38 @@
+// Fixture: HL001 hal-handler-purity (known-good).
+//
+// A handler that stays on the fast path: no allocation, no blocking, and
+// a reasoned suppression stopping the closure at a hand-audited subtree.
+#include <memory>
+
+namespace am {
+class NodeClient {};
+}  // namespace am
+
+namespace fix {
+
+class GoodClient : public am::NodeClient {
+ public:
+  void handle(int selector) {
+    dispatch(selector);
+    if (selector < 0) cold_path(selector);
+  }
+
+  void dispatch(int v) { pending_ = pending_ * 31 + v; }
+
+  // HAL_LINT_SUPPRESS(hal-handler-purity): fixture — cold error path, runs
+  // once per process at most; allocation here is audited and acceptable.
+  void cold_path(int v) {
+    diagnostics_ = std::make_unique<int>(v);
+  }
+
+ private:
+  int pending_ = 0;
+  std::unique_ptr<int> diagnostics_;
+};
+
+// Allocation outside any handler closure is not HL001's business.
+inline std::unique_ptr<int> bootstrap_helper(int v) {
+  return std::make_unique<int>(v);
+}
+
+}  // namespace fix

@@ -1,0 +1,54 @@
+// Fixture: HL002 hal-buffer-lifecycle (known-bad).
+//
+// Pooled buffers must reach exactly one consumer on every path. Each
+// function below breaks the discipline a different way; diagnostics land
+// on the offending statement (or the closing brace for fall-off leaks).
+namespace fix {
+
+struct Bytes {};
+struct Pool {
+  Bytes acquire(unsigned n);
+  Bytes reserve(unsigned n);
+};
+
+void ship(Bytes b);
+
+class BadCodec {
+ public:
+  // Consumed in the branch, leaked on the fall-through path.
+  void leak_on_branch(unsigned n, bool flag) {
+    Bytes b = pool_.acquire(n);
+    if (flag) {
+      ship(std::move(b));
+    }
+  }  // EXPECT: hal-buffer-lifecycle
+
+  // The second move hands its consumer an empty buffer.
+  void double_move(unsigned n) {
+    Bytes b = pool_.acquire(n);
+    ship(std::move(b));
+    ship(std::move(b));  // EXPECT: hal-buffer-lifecycle
+  }
+
+  // Re-acquiring while still owned drops the first buffer on the floor.
+  void leak_reacquire(unsigned n) {
+    Bytes b = pool_.acquire(n);
+    b = pool_.acquire(n + 1);  // EXPECT: hal-buffer-lifecycle
+    ship(std::move(b));
+  }
+
+  // Early return with the buffer still owned.
+  int early_return(unsigned n, bool flag) {
+    Bytes b = pool_.reserve(n);
+    if (flag) {
+      return -1;  // EXPECT: hal-buffer-lifecycle
+    }
+    ship(std::move(b));
+    return 0;
+  }
+
+ private:
+  Pool pool_;
+};
+
+}  // namespace fix

@@ -1,0 +1,54 @@
+// Fixture: HL002 hal-buffer-lifecycle (known-good).
+//
+// The disciplined shapes: straight-line acquire/ship, the receive-path
+// idiom (conditionally filled, unconditionally moved — moving an empty
+// buffer is a legal no-op), branch-complete retirement, and ownership
+// transfer by return.
+namespace fix {
+
+struct Bytes {};
+struct Pool {
+  Bytes acquire(unsigned n);
+  void release(Bytes b);
+};
+
+void ship(Bytes b);
+void deliver(Bytes b);
+
+class GoodCodec {
+ public:
+  void ship_once(unsigned n) {
+    Bytes b = pool_.acquire(n);
+    ship(std::move(b));
+  }
+
+  // The on_reply idiom: a body-less message leaves `b` empty.
+  void conditional_fill(unsigned n, bool has_body) {
+    Bytes b;
+    if (has_body) {
+      b = pool_.acquire(n);
+    }
+    deliver(std::move(b));
+  }
+
+  // Both branches retire; nothing survives the if.
+  void branch_complete(unsigned n, bool flag) {
+    Bytes b = pool_.acquire(n);
+    if (flag) {
+      ship(std::move(b));
+    } else {
+      pool_.release(std::move(b));
+    }
+  }
+
+  // Returning the buffer transfers ownership to the caller.
+  Bytes hand_off(unsigned n) {
+    Bytes b = pool_.acquire(n);
+    return b;
+  }
+
+ private:
+  Pool pool_;
+};
+
+}  // namespace fix

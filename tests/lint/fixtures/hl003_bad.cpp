@@ -1,0 +1,33 @@
+// Fixture: HL003 hal-actor-state-escape (known-bad).
+//
+// Behaviour classes (HAL_BEHAVIOR) hand continuations to request() /
+// make_join(); the actor may migrate before the reply arrives, so
+// capturing `this` or stack frames by reference is a hazard.
+namespace fix {
+
+struct Address {};
+struct Context {
+  Address self();
+  template <typename Fn>
+  void request(Address to, Fn&& k);
+};
+
+class Counter {
+ public:
+  HAL_BEHAVIOR(Counter, &Counter::on_inc, &Counter::on_sum)
+
+  void on_inc(Context& ctx, Address peer) {
+    ctx.request(peer, [this](int r) { total_ += r; });  // EXPECT: hal-actor-state-escape
+  }
+
+  void on_sum(Context& ctx, Address peer) {
+    int partial = 0;
+    ctx.request(peer, [&partial](int r) { partial += r; });  // EXPECT: hal-actor-state-escape
+    ctx.request(peer, [&](int r) { total_ += r; });  // EXPECT: hal-actor-state-escape
+  }
+
+ private:
+  int total_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,41 @@
+// Fixture: HL003 hal-actor-state-escape (known-good).
+//
+// Continuations that survive migration: scalars and the actor's own
+// address captured by value; lambdas outside request()/make_join() (e.g.
+// immediate algorithms) may capture whatever they like.
+namespace fix {
+
+struct Address {};
+struct Context {
+  Address self();
+  template <typename Fn>
+  void request(Address to, Fn&& k);
+  template <typename Fn>
+  void send_local(Fn&& k);
+};
+
+void sort_with(int* begin, int* end, int pivot);
+
+class Counter {
+ public:
+  HAL_BEHAVIOR(Counter, &Counter::on_inc)
+
+  void on_inc(Context& ctx, Address peer) {
+    const Address me = ctx.self();
+    const int weight = weight_;
+    ctx.request(peer, [me, weight](int r) { reply(me, r * weight); });
+  }
+
+  void on_local(Context& ctx) {
+    // Not a remote continuation: runs synchronously, frame still alive.
+    int scratch = 0;
+    ctx.send_local([&scratch](int r) { scratch += r; });
+  }
+
+  static void reply(Address to, int v);
+
+ private:
+  int weight_ = 1;
+};
+
+}  // namespace fix

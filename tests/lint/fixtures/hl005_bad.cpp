@@ -1,0 +1,23 @@
+// Fixture: HL005 hal-capability-coverage (known-bad).
+//
+// A class that owns a NodeAffinityGuard has opted into the per-node
+// single-writer discipline; every mutable member must be annotated
+// HAL_GUARDED_BY, delegate to a self-guarding type, or carry a reasoned
+// suppression.
+namespace hal::check {
+class NodeAffinityGuard {};
+}  // namespace hal::check
+
+namespace fix {
+
+class LeakyTable {
+ public:
+  void put(int key, int value);
+
+ private:
+  hal::check::NodeAffinityGuard affinity_;
+  int counter_ = 0;  // EXPECT: hal-capability-coverage
+  int* rows_ = nullptr;  // EXPECT: hal-capability-coverage
+};
+
+}  // namespace fix

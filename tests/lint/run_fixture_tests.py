@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fixture tests for hal-lint.
+
+Each fixture under fixtures/ is linted in isolation. Expected findings are
+written in the fixture itself:
+
+    ... offending line ...   // EXPECT: check-id[, check-id]
+    // EXPECT-NEXT: check-id     (flags the following line; used when the
+                                  marker cannot share the offending line,
+                                  e.g. HL000 diagnostics on suppression
+                                  comments)
+
+The comparison is exact and bidirectional on (line, check-id) pairs: a
+diagnostic with no marker fails the run, and a marker with no diagnostic
+fails the run — so both regressions (a fixed rule stops firing) and new
+false positives are caught. Files with at least one marker must make
+hal-lint exit 1; marker-free files must produce a clean exit 0.
+"""
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+DIAG_RE = re.compile(
+    r"^(?P<path>.+?):(?P<line>\d+):(?P<col>\d+): warning: .* "
+    r"\[(?P<check>[a-z0-9-]+)\]$")
+EXPECT_RE = re.compile(
+    r"EXPECT(?P<next>-NEXT)?:\s*"
+    r"(?P<ids>[a-z][a-z0-9-]*(?:\s*,\s*[a-z][a-z0-9-]*)*)")
+
+
+def expected_findings(path: Path) -> set:
+    exp = set()
+    for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        m = EXPECT_RE.search(text)
+        if m is None:
+            continue
+        target = lineno + (1 if m.group("next") else 0)
+        for check in re.split(r"\s*,\s*", m.group("ids")):
+            exp.add((target, check))
+    return exp
+
+
+def actual_findings(lint: str, path: Path):
+    proc = subprocess.run([lint, str(path)], capture_output=True, text=True)
+    found = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m is not None:
+            found.add((int(m.group("line")), m.group("check")))
+    return found, proc.returncode
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} <hal-lint-binary> <fixture-dir>",
+              file=sys.stderr)
+        return 2
+    lint, fixture_dir = sys.argv[1], Path(sys.argv[2])
+    fixtures = sorted(fixture_dir.rglob("*.cpp"))
+    if not fixtures:
+        print(f"no fixtures found under {fixture_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in fixtures:
+        expected = expected_findings(path)
+        actual, rc = actual_findings(lint, path)
+        problems = []
+        for line, check in sorted(expected - actual):
+            problems.append(f"  missing: expected [{check}] at line {line}")
+        for line, check in sorted(actual - expected):
+            problems.append(f"  extra:   unexpected [{check}] at line {line}")
+        want_rc = 1 if expected else 0
+        if rc != want_rc:
+            problems.append(f"  exit:    got {rc}, want {want_rc}")
+        name = path.relative_to(fixture_dir)
+        if problems:
+            failures += 1
+            print(f"FAIL {name}")
+            print("\n".join(problems))
+        else:
+            print(f"ok   {name} ({len(expected)} expected finding(s))")
+
+    if failures:
+        print(f"{failures}/{len(fixtures)} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(fixtures)} fixture(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+// hal-lint-clang: LibTooling front end for hal-lint's declarative checks.
+//
+// This restates the AST-shaped subset of the hal-lint contracts over a
+// real Clang AST (build with -DHAL_LINT_WITH_CLANG=ON and a Clang dev
+// kit; see tools/hal-lint/CMakeLists.txt). The flow-sensitive checks
+// (HL001 handler purity, HL002 buffer lifecycle) live in the portable
+// engine, which CI runs unconditionally — this front end adds
+// type-accurate coverage for:
+//
+//   HL003 hal-actor-state-escape  lambdas passed to Context::request /
+//                                 Kernel::make_join capturing `this` or
+//                                 by reference
+//   HL004 hal-wire-hygiene        reinterpret_cast and sizeof(padded
+//                                 wire struct) inside memcpy calls
+//   HL005 hal-capability-coverage fields of NodeAffinityGuard-owning
+//                                 records without a guarded_by attribute
+//
+// Diagnostic format matches the portable engine so fixture expectations
+// can be shared: `path:line:col: warning: message [check]`.
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+namespace {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+llvm::cl::OptionCategory gCategory("hal-lint-clang options");
+
+void emit(const SourceManager& sm, SourceLocation loc,
+          llvm::StringRef message, llvm::StringRef check) {
+  if (loc.isInvalid()) return;
+  const PresumedLoc p = sm.getPresumedLoc(loc);
+  if (p.isInvalid()) return;
+  llvm::outs() << p.getFilename() << ":" << p.getLine() << ":"
+               << p.getColumn() << ": warning: " << message << " ["
+               << check << "]\n";
+}
+
+class EscapeCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* lambda = result.Nodes.getNodeAs<LambdaExpr>("lambda");
+    if (lambda == nullptr) return;
+    for (const LambdaCapture& cap : lambda->captures()) {
+      if (cap.capturesThis()) {
+        emit(*result.SourceManager, lambda->getBeginLoc(),
+             "continuation captures 'this'; the actor may migrate before "
+             "it runs — capture ctx.self() by value",
+             "hal-actor-state-escape");
+      } else if (cap.getCaptureKind() == LCK_ByRef) {
+        emit(*result.SourceManager, lambda->getBeginLoc(),
+             "continuation captures by reference; the frame is gone when "
+             "the reply arrives — capture by value",
+             "hal-actor-state-escape");
+      }
+    }
+  }
+};
+
+class WireCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& result) override {
+    if (const auto* cast =
+            result.Nodes.getNodeAs<CXXReinterpretCastExpr>("reinterpret")) {
+      emit(*result.SourceManager, cast->getBeginLoc(),
+           "reinterpret_cast in the wire layer; encode through the "
+           "word-wise message codec",
+           "hal-wire-hygiene");
+    }
+    if (const auto* size =
+            result.Nodes.getNodeAs<UnaryExprOrTypeTraitExpr>("sizeofArg")) {
+      emit(*result.SourceManager, size->getBeginLoc(),
+           "sizeof(padded wire struct) inside memcpy serialises host "
+           "layout; use the word-wise encoder",
+           "hal-wire-hygiene");
+    }
+  }
+};
+
+class CapabilityCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* field = result.Nodes.getNodeAs<FieldDecl>("field");
+    if (field == nullptr) return;
+    if (field->hasAttr<GuardedByAttr>()) return;
+    if (field->getType().isConstQualified() ||
+        field->getType()->isReferenceType()) {
+      return;
+    }
+    const std::string type = field->getType().getAsString();
+    if (type.find("NodeAffinityGuard") != std::string::npos) return;
+    emit(*result.SourceManager, field->getLocation(),
+         ("mutable member '" + field->getNameAsString() +
+          "' of a NodeAffinityGuard-owning class lacks HAL_GUARDED_BY")
+             .c_str(),
+         "hal-capability-coverage");
+  }
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto options =
+      tooling::CommonOptionsParser::create(argc, argv, gCategory);
+  if (!options) {
+    llvm::errs() << llvm::toString(options.takeError());
+    return 2;
+  }
+  tooling::ClangTool tool(options->getCompilations(),
+                          options->getSourcePathList());
+
+  MatchFinder finder;
+  EscapeCallback escape;
+  WireCallback wire;
+  CapabilityCallback capability;
+
+  // HL003: lambdas in argument position of request()/make_join().
+  finder.addMatcher(
+      lambdaExpr(hasAncestor(callExpr(callee(functionDecl(
+                     anyOf(hasName("request"), hasName("make_join")))))))
+          .bind("lambda"),
+      &escape);
+
+  // HL004: reinterpret_cast, and sizeof(wire struct) inside memcpy.
+  finder.addMatcher(cxxReinterpretCastExpr().bind("reinterpret"), &wire);
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasName("memcpy"))),
+               hasDescendant(unaryExprOrTypeTraitExpr(
+                                 ofKind(UETT_SizeOf),
+                                 hasArgumentOfType(hasDeclaration(
+                                     recordDecl(hasAnyName(
+                                         "Packet", "Message", "MailAddress",
+                                         "ContRef", "GroupInfo")))))
+                                 .bind("sizeofArg"))),
+      &wire);
+
+  // HL005: fields of records that own a NodeAffinityGuard member.
+  finder.addMatcher(
+      fieldDecl(hasParent(cxxRecordDecl(has(fieldDecl(hasType(
+                    cxxRecordDecl(hasName("NodeAffinityGuard"))))))))
+          .bind("field"),
+      &capability);
+
+  return tool.run(tooling::newFrontendActionFactory(&finder).get());
+}

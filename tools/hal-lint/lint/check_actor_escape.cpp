@@ -1,0 +1,51 @@
+// HL003 hal-actor-state-escape.
+//
+// Contract: actors are location-transparent — between two messages an
+// actor may migrate to another node (§4 of the paper), at which point its
+// C++ object is destroyed on the source node and rebuilt from its packed
+// state on the destination. A join continuation or request callback built
+// inside a behaviour method therefore must not capture `this` or capture
+// by reference: the continuation outlives the current message and may run
+// after the actor has moved, leaving the captured pointer dangling.
+// Continuations must capture by value (the mail address via ctx.self(),
+// plus whatever scalars they need) and read results from the JoinView.
+//
+// Scope: lambdas written inside methods of classes that declare
+// HAL_BEHAVIOR(...), when passed to the escaping sinks `request` /
+// `make_join` / `reply_to`.
+#include "lint/checks.hpp"
+
+namespace hal::lint {
+
+void run_actor_escape(CheckContext& ctx) {
+  const Model& model = ctx.model();
+  for (const FunctionDecl& fn : model.functions()) {
+    const ClassDecl* cls = model.find_class(fn.class_name);
+    if (cls == nullptr || !cls->has_behavior_macro) continue;
+    for (const LambdaSite& lam : fn.lambdas) {
+      const bool escaping = lam.enclosing_callee == "request" ||
+                            lam.enclosing_callee == "make_join" ||
+                            lam.enclosing_callee == "reply_to";
+      if (!escaping) continue;
+      if (lam.captures_this) {
+        ctx.report(*fn.file, lam.line, lam.col, "hal-actor-state-escape",
+                   "continuation passed to " + lam.enclosing_callee +
+                       "() captures 'this' inside behaviour method '" +
+                       fn.qualified +
+                       "'; the actor may migrate before the continuation "
+                       "runs — capture ctx.self() and scalars by value");
+      }
+      if (lam.captures_by_ref) {
+        ctx.report(*fn.file, lam.line, lam.col, "hal-actor-state-escape",
+                   "continuation passed to " + lam.enclosing_callee +
+                       "() captures by reference inside behaviour method "
+                       "'" +
+                       fn.qualified +
+                       "'; the frame is gone when the reply arrives — "
+                       "capture by value");
+      }
+    }
+  }
+}
+
+}  // namespace hal::lint

@@ -1,0 +1,462 @@
+// HL002 hal-buffer-lifecycle.
+//
+// Contract: a pooled payload buffer obtained from BufferPool::acquire /
+// reserve is owned by exactly one party at a time and must reach exactly
+// one consumer — release() back to the pool, being shipped inside a
+// packet, or adoption into a message — on EVERY control-flow path. The
+// recycling discipline (sender acquires, receiver retires) is what makes
+// the small-message fast path allocation-free; a branch that forgets its
+// buffer turns into a slow leak, and a double-move is a logic error (the
+// second consumer silently receives an empty buffer).
+//
+// Mechanism: per function, LOCALS initialised or assigned from a
+// `...pool...acquire(` / `...pool...reserve(` call are tracked through a
+// structured statement tree (if/else, loops, switch, return). The
+// abstract value is a set over three concrete states —
+//   E  empty        default-constructed or already shipped elsewhere
+//   O  owned        holds a pooled buffer that must be retired
+//   C  consumed     std::move()d away on this path
+// — joined by set union at control-flow merges. `std::move(v)` of an E
+// buffer is legal (moving an empty Bytes is a no-op), which is exactly
+// the `Bytes b; if (...) b = pool.acquire(...); use(std::move(b));`
+// idiom the receive path uses. Only member fields keep their buffers
+// across calls, so fields are deliberately NOT tracked.
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "lint/checks.hpp"
+
+namespace hal::lint {
+namespace {
+
+using tokq::match;
+
+struct Stmt {
+  enum Kind { Seq, If, Loop, Switch, Return, Simple } kind = Simple;
+  std::vector<Stmt> children;
+  std::size_t begin = 0, end = 0;  // token range of cond / simple stmt
+  bool has_else = false;
+  bool has_default = false;
+  std::uint32_t line = 0;
+};
+
+struct Parser {
+  const std::vector<Token>& t;
+
+  Stmt parse_block(std::size_t begin, std::size_t end) {
+    Stmt seq;
+    seq.kind = Stmt::Seq;
+    std::size_t i = begin;
+    while (i < end) {
+      auto [stmt, next] = parse_stmt(i, end);
+      seq.children.push_back(std::move(stmt));
+      i = next > i ? next : i + 1;
+    }
+    return seq;
+  }
+
+  std::pair<Stmt, std::size_t> parse_stmt(std::size_t i, std::size_t end) {
+    Stmt s;
+    s.line = t[i].line;
+    const std::string_view x = t[i].text;
+    if (x == "{") {
+      const std::size_t close = match(t, i, end);
+      s = parse_block(i + 1, close);
+      s.line = t[i].line;
+      return {std::move(s), close + 1};
+    }
+    if (x == "if") {
+      s.kind = Stmt::If;
+      std::size_t j = i + 1;
+      if (j < end && t[j].text == "constexpr") ++j;
+      std::size_t after_cond = j;
+      if (j < end && t[j].text == "(") {
+        const std::size_t close = match(t, j, end);
+        s.begin = j + 1;
+        s.end = close;
+        after_cond = close + 1;
+      }
+      auto [then, next] = parse_stmt(after_cond, end);
+      s.children.push_back(std::move(then));
+      if (next < end && t[next].text == "else") {
+        auto [els, next2] = parse_stmt(next + 1, end);
+        s.children.push_back(std::move(els));
+        s.has_else = true;
+        next = next2;
+      }
+      return {std::move(s), next};
+    }
+    if (x == "while" || x == "for") {
+      s.kind = Stmt::Loop;
+      std::size_t j = i + 1;
+      std::size_t after_cond = j;
+      if (j < end && t[j].text == "(") {
+        const std::size_t close = match(t, j, end);
+        s.begin = j + 1;
+        s.end = close;
+        after_cond = close + 1;
+      }
+      auto [body, next] = parse_stmt(after_cond, end);
+      s.children.push_back(std::move(body));
+      return {std::move(s), next};
+    }
+    if (x == "do") {
+      s.kind = Stmt::Loop;
+      auto [body, next] = parse_stmt(i + 1, end);
+      s.children.push_back(std::move(body));
+      // Trailing `while (...);`
+      if (next < end && t[next].text == "while") {
+        std::size_t j = next + 1;
+        if (j < end && t[j].text == "(") j = match(t, j, end) + 1;
+        if (j < end && t[j].text == ";") ++j;
+        next = j;
+      }
+      return {std::move(s), next};
+    }
+    if (x == "switch") {
+      s.kind = Stmt::Switch;
+      std::size_t j = i + 1;
+      if (j < end && t[j].text == "(") {
+        const std::size_t close = match(t, j, end);
+        s.begin = j + 1;
+        s.end = close;
+        j = close + 1;
+      }
+      if (j < end && t[j].text == "{") {
+        const std::size_t close = match(t, j, end);
+        parse_switch_arms(s, j + 1, close);
+        j = close + 1;
+      }
+      return {std::move(s), j};
+    }
+    if (x == "return") {
+      s.kind = Stmt::Return;
+      s.begin = i;
+      s.end = skip_simple(i, end);
+      return {std::move(s), s.end + 1};
+    }
+    if (x == "case" || x == "default") {
+      // Reached only when arms are parsed as plain statements; skip label.
+      std::size_t j = i;
+      while (j < end && t[j].text != ":") ++j;
+      s.kind = Stmt::Simple;
+      s.begin = s.end = j;
+      return {std::move(s), j + 1};
+    }
+    s.kind = Stmt::Simple;
+    s.begin = i;
+    s.end = skip_simple(i, end);
+    return {std::move(s), s.end + 1};
+  }
+
+  void parse_switch_arms(Stmt& sw, std::size_t begin, std::size_t end) {
+    // Split the switch body on top-level case/default labels; each arm is
+    // a Seq. Fallthrough is approximated: arms are alternatives.
+    std::size_t i = begin;
+    std::size_t arm_start = end;
+    auto flush = [&](std::size_t upto) {
+      if (arm_start < upto) {
+        sw.children.push_back(parse_block(arm_start, upto));
+      }
+    };
+    while (i < end) {
+      const std::string_view x = t[i].text;
+      if (x == "case" || x == "default") {
+        flush(i);
+        if (x == "default") sw.has_default = true;
+        while (i < end && t[i].text != ":") ++i;
+        ++i;
+        arm_start = i;
+        continue;
+      }
+      if (x == "(" || x == "[" || x == "{") {
+        i = match(t, i, end) + 1;
+        continue;
+      }
+      ++i;
+    }
+    flush(end);
+  }
+
+  /// End (index of ';') of a simple statement starting at i.
+  std::size_t skip_simple(std::size_t i, std::size_t end) {
+    std::size_t j = i;
+    while (j < end) {
+      const std::string_view x = t[j].text;
+      if (x == ";") return j;
+      if (x == "(" || x == "[" || x == "{") {
+        j = match(t, j, end) + 1;
+        continue;
+      }
+      if (x == "}") return j;
+      ++j;
+    }
+    return end;
+  }
+};
+
+// --- abstract interpretation over one tracked variable ---------------------
+
+// Set of possible concrete states, joined by union at merges.
+using Mask = std::uint8_t;
+constexpr Mask kEmpty = 1;     // default-constructed / never acquired here
+constexpr Mask kOwned = 2;     // holds a pooled buffer needing retirement
+constexpr Mask kConsumed = 4;  // std::move()d away on this path
+
+struct Interp {
+  CheckContext& ctx;
+  SourceFile& file;
+  const std::vector<Token>& t;
+  std::string_view var;
+  std::string fn_name;
+  std::set<std::pair<std::uint32_t, std::string>> reported;
+
+  void report(std::uint32_t line, std::uint32_t col, std::string msg) {
+    if (reported.emplace(line, msg).second) {
+      ctx.report(file, line, col, "hal-buffer-lifecycle", std::move(msg));
+    }
+  }
+
+  /// True if [begin, end) re-initialises `var` from a pool acquire.
+  bool is_acquire(std::size_t begin, std::size_t end) const {
+    for (std::size_t j = begin; j + 1 < end; ++j) {
+      if (t[j].text == var && t[j + 1].text == "=" &&
+          (j == begin || (t[j - 1].text != "." && t[j - 1].text != "->"))) {
+        for (std::size_t k = j + 2; k < end; ++k) {
+          if ((t[k].text == "acquire" || t[k].text == "reserve") &&
+              k + 1 < end && t[k + 1].text == "(") {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  struct Flow {
+    Mask mask = kEmpty;
+    bool terminated = false;
+  };
+
+  Flow run_events(std::size_t begin, std::size_t end, Flow in) {
+    if (in.terminated) return in;
+    Flow f = in;
+    for (std::size_t j = begin; j < end; ++j) {
+      // Consume: std::move(var) — `move ( var )`. Moving an Empty buffer
+      // is a legal no-op; only a (possibly) already-moved one is flagged.
+      if (t[j].text == "move" && j + 3 < end && t[j + 1].text == "(" &&
+          t[j + 2].text == var && t[j + 3].text == ")") {
+        if (f.mask == kConsumed) {
+          report(t[j].line, t[j].col,
+                 "pooled buffer '" + std::string(var) +
+                     "' is moved again after it was already consumed; the "
+                     "second consumer receives an empty buffer");
+        } else if ((f.mask & kConsumed) != 0) {
+          report(t[j].line, t[j].col,
+                 "pooled buffer '" + std::string(var) +
+                     "' may already have been consumed on another path");
+        }
+        f.mask = kConsumed;
+        j += 3;
+        continue;
+      }
+      // Re-acquire: var = ...acquire/reserve(...)
+      if (t[j].text == var && j + 1 < t.size() && t[j + 1].text == "=" &&
+          (j == begin ||
+           (t[j - 1].text != "." && t[j - 1].text != "->"))) {
+        if (is_acquire(j, end)) {
+          if (f.mask == kOwned) {
+            report(t[j].line, t[j].col,
+                   "pooled buffer '" + std::string(var) +
+                       "' re-acquired while still owned; the old buffer "
+                       "leaks");
+          } else if ((f.mask & kOwned) != 0) {
+            report(t[j].line, t[j].col,
+                   "pooled buffer '" + std::string(var) +
+                       "' re-acquired but may still be owned on another "
+                       "path");
+          }
+          f.mask = kOwned;
+        }
+      }
+    }
+    return f;
+  }
+
+  Flow eval(const Stmt& s, Flow in) {
+    if (in.terminated) return in;
+    switch (s.kind) {
+      case Stmt::Seq: {
+        Flow f = in;
+        for (const Stmt& c : s.children) {
+          f = eval(c, f);
+          if (f.terminated) break;
+        }
+        return f;
+      }
+      case Stmt::Simple:
+        return run_events(s.begin, s.end, in);
+      case Stmt::Return: {
+        Flow f = run_events(s.begin, s.end, in);
+        // `return var;` transfers ownership out (NRVO move).
+        bool returns_var = false;
+        for (std::size_t j = s.begin + 1; j < s.end; ++j) {
+          if (t[j].text == var) returns_var = true;
+        }
+        if (returns_var) f.mask = kConsumed;
+        if (f.mask == kOwned) {
+          report(t[s.begin].line, t[s.begin].col,
+                 "pooled buffer '" + std::string(var) +
+                     "' is still owned at this return; every acquire must "
+                     "reach exactly one release/ship/adopt");
+        } else if ((f.mask & kOwned) != 0) {
+          report(t[s.begin].line, t[s.begin].col,
+                 "pooled buffer '" + std::string(var) +
+                     "' is retired on only some paths reaching this "
+                     "return");
+        }
+        f.terminated = true;
+        return f;
+      }
+      case Stmt::If: {
+        Flow pre = run_events(s.begin, s.end, in);
+        const Flow a = eval(s.children[0], pre);
+        const Flow b = s.has_else && s.children.size() > 1
+                           ? eval(s.children[1], pre)
+                           : pre;
+        if (a.terminated && b.terminated) return {kEmpty, true};
+        if (a.terminated) return b;
+        if (b.terminated) return a;
+        return {static_cast<Mask>(a.mask | b.mask), false};
+      }
+      case Stmt::Loop: {
+        Flow pre = run_events(s.begin, s.end, in);
+        const Flow once = eval(s.children[0], pre);
+        Flow widened{
+            static_cast<Mask>(pre.mask |
+                              (once.terminated ? 0 : once.mask)),
+            false};
+        const Flow again = eval(s.children[0], widened);  // re-check
+        (void)again;
+        return widened;
+      }
+      case Stmt::Switch: {
+        Flow pre = run_events(s.begin, s.end, in);
+        if (s.children.empty()) return pre;
+        Mask acc = s.has_default ? 0 : pre.mask;
+        bool any_live = !s.has_default;
+        for (const Stmt& arm : s.children) {
+          const Flow f = eval(arm, pre);
+          if (f.terminated) continue;
+          any_live = true;
+          acc = static_cast<Mask>(acc | f.mask);
+        }
+        if (!any_live) return {kEmpty, true};
+        return {acc, false};
+      }
+    }
+    return in;
+  }
+};
+
+// Names of locals declared inside [begin, end): any `Type name` pair
+// followed by `;`, `=`, `{` or `(`. Fields assigned in the body never
+// match (their declaration lives at class scope), which is what keeps
+// `payload = pool->acquire(...)` in Message::decode_body untracked.
+std::vector<std::string_view> local_decls(const std::vector<Token>& t,
+                                          std::size_t begin,
+                                          std::size_t end) {
+  static const std::set<std::string_view> kNotATypeName = {
+      "return", "co_return", "goto",  "break",  "continue", "new",
+      "delete", "throw",     "case",  "using",  "typedef",  "else",
+      "do",     "operator",  "const", "static", "constexpr"};
+  std::vector<std::string_view> out;
+  for (std::size_t j = begin; j + 2 < end; ++j) {
+    if (t[j].kind != Tok::Identifier || t[j + 1].kind != Tok::Identifier) {
+      continue;
+    }
+    if (kNotATypeName.contains(t[j].text)) continue;
+    const std::string_view after = t[j + 2].text;
+    if (after != ";" && after != "=" && after != "{") continue;
+    if (j > begin &&
+        (t[j - 1].text == "." || t[j - 1].text == "->" ||
+         t[j - 1].text == "::")) {
+      continue;
+    }
+    out.push_back(t[j + 1].text);
+  }
+  return out;
+}
+
+}  // namespace
+
+void run_buffer_lifecycle(CheckContext& ctx) {
+  for (const FunctionDecl& fn : ctx.mutable_model().functions()) {
+    SourceFile& file = *fn.file;
+    const std::vector<Token>& t = file.tokens();
+    if (fn.body_begin + 1 >= fn.body_end || fn.body_end > t.size()) {
+      continue;
+    }
+
+    const std::vector<std::string_view> locals =
+        local_decls(t, fn.body_begin + 1, fn.body_end);
+
+    // Discover tracked locals: `<name> = ...pool...acquire|reserve(...)`
+    // where the receiver mentions a pool and <name> is a body-scope local.
+    std::vector<std::string_view> vars;
+    for (const CallSite& c : fn.calls) {
+      if (c.callee != "acquire" && c.callee != "reserve") continue;
+      if (c.qual.find("pool") == std::string::npos &&
+          c.qual.find("Pool") == std::string::npos) {
+        continue;
+      }
+      // Walk back to `ident =` at the start of the statement.
+      std::size_t j = c.tok;
+      while (j > fn.body_begin && t[j].text != ";" && t[j].text != "{" &&
+             t[j].text != "}") {
+        --j;
+      }
+      for (std::size_t k = j; k + 1 < c.tok; ++k) {
+        if (t[k].kind == Tok::Identifier && t[k + 1].text == "=" &&
+            (k == 0 || (t[k - 1].text != "." && t[k - 1].text != "->"))) {
+          const bool is_local =
+              std::find(locals.begin(), locals.end(), t[k].text) !=
+              locals.end();
+          if (is_local && std::find(vars.begin(), vars.end(), t[k].text) ==
+                              vars.end()) {
+            vars.push_back(t[k].text);
+          }
+          break;
+        }
+      }
+    }
+    if (vars.empty()) continue;
+
+    Parser parser{t};
+    const Stmt body = parser.parse_block(fn.body_begin + 1, fn.body_end);
+    for (const std::string_view v : vars) {
+      Interp interp{ctx, file, t, v, fn.qualified, {}};
+      Interp::Flow start;
+      // The declaration itself is the first acquire; run_events finds it.
+      const Interp::Flow out = interp.eval(body, start);
+      if (!out.terminated) {
+        const std::uint32_t end_line = t[fn.body_end].line;
+        if (out.mask == kOwned) {
+          interp.report(end_line, t[fn.body_end].col,
+                        "pooled buffer '" + std::string(v) +
+                            "' is still owned when '" + fn.qualified +
+                            "' falls off the end; it must be released, "
+                            "shipped, or adopted");
+        } else if ((out.mask & kOwned) != 0) {
+          interp.report(end_line, t[fn.body_end].col,
+                        "pooled buffer '" + std::string(v) +
+                            "' is retired on only some paths through '" +
+                            fn.qualified + "'");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hal::lint

@@ -1,0 +1,84 @@
+// HL005 hal-capability-coverage.
+//
+// Contract: HAL's per-node single-writer discipline (DESIGN.md §5) is
+// spelled with hal::check capability objects — a class that owns a
+// check::NodeAffinityGuard has opted its state into the discipline, and
+// then EVERY mutable data member must either
+//   - carry HAL_GUARDED_BY(<guard>) (checked by clang -Wthread-safety in
+//     CI and by the debug invariant checker at runtime), or
+//   - be of a type that owns its own NodeAffinityGuard (delegated
+//     guarding: BufferPool inside Kernel guards itself), or
+//   - be const / constexpr / static / a reference (no mutable per-node
+//     state to race on), or
+//   - be explicitly suppressed with a written reason.
+//
+// Partial coverage is the dangerous state this check exists for: a class
+// that guards three members and silently leaves the fourth unguarded
+// reads as "covered" in review while the unguarded member is exactly
+// where the cross-node mutation hides.
+//
+// A suppression on the class-head line covers the whole class.
+#include <cctype>
+
+#include "lint/checks.hpp"
+
+namespace hal::lint {
+namespace {
+
+/// True if the member's type names a scanned class that owns its own
+/// NodeAffinityGuard (delegated guarding).
+bool self_guarding_type(const Model& model, const MemberVar& m) {
+  for (const ClassDecl& c : model.classes()) {
+    if (!c.owns_affinity_guard && c.name != "NodeAffinityGuard" &&
+        c.name != "ScopedExecutionNode") {
+      continue;
+    }
+    // Token-exact match against the type text to avoid substring hits.
+    const std::string& ty = m.type_text;
+    std::size_t pos = 0;
+    while ((pos = ty.find(c.name, pos)) != std::string::npos) {
+      const bool left_ok =
+          pos == 0 || !(std::isalnum(static_cast<unsigned char>(
+                            ty[pos - 1])) != 0 ||
+                        ty[pos - 1] == '_');
+      const std::size_t after = pos + c.name.size();
+      const bool right_ok =
+          after >= ty.size() ||
+          !(std::isalnum(static_cast<unsigned char>(ty[after])) != 0 ||
+            ty[after] == '_');
+      if (left_ok && right_ok) return true;
+      pos = after;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void run_capability_coverage(CheckContext& ctx) {
+  Model& model = ctx.mutable_model();
+  for (const ClassDecl& cls : model.classes()) {
+    if (!cls.owns_affinity_guard || cls.file == nullptr) continue;
+    SourceFile& file = *cls.file;
+    // Class-wide opt-out: suppression on the class-head line.
+    if (file.is_suppressed("hal-capability-coverage", cls.line)) continue;
+    for (const MemberVar& m : cls.members) {
+      if (m.guarded || m.is_static || m.is_constexpr || m.is_const ||
+          m.is_reference) {
+        continue;
+      }
+      if (m.type_text.find("NodeAffinityGuard") != std::string::npos) {
+        continue;  // the guard itself
+      }
+      if (self_guarding_type(model, m)) continue;
+      ctx.report(file, m.line, 1, "hal-capability-coverage",
+                 "mutable member '" + m.name + "' of per-node class '" +
+                     cls.name +
+                     "' (owns a NodeAffinityGuard) lacks HAL_GUARDED_BY; "
+                     "annotate it, delegate to a self-guarding type, or "
+                     "suppress with the reason the member is race-free");
+    }
+  }
+}
+
+}  // namespace hal::lint

@@ -1,0 +1,43 @@
+// HL000 hal-suppress-needs-reason: every HAL_LINT_SUPPRESS must name a
+// known check and carry a non-empty reason string. The suppression syntax
+// is the escape hatch for every other check, so this one is deliberately
+// not suppressible — a silent escape hatch is no contract at all.
+#include "lint/checks.hpp"
+
+namespace hal::lint {
+
+bool is_known_check_name(std::string_view name) {
+  if (name == "*") return true;
+  for (const Check& c : all_checks()) {
+    if (name == c.id || name == c.code) return true;
+  }
+  return false;
+}
+
+void run_suppress_hygiene(CheckContext& ctx) {
+  for (const auto& file : ctx.model().files()) {
+    for (const Suppression& sup : file->suppressions()) {
+      if (!sup.has_reason) {
+        ctx.report_unsuppressable(
+            *file, sup.line, 1, "hal-suppress-needs-reason",
+            "HAL_LINT_SUPPRESS without a reason; write "
+            "'// HAL_LINT_SUPPRESS(check): why this is sound'");
+      }
+      for (const std::string& name : sup.checks) {
+        if (!is_known_check_name(name)) {
+          ctx.report_unsuppressable(
+              *file, sup.line, 1, "hal-suppress-needs-reason",
+              "HAL_LINT_SUPPRESS names unknown check '" + name +
+                  "' (run hal-lint --list-checks)");
+        }
+      }
+      if (sup.checks.empty()) {
+        ctx.report_unsuppressable(
+            *file, sup.line, 1, "hal-suppress-needs-reason",
+            "HAL_LINT_SUPPRESS with an empty check list");
+      }
+    }
+  }
+}
+
+}  // namespace hal::lint

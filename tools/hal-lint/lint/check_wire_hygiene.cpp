@@ -1,0 +1,122 @@
+// HL004 hal-wire-hygiene.
+//
+// Contract: HAL's wire format is the word-wise encoder in
+// src/runtime/message.hpp / src/am/packet.hpp — never the in-memory
+// layout of a struct. Structs like Packet, Message, MailAddress and
+// ContRef carry padding and host-order fields; memcpying or
+// reinterpret_casting them onto the wire bakes the host ABI into the
+// protocol and breaks the moment two node binaries disagree. Payload
+// sizes must be named (sizeof or a constant), not magic numbers.
+//
+// Rules, applied to wire-layer files (src/am/*, message/arg codec,
+// node_manager):
+//   1. reinterpret_cast is banned (suppress with a reason where a raw
+//      byte view is the contract, e.g. console text payloads);
+//   2. memcpy size arguments must not contain bare integer literals
+//      outside sizeof(...);
+//   3. sizeof(<padded wire struct>) must not appear in a memcpy.
+#include <array>
+
+#include "lint/checks.hpp"
+
+namespace hal::lint {
+namespace {
+
+using tokq::match;
+
+constexpr std::array<std::string_view, 8> kPaddedWireStructs = {
+    "Packet",  "Message",          "MailAddress", "ContRef",
+    "GroupInfo", "JoinContinuation", "LocalityDescriptor", "WorkToken"};
+
+bool wire_scope(const std::string& path) {
+  if (path.find("/am/") != std::string::npos ||
+      path.rfind("am/", 0) == 0) {
+    return true;
+  }
+  for (const std::string_view name :
+       {"message.hpp", "arg_codec.hpp", "node_manager.cpp",
+        "node_manager.hpp", "packet.hpp"}) {
+    if (path.size() >= name.size() &&
+        path.compare(path.size() - name.size(), name.size(), name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void run_wire_hygiene(CheckContext& ctx) {
+  for (const auto& file : ctx.model().files()) {
+    if (!wire_scope(file->path())) continue;
+    const std::vector<Token>& t = file->tokens();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::Identifier) continue;
+
+      if (t[i].text == "reinterpret_cast") {
+        ctx.report(*file, t[i].line, t[i].col, "hal-wire-hygiene",
+                   "reinterpret_cast in the wire layer; encode through "
+                   "the word-wise message codec or suppress with the "
+                   "contract that makes the raw view sound");
+        continue;
+      }
+
+      if (t[i].text != "memcpy" && t[i].text != "memmove") continue;
+      if (i + 1 >= t.size() || t[i + 1].text != "(") continue;
+      const std::size_t open = i + 1;
+      const std::size_t close = match(t, open, t.size());
+
+      // Split the argument list at top-level commas.
+      std::vector<std::pair<std::size_t, std::size_t>> args;
+      std::size_t arg_begin = open + 1;
+      for (std::size_t j = open + 1; j < close; ++j) {
+        const std::string_view x = t[j].text;
+        if (x == "(" || x == "[" || x == "{") {
+          j = match(t, j, close);
+          continue;
+        }
+        if (x == ",") {
+          args.emplace_back(arg_begin, j);
+          arg_begin = j + 1;
+        }
+      }
+      args.emplace_back(arg_begin, close);
+
+      // Rule 3: sizeof on a padded wire struct anywhere in the call.
+      for (std::size_t j = open + 1; j + 2 < close; ++j) {
+        if (t[j].text != "sizeof" || t[j + 1].text != "(") continue;
+        const std::size_t send = match(t, j + 1, close);
+        for (std::size_t k = j + 2; k < send; ++k) {
+          for (const std::string_view ws : kPaddedWireStructs) {
+            if (t[k].text == ws) {
+              ctx.report(*file, t[k].line, t[k].col, "hal-wire-hygiene",
+                         "sizeof(" + std::string(ws) +
+                             ") inside memcpy serialises a padded struct; "
+                             "use the word-wise encoder");
+            }
+          }
+        }
+      }
+
+      // Rule 2: the size argument (3rd) must not use bare numerals.
+      if (args.size() >= 3) {
+        const auto [sb, se] = args[2];
+        for (std::size_t j = sb; j < se; ++j) {
+          if (t[j].text == "sizeof" && j + 1 < se &&
+              t[j + 1].text == "(") {
+            j = match(t, j + 1, se);
+            continue;
+          }
+          if (t[j].kind == Tok::Number) {
+            ctx.report(*file, t[j].line, t[j].col, "hal-wire-hygiene",
+                       "magic number '" + std::string(t[j].text) +
+                           "' as a memcpy payload size; name it (sizeof "
+                           "or a k-constant)");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hal::lint

@@ -1,0 +1,76 @@
+// Check registry for hal-lint.
+//
+// Each check states one contract of the HAL runtime (see docs/linting.md
+// for the full statements and their paper rationale):
+//
+//   HL000 hal-suppress-needs-reason  suppressions must carry a rationale
+//   HL001 hal-handler-purity         AM handlers stay non-blocking and
+//                                    allocation-free (CMAM discipline)
+//   HL002 hal-buffer-lifecycle      acquired pool buffers retire exactly
+//                                    once on every path
+//   HL003 hal-actor-state-escape     behaviours must not leak actor state
+//                                    into continuations (migration hazard)
+//   HL004 hal-wire-hygiene           no raw casts / magic sizes on the
+//                                    wire layer
+//   HL005 hal-capability-coverage    per-node state opting into the
+//                                    NodeAffinityGuard idiom is covered
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/model.hpp"
+
+namespace hal::lint {
+
+class CheckContext {
+ public:
+  CheckContext(Model& model, std::vector<Diagnostic>& out)
+      : model_(model), out_(out) {}
+
+  const Model& model() const { return model_; }
+
+  /// Emits a diagnostic unless a suppression covers (check, line).
+  void report(SourceFile& file, std::uint32_t line, std::uint32_t col,
+              const std::string& check, std::string message) {
+    if (file.is_suppressed(check, line)) return;
+    out_.push_back(Diagnostic{file.path(), line, col, check,
+                              std::move(message)});
+  }
+
+  /// Emits unconditionally (used by the suppression-hygiene check, which
+  /// must not be silenceable by the thing it polices).
+  void report_unsuppressable(SourceFile& file, std::uint32_t line,
+                             std::uint32_t col, const std::string& check,
+                             std::string message) {
+    out_.push_back(Diagnostic{file.path(), line, col, check,
+                              std::move(message)});
+  }
+
+  Model& mutable_model() { return model_; }
+
+ private:
+  Model& model_;
+  std::vector<Diagnostic>& out_;
+};
+
+struct Check {
+  const char* id;    ///< "hal-handler-purity"
+  const char* code;  ///< "HL001"
+  const char* summary;
+  void (*run)(CheckContext&);
+};
+
+/// All registered checks, in code order.
+const std::vector<Check>& all_checks();
+
+// Individual entry points (one translation unit per check).
+void run_suppress_hygiene(CheckContext& ctx);   // HL000
+void run_handler_purity(CheckContext& ctx);     // HL001
+void run_buffer_lifecycle(CheckContext& ctx);   // HL002
+void run_actor_escape(CheckContext& ctx);       // HL003
+void run_wire_hygiene(CheckContext& ctx);       // HL004
+void run_capability_coverage(CheckContext& ctx);  // HL005
+
+}  // namespace hal::lint

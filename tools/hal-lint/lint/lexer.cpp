@@ -1,0 +1,264 @@
+// Lexer for hal-lint: C++ tokens, comments, and HAL_LINT_SUPPRESS parsing.
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "lint/core.hpp"
+
+namespace hal::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-character punctuators, longest first so longest-match wins.
+constexpr std::array<std::string_view, 36> kPuncts = {
+    "<<=", ">>=", "...", "->*", "<=>",                     //
+    "::",  "->",  "++",  "--",  "<<", ">>", "<=", ">=",    //
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=",    //
+    "%=",  "&=",  "|=",  "^=",  ".*",                      //
+    "(",   ")",   "{",   "}",   "[",  "]",  ";",  ",",     //
+    ".",   "<"};
+
+}  // namespace
+
+std::unique_ptr<SourceFile> SourceFile::load(std::string path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_string(std::move(path), std::move(buf).str());
+}
+
+std::unique_ptr<SourceFile> SourceFile::from_string(std::string path,
+                                                    std::string contents) {
+  auto f = std::unique_ptr<SourceFile>(new SourceFile());
+  f->path_ = std::move(path);
+  f->contents_ = std::move(contents);
+  f->lex();
+  f->parse_suppressions();
+  return f;
+}
+
+void SourceFile::lex() {
+  const std::string& s = contents_;
+  const std::size_t n = s.size();
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+  std::uint32_t line_start = 0;  // byte offset of current line start
+  bool line_has_token = false;
+
+  auto col = [&](std::size_t pos) {
+    return static_cast<std::uint32_t>(pos - line_start + 1);
+  };
+  auto newline = [&](std::size_t pos) {
+    ++line;
+    line_start = static_cast<std::uint32_t>(pos + 1);
+    line_has_token = false;
+  };
+  auto push = [&](Tok kind, std::size_t begin, std::size_t end) {
+    tokens_.push_back(Token{kind,
+                            std::string_view(s).substr(begin, end - begin),
+                            line, col(begin)});
+    line_has_token = true;
+  };
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      newline(i);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: swallow to end of line (honouring \-splices).
+    // Directives carry no contract content hal-lint inspects.
+    if (c == '#' && !line_has_token) {
+      while (i < n && s[i] != '\n') {
+        if (s[i] == '\\' && i + 1 < n && s[i + 1] == '\n') {
+          newline(i + 1);
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      const std::size_t begin = i + 2;
+      const bool own = !line_has_token;
+      const std::uint32_t cl = line;
+      const std::uint32_t cc = col(i);
+      while (i < n && s[i] != '\n') ++i;
+      comments_.push_back(Comment{
+          std::string_view(s).substr(begin, i - begin), cl, cc, own});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      const std::size_t begin = i + 2;
+      const bool own = !line_has_token;
+      const std::uint32_t cl = line;
+      const std::uint32_t cc = col(i);
+      i += 2;
+      while (i + 1 < n && !(s[i] == '*' && s[i + 1] == '/')) {
+        if (s[i] == '\n') newline(i);
+        ++i;
+      }
+      const std::size_t end = std::min(i, n);
+      i = std::min(i + 2, n);
+      comments_.push_back(Comment{
+          std::string_view(s).substr(begin, end - begin), cl, cc, own});
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      const std::size_t begin = i;
+      std::size_t d = i + 2;
+      while (d < n && s[d] != '(') ++d;
+      std::string closer;
+      closer.push_back(')');
+      closer.append(s, i + 2, d - (i + 2));
+      closer.push_back('"');
+      std::size_t end = s.find(closer, d);
+      end = (end == std::string::npos) ? n : end + closer.size();
+      for (std::size_t k = begin; k < end; ++k) {
+        if (s[k] == '\n') newline(k);
+      }
+      push(Tok::String, begin, end);
+      i = end;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const std::size_t begin = i;
+      ++i;
+      while (i < n && s[i] != c) {
+        if (s[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      i = std::min(i + 1, n);
+      push(c == '"' ? Tok::String : Tok::Char, begin, i);
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])) != 0)) {
+      const std::size_t begin = i;
+      ++i;
+      while (i < n) {
+        const char d = s[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > begin &&
+                   (s[i - 1] == 'e' || s[i - 1] == 'E' || s[i - 1] == 'p' ||
+                    s[i - 1] == 'P')) {
+          ++i;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      push(Tok::Number, begin, i);
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const std::size_t begin = i;
+      while (i < n && ident_char(s[i])) ++i;
+      push(Tok::Identifier, begin, i);
+      continue;
+    }
+    // Punctuator, longest match.
+    std::size_t len = 1;
+    for (const std::string_view p : kPuncts) {
+      if (s.compare(i, p.size(), p) == 0) {
+        len = p.size();
+        break;
+      }
+    }
+    push(Tok::Punct, i, i + len);
+    i += len;
+  }
+}
+
+void SourceFile::parse_suppressions() {
+  constexpr std::string_view kMarker = "HAL_LINT_SUPPRESS";
+  for (const Comment& cm : comments_) {
+    const std::size_t at = cm.text.find(kMarker);
+    if (at == std::string_view::npos) continue;
+    std::string_view rest = cm.text.substr(at + kMarker.size());
+    // Only `HAL_LINT_SUPPRESS(...)` and `HAL_LINT_SUPPRESS: ...` are
+    // directives; a prose mention of the marker (docs, this file) is not.
+    if (rest.empty() || (rest.front() != '(' && rest.front() != ':')) {
+      continue;
+    }
+    Suppression sup;
+    sup.line = cm.line;
+    // Check list: (a, b, ...). A missing list means "*".
+    if (!rest.empty() && rest.front() == '(') {
+      const std::size_t close = rest.find(')');
+      std::string_view list =
+          rest.substr(1, close == std::string_view::npos ? rest.size() - 1
+                                                         : close - 1);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string_view::npos) comma = list.size();
+        std::string_view item = list.substr(pos, comma - pos);
+        while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+        while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+        if (!item.empty()) sup.checks.emplace_back(item);
+        pos = comma + 1;
+      }
+      rest = close == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(close + 1);
+    } else {
+      sup.checks.emplace_back("*");
+    }
+    // Reason: ": <non-empty text>".
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+      std::string_view reason = rest.substr(colon + 1);
+      sup.has_reason =
+          std::any_of(reason.begin(), reason.end(), [](char ch) {
+            return std::isspace(static_cast<unsigned char>(ch)) == 0;
+          });
+    }
+    // Placement: same line, or (own-line comment) the next tokenful line.
+    sup.applies_to = cm.line;
+    if (cm.own_line) {
+      const auto it = std::find_if(
+          tokens_.begin(), tokens_.end(),
+          [&](const Token& t) { return t.line > cm.line; });
+      if (it != tokens_.end()) sup.applies_to = it->line;
+    }
+    suppressions_.push_back(std::move(sup));
+  }
+}
+
+bool SourceFile::is_suppressed(std::string_view check, std::uint32_t line) {
+  bool hit = false;
+  for (Suppression& sup : suppressions_) {
+    if (sup.applies_to != line && sup.line != line) continue;
+    for (const std::string& c : sup.checks) {
+      if (c == "*" || c == check) {
+        sup.used = true;
+        hit = true;
+      }
+    }
+  }
+  return hit;
+}
+
+}  // namespace hal::lint

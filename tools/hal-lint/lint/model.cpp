@@ -1,0 +1,720 @@
+// Declaration extraction: a recursive-descent walk over the token stream
+// that recognises the structural C++ subset HAL uses.
+#include <cctype>
+
+#include "lint/model.hpp"
+
+namespace hal::lint {
+
+namespace tokq {
+
+std::size_t match(const std::vector<Token>& t, std::size_t i,
+                  std::size_t end) {
+  const std::string_view open = t[i].text;
+  const std::string_view close =
+      open == "(" ? ")" : (open == "{" ? "}" : "]");
+  int depth = 0;
+  for (std::size_t j = i; j < end; ++j) {
+    if (t[j].kind != Tok::Punct) continue;
+    if (t[j].text == open) {
+      ++depth;
+    } else if (t[j].text == close) {
+      if (--depth == 0) return j;
+    }
+  }
+  return end;
+}
+
+namespace {
+
+/// If `i` is the '<' of a plausible template-argument list, returns the
+/// index just past the closing '>'. Bails (returns i) on statement
+/// boundaries, so comparison operators are left alone.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i,
+                        std::size_t end) {
+  if (i >= end || t[i].text != "<") return i;
+  int depth = 0;
+  const std::size_t limit = i + 256 < end ? i + 256 : end;
+  for (std::size_t j = i; j < limit; ++j) {
+    const std::string_view x = t[j].text;
+    if (t[j].kind == Tok::Punct) {
+      if (x == "<") {
+        ++depth;
+      } else if (x == ">") {
+        if (--depth == 0) return j + 1;
+      } else if (x == ">>") {
+        depth -= 2;
+        if (depth <= 0) return j + 1;
+      } else if (x == ";" || x == "{" || x == "}") {
+        return i;  // not a template-argument list
+      }
+    }
+  }
+  return i;
+}
+
+}  // namespace
+
+std::size_t call_lparen(const std::vector<Token>& t, std::size_t i,
+                        std::size_t end) {
+  if (i >= end || t[i].kind != Tok::Identifier) return 0;
+  std::size_t j = i + 1;
+  if (j < end && t[j].text == "<") {
+    const std::size_t after = skip_angles(t, j, end);
+    if (after == j) return 0;  // '<' was a comparison
+    j = after;
+  }
+  return (j < end && t[j].text == "(") ? j : 0;
+}
+
+}  // namespace tokq
+
+namespace {
+
+using tokq::call_lparen;
+using tokq::match;
+
+bool is_any(std::string_view x, std::initializer_list<std::string_view> set) {
+  for (const std::string_view s : set) {
+    if (x == s) return true;
+  }
+  return false;
+}
+
+bool all_caps_macro_name(std::string_view x) {
+  bool has_alpha = false;
+  for (const char c : x) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+const std::initializer_list<std::string_view> kControlKeywords = {
+    "if",     "for",         "while",    "switch",           "return",
+    "sizeof", "alignof",     "catch",    "decltype",         "alignas",
+    "co_await", "co_return", "co_yield", "static_cast",      "const_cast",
+    "throw", "dynamic_cast", "noexcept", "reinterpret_cast", "assert"};
+
+struct Extractor {
+  Model& model;
+  std::vector<FunctionDecl>& functions;
+  std::vector<ClassDecl>& classes;
+  SourceFile& file;
+  const std::vector<Token>& t;
+
+  enum class ParseKind { FunctionDef, Statement, Skip };
+  struct ParseResult {
+    ParseKind kind = ParseKind::Skip;
+    std::size_t next = 0;
+    std::size_t name_tok = 0;   // FunctionDef / Skip-macro: the name
+    std::size_t body_begin = 0;  // FunctionDef: '{'
+    std::size_t body_end = 0;    // FunctionDef: '}'
+    std::size_t stmt_begin = 0;  // Statement: token range [begin, end)
+    std::size_t stmt_end = 0;    // exclusive, points at the ';'
+  };
+
+  void run() { scan_region(0, t.size(), ""); }
+
+  // --- region / class scanning ------------------------------------------
+
+  void scan_region(std::size_t begin, std::size_t end,
+                   const std::string& cls) {
+    std::size_t i = begin;
+    const bool in_class = !cls.empty();
+    while (i < end) {
+      const std::string_view x = t[i].text;
+      if (t[i].kind == Tok::Identifier) {
+        if (x == "namespace") {
+          i = scan_namespace(i, end);
+          continue;
+        }
+        if (x == "class" || x == "struct" || x == "union") {
+          i = parse_class(i, end);
+          continue;
+        }
+        if (x == "enum") {
+          i = skip_enum(i, end);
+          continue;
+        }
+        if (x == "template") {
+          i = skip_template_header(i, end);
+          continue;
+        }
+        if (is_any(x, {"using", "typedef", "friend", "static_assert"})) {
+          i = skip_to_semi(i, end);
+          continue;
+        }
+        if (in_class && is_any(x, {"public", "private", "protected"}) &&
+            i + 1 < end && t[i + 1].text == ":") {
+          i += 2;
+          continue;
+        }
+        if (x == "extern" && i + 2 < end && t[i + 1].kind == Tok::String &&
+            t[i + 2].text == "{") {
+          scan_region(i + 3, match(t, i + 2, end), cls);
+          i = match(t, i + 2, end) + 1;
+          continue;
+        }
+        // Candidate function definition, member variable, or macro use.
+        const ParseResult r = parse_callable(i, end);
+        switch (r.kind) {
+          case ParseKind::FunctionDef:
+            record_function(r, cls);
+            break;
+          case ParseKind::Statement:
+            if (in_class) classify_member(r, cls);
+            break;
+          case ParseKind::Skip:
+            if (in_class && r.name_tok != 0 &&
+                t[r.name_tok].text == "HAL_BEHAVIOR") {
+              class_named(cls).has_behavior_macro = true;
+            }
+            break;
+        }
+        i = r.next;
+        continue;
+      }
+      if (x == "{") {  // unattributed block: scan transparently
+        scan_region(i + 1, match(t, i, end), cls);
+        i = match(t, i, end) + 1;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  std::size_t scan_namespace(std::size_t i, std::size_t end) {
+    std::size_t j = i + 1;
+    while (j < end &&
+           (t[j].kind == Tok::Identifier || t[j].text == "::")) {
+      if (t[j].text == "=") break;
+      ++j;
+    }
+    if (j < end && t[j].text == "{") {
+      const std::size_t close = match(t, j, end);
+      scan_region(j + 1, close, "");
+      return close + 1;
+    }
+    return skip_to_semi(i, end);  // alias or malformed
+  }
+
+  std::size_t parse_class(std::size_t i, std::size_t end) {
+    std::size_t j = i + 1;
+    // Skip attribute macros / alignas between the keyword and the name.
+    while (j < end) {
+      if (t[j].text == "[" && j + 1 < end && t[j + 1].text == "[") {
+        j = match(t, j, end) + 1;
+      } else if (t[j].kind == Tok::Identifier && j + 1 < end &&
+                 t[j + 1].text == "(" && all_caps_macro_name(t[j].text)) {
+        j = match(t, j + 1, end) + 1;
+      } else {
+        break;
+      }
+    }
+    if (j >= end || t[j].kind != Tok::Identifier) {
+      return skip_to_semi(i, end);  // anonymous aggregate: not modelled
+    }
+    const std::size_t name_tok = j++;
+    if (j < end && t[j].text == "<") j = skip_specialization(j, end);
+    if (j < end && t[j].text == "final") ++j;
+    std::string bases;
+    if (j < end && t[j].text == ":") {
+      ++j;
+      while (j < end && t[j].text != "{" && t[j].text != ";") {
+        if (!bases.empty()) bases += ' ';
+        bases += t[j].text;
+        ++j;
+      }
+    }
+    if (j >= end || t[j].text != "{") {
+      return skip_to_semi(i, end);  // forward declaration
+    }
+    const std::size_t body = j;
+    const std::size_t close = match(t, body, end);
+    ClassDecl decl;
+    decl.name = std::string(t[name_tok].text);
+    decl.file = &file;
+    decl.line = t[i].line;
+    decl.bases = std::move(bases);
+    decl.body_begin = body;
+    decl.body_end = close;
+    classes.push_back(std::move(decl));
+    scan_region(body + 1, close, std::string(t[name_tok].text));
+    ClassDecl& done = class_named(std::string(t[name_tok].text));
+    for (const MemberVar& m : done.members) {
+      if (m.type_text.find("NodeAffinityGuard") != std::string::npos) {
+        done.owns_affinity_guard = true;
+      }
+    }
+    return skip_to_semi(close + 1, end);
+  }
+
+  std::size_t skip_specialization(std::size_t j, std::size_t end) {
+    int depth = 0;
+    while (j < end) {
+      if (t[j].text == "<") ++depth;
+      if (t[j].text == ">" && --depth == 0) return j + 1;
+      if (t[j].text == ">>") {
+        depth -= 2;
+        if (depth <= 0) return j + 1;
+      }
+      if (t[j].text == "{" || t[j].text == ";") return j;
+      ++j;
+    }
+    return j;
+  }
+
+  std::size_t skip_enum(std::size_t i, std::size_t end) {
+    std::size_t j = i + 1;
+    while (j < end && t[j].text != "{" && t[j].text != ";") ++j;
+    if (j < end && t[j].text == "{") j = match(t, j, end);
+    return skip_to_semi(j, end);
+  }
+
+  std::size_t skip_template_header(std::size_t i, std::size_t end) {
+    std::size_t j = i + 1;
+    if (j < end && t[j].text == "<") {
+      int depth = 0;
+      while (j < end) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">" && --depth == 0) return j + 1;
+        if (t[j].text == ">>") {
+          depth -= 2;
+          if (depth <= 0) return j + 1;
+        }
+        ++j;
+      }
+    }
+    return i + 1;
+  }
+
+  std::size_t skip_to_semi(std::size_t i, std::size_t end) {
+    std::size_t j = i;
+    while (j < end) {
+      const std::string_view x = t[j].text;
+      if (x == ";") return j + 1;
+      if (x == "{" || x == "(" || x == "[") {
+        j = match(t, j, end) + 1;
+        continue;
+      }
+      if (x == "}") return j;  // ran off the enclosing scope
+      ++j;
+    }
+    return end;
+  }
+
+  // --- function / member parsing ----------------------------------------
+
+  ParseResult parse_callable(std::size_t i, std::size_t end) {
+    ParseResult r;
+    r.stmt_begin = i;
+    // Find the declarator's '(' — or decide this is a plain statement.
+    std::size_t j = i;
+    std::size_t lparen = 0;
+    while (j < end) {
+      const std::string_view x = t[j].text;
+      if (x == ";") {
+        r.kind = ParseKind::Statement;
+        r.stmt_end = j;
+        r.next = j + 1;
+        return r;
+      }
+      if (x == "=") {  // initializer follows: member / variable
+        r.kind = ParseKind::Statement;
+        r.stmt_end = skip_to_semi(j, end) - 1;
+        r.next = r.stmt_end + 1;
+        return r;
+      }
+      if (x == "{") {  // brace-init member (`T x{};`) or stray block
+        const std::size_t close = match(t, j, end);
+        r.kind = ParseKind::Statement;
+        r.stmt_end = skip_to_semi(close, end) - 1;
+        r.next = r.stmt_end + 1;
+        return r;
+      }
+      if (x == "}") {
+        r.kind = ParseKind::Skip;
+        r.next = j;
+        return r;
+      }
+      if (t[j].kind == Tok::Identifier && j + 1 < end &&
+          t[j + 1].text == "<") {
+        const std::size_t p = call_lparen(t, j, end);
+        if (p != 0) {
+          lparen = p;
+          break;
+        }
+        // Templated type name without a following '(' — step past args.
+        const std::size_t after = skip_specialization(j + 1, end);
+        j = after > j + 1 ? after : j + 1;
+        continue;
+      }
+      if (x == "(") {
+        lparen = j;
+        break;
+      }
+      ++j;
+    }
+    if (lparen == 0 || lparen == i) {
+      r.kind = ParseKind::Skip;
+      r.next = i + 1;
+      return r;
+    }
+    const std::size_t name_tok = lparen - 1;
+    if (t[name_tok].kind != Tok::Identifier &&
+        !(name_tok >= 1 && t[name_tok - 1].text == "operator")) {
+      r.kind = ParseKind::Statement;
+      r.stmt_end = skip_to_semi(lparen, end) - 1;
+      r.next = r.stmt_end + 1;
+      return r;
+    }
+    r.name_tok = name_tok;
+    std::size_t q = match(t, lparen, end);
+    // Specifier run after the parameter list.
+    std::size_t k = q + 1;
+    while (k < end) {
+      const std::string_view x = t[k].text;
+      if (is_any(x, {"const", "override", "final", "mutable", "volatile",
+                     "&", "&&", "try"})) {
+        ++k;
+        continue;
+      }
+      // Annotation macros after the parameter list:
+      // HAL_NO_THREAD_SAFETY_ANALYSIS, HAL_ASSERT_CAPABILITY(...), ...
+      if (t[k].kind == Tok::Identifier && all_caps_macro_name(t[k].text)) {
+        ++k;
+        if (k < end && t[k].text == "(") k = match(t, k, end) + 1;
+        continue;
+      }
+      if (x == "noexcept" || x == "requires" || x == "throw") {
+        ++k;
+        if (k < end && t[k].text == "(") k = match(t, k, end) + 1;
+        continue;
+      }
+      if (x == "->") {  // trailing return type
+        ++k;
+        while (k < end && !is_any(t[k].text, {"{", ";", "="})) {
+          if (t[k].text == "<") {
+            const std::size_t after = skip_specialization(k, end);
+            k = after > k ? after : k + 1;
+            continue;
+          }
+          ++k;
+        }
+        continue;
+      }
+      break;
+    }
+    if (k < end && t[k].text == ":") {  // constructor initialiser list
+      ++k;
+      while (k < end && t[k].text != "{") {
+        if (t[k].text == "(" || t[k].text == "[") {
+          k = match(t, k, end) + 1;
+          continue;
+        }
+        if (t[k].kind == Tok::Identifier && k + 1 < end &&
+            t[k + 1].text == "{") {
+          k = match(t, k + 1, end) + 1;
+          continue;
+        }
+        if (t[k].text == ";" || t[k].text == "}") break;
+        ++k;
+      }
+    }
+    if (k < end && t[k].text == "{") {
+      r.kind = ParseKind::FunctionDef;
+      r.body_begin = k;
+      r.body_end = match(t, k, end);
+      r.next = r.body_end + 1;
+      return r;
+    }
+    if (k < end && (t[k].text == ";" || t[k].text == "=")) {
+      // Function declaration / deleted / defaulted / pure.
+      r.kind = ParseKind::Skip;
+      r.next = skip_to_semi(k, end);
+      return r;
+    }
+    // Not a function after all — most likely a macro invocation at class
+    // scope (HAL_BEHAVIOR(...)). Resume right past its ')'.
+    r.kind = ParseKind::Skip;
+    r.next = q + 1;
+    return r;
+  }
+
+  void record_function(const ParseResult& r, const std::string& cls) {
+    FunctionDecl fn;
+    std::size_t name_tok = r.name_tok;
+    std::string name(t[name_tok].text);
+    if (name_tok >= 1 && t[name_tok - 1].text == "~") {
+      name = "~" + name;
+      --name_tok;
+    }
+    std::string owner = cls;
+    if (name_tok >= 2 && t[name_tok - 1].text == "::" &&
+        t[name_tok - 2].kind == Tok::Identifier) {
+      owner = std::string(t[name_tok - 2].text);  // out-of-line member
+    }
+    fn.name = std::move(name);
+    fn.class_name = owner;
+    fn.qualified = owner.empty() ? fn.name : owner + "::" + fn.name;
+    fn.file = &file;
+    fn.line = t[r.name_tok].line;
+    fn.body_begin = r.body_begin;
+    fn.body_end = r.body_end;
+    scan_body(fn);
+    if (!cls.empty()) {
+      // nothing extra: methods are found via class_name
+    }
+    functions.push_back(std::move(fn));
+  }
+
+  // --- body scanning: calls and lambdas ---------------------------------
+
+  void scan_body(FunctionDecl& fn) {
+    struct Frame {
+      std::size_t lparen;
+      std::string callee;
+    };
+    std::vector<Frame> stack;
+    std::string pending_callee;
+    std::size_t pending_lparen = 0;
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const std::string_view x = t[i].text;
+      if (t[i].kind == Tok::Identifier) {
+        if (x == "new") {
+          CallSite c;
+          c.callee = t[i].text;
+          const bool placement = i + 1 < fn.body_end &&
+                                 t[i + 1].text == "(";
+          c.qual = placement ? "placement" : "";
+          c.tok = i;
+          c.line = t[i].line;
+          c.col = t[i].col;
+          fn.calls.push_back(std::move(c));
+          continue;
+        }
+        const std::size_t p = call_lparen(t, i, fn.body_end);
+        if (p != 0 && !is_any(x, kControlKeywords)) {
+          CallSite c;
+          c.callee = t[i].text;
+          c.qual = receiver_text(i);
+          c.tok = i;
+          c.lparen = p;
+          c.line = t[i].line;
+          c.col = t[i].col;
+          pending_callee = std::string(t[i].text);
+          pending_lparen = p;
+          fn.calls.push_back(std::move(c));
+        }
+        continue;
+      }
+      if (x == "(") {
+        Frame f;
+        f.lparen = i;
+        if (i == pending_lparen) f.callee = pending_callee;
+        stack.push_back(std::move(f));
+        continue;
+      }
+      if (x == ")") {
+        if (!stack.empty()) stack.pop_back();
+        continue;
+      }
+      if (x == "[") {
+        maybe_lambda(fn, i, stack);
+        continue;
+      }
+    }
+  }
+
+  std::string receiver_text(std::size_t i) {
+    // Receiver context just before the callee: "std::", "machine_.",
+    // "k_.pool().". Walks back through ::/./-> chains, hopping over call
+    // parens so `pool().` keeps the `pool` name.
+    std::string out;
+    std::size_t j = i;
+    int hops = 0;
+    while (j >= 1 && hops < 8) {
+      const std::string_view prev = t[j - 1].text;
+      if (prev == "::" || prev == "." || prev == "->") {
+        out = std::string(prev) + out;
+        --j;
+        ++hops;
+        continue;
+      }
+      if (j != i && t[j - 1].kind == Tok::Identifier) {
+        out = std::string(prev) + out;
+        --j;
+        ++hops;
+        continue;
+      }
+      if (j != i && prev == ")") {
+        // Walk back over the balanced call parens.
+        int depth = 0;
+        std::size_t k = j - 1;
+        while (k > 0) {
+          if (t[k].text == ")") ++depth;
+          if (t[k].text == "(" && --depth == 0) break;
+          --k;
+        }
+        if (k == 0) break;
+        out = "()" + out;
+        j = k;
+        ++hops;
+        continue;
+      }
+      break;
+    }
+    return out;
+  }
+
+  template <typename Stack>
+  void maybe_lambda(FunctionDecl& fn, std::size_t i, const Stack& stack) {
+    if (i == 0) return;
+    const Token& prev = t[i - 1];
+    const bool intro_pos =
+        (prev.kind == Tok::Punct &&
+         is_any(prev.text, {"(", ",", "{", "=", ";", "&&", "||"})) ||
+        prev.text == "return";
+    if (!intro_pos) return;
+    const std::size_t close = match(t, i, fn.body_end);
+    if (close >= fn.body_end) return;
+    const std::string_view after =
+        close + 1 < fn.body_end ? t[close + 1].text : std::string_view{};
+    if (!(after == "(" || after == "{" || after == "mutable" ||
+          after == "->" || after == "<")) {
+      return;
+    }
+    LambdaSite lam;
+    lam.intro_tok = i;
+    lam.line = t[i].line;
+    lam.col = t[i].col;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      const std::string_view x = t[j].text;
+      if (x == "this" && t[j - 1].text != "*") lam.captures_this = true;
+      if (x == "&" || x == "&&") {
+        const std::string_view nxt = t[j + 1].text;
+        if (nxt == "," || nxt == "]" ||
+            (t[j + 1].kind == Tok::Identifier && nxt != "this" &&
+             (j + 2 >= close || t[j + 2].text == "," ||
+              t[j + 2].text == "]"))) {
+          lam.captures_by_ref = true;
+        }
+      }
+    }
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (!it->callee.empty()) {
+        lam.enclosing_callee = it->callee;
+        break;
+      }
+    }
+    fn.lambdas.push_back(std::move(lam));
+  }
+
+  // --- member classification --------------------------------------------
+
+  void classify_member(const ParseResult& r, const std::string& cls) {
+    const std::size_t begin = r.stmt_begin;
+    const std::size_t end = r.stmt_end;
+    if (begin >= end) return;
+    const std::string_view first = t[begin].text;
+    if (is_any(first, {"using", "typedef", "friend", "template", "public",
+                       "private", "protected", "static_assert", "operator",
+                       "return"})) {
+      return;
+    }
+    MemberVar m;
+    int angle = 0;
+    std::size_t name_tok = 0;
+    std::size_t type_end = end;
+    for (std::size_t j = begin; j < end; ++j) {
+      const std::string_view x = t[j].text;
+      if (x == "<") ++angle;
+      if (x == ">") angle = angle > 0 ? angle - 1 : 0;
+      if (x == ">>") angle = angle >= 2 ? angle - 2 : 0;
+      if (x == "(" || x == "[" || x == "{") {
+        const std::size_t close = match(t, j, end);
+        if (angle == 0 &&
+            (x == "{" || x == "[" ||
+             is_any(t[j - 1].text,
+                    {"HAL_GUARDED_BY", "HAL_PT_GUARDED_BY"}))) {
+          // annotation macro / array extent / brace-init: terminator
+          if (is_any(t[j - 1].text,
+                     {"HAL_GUARDED_BY", "HAL_PT_GUARDED_BY"})) {
+            m.guarded = true;
+            if (type_end == end) type_end = j - 1;
+          } else if (type_end == end) {
+            type_end = j;
+          }
+        }
+        j = close;
+        continue;
+      }
+      if (angle != 0) continue;
+      if (t[j].kind == Tok::Identifier) {
+        if (x == "static") m.is_static = true;
+        if (x == "constexpr") m.is_constexpr = true;
+        if (x == "const") m.is_const = true;
+        if (is_any(x, {"HAL_GUARDED_BY", "HAL_PT_GUARDED_BY"})) {
+          m.guarded = true;
+          if (type_end == end) type_end = j;
+          continue;
+        }
+        if (type_end == end) name_tok = j;
+        continue;
+      }
+      if ((x == "&" || x == "&&")) m.is_reference = true;
+      if (x == "=" || x == ":") {
+        if (type_end == end) type_end = j;
+      }
+    }
+    if (name_tok == 0) return;
+    m.name = std::string(t[name_tok].text);
+    m.line = t[name_tok].line;
+    for (std::size_t j = begin; j < name_tok; ++j) {
+      if (!m.type_text.empty()) m.type_text += ' ';
+      m.type_text += t[j].text;
+    }
+    if (m.type_text.empty()) return;  // lone identifier: likely macro
+    class_named(cls).members.push_back(std::move(m));
+  }
+
+  ClassDecl& class_named(const std::string& name) {
+    for (auto it = classes.rbegin(); it != classes.rend(); ++it) {
+      if (it->name == name && it->file == &file) return *it;
+    }
+    classes.emplace_back();
+    classes.back().name = name;
+    classes.back().file = &file;
+    return classes.back();
+  }
+};
+
+}  // namespace
+
+void Model::add_file(std::unique_ptr<SourceFile> file) {
+  SourceFile& f = *file;
+  files_.push_back(std::move(file));
+  const std::size_t first_fn = functions_.size();
+  Extractor ex{*this, functions_, classes_, f, f.tokens()};
+  ex.run();
+  for (std::size_t i = first_fn; i < functions_.size(); ++i) {
+    by_name_[functions_[i].name].push_back(i);
+  }
+}
+
+const std::vector<std::size_t>& Model::functions_named(
+    std::string_view name) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kEmpty : it->second;
+}
+
+const ClassDecl* Model::find_class(std::string_view name) const {
+  for (const ClassDecl& c : classes_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace hal::lint

@@ -1,0 +1,113 @@
+// Structural model extracted from lexed sources: classes with their data
+// members, function definitions with their call sites and lambdas, and a
+// bare-name call index used for reachability closures.
+//
+// Extraction is deliberately an over-approximation in the directions that
+// keep the checks sound for HAL's style: a call site resolves to every
+// scanned function with the same bare name, and constructs the parser does
+// not recognise are skipped rather than guessed at.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lint/core.hpp"
+
+namespace hal::lint {
+
+struct CallSite {
+  std::string_view callee;  ///< bare name ("sleep_for", "run", "memcpy")
+  std::string qual;   ///< receiver text just before it ("std::", "machine_.")
+  std::size_t tok = 0;     ///< token index of the callee identifier
+  std::size_t lparen = 0;  ///< token index of the call's '('
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+};
+
+struct LambdaSite {
+  std::size_t intro_tok = 0;  ///< token index of the '['
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+  bool captures_this = false;
+  bool captures_by_ref = false;      ///< [&] or [&x]
+  std::string enclosing_callee;      ///< call the lambda is an argument of
+};
+
+struct FunctionDecl {
+  std::string name;        ///< bare name
+  std::string qualified;   ///< "Class::name" when the class is known
+  std::string class_name;  ///< enclosing / out-of-line class, "" if free
+  SourceFile* file = nullptr;
+  std::uint32_t line = 0;
+  std::size_t body_begin = 0;  ///< token index of the body '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+  std::vector<CallSite> calls;
+  std::vector<LambdaSite> lambdas;
+};
+
+struct MemberVar {
+  std::string name;
+  std::string type_text;  ///< tokens before the name, space-joined
+  std::uint32_t line = 0;
+  bool is_static = false;
+  bool is_constexpr = false;
+  bool is_const = false;
+  bool is_reference = false;
+  bool guarded = false;  ///< carries HAL_GUARDED_BY / HAL_PT_GUARDED_BY
+};
+
+struct ClassDecl {
+  std::string name;
+  SourceFile* file = nullptr;
+  std::uint32_t line = 0;   ///< line of the class head
+  std::string bases;        ///< raw base-clause text, "" if none
+  std::vector<MemberVar> members;
+  bool has_behavior_macro = false;   ///< body contains HAL_BEHAVIOR(
+  bool owns_affinity_guard = false;  ///< has a NodeAffinityGuard member
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+class Model {
+ public:
+  /// Takes ownership of `file` and extracts its declarations.
+  void add_file(std::unique_ptr<SourceFile> file);
+
+  const std::vector<std::unique_ptr<SourceFile>>& files() const {
+    return files_;
+  }
+  const std::vector<FunctionDecl>& functions() const { return functions_; }
+  const std::vector<ClassDecl>& classes() const { return classes_; }
+
+  /// Indices into functions() for every definition with this bare name.
+  const std::vector<std::size_t>& functions_named(
+      std::string_view name) const;
+
+  const ClassDecl* find_class(std::string_view name) const;
+
+ private:
+  std::vector<std::unique_ptr<SourceFile>> files_;
+  std::vector<FunctionDecl> functions_;
+  std::vector<ClassDecl> classes_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_name_;
+};
+
+/// Token-range helpers shared by checks.
+namespace tokq {
+
+/// Index of the matching closer for the opener at `i`, or `end` if
+/// unbalanced. Openers: ( { [.
+std::size_t match(const std::vector<Token>& t, std::size_t i,
+                  std::size_t end);
+
+/// If `i` is an identifier followed by optional template args and then
+/// '(', returns the index of that '('; otherwise 0.
+std::size_t call_lparen(const std::vector<Token>& t, std::size_t i,
+                        std::size_t end);
+
+}  // namespace tokq
+
+}  // namespace hal::lint

@@ -1,0 +1,157 @@
+// hal-lint: contract checker for HAL's runtime idioms.
+//
+// Usage:
+//   hal-lint [--checks=a,b] [--list-checks] <file-or-dir>...
+//
+// Directories are scanned recursively for .hpp/.h/.cpp/.cc files.
+// Diagnostics go to stdout as `path:line:col: warning: message [check]`;
+// a summary goes to stderr. Exit status 1 if any diagnostic fired.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/checks.hpp"
+
+namespace hal::lint {
+
+const std::vector<Check>& all_checks() {
+  static const std::vector<Check> kChecks = {
+      {"hal-suppress-needs-reason", "HL000",
+       "HAL_LINT_SUPPRESS must name a known check and give a reason",
+       &run_suppress_hygiene},
+      {"hal-handler-purity", "HL001",
+       "AM-handler-reachable code must not block, allocate, or re-enter "
+       "the executor",
+       &run_handler_purity},
+      {"hal-buffer-lifecycle", "HL002",
+       "acquired pool buffers retire exactly once on every path",
+       &run_buffer_lifecycle},
+      {"hal-actor-state-escape", "HL003",
+       "behaviour continuations must not capture this / by reference",
+       &run_actor_escape},
+      {"hal-wire-hygiene", "HL004",
+       "no raw casts or magic sizes on the wire layer",
+       &run_wire_hygiene},
+      {"hal-capability-coverage", "HL005",
+       "NodeAffinityGuard owners must guard every mutable member",
+       &run_capability_coverage},
+  };
+  return kChecks;
+}
+
+}  // namespace hal::lint
+
+namespace {
+
+using hal::lint::all_checks;
+using hal::lint::Check;
+using hal::lint::CheckContext;
+using hal::lint::Diagnostic;
+using hal::lint::Model;
+using hal::lint::SourceFile;
+
+bool source_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+void collect(const std::string& arg, std::vector<std::string>& out) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(arg, ec)) {
+    for (auto it = std::filesystem::recursive_directory_iterator(arg, ec);
+         !ec && it != std::filesystem::recursive_directory_iterator();
+         ++it) {
+      if (it->is_regular_file(ec) && source_extension(it->path())) {
+        out.push_back(it->path().generic_string());
+      }
+    }
+    return;
+  }
+  out.push_back(arg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::vector<std::string> enabled;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-checks") {
+      for (const Check& c : all_checks()) {
+        std::printf("%s %-26s %s\n", c.code, c.id, c.summary);
+      }
+      return 0;
+    }
+    if (arg.rfind("--checks=", 0) == 0) {
+      std::string list = arg.substr(9);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > pos) enabled.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: hal-lint [--checks=a,b] [--list-checks] <path>...\n");
+      return 0;
+    }
+    collect(arg, paths);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "hal-lint: no input files\n");
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  Model model;
+  for (const std::string& p : paths) {
+    auto file = SourceFile::load(p);
+    if (file == nullptr) {
+      std::fprintf(stderr, "hal-lint: cannot read %s\n", p.c_str());
+      return 2;
+    }
+    model.add_file(std::move(file));
+  }
+
+  std::vector<Diagnostic> diags;
+  CheckContext ctx(model, diags);
+  for (const Check& c : all_checks()) {
+    const bool on =
+        enabled.empty() ||
+        std::any_of(enabled.begin(), enabled.end(),
+                    [&](const std::string& e) {
+                      return e == c.id || e == c.code;
+                    });
+    if (on) c.run(ctx);
+  }
+
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     return a.check < b.check;
+                   });
+  for (const Diagnostic& d : diags) {
+    std::printf("%s:%u:%u: warning: %s [%s]\n", d.file.c_str(), d.line,
+                d.col, d.message.c_str(), d.check.c_str());
+  }
+  std::size_t suppressions_used = 0;
+  for (const auto& f : model.files()) {
+    for (const auto& s : f->suppressions()) {
+      if (s.used) ++suppressions_used;
+    }
+  }
+  std::fprintf(stderr,
+               "hal-lint: %zu file(s), %zu warning(s), %zu suppression(s) "
+               "honoured\n",
+               model.files().size(), diags.size(), suppressions_used);
+  return diags.empty() ? 0 : 1;
+}
