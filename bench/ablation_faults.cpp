@@ -1,0 +1,173 @@
+// Ablation F — messaging under an adversarial wire: throughput and tail
+// latency vs injected loss rate.
+//
+// The paper's runtime assumes the CM-5 data network's exactly-once, in-order
+// delivery. This experiment turns that assumption off: the fault plane
+// drops/duplicates/delays packets at a configured rate and the reliable link
+// (sequence numbers + cumulative acks + retransmission + dedupe) restores
+// the contract underneath the kernel. Two workloads:
+//   * fib        — fine-grained fork/join traffic (join continuations carry
+//                  the quiescence-relevant replies)
+//   * FIR chase  — a migrating actor with third-party senders, so stale
+//                  descriptors force forward + FIR re-resolution while the
+//                  wire is lossy
+// Every run must complete exactly (asserted), with zero dead letters; the
+// 5%-loss fib report is emitted as BENCH_ablation_faults.json and checked in
+// CI by scripts/check_report.py --max-dead-letters 0.
+#include <string>
+
+#include "apps/fib.hpp"
+#include "bench_util.hpp"
+#include "common/assert.hpp"
+#include "runtime/api.hpp"
+
+namespace {
+
+using namespace hal;
+
+/// A migratable accumulator touring the machine while senders chase it.
+class Roamer : public ActorBase {
+ public:
+  void on_add(Context&, std::int64_t v) { sum_ += v; }
+  void on_hop(Context& ctx, NodeId target) { ctx.migrate_to(target); }
+  HAL_BEHAVIOR(Roamer, &Roamer::on_add, &Roamer::on_hop)
+
+  bool migratable() const override { return true; }
+  void pack_state(ByteWriter& w) const override { w.write(sum_); }
+  void unpack_state(ByteReader& r) override { sum_ = r.read<std::int64_t>(); }
+
+  std::int64_t sum() const { return sum_; }
+
+ private:
+  std::int64_t sum_ = 0;
+};
+
+/// Waits in virtual time, then fires a burst at the (long-gone) target.
+class Chaser : public ActorBase {
+ public:
+  void on_fire(Context& ctx, MailAddress target, std::int64_t count,
+               std::int64_t delay_us) {
+    ctx.charge_ns(static_cast<SimTime>(delay_us) * 1000);
+    for (std::int64_t i = 0; i < count; ++i) {
+      ctx.send<&Roamer::on_add>(target, std::int64_t{1});
+    }
+  }
+  HAL_BEHAVIOR(Chaser, &Chaser::on_fire)
+};
+
+am::FaultConfig faults_at(double loss) {
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = loss;
+  fc.duplicate = loss / 2;  // duplication typically rarer than loss
+  fc.delay = loss;
+  return fc;
+}
+
+struct Row {
+  obs::RunReport report;
+};
+
+Row run_fir_chase(double loss, unsigned burst) {
+  RuntimeConfig cfg;
+  cfg.nodes = 8;
+  cfg.machine = MachineKind::kSim;
+  cfg.costs = am::CostModel::cm5();
+  cfg.faults = faults_at(loss);
+  Runtime rt(cfg);
+  rt.load<Roamer>();
+  rt.load<Chaser>();
+  const MailAddress w = rt.spawn<Roamer>(0);
+  // Tour all nodes twice; every hop leaves a stale forwarding descriptor.
+  for (int lap = 0; lap < 2; ++lap) {
+    for (NodeId n = 1; n < cfg.nodes; ++n) {
+      rt.inject<&Roamer::on_hop>(w, n);
+    }
+    rt.inject<&Roamer::on_hop>(w, NodeId{0});
+  }
+  // Staggered third-party bursts route via the birthplace and chase.
+  std::int64_t expected = 0;
+  for (NodeId n = 1; n < cfg.nodes; ++n) {
+    const MailAddress c = rt.spawn<Chaser>(n);
+    rt.inject<&Chaser::on_fire>(c, w, std::int64_t{burst},
+                                std::int64_t{5000 * n});
+    expected += burst;
+  }
+  rt.run();
+  const Roamer* obj = rt.find_behavior<Roamer>(w);
+  HAL_ASSERT(obj != nullptr && obj->sum() == expected);
+  HAL_ASSERT(rt.dead_letters() == 0);
+  Row row;
+  row.report = rt.report();
+  return row;
+}
+
+void print_row(const char* workload, double loss, const obs::RunReport& r) {
+  using namespace hal::bench;
+  const auto& remote = r.probes.histogram(obs::Probe::kRemoteDelivery);
+  const auto& redeliv = r.probes.histogram(obs::Probe::kRedelivery);
+  // Fib's cross-node traffic is migrations, steals, and join replies rather
+  // than remote actor sends, so throughput counts every delivered message.
+  const double throughput =
+      r.makespan_ns == 0
+          ? 0.0
+          : static_cast<double>(r.total.get(Stat::kMessagesDelivered)) /
+                secs(r.makespan_ns);
+  std::printf("%-10s %5.0f%% %12.2f %12.0f %9llu %9llu %12.1f %12.1f\n",
+              workload, loss * 100, ms(r.makespan_ns), throughput,
+              static_cast<unsigned long long>(
+                  r.total.get(Stat::kLinkRetransmits)),
+              static_cast<unsigned long long>(redeliv.count()),
+              us(remote.quantile(0.99)),
+              redeliv.count() == 0 ? 0.0 : us(redeliv.quantile(0.99)));
+}
+
+}  // namespace
+
+int main() {
+  using namespace hal::apps;
+  using namespace hal::bench;
+  header("Ablation F: throughput and tail latency vs injected loss",
+         "fault plane + reliable link under the paper's workloads");
+
+  const bool paper = paper_scale();
+  const unsigned fib_n = env_unsigned("HAL_FIB_N", paper ? 24 : 18);
+  const unsigned burst = env_unsigned("HAL_CHASE_BURST", paper ? 200 : 50);
+  const double rates[] = {0.0, 0.01, 0.05, 0.10};
+
+  std::printf("%-10s %6s %12s %12s %9s %9s %12s %12s\n", "workload", "loss",
+              "makespan", "msgs/s", "retrans", "redeliv", "p99 dlv us",
+              "p99 rdlv us");
+
+  hal::obs::RunReport five_pct_report;
+  for (const double loss : rates) {
+    FibParams p;
+    p.n = fib_n;
+    p.cutoff = 8;
+    p.nodes = 8;
+    p.load_balancing = true;
+    p.faults = faults_at(loss);
+    const FibResult a = run_fib(p);
+    HAL_ASSERT(a.dead_letters == 0);
+    print_row("fib", loss, a.report);
+    if (loss == 0.05) {
+      // Identical seed, identical schedule, identical fault pattern: the
+      // whole structured report must reproduce byte-for-byte.
+      const FibResult b = run_fib(p);
+      HAL_ASSERT(a.value == b.value);
+      HAL_ASSERT(a.report.to_json() == b.report.to_json());
+      five_pct_report = a.report;
+    }
+  }
+  for (const double loss : rates) {
+    const Row r = run_fir_chase(loss, burst);
+    print_row("fir-chase", loss, r.report);
+  }
+
+  std::printf(
+      "\nAt-least-once retransmission plus sequence-layer dedupe keeps every\n"
+      "workload exact (asserted: zero dead letters, byte-identical reports\n"
+      "for identical seeds); loss shows up as tail latency, not as drops.\n");
+  report_json(five_pct_report, "ablation_faults");
+  return 0;
+}

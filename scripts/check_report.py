@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_*.json run report (schema halcyon.run_report.v2).
+"""Validate a BENCH_*.json run report (schema halcyon.run_report.v3).
 
 Checks, per file:
   - required top-level fields and the schema id
   - per-node stats sum to the aggregate stats, counter by counter
+  - dead_letter_causes sum to dead_letters (and respect --max-dead-letters
+    when given)
   - per-probe invariants: count == sum of bucket counts, min <= p50 <= p90
     <= p99 <= max, and every listed bucket is non-empty with a power-of-two
     (or zero) lower bound
@@ -13,7 +15,7 @@ Checks, per file:
     build reports all-zero audit fields, which passes trivially)
 
 Usage: check_report.py [--min-populated N] [--allow-buffer-leaks]
-       report.json [report.json ...]
+       [--max-dead-letters N] report.json [report.json ...]
 
 stdlib only; exits non-zero on the first failing file.
 """
@@ -22,9 +24,9 @@ import json
 import sys
 
 # Schema versions this validator understands. A report carrying any other
-# id (e.g. a future v3 emitted by a newer runtime) must fail loudly here:
+# id (e.g. a future v4 emitted by a newer runtime) must fail loudly here:
 # silently "validating" fields whose meaning changed is worse than failing.
-KNOWN_SCHEMAS = {"halcyon.run_report.v2"}
+KNOWN_SCHEMAS = {"halcyon.run_report.v3"}
 TOP_FIELDS = [
     "schema",
     "machine",
@@ -32,11 +34,13 @@ TOP_FIELDS = [
     "seed",
     "makespan_ns",
     "dead_letters",
+    "dead_letter_causes",
     "buffers",
     "stats",
     "per_node_stats",
     "probes",
 ]
+DEAD_LETTER_CAUSES = ["unknown_actor", "stale_descriptor", "shutdown_drain"]
 BUFFER_FIELDS = [
     "acquired",
     "retired",
@@ -113,7 +117,30 @@ def check_buffers(path, b, allow_leaks):
     return True
 
 
-def check(path, min_populated, allow_leaks):
+def check_dead_letters(path, d, max_dead_letters):
+    causes = d["dead_letter_causes"]
+    for f in DEAD_LETTER_CAUSES:
+        if f not in causes:
+            return fail(path, f"dead_letter_causes missing field '{f}'")
+        if not isinstance(causes[f], int) or causes[f] < 0:
+            return fail(path, f"dead_letter_causes.{f} = {causes[f]!r}")
+    cause_sum = sum(causes[f] for f in DEAD_LETTER_CAUSES)
+    if cause_sum != d["dead_letters"]:
+        return fail(
+            path,
+            f"dead_letter_causes sum to {cause_sum}, "
+            f"dead_letters says {d['dead_letters']}",
+        )
+    if max_dead_letters is not None and d["dead_letters"] > max_dead_letters:
+        return fail(
+            path,
+            f"dead_letters = {d['dead_letters']} exceeds "
+            f"--max-dead-letters {max_dead_letters}",
+        )
+    return True
+
+
+def check(path, min_populated, allow_leaks, max_dead_letters):
     try:
         with open(path) as f:
             d = json.load(f)
@@ -140,6 +167,9 @@ def check(path, min_populated, allow_leaks):
             f"{len(d['per_node_stats'])} per-node stat blocks for "
             f"{d['nodes']} nodes",
         )
+
+    if not check_dead_letters(path, d, max_dead_letters):
+        return False
 
     if not check_buffers(path, d["buffers"], allow_leaks):
         return False
@@ -179,10 +209,21 @@ def main():
         action="store_true",
         help="do not fail on buffers.leaked != 0",
     )
+    ap.add_argument(
+        "--max-dead-letters",
+        type=int,
+        default=None,
+        help="fail when dead_letters exceeds this (fault-smoke passes 0)",
+    )
     ap.add_argument("reports", nargs="+")
     args = ap.parse_args()
     for path in args.reports:
-        if not check(path, args.min_populated, args.allow_buffer_leaks):
+        if not check(
+            path,
+            args.min_populated,
+            args.allow_buffer_leaks,
+            args.max_dead_letters,
+        ):
             return 1
     return 0
 

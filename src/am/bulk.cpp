@@ -96,6 +96,13 @@ void BulkChannel::on_request(const Packet& p) {
 void BulkChannel::on_ack(const Packet& p) {
   const std::uint64_t id = p.words[0];
   auto it = outbound_.find(id);
+  // Fault-exemption invariant (docs/faults.md): bulk control packets —
+  // REQUEST, this ACK (the credit grant), and DATA — all ride the reliable
+  // link when fault injection is on, so a grant can be lost or duplicated
+  // on the wire but never *delivered* lost, out of order, or twice. A
+  // missing outbound entry therefore always means a protocol bug (a grant
+  // forged or a transfer retired early), never wire damage; fail loudly
+  // rather than resending the window.
   HAL_ASSERT(it != outbound_.end());
   Outbound out = std::move(it->second);
   outbound_.erase(it);
@@ -155,6 +162,13 @@ void BulkChannel::pump_grants() {
   // entry — as this code once did — stranded everything queued behind a
   // zero-size transfer: no ACK, senders' outbound_ records never retired,
   // and the machine deadlocked on their work tokens.
+  //
+  // Under fault injection this single-credit window stays live only
+  // because grants ride the reliable link (see the invariant in on_ack):
+  // the wire may drop a grant's packet, but the link retransmits it, so
+  // the sender's DATA phase — whose completion re-enters this pump —
+  // always eventually starts. There is deliberately no grant-resend logic
+  // here; audited under the injector by tests/test_faults.cpp.
   while (active_inbound_grants_ == 0 && !grant_queue_.empty()) {
     PendingGrant g = grant_queue_.front();
     grant_queue_.pop_front();

@@ -13,9 +13,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "am/cost_model.hpp"
+#include "am/fault.hpp"
+#include "am/link.hpp"
 #include "am/packet.hpp"
 #include "common/assert.hpp"
 #include "common/types.hpp"
@@ -42,6 +46,13 @@ class NodeClient {
   /// has_work() false). May send packets — this is where the receiver-
   /// initiated load balancer issues its poll.
   virtual void on_idle() {}
+
+  /// Payload pool the reliable-link layer clones retransmit masters from
+  /// and releases dropped/duplicate payloads into. The kernel returns its
+  /// per-node pool so the buffer ledger stays conservative under faults;
+  /// nullptr (the default) gives the endpoint a private fallback pool so
+  /// bare machine-level test clients keep working.
+  virtual BufferPool* link_pool() noexcept { return nullptr; }
 };
 
 class Machine {
@@ -137,6 +148,30 @@ class Machine {
     return tokens_.load(std::memory_order_acquire);
   }
 
+  // --- Fault plane / reliable link -----------------------------------------
+  // Configured once, after clients are attached and before run(). Enabling
+  // faults also enables the per-node LinkEndpoints (ack/retransmit/dedupe);
+  // disabled, sends take the historical direct path with zero link overhead.
+  // Machine implementations override to scrub unsupported knobs (Thread
+  // drops the delay probability) and pick the default RTO, then call the
+  // base. Must not be called while the machine is running.
+  virtual void configure_faults(const FaultConfig& cfg);
+  const FaultConfig& fault_config() const noexcept { return faults_; }
+
+  /// Wire counters for one node's endpoint; nullptr when faults are off.
+  const LinkStats* link_stats(NodeId node) const noexcept {
+    return links_.empty() ? nullptr : &links_[node]->stats();
+  }
+
+  /// Release every payload the link layer still holds (retransmit masters,
+  /// out-of-order buffers) back to the owning pools. Called at shutdown
+  /// drain, after run() has returned.
+  void drain_links();
+
+  /// Buffer-audit walk over link-held payloads (the link layer's share of
+  /// the report's in-flight count).
+  void for_each_link_payload(const std::function<void(const Bytes&)>& fn) const;
+
  protected:
   NodeClient& client(NodeId node) const {
     HAL_ASSERT(node < node_count() && clients_[node] != nullptr);
@@ -156,12 +191,22 @@ class Machine {
     HAL_ASSERT(p.payload.size() <= kBulkChunkBytes);
   }
 
+  /// True when sends must route through the reliable link.
+  bool links_active() const noexcept { return !links_.empty(); }
+  LinkEndpoint& link(NodeId node) noexcept { return *links_[node]; }
+
+  /// Machine-appropriate retransmission timeout when FaultConfig::rto_ns
+  /// is 0 (Sim: a few virtual round trips; Thread: ~2 ms wall).
+  virtual SimTime default_rto() const noexcept { return 2'000'000; }
+
  private:
   std::vector<NodeClient*> clients_;
   CostModel costs_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> tokens_{0};
   std::atomic<std::int64_t> work_hint_{0};
+  std::vector<std::unique_ptr<LinkEndpoint>> links_;
+  FaultConfig faults_{};
 };
 
 }  // namespace hal::am

@@ -51,6 +51,17 @@ struct Packet {
   /// probes; not part of the modeled wire format (the real CMAM packet has
   /// no room for it — a hardware implementation would timestamp at the NI).
   SimTime stamp = 0;
+  /// Reliable-link sequence number on the (src, dst) channel, assigned by
+  /// LinkEndpoint when fault injection is enabled. 0 = unsequenced: the
+  /// packet bypassed the link layer (faults disabled, or loopback).
+  std::uint64_t link_seq = 0;
+  /// Link-control acknowledgement: link_seq carries the cumulative
+  /// sequence received in order; no handler runs for these.
+  bool link_ack = false;
+  /// This physical copy is a retransmission. Retransmits keep the original
+  /// `stamp`, so the kernel's redelivery probe spans first-send to
+  /// final-delivery — the latency the destination actor actually saw.
+  bool retransmitted = false;
 };
 
 }  // namespace hal::am

@@ -12,7 +12,24 @@ SimMachine::SimMachine(NodeId nodes, CostModel costs)
       clock_(nodes, 0),
       handler_tail_(nodes, 0),
       resume_pending_(nodes, false),
-      idle_notified_(nodes, false) {}
+      idle_notified_(nodes, false),
+      link_timer_pending_(nodes, false) {}
+
+void SimMachine::configure_faults(const FaultConfig& cfg) {
+  HAL_ASSERT(!running_);
+  Machine::configure_faults(cfg);
+  std::fill(link_timer_pending_.begin(), link_timer_pending_.end(), false);
+}
+
+SimTime SimMachine::default_rto() const noexcept {
+  // A few simulated round trips, with a floor so degenerate cost models
+  // (CostModel::zero) still make forward progress between retries.
+  const auto& c = costs();
+  const SimTime rtt = c.wire_latency_ns + c.packet_inject_ns +
+                      c.handler_entry_ns +
+                      c.per_word_ns * static_cast<SimTime>(kPacketWords);
+  return std::max<SimTime>(8 * rtt, 1000);
+}
 
 void SimMachine::push_event(Event e) {
   e.seq = next_seq_++;
@@ -38,9 +55,45 @@ void SimMachine::send(Packet p) {
                     c.per_word_ns * static_cast<SimTime>(kPacketWords) +
                     c.payload_byte_ns * static_cast<SimTime>(p.payload.size()));
   p.stamp = current_time(p.src);
+  if (links_active() && p.src != p.dst) {
+    // Faulty wire: the reliable link sequences the packet, files its
+    // retransmit master, and puts the (possibly mangled) copies on the
+    // wire through link_transmit below. Loopback skips the link — a node's
+    // own queue cannot drop.
+    const NodeId src = p.src;
+    link(src).send_data(std::move(p), current_time(src), *this);
+    schedule_link_timer(src);
+    return;
+  }
   const SimTime arrival = p.stamp + c.wire_latency_ns;
   const NodeId dst = p.dst;
   push_event(Event{arrival, 0, EventKind::kDelivery, dst, std::move(p)});
+}
+
+void SimMachine::link_transmit(Packet p, SimTime extra_delay_ns) {
+  // First transmissions were charged in send(); retransmissions and acks
+  // are fresh NI work, billed to whichever stream is currently executing
+  // (handler stream when an arrival triggers an ack, method stream when a
+  // timer fires).
+  if (p.retransmitted || p.link_ack) {
+    charge(p.src, costs().packet_inject_ns);
+  }
+  const SimTime arrival =
+      current_time(p.src) + costs().wire_latency_ns + extra_delay_ns;
+  const NodeId dst = p.dst;
+  push_event(Event{arrival, 0, EventKind::kDelivery, dst, std::move(p)});
+}
+
+void SimMachine::link_deliver(Packet p) {
+  client(p.dst).handle(std::move(p));
+}
+
+void SimMachine::schedule_link_timer(NodeId node) {
+  if (!links_active() || link_timer_pending_[node]) return;
+  const SimTime deadline = link(node).next_deadline();
+  if (deadline == 0) return;
+  link_timer_pending_[node] = true;
+  push_event(Event{deadline, 0, EventKind::kLinkTimer, node, {}});
 }
 
 void SimMachine::charge(NodeId node, SimTime ns) {
@@ -133,7 +186,15 @@ void SimMachine::run() {
         handler_time_ = start;
         charge(n, costs().handler_entry_ns);
         idle_notified_[n] = false;
-        client(n).handle(std::move(e.packet));
+        if (links_active() &&
+            (e.packet.link_seq != 0 || e.packet.link_ack)) {
+          // Physical arrival on the faulty wire: the endpoint dedupes,
+          // reorders into sequence, acks, and calls link_deliver for each
+          // packet that becomes deliverable (all within this handler slot).
+          link(n).receive(std::move(e.packet), *this);
+        } else {
+          client(n).handle(std::move(e.packet));
+        }
         const SimTime stolen = handler_time_ - start;
         handler_tail_[n] = handler_time_;
         in_handler_ = false;
@@ -147,6 +208,18 @@ void SimMachine::run() {
         resume_pending_[n] = false;
         clock_[n] = std::max(clock_[n], e.time);
         client(n).step();
+        break;
+      case EventKind::kLinkTimer:
+        // Retransmission timer: resend every master past its deadline,
+        // then re-arm at the endpoint's next deadline. Pending timers also
+        // keep the event queue non-empty, so run() cannot exit while a
+        // dropped packet still awaits recovery.
+        link_timer_pending_[n] = false;
+        clock_[n] = std::max(clock_[n], e.time);
+        if (links_active()) {
+          link(n).on_timer(current_time(n), *this);
+          schedule_link_timer(n);
+        }
         break;
     }
     settle(n);

@@ -28,7 +28,7 @@
 
 namespace hal::am {
 
-class SimMachine final : public Machine {
+class SimMachine final : public Machine, private LinkSink {
  public:
   SimMachine(NodeId nodes, CostModel costs);
 
@@ -36,6 +36,7 @@ class SimMachine final : public Machine {
   void charge(NodeId node, SimTime ns) override;
   SimTime now(NodeId node) const override;
   void run() override;
+  void configure_faults(const FaultConfig& cfg) override;
 
   /// Makespan: maximum virtual clock over all nodes. This is the number the
   /// benchmark tables report as "execution time".
@@ -51,7 +52,7 @@ class SimMachine final : public Machine {
   void reset_clocks();
 
  private:
-  enum class EventKind : std::uint8_t { kDelivery, kResume };
+  enum class EventKind : std::uint8_t { kDelivery, kResume, kLinkTimer };
 
   struct Event {
     SimTime time;
@@ -79,11 +80,21 @@ class SimMachine final : public Machine {
   /// handler runs, method stream otherwise).
   SimTime current_time(NodeId node) const;
 
+  // LinkSink: one physical wire copy / one in-order delivery (fault plane).
+  void link_transmit(Packet p, SimTime extra_delay_ns) override;
+  void link_deliver(Packet p) override;
+  /// Arm `node`'s retransmission timer event at its endpoint's earliest
+  /// deadline (coalesced: at most one pending timer event per node).
+  void schedule_link_timer(NodeId node);
+  /// A few virtual round trips on the configured cost model.
+  SimTime default_rto() const noexcept override;
+
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<SimTime> clock_;         // method/compute stream
   std::vector<SimTime> handler_tail_;  // handler-stream serialization point
   std::vector<bool> resume_pending_;
   std::vector<bool> idle_notified_;
+  std::vector<bool> link_timer_pending_;
   // Transient handler-execution context (one handler at a time globally —
   // the event loop is sequential).
   bool in_handler_ = false;

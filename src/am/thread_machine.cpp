@@ -18,9 +18,38 @@ ThreadMachine::ThreadMachine(NodeId nodes, CostModel costs)
 
 ThreadMachine::~ThreadMachine() = default;
 
+void ThreadMachine::configure_faults(const FaultConfig& cfg) {
+  FaultConfig scrubbed = cfg;
+  scrubbed.delay = 0.0;
+  Machine::configure_faults(scrubbed);
+}
+
 void ThreadMachine::send(Packet p) {
   check_packet(p);
   p.stamp = now(p.src);
+  if (links_active() && p.src != p.dst) {
+    // Faulty wire: sequence + file a retransmit master; the link calls
+    // back into link_transmit for every physical copy that survives the
+    // injector. Runs on the source node's thread, so the endpoint needs no
+    // locking. Loopback skips the link — a node's own queue cannot drop.
+    const NodeId src = p.src;
+    link(src).send_data(std::move(p), now(src), *this);
+    return;
+  }
+  raw_push(std::move(p));
+}
+
+void ThreadMachine::link_transmit(Packet p,
+                                  [[maybe_unused]] SimTime extra_delay_ns) {
+  HAL_DASSERT(extra_delay_ns == 0);  // delay scrubbed in configure_faults
+  raw_push(std::move(p));
+}
+
+void ThreadMachine::link_deliver(Packet p) {
+  client(p.dst).handle(std::move(p));
+}
+
+void ThreadMachine::raw_push(Packet p) {
   NodeRec& dst = *nodes_[p.dst];
   // Epoch order matters for termination detection: the send must be counted
   // before the packet becomes visible, so a checker that reads
@@ -84,7 +113,15 @@ void ThreadMachine::node_loop(NodeId node) {
   while (!stop_requested()) {
     bool did_work = false;
     while (auto p = rec.queue.pop()) {
-      c.handle(std::move(*p));
+      if (links_active() && (p->link_seq != 0 || p->link_ack)) {
+        // Physical arrival on the faulty wire: dedupe/reorder/ack in the
+        // link layer; only in-order packets reach the client (and thus any
+        // layer that counts deliveries). The handled epoch below counts
+        // the *physical* packet regardless — symmetric with raw_push.
+        link(node).receive(std::move(*p), *this);
+      } else {
+        c.handle(std::move(*p));
+      }
       detector_.note_handled();
       did_work = true;
     }
@@ -101,6 +138,30 @@ void ThreadMachine::node_loop(NodeId node) {
     }
     c.on_idle();  // may send packets (load-balancer poll)
     if (!rec.queue.empty() || c.has_work()) continue;  // re-drain
+
+    if (links_active() && link(node).has_unacked()) {
+      // Unacked masters: this node still owes wire work (a drop may need
+      // retransmitting), so it must NOT join the idle set — staying active
+      // keeps the detector's double scan returning kBusy, which is what
+      // makes loss unable to fake quiescence. Park with a deadline instead
+      // of deactivating; a timeout fires the retransmission timer on this
+      // node's own thread (endpoint state stays single-threaded).
+      const SimTime deadline = link(node).next_deadline();
+      {
+        std::unique_lock lock(rec.mutex);
+        rec.sleeping.exchange(true, std::memory_order_seq_cst);
+        rec.cv.wait_until(
+            lock, epoch_ + std::chrono::nanoseconds(deadline), [&] {
+              return !rec.queue.empty() || stop_requested() ||
+                     rec.wake_gen != gen;
+            });
+        rec.sleeping.exchange(false, std::memory_order_seq_cst);
+      }
+      if (!stop_requested() && rec.queue.empty()) {
+        link(node).on_timer(now(node), *this);
+      }
+      continue;  // re-drain (an ack may have landed), then re-idle
+    }
 
     // Leave the active set, then ask the detector whether the whole machine
     // is done. The last node to deactivate is guaranteed to see a passing

@@ -37,7 +37,7 @@
 
 namespace hal::am {
 
-class ThreadMachine final : public Machine {
+class ThreadMachine final : public Machine, private LinkSink {
  public:
   ThreadMachine(NodeId nodes, CostModel costs);
   ~ThreadMachine() override;
@@ -46,6 +46,9 @@ class ThreadMachine final : public Machine {
   void charge(NodeId node, SimTime ns) override;  // no-op: time is real
   SimTime now(NodeId node) const override;
   void run() override;
+  /// Delay injection is Sim-only (real queues already reorder, and a wall
+  /// clock sleep would only slow the soak): the knob is scrubbed here.
+  void configure_faults(const FaultConfig& cfg) override;
 
   /// Packets injected / fully handled so far (stress tests, stats).
   std::uint64_t packets_sent() const noexcept { return detector_.sent(); }
@@ -70,6 +73,18 @@ class ThreadMachine final : public Machine {
 
   void node_loop(NodeId node);
   void wake_all() noexcept;
+
+  /// Put one physical packet on the wire: count it in the sent epoch, push
+  /// it into the destination queue, and run the wakeup handshake. The
+  /// termination epochs count *physical* packets symmetrically (duplicates
+  /// twice, drops never — they are decided before the push; acks and
+  /// retransmits too), so sent == handled still proves no packet is hiding
+  /// in any queue and the detector's double scan stays exact under faults.
+  void raw_push(Packet p);
+
+  // LinkSink (fault plane).
+  void link_transmit(Packet p, SimTime extra_delay_ns) override;
+  void link_deliver(Packet p) override;
 
   std::vector<std::unique_ptr<NodeRec>> nodes_;
   TerminationDetector detector_;

@@ -91,6 +91,7 @@ FibResult run_fib(const FibParams& params) {
   cfg.load_balancing = params.load_balancing;
   cfg.costs = params.costs;
   cfg.seed = params.seed;
+  cfg.faults = params.faults;
   Runtime rt(cfg);
   rt.load<FibActor>();
   rt.load<FibRoot>();

@@ -31,6 +31,8 @@ struct FibParams {
   MachineKind machine = MachineKind::kSim;
   am::CostModel costs = am::CostModel::cm5();
   std::uint64_t seed = 0x715b;
+  /// Wire fault injection (bench/ablation_faults: throughput vs loss rate).
+  am::FaultConfig faults;
 };
 
 struct FibResult {

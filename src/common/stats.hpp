@@ -43,6 +43,12 @@ enum class Stat : std::uint32_t {
   kBroadcastFanout,         // MST relays performed
   kJoinContinuationsCreated,
   kRepliesJoined,
+  kLinkDropsInjected,       // fault plane: packets discarded at the wire
+  kLinkDuplicatesInjected,  // fault plane: packets delivered twice
+  kLinkDelaysInjected,      // fault plane: packets given extra latency
+  kLinkRetransmits,         // reliable link: timer-driven resends
+  kLinkDupesSuppressed,     // reliable link: duplicates absorbed pre-kernel
+  kLinkAcksSent,            // reliable link: cumulative acks emitted
   kCount,
 };
 
@@ -63,7 +69,10 @@ inline constexpr std::array<std::string_view,
         "steal_requests_denied", "bulk_transfers",
         "bulk_flow_stalls",      "broadcasts_sent",
         "broadcast_fanout",      "join_continuations_created",
-        "replies_joined",
+        "replies_joined",        "link_drops_injected",
+        "link_duplicates_injected", "link_delays_injected",
+        "link_retransmits",      "link_dupes_suppressed",
+        "link_acks_sent",
 };
 
 class StatBlock {

@@ -27,6 +27,7 @@ enum class Probe : std::uint32_t {
   kJoinRoundTrip,     ///< join continuation created -> counter hit zero
   kBroadcastRelay,    ///< broadcast injection -> MST relay handler entry
   kDispatchBatch,     ///< items drained per dispatcher busy period (items)
+  kRedelivery,        ///< first send -> delivery of a retransmitted packet
   kCount,
 };
 
@@ -39,11 +40,12 @@ inline constexpr std::array<std::string_view, kProbeCount> kProbeNames = {
     "bulk_transfer_ns",   "bulk_flow_stall_ns",   "steal_round_trip_ns",
     "pending_residency_ns", "mailbox_residency_ns", "method_execution_ns",
     "join_round_trip_ns", "broadcast_relay_ns",   "dispatch_batch_items",
+    "redelivery_ns",
 };
 
 inline constexpr std::array<std::string_view, kProbeCount> kProbeUnits = {
     "ns", "ns", "ns", "ns", "ns", "ns", "ns", "ns", "ns", "ns", "ns",
-    "items",
+    "items", "ns",
 };
 
 }  // namespace hal::obs

@@ -83,7 +83,13 @@ std::string RunReport::to_json() const {
   append_u64(out, makespan_ns);
   out += ",\"dead_letters\":";
   append_u64(out, dead_letters);
-  out += ",\"buffers\":{\"acquired\":";
+  out += ",\"dead_letter_causes\":{\"unknown_actor\":";
+  append_u64(out, dead_letter_causes[0]);
+  out += ",\"stale_descriptor\":";
+  append_u64(out, dead_letter_causes[1]);
+  out += ",\"shutdown_drain\":";
+  append_u64(out, dead_letter_causes[2]);
+  out += "},\"buffers\":{\"acquired\":";
   append_u64(out, buffers.acquired);
   out += ",\"retired\":";
   append_u64(out, buffers.retired);

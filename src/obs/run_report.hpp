@@ -8,6 +8,7 @@
 // serialize byte-identically and BENCH_*.json files diff cleanly across PRs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,7 +19,9 @@
 namespace hal::obs {
 
 /// Schema identifier embedded in the JSON (bump on layout changes).
-inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v2";
+/// v3: adds "dead_letter_causes" (per-cause breakdown summing to
+/// "dead_letters") and the link/fault stat counters + redelivery probe.
+inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v3";
 
 /// Payload-buffer lifecycle audit, filled from the hal::check ledger. All
 /// fields are zero in HAL_CHECK=0 builds (the ledger compiles away).
@@ -39,6 +42,10 @@ struct RunReport {
   std::uint64_t seed = 0;
   std::uint64_t makespan_ns = 0;
   std::uint64_t dead_letters = 0;
+  /// Per-cause breakdown of dead_letters, indexed by DeadLetterCause
+  /// (unknown actor, stale descriptor, shutdown drain); sums to
+  /// dead_letters.
+  std::array<std::uint64_t, 3> dead_letter_causes{};
   BufferAudit buffers;  ///< hal::check buffer audit (zeros when disabled)
 
   StatBlock total;                        ///< sum of per_node
@@ -46,10 +53,12 @@ struct RunReport {
   ProbeRecorder probes;                   ///< merged across nodes
   std::vector<ProbeRecorder> per_node_probes;  ///< index = NodeId
 
-  /// Deterministic JSON serialization (schema halcyon.run_report.v2):
+  /// Deterministic JSON serialization (schema halcyon.run_report.v3):
   /// {
   ///   "schema": "...", "machine": "sim", "nodes": N, "seed": S,
   ///   "makespan_ns": M, "dead_letters": D,
+  ///   "dead_letter_causes": {"unknown_actor": u, "stale_descriptor": s,
+  ///                          "shutdown_drain": d},
   ///   "buffers": {"acquired": A, "retired": R, "adopted": a, "escaped": e,
   ///               "in_flight": i, "leaked": l, "double_retires": d,
   ///               "poison_hits": p},

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "am/cost_model.hpp"
+#include "am/fault.hpp"
 #include "common/types.hpp"
 
 namespace hal {
@@ -21,6 +22,7 @@ enum class ConfigErrorCode : std::uint8_t {
   kZeroNodes,          ///< nodes == 0: nothing to boot
   kTooManyNodes,       ///< node id does not fit the 16-bit wire encoding
   kStackDepthTooLarge, ///< stack-scheduling quantum risks host-stack overflow
+  kBadFaultConfig,     ///< fault-injection probability outside [0, 1]
 };
 
 /// Typed rejection of an invalid RuntimeConfig. Constructing a Runtime from
@@ -80,6 +82,13 @@ struct RuntimeConfig {
   /// (Runtime::write_trace). Deterministic under SimMachine.
   bool trace = false;
 
+  /// Fault injection on the active-message wire (am/fault.hpp). Enabling it
+  /// also enables the reliable-link layer (sequence numbers, acks,
+  /// retransmission, duplicate suppression), so the runtime's guarantee
+  /// stays effectively-once, in-order per channel. faults.seed == 0 derives
+  /// the injector seed from `seed` above, keeping one-knob reproducibility.
+  am::FaultConfig faults;
+
   /// Validated construction: returns the first problem found, or nullopt for
   /// a usable config. Runtime's constructor throws the returned error.
   std::optional<ConfigError> validate() const {
@@ -100,6 +109,12 @@ struct RuntimeConfig {
           "RuntimeConfig: max_stack_depth " + std::to_string(max_stack_depth) +
               " exceeds " + std::to_string(kMaxStackDepth) +
               " (each level is a host stack frame)");
+    }
+    if (!faults.probabilities_valid()) {
+      return ConfigError(
+          ConfigErrorCode::kBadFaultConfig,
+          "RuntimeConfig: fault probabilities (drop/duplicate/delay) must "
+          "lie in [0, 1]");
     }
     return std::nullopt;
   }

@@ -44,6 +44,13 @@ Kernel::~Kernel() = default;
 
 void Kernel::handle(am::Packet p) {
   affinity_.assert_here();
+  if (p.retransmitted) {
+    // The link layer preserved the original send stamp across retransmits,
+    // so this span is first-send -> final in-order delivery: the latency
+    // the destination actor experienced because of the loss.
+    probes_.record_span(obs::Probe::kRedelivery, p.stamp,
+                        machine_.now(self_));
+  }
   switch (p.handler) {
     case kHActorMessage:
       node_manager_->on_actor_message(p);
@@ -261,7 +268,7 @@ void Kernel::send_message(Message m) {
                               : costs().name_lookup_ns);
   if (!ds.valid()) {
     if (m.dest.home == self_) {
-      dead_letter(m);
+      dead_letter(m, DeadLetterCause::kUnknownActor);
       return;
     }
     // First send to this address from this node: allocate a best-guess
@@ -285,7 +292,7 @@ void Kernel::send_message(Message m) {
 void Kernel::deliver_local(SlotId actor_slot, Message m) {
   ActorRecord* rec = actors_.try_get(actor_slot);
   if (rec == nullptr) {
-    dead_letter(m);
+    dead_letter(m, DeadLetterCause::kStaleDescriptor);
     return;
   }
   charge(costs().enqueue_ns);
@@ -346,7 +353,7 @@ void Kernel::execute_message(SlotId actor_slot, Message& m) {
 void Kernel::run_method(SlotId actor_slot, Message m, bool cheap_dispatch) {
   ActorRecord* rec = actors_.try_get(actor_slot);
   if (rec == nullptr) {
-    dead_letter(m);
+    dead_letter(m, DeadLetterCause::kStaleDescriptor);
     return;
   }
   // Local synchronization constraints (§6.1): a disabled method's message
@@ -419,12 +426,12 @@ void Kernel::post_method(SlotId actor_slot, ActorRecord& rec) {
     while (!rec.mailbox.empty()) {
       Message m = std::move(rec.mailbox.front());
       rec.mailbox.pop_front();
-      dead_letter(m);
+      dead_letter(m, DeadLetterCause::kShutdownDrain);
     }
     while (!rec.pending.empty()) {
       Message m = std::move(rec.pending.front());
       rec.pending.pop_front();
-      dead_letter(m);
+      dead_letter(m, DeadLetterCause::kShutdownDrain);
     }
     // Descriptors are never reclaimed (the paper defers this to a future
     // distributed GC, §9): they become dead-letter sinks so stale senders
@@ -724,10 +731,13 @@ void Kernel::console_print(std::string_view text) {
   machine_.send(std::move(p));
 }
 
-void Kernel::dead_letter(Message& m) {
+void Kernel::dead_letter(Message& m, DeadLetterCause cause) {
   ++dead_letters_;
+  ++dead_letter_causes_[static_cast<std::size_t>(cause)];
   // The message dies here, but its payload buffer goes back to the pool —
   // dropping it would show up as a leak in the hal::check buffer ledger.
+  // release() moves the buffer out, leaving an empty shell, so a message
+  // that reaches two dead-letter paths cannot retire its buffer twice.
   pool_.release(std::move(m.payload));
 }
 

@@ -9,6 +9,7 @@
 // balancing) lives in the NodeManager, the kernel's meta-actor.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -37,6 +38,16 @@ namespace hal {
 
 class Context;
 class NodeManager;
+
+/// Why a message was dead-lettered (per-cause counters surface in
+/// RunReport v3 so a fault run can distinguish "actor really terminated"
+/// from "descriptor pointed somewhere stale").
+enum class DeadLetterCause : std::uint8_t {
+  kUnknownActor,     ///< no record for the address anywhere it could resolve
+  kStaleDescriptor,  ///< a descriptor resolved to a slot whose actor is gone
+  kShutdownDrain,    ///< dying actor's mailbox/pending queue discarded
+  kCount,
+};
 
 /// Shutdown-drain accounting: what was still in flight inside a kernel when
 /// the runtime tore down (buffered mail, parked messages, unfilled joins),
@@ -75,6 +86,10 @@ class Kernel final : public am::NodeClient {
   bool step() override;
   bool has_work() const override;
   void on_idle() override;
+  /// The reliable link clones retransmit masters from (and retires dropped
+  /// or duplicate payloads into) this node's pool, keeping the buffer
+  /// ledger conservative under fault injection.
+  BufferPool* link_pool() noexcept override { return &pool_; }
 
   // --- Actor creation (§5) ---------------------------------------------------
   /// Create an actor on this node; returns its ordinary mail address.
@@ -184,6 +199,9 @@ class Kernel final : public am::NodeClient {
   ActorRecord* actor(SlotId slot) noexcept { return actors_.try_get(slot); }
   std::size_t live_actors() const noexcept { return actors_.size(); }
   std::uint64_t dead_letters() const noexcept { return dead_letters_; }
+  std::uint64_t dead_letters(DeadLetterCause cause) const noexcept {
+    return dead_letter_causes_[static_cast<std::size_t>(cause)];
+  }
 
   /// Visit every live actor record: `fn(SlotId, ActorRecord&)`. Used by the
   /// garbage collector's sweep (in-process walk at quiescence).
@@ -271,7 +289,7 @@ class Kernel final : public am::NodeClient {
   /// Replay pending messages whose constraints are now enabled (§6.1).
   void replay_pending(SlotId actor_slot);
   /// Account an undeliverable message and retire its payload buffer.
-  void dead_letter(Message& m);
+  void dead_letter(Message& m, DeadLetterCause cause);
 
   am::Machine& machine_;
   const NodeId self_;  // write-once identity, never a shared-state race
@@ -295,6 +313,8 @@ class Kernel final : public am::NodeClient {
   std::uint32_t stack_depth_ = 0;
   std::uint64_t dispatch_batch_len_ = 0;
   std::uint64_t dead_letters_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(DeadLetterCause::kCount)>
+      dead_letter_causes_{};
   std::uint64_t place_cursor_ = 0;
   FrontEnd* front_end_ = nullptr;  // node 0 only
   trace::TraceRecorder* tracer_ = nullptr;

@@ -40,6 +40,12 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
   if (config_.trace) {
     for (auto& k : kernels_) k->set_tracer(&tracer_);
   }
+  // After the kernels attach, so each link endpoint can borrow its node's
+  // payload pool. A zero injector seed inherits the runtime seed: one knob
+  // reproduces both the schedule and the fault pattern.
+  am::FaultConfig faults = config_.faults;
+  if (faults.seed == 0) faults.seed = config_.seed;
+  machine_->configure_faults(faults);
 }
 
 Runtime::~Runtime() {
@@ -50,6 +56,9 @@ Runtime::~Runtime() {
 
 DrainStats Runtime::shutdown_drain() {
   DrainStats total;
+  // Link first: retransmit masters and out-of-order buffers retire into the
+  // pools before the kernels' own drain accounting runs.
+  machine_->drain_links();
   for (auto& k : kernels_) {
     // The drain releases buffers into each kernel's pool; run it "as" that
     // node so the pools' affinity guards stay satisfied.
@@ -89,14 +98,33 @@ obs::RunReport Runtime::report() {
   r.seed = config_.seed;
   r.makespan_ns = makespan_impl();
   r.dead_letters = dead_letters();
+  for (const auto& k : kernels_) {
+    for (std::size_t c = 0; c < r.dead_letter_causes.size(); ++c) {
+      r.dead_letter_causes[c] +=
+          k->dead_letters(static_cast<DeadLetterCause>(c));
+    }
+  }
   r.per_node.reserve(kernels_.size());
   r.per_node_probes.reserve(kernels_.size());
-  for (const auto& k : kernels_) {
-    k->flush_probes();  // close the final dispatch batch of each node
-    r.per_node.push_back(k->stats());
-    r.per_node_probes.push_back(k->probes());
-    r.total += k->stats();
-    r.probes += k->probes();
+  for (NodeId n = 0; n < static_cast<NodeId>(kernels_.size()); ++n) {
+    Kernel& k = *kernels_[n];
+    k.flush_probes();  // close the final dispatch batch of each node
+    StatBlock node_stats = k.stats();
+    // The link endpoints live in the machine, not the kernel: fold their
+    // wire counters into the owning node's block so per-node sums still
+    // reconcile against the aggregate.
+    if (const am::LinkStats* ls = machine_->link_stats(n)) {
+      node_stats.bump(Stat::kLinkDropsInjected, ls->drops_injected);
+      node_stats.bump(Stat::kLinkDuplicatesInjected, ls->duplicates_injected);
+      node_stats.bump(Stat::kLinkDelaysInjected, ls->delays_injected);
+      node_stats.bump(Stat::kLinkRetransmits, ls->retransmits);
+      node_stats.bump(Stat::kLinkDupesSuppressed, ls->dupes_suppressed);
+      node_stats.bump(Stat::kLinkAcksSent, ls->acks_sent);
+    }
+    r.per_node.push_back(node_stats);
+    r.per_node_probes.push_back(k.probes());
+    r.total += node_stats;
+    r.probes += k.probes();
   }
   if constexpr (HAL_CHECK != 0) {
     // Buffer audit: ledger totals, then separate "still reachable in some
@@ -113,6 +141,11 @@ obs::RunReport Runtime::report() {
       r.buffers.double_retires += k->pool().check_double_retires();
       r.buffers.poison_hits += k->pool().check_poison_hits();
     }
+    // Payloads parked inside the link layer (retransmit masters, buffered
+    // out-of-order arrivals) are reachable, not leaked.
+    machine_->for_each_link_payload([&](const Bytes& b) {
+      if (b.capacity() != 0 && ledger_.contains(b.data())) ++in_flight;
+    });
     const std::uint64_t outstanding = ledger_.outstanding();
     r.buffers.in_flight = in_flight;
     r.buffers.leaked = outstanding > in_flight ? outstanding - in_flight : 0;

@@ -1,0 +1,49 @@
+// Fixture: HL002 hal-buffer-lifecycle (known-bad) — retransmit-queue
+// mistakes the reliable link must not make.
+//
+// Each function breaks the clone discipline a different way: the injected
+// drop forgets to retire the wire copy; a duplicate-suppression path
+// retires the same payload twice; retransmission re-clones while the
+// previous clone is still owned.
+namespace fix {
+
+struct Bytes {};
+struct Pool {
+  Bytes acquire(unsigned n);
+  void release(Bytes b);
+};
+
+void wire_push(Bytes b);
+
+class BadLink {
+ public:
+  // The injector decided to drop the copy — and the clone leaks.
+  void transmit_leaks_on_drop(unsigned n, bool dropped) {
+    Bytes copy = pool_.acquire(n);
+    if (dropped) {
+      return;  // EXPECT: hal-buffer-lifecycle
+    }
+    wire_push(std::move(copy));
+  }
+
+  // Duplicate suppression retires the payload, then a shared cleanup path
+  // retires it again — the double-retire the dead-letter path once had.
+  void dedupe_double_retires(unsigned n) {
+    Bytes dup = pool_.acquire(n);
+    pool_.release(std::move(dup));
+    pool_.release(std::move(dup));  // EXPECT: hal-buffer-lifecycle
+  }
+
+  // Re-cloning for a retransmission while the previous wire copy is still
+  // owned drops the first clone on the floor.
+  void retransmit_reclones(unsigned n) {
+    Bytes copy = pool_.acquire(n);
+    copy = pool_.acquire(n);  // EXPECT: hal-buffer-lifecycle
+    wire_push(std::move(copy));
+  }
+
+ private:
+  Pool pool_;
+};
+
+}  // namespace fix

@@ -1,0 +1,57 @@
+// Fixture: HL002 hal-buffer-lifecycle (known-good) — the retransmit-queue
+// idiom of the reliable link (src/am/link.cpp).
+//
+// Sanctioned shapes: a master clone handed off by return; a wire copy
+// retired by the injected-drop branch and shipped otherwise; a duplicated
+// transmission where each physical copy reaches exactly one consumer; a
+// cumulative ack retiring the master exactly once.
+namespace fix {
+
+struct Bytes {};
+struct Pool {
+  Bytes acquire(unsigned n);
+  void release(Bytes b);
+};
+
+void wire_push(Bytes b);
+
+class GoodLink {
+ public:
+  // Masters are cloned from the pool and handed to the pending map by
+  // return — ownership transfers to the caller.
+  Bytes clone_master(unsigned n) {
+    Bytes b = pool_.acquire(n);
+    return b;
+  }
+
+  // Each (re)transmission ships a fresh clone; the injected-drop branch
+  // retires it instead of shipping.
+  void transmit(unsigned n, bool dropped) {
+    Bytes copy = pool_.acquire(n);
+    if (dropped) {
+      pool_.release(std::move(copy));
+      return;
+    }
+    wire_push(std::move(copy));
+  }
+
+  // An injected duplicate puts two physical copies on the wire; each is
+  // consumed exactly once.
+  void transmit_duplicated(unsigned n) {
+    Bytes first = pool_.acquire(n);
+    Bytes second = pool_.acquire(n);
+    wire_push(std::move(first));
+    wire_push(std::move(second));
+  }
+
+  // A cumulative ack retires the master clone exactly once.
+  void on_ack(unsigned n) {
+    Bytes master = pool_.acquire(n);
+    pool_.release(std::move(master));
+  }
+
+ private:
+  Pool pool_;
+};
+
+}  // namespace fix

@@ -1,0 +1,529 @@
+// Fault-plane tests (ROADMAP item 3): seeded drop/duplicate/delay injection
+// on the active-message wire, and the reliable-link recovery that restores
+// effectively-once, in-order delivery to every layer above — including the
+// termination detector, the bulk-transfer credit window, and the FIR chase.
+//
+// Suite names all contain "Fault" so the ThreadMachine soaks here ride the
+// HAL_SANITIZE=thread CI job's -R 'Stress|ThreadMachine|Bulk|Fault' filter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "am/bulk.hpp"
+#include "am/sim_machine.hpp"
+#include "am/thread_machine.hpp"
+#include "apps/fib.hpp"
+#include "runtime/api.hpp"
+
+namespace hal {
+namespace {
+
+// --- Machine-level harness (mirrors test_am_machines.cpp) ---------------------
+
+class LinkTestClient : public am::NodeClient {
+ public:
+  std::vector<am::Packet> received;
+
+  void handle(am::Packet p) override { received.push_back(std::move(p)); }
+  bool step() override { return false; }
+  bool has_work() const override { return false; }
+};
+
+template <typename M>
+struct LinkHarness {
+  M machine;
+  std::vector<LinkTestClient> clients;
+
+  explicit LinkHarness(NodeId nodes,
+                       am::CostModel costs = am::CostModel::cm5())
+      : machine(nodes, costs), clients(nodes) {
+    for (NodeId n = 0; n < nodes; ++n) machine.attach(n, &clients[n]);
+  }
+};
+
+am::Packet make_packet(NodeId src, NodeId dst, std::uint64_t tag) {
+  am::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.handler = 1;
+  p.words[0] = tag;
+  return p;
+}
+
+/// Every packet arrived exactly once, in send order (tags 0..count-1).
+void expect_exactly_once_in_order(const LinkTestClient& c, std::uint64_t count) {
+  ASSERT_EQ(c.received.size(), count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EXPECT_EQ(c.received[i].words[0], i) << "at position " << i;
+  }
+}
+
+// --- FaultLink: the injector + reliable link at the machine layer -------------
+
+TEST(FaultLink, DisabledByDefaultKeepsDirectPath) {
+  LinkHarness<am::SimMachine> h(2);
+  EXPECT_EQ(h.machine.link_stats(0), nullptr);
+  am::FaultConfig off;
+  off.drop = 0.5;  // knobs without the master switch stay inert
+  h.machine.configure_faults(off);
+  EXPECT_EQ(h.machine.link_stats(0), nullptr);
+  h.machine.send(make_packet(0, 1, 0));
+  h.machine.run();
+  expect_exactly_once_in_order(h.clients[1], 1);
+}
+
+TEST(FaultLink, SimExactlyOnceInOrderUnderDropDupDelay) {
+  LinkHarness<am::SimMachine> h(2);
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = 0.2;
+  fc.duplicate = 0.2;
+  fc.delay = 0.3;
+  fc.seed = 42;
+  h.machine.configure_faults(fc);
+  constexpr std::uint64_t kCount = 200;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    h.machine.send(make_packet(0, 1, i));
+    h.machine.send(make_packet(1, 0, i));
+  }
+  h.machine.run();
+  expect_exactly_once_in_order(h.clients[0], kCount);
+  expect_exactly_once_in_order(h.clients[1], kCount);
+  // At these rates over 400 data packets the injector certainly fired, and
+  // recovery certainly ran (seeded, so this is deterministic, not flaky).
+  const am::LinkStats& s0 = *h.machine.link_stats(0);
+  const am::LinkStats& s1 = *h.machine.link_stats(1);
+  EXPECT_GT(s0.drops_injected + s1.drops_injected, 0u);
+  EXPECT_GT(s0.duplicates_injected + s1.duplicates_injected, 0u);
+  EXPECT_GT(s0.delays_injected + s1.delays_injected, 0u);
+  EXPECT_GT(s0.retransmits + s1.retransmits, 0u);
+  EXPECT_GT(s0.dupes_suppressed + s1.dupes_suppressed, 0u);
+  EXPECT_GT(s0.acks_sent, 0u);
+  EXPECT_GT(s1.acks_sent, 0u);
+}
+
+// Regression for the targeted loss the detector accounting must survive: the
+// one and only (hence final, quiescence-carrying) packet is dropped on its
+// first transmission. Without the unacked-master liveness rule the machine
+// would declare quiescence with the message still unrecovered.
+TEST(FaultLink, SimFinalMessageDroppedIsRetransmitted) {
+  LinkHarness<am::SimMachine> h(2);
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop_first = 1;
+  fc.seed = 7;
+  h.machine.configure_faults(fc);
+  h.machine.send(make_packet(0, 1, 0));
+  h.machine.run();
+  expect_exactly_once_in_order(h.clients[1], 1);
+  const am::LinkStats& s = *h.machine.link_stats(0);
+  EXPECT_EQ(s.drops_injected, 1u);
+  EXPECT_GE(s.retransmits, 1u);
+}
+
+TEST(FaultLink, SimEveryPacketDuplicatedDeliversOnce) {
+  LinkHarness<am::SimMachine> h(2);
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.duplicate = 1.0;
+  fc.seed = 9;
+  h.machine.configure_faults(fc);
+  constexpr std::uint64_t kCount = 20;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    h.machine.send(make_packet(0, 1, i));
+  }
+  h.machine.run();
+  expect_exactly_once_in_order(h.clients[1], kCount);
+  // Every transmission is duplicated — including retransmissions that fire
+  // when the doubled handler backlog delays the cumulative ack past the RTO —
+  // so both counters are at least the message count, not exactly it.
+  EXPECT_GE(h.machine.link_stats(0)->duplicates_injected, kCount);
+  EXPECT_GE(h.machine.link_stats(1)->dupes_suppressed, kCount);
+}
+
+TEST(FaultLink, SimDelayReordersWireButDeliveryStaysOrdered) {
+  LinkHarness<am::SimMachine> h(2);
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.delay = 0.5;
+  fc.delay_ns = 50'000;  // far past several successors' arrivals
+  fc.seed = 3;
+  h.machine.configure_faults(fc);
+  constexpr std::uint64_t kCount = 50;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    h.machine.send(make_packet(0, 1, i));
+  }
+  h.machine.run();
+  expect_exactly_once_in_order(h.clients[1], kCount);
+  EXPECT_GT(h.machine.link_stats(0)->delays_injected, 0u);
+}
+
+TEST(FaultLink, SimSameSeedSameFaultPattern) {
+  auto run_once = [] {
+    LinkHarness<am::SimMachine> h(3);
+    am::FaultConfig fc;
+    fc.enabled = true;
+    fc.drop = 0.15;
+    fc.duplicate = 0.15;
+    fc.delay = 0.25;
+    fc.seed = 0xfeed;
+    h.machine.configure_faults(fc);
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      h.machine.send(make_packet(0, 1, i));
+      h.machine.send(make_packet(1, 2, i));
+      h.machine.send(make_packet(2, 0, i));
+    }
+    h.machine.run();
+    const am::LinkStats& s = *h.machine.link_stats(0);
+    return std::tuple{h.machine.makespan(), h.machine.events_processed(),
+                      s.drops_injected,    s.duplicates_injected,
+                      s.delays_injected,   s.retransmits,
+                      s.dupes_suppressed,  s.acks_sent};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(FaultLink, ThreadLossAndDuplicationExactlyOnce) {
+  LinkHarness<am::ThreadMachine> h(2);
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = 0.1;
+  fc.duplicate = 0.1;
+  fc.seed = 11;
+  fc.rto_ns = 500'000;  // soak-friendly: recover dropped packets in ~0.5 ms
+  h.machine.configure_faults(fc);
+  constexpr std::uint64_t kCount = 200;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    h.machine.send(make_packet(0, 1, i));
+  }
+  h.machine.run();
+  expect_exactly_once_in_order(h.clients[1], kCount);
+}
+
+// --- FaultBulk: the credit window audited under the injector ------------------
+// pump_grants has no grant-resend path by design: grants ride the reliable
+// link (invariant comment in BulkChannel::on_ack). These tests are the audit —
+// transfers, queued grants, and zero-size grants all complete under loss.
+
+template <typename M>
+struct FaultBulkHarness {
+  M machine;
+  struct BulkClient : am::NodeClient {
+    am::BulkChannel* channel = nullptr;
+    std::vector<std::pair<std::uint64_t, Bytes>> delivered;  // (tag, data)
+    void handle(am::Packet p) override { channel->route(p); }
+    bool step() override { return false; }
+    bool has_work() const override { return false; }
+  };
+  std::vector<BulkClient> clients;
+  std::vector<StatBlock> stats;
+  std::vector<obs::ProbeRecorder> probes;
+  std::vector<BufferPool> pools;
+  std::vector<std::unique_ptr<am::BulkChannel>> channels;
+
+  explicit FaultBulkHarness(NodeId nodes,
+                            am::CostModel costs = am::CostModel::cm5())
+      : machine(nodes, costs),
+        clients(nodes),
+        stats(nodes),
+        probes(nodes),
+        pools(nodes) {
+    const am::BulkHandlers h{10, 11, 12};
+    for (NodeId n = 0; n < nodes; ++n) {
+      auto* client = &clients[n];
+      channels.push_back(std::make_unique<am::BulkChannel>(
+          machine, n, h, stats[n], probes[n], pools[n],
+          [client](NodeId, std::uint64_t tag,
+                   const std::array<std::uint64_t, 2>&, Bytes data) {
+            client->delivered.emplace_back(tag, std::move(data));
+          }));
+      clients[n].channel = channels[n].get();
+      machine.attach(n, &clients[n]);
+    }
+  }
+};
+
+Bytes pattern_bytes(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::byte>(i * 31 % 251);
+  }
+  return b;
+}
+
+TEST(FaultBulk, TransfersSurviveDropAndDuplication) {
+  FaultBulkHarness<am::SimMachine> h(3);
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = 0.15;
+  fc.duplicate = 0.15;
+  fc.seed = 21;
+  h.machine.configure_faults(fc);
+  const Bytes data = pattern_bytes(8 * am::kBulkChunkBytes);
+  h.channels[0]->send(2, 1, {0, 0}, data);
+  h.channels[1]->send(2, 2, {0, 0}, data);
+  h.machine.run();
+  ASSERT_EQ(h.clients[2].delivered.size(), 2u);
+  EXPECT_EQ(h.clients[2].delivered[0].second, data);
+  EXPECT_EQ(h.clients[2].delivered[1].second, data);
+}
+
+// A zero-size grant completing inline while the injector mangles the REQUEST
+// and ACK packets around it — the grant queue must still drain.
+TEST(FaultBulk, ZeroSizeAndQueuedGrantsDrainUnderFaults) {
+  FaultBulkHarness<am::SimMachine> h(5);
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = 0.2;
+  fc.duplicate = 0.1;
+  fc.seed = 33;
+  h.machine.configure_faults(fc);
+  const Bytes big = pattern_bytes(4 * am::kBulkChunkBytes);
+  h.channels[1]->send(0, 1, {0, 0}, big);
+  h.channels[2]->send(0, 2, {0, 0}, {});  // zero-size, queued behind 1
+  h.channels[3]->send(0, 3, {0, 0}, big);
+  h.channels[4]->send(0, 4, {0, 0}, {});
+  h.machine.run();
+  EXPECT_EQ(h.clients[0].delivered.size(), 4u);
+}
+
+// --- Runtime-level workloads under faults -------------------------------------
+
+class Counter : public ActorBase {
+ public:
+  void on_add(Context&, std::int64_t v) { sum_ += v; }
+  HAL_BEHAVIOR(Counter, &Counter::on_add)
+
+  std::int64_t sum() const { return sum_; }
+
+ private:
+  std::int64_t sum_ = 0;
+};
+
+class Burst : public ActorBase {
+ public:
+  void on_fire(Context& ctx, MailAddress target, std::int64_t count) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      ctx.send<&Counter::on_add>(target, std::int64_t{1});
+    }
+  }
+  HAL_BEHAVIOR(Burst, &Burst::on_fire)
+};
+
+/// A migratable accumulator (the Wanderer of test_migration.cpp, trimmed).
+class Roamer : public ActorBase {
+ public:
+  void on_add(Context&, std::int64_t v) { sum_ += v; }
+  void on_hop(Context& ctx, NodeId target) { ctx.migrate_to(target); }
+  HAL_BEHAVIOR(Roamer, &Roamer::on_add, &Roamer::on_hop)
+
+  bool migratable() const override { return true; }
+  void pack_state(ByteWriter& w) const override { w.write(sum_); }
+  void unpack_state(ByteReader& r) override { sum_ = r.read<std::int64_t>(); }
+
+  std::int64_t sum() const { return sum_; }
+
+ private:
+  std::int64_t sum_ = 0;
+};
+
+/// Waits (virtual time under Sim) then fires adds at a possibly-moved target,
+/// forcing the forward + FIR-chase path.
+class LateAdder : public ActorBase {
+ public:
+  void on_fire(Context& ctx, MailAddress target, std::int64_t count,
+               std::int64_t delay_us) {
+    ctx.charge_ns(static_cast<SimTime>(delay_us) * 1000);
+    for (std::int64_t i = 0; i < count; ++i) {
+      ctx.send<&Roamer::on_add>(target, std::int64_t{1});
+    }
+  }
+  HAL_BEHAVIOR(LateAdder, &LateAdder::on_fire)
+};
+
+/// Which node currently hosts `addr` (walks forward pointers).
+NodeId host_of(Runtime& rt, const MailAddress& addr) {
+  NodeId node = addr.home;
+  for (NodeId hops = 0; hops <= rt.nodes(); ++hops) {
+    Kernel& k = rt.kernel(node);
+    const SlotId ds = k.names().resolve(addr);
+    if (!ds.valid()) return kInvalidNode;
+    const LocalityDescriptor& d = k.names().descriptor(ds);
+    if (d.local()) return node;
+    node = d.remote_node;
+  }
+  return kInvalidNode;
+}
+
+class FaultRuntimeTest : public ::testing::TestWithParam<MachineKind> {
+ protected:
+  RuntimeConfig cfg(NodeId nodes, const am::FaultConfig& faults) {
+    RuntimeConfig c;
+    c.nodes = nodes;
+    c.machine = GetParam();
+    c.faults = faults;
+    // Keep ThreadMachine recovery latency test-friendly (default is 2 ms).
+    if (c.faults.rto_ns == 0) c.faults.rto_ns = 500'000;
+    return c;
+  }
+  bool is_sim() const { return GetParam() == MachineKind::kSim; }
+};
+
+TEST_P(FaultRuntimeTest, BurstsStayExactUnderLossAndDuplication) {
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = 0.05;
+  fc.duplicate = 0.05;
+  fc.delay = 0.05;  // scrubbed under Thread
+  Runtime rt(cfg(4, fc));
+  rt.load<Counter>();
+  rt.load<Burst>();
+  const MailAddress counter = rt.spawn<Counter>(0);
+  for (NodeId n = 1; n < 4; ++n) {
+    rt.inject<&Burst::on_fire>(rt.spawn<Burst>(n), counter, std::int64_t{50});
+  }
+  rt.run();
+  const Counter* c = rt.find_behavior<Counter>(counter);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->sum(), 150);
+  EXPECT_EQ(rt.dead_letters(), 0u);
+  const StatBlock total = rt.report().total;
+  if (is_sim()) {
+    // Seeded Sim draws: the injector certainly fired at these rates, and the
+    // wire counters made it into the report.
+    EXPECT_GT(total.get(Stat::kLinkDropsInjected), 0u);
+    EXPECT_GT(total.get(Stat::kLinkRetransmits), 0u);
+    EXPECT_GT(total.get(Stat::kLinkAcksSent), 0u);
+  }
+}
+
+// Satellite regression: the FINAL quiescence-carrying message of the run is
+// lost on first transmission (drop_first hits the first data packet of every
+// channel — for a single-message workload that is the final message). The
+// run must complete with the exact result, not hang and not undercount.
+TEST_P(FaultRuntimeTest, FinalQuiescenceCarryingMessageLost) {
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop_first = 1;
+  Runtime rt(cfg(2, fc));
+  rt.load<Counter>();
+  rt.load<Burst>();
+  const MailAddress counter = rt.spawn<Counter>(1);
+  rt.inject<&Burst::on_fire>(rt.spawn<Burst>(0), counter, std::int64_t{1});
+  rt.run();
+  const Counter* c = rt.find_behavior<Counter>(counter);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->sum(), 1);
+  EXPECT_EQ(rt.dead_letters(), 0u);
+  EXPECT_GE(rt.report().total.get(Stat::kLinkRetransmits), 1u);
+}
+
+// ...and its mirror: the final message is duplicated. The sequence layer must
+// absorb the copy before the termination detector (or the actor) sees it.
+TEST_P(FaultRuntimeTest, FinalQuiescenceCarryingMessageDuplicated) {
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.duplicate = 1.0;
+  Runtime rt(cfg(2, fc));
+  rt.load<Counter>();
+  rt.load<Burst>();
+  const MailAddress counter = rt.spawn<Counter>(1);
+  rt.inject<&Burst::on_fire>(rt.spawn<Burst>(0), counter, std::int64_t{1});
+  rt.run();
+  const Counter* c = rt.find_behavior<Counter>(counter);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->sum(), 1);  // delivered once, not twice
+  EXPECT_EQ(rt.dead_letters(), 0u);
+  EXPECT_GE(rt.report().total.get(Stat::kLinkDupesSuppressed), 1u);
+}
+
+// Migration + FIR chase over a lossy wire: stale-descriptor forwards, park
+// requests, and FIR responses all ride the reliable link, so the chase's
+// monotone-epoch re-resolution stays sound under loss and duplication.
+TEST_P(FaultRuntimeTest, MigrationAndFirChaseSurviveFaults) {
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = 0.1;
+  fc.duplicate = 0.1;
+  Runtime rt(cfg(4, fc));
+  rt.load<Roamer>();
+  rt.load<LateAdder>();
+  const MailAddress w = rt.spawn<Roamer>(0);
+  rt.inject<&Roamer::on_hop>(w, NodeId{1});
+  rt.inject<&Roamer::on_hop>(w, NodeId{2});
+  rt.inject<&LateAdder::on_fire>(rt.spawn<LateAdder>(3), w, std::int64_t{10},
+                                 std::int64_t{10000});
+  rt.run();
+  const Roamer* obj = rt.find_behavior<Roamer>(w);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->sum(), 10);  // exactly-once despite chase + injected faults
+  EXPECT_EQ(host_of(rt, w), 2u);
+  EXPECT_EQ(rt.dead_letters(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, FaultRuntimeTest,
+                         ::testing::Values(MachineKind::kSim,
+                                           MachineKind::kThread),
+                         [](const auto& param_info) {
+                           return param_info.param == MachineKind::kSim
+                                      ? "Sim"
+                                      : "Thread";
+                         });
+
+// --- Byte-determinism of full reports across the fault matrix -----------------
+
+TEST(FaultReport, SimFibMatrixIsByteDeterministic) {
+  for (const double rate : {0.0, 0.01, 0.05, 0.10}) {
+    apps::FibParams params;
+    params.n = 16;
+    params.cutoff = 8;
+    params.nodes = 4;
+    params.machine = MachineKind::kSim;
+    params.faults.enabled = true;
+    params.faults.drop = rate;
+    params.faults.duplicate = rate / 2;
+    params.faults.delay = rate;
+    const apps::FibResult a = apps::run_fib(params);
+    const apps::FibResult b = apps::run_fib(params);
+    EXPECT_EQ(a.value, 987u) << "rate " << rate;
+    EXPECT_EQ(a.dead_letters, 0u) << "rate " << rate;
+    EXPECT_EQ(a.report.to_json(), b.report.to_json()) << "rate " << rate;
+    if (rate > 0.0) {
+      EXPECT_GT(a.stats.get(Stat::kLinkDropsInjected), 0u) << "rate " << rate;
+    }
+  }
+}
+
+// --- ThreadMachine loss soak (TSan CI target) ---------------------------------
+
+TEST(FaultSoak, ThreadRuntimeLossSoak) {
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = 0.05;
+  fc.duplicate = 0.05;
+  fc.rto_ns = 500'000;
+  RuntimeConfig c;
+  c.nodes = 4;
+  c.machine = MachineKind::kThread;
+  c.faults = fc;
+  Runtime rt(c);
+  rt.load<Counter>();
+  rt.load<Burst>();
+  const MailAddress counter = rt.spawn<Counter>(0);
+  for (NodeId n = 1; n < 4; ++n) {
+    rt.inject<&Burst::on_fire>(rt.spawn<Burst>(n), counter, std::int64_t{200});
+  }
+  rt.run();
+  const Counter* cnt = rt.find_behavior<Counter>(counter);
+  ASSERT_NE(cnt, nullptr);
+  EXPECT_EQ(cnt->sum(), 600);
+  EXPECT_EQ(rt.dead_letters(), 0u);
+}
+
+}  // namespace
+}  // namespace hal
