@@ -62,6 +62,8 @@ SimTime run_mode(bool alias_mode, std::uint64_t k,
                  obs::RunReport* report = nullptr) {
   RuntimeConfig cfg;
   cfg.nodes = 4;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   Runtime rt(cfg);
   rt.load<Dummy>();
   rt.load<Driver>();

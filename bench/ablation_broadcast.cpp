@@ -52,6 +52,8 @@ struct Result {
 Result run(bool collective, std::uint32_t members, std::int64_t rounds) {
   RuntimeConfig cfg;
   cfg.nodes = 4;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   cfg.collective_broadcast = collective;
   Runtime rt(cfg);
   rt.load<Cell>();

@@ -54,6 +54,8 @@ struct FanInResult {
 FanInResult fan_in(bool flow_control) {
   RuntimeConfig cfg;
   cfg.nodes = 5;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   cfg.flow_control = flow_control;
   Runtime rt(cfg);
   rt.load<Consumer>();
@@ -102,6 +104,8 @@ int main() {
   std::printf("%-18s %18s\n", "flow control", "time (ms)");
   for (const bool fc : {true, false}) {
     CholeskyParams p;
+    p.machine = hal::bench::env_machine(p.machine);
+    p.mn_workers = hal::bench::env_mn_workers();
     p.n = 256;
     p.nodes = 8;
     p.variant = CholVariant::kPipelined;

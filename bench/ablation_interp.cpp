@@ -45,6 +45,8 @@ SimTime run_cpp(std::int64_t m, NodeId target_node,
                 obs::RunReport* report = nullptr) {
   RuntimeConfig cfg;
   cfg.nodes = 2;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   Runtime rt(cfg);
   rt.load<CppCounter>();
   rt.load<CppDriver>();
@@ -59,6 +61,8 @@ SimTime run_cpp(std::int64_t m, NodeId target_node,
 SimTime run_interp(std::int64_t m, NodeId target_node) {
   RuntimeConfig cfg;
   cfg.nodes = 2;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   Runtime rt(cfg);
   auto program = lang::load_program(rt, R"(
     behavior Counter {

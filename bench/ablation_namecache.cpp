@@ -59,6 +59,8 @@ struct Result {
 Result run(bool cache, std::int64_t messages) {
   RuntimeConfig cfg;
   cfg.nodes = 2;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   cfg.name_cache = cache;
   Runtime rt(cfg);
   rt.load<Sink>();

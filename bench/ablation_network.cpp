@@ -33,6 +33,8 @@ int main() {
 
   {
     FibParams p;
+    p.machine = hal::bench::env_machine(p.machine);
+    p.mn_workers = hal::bench::env_mn_workers();
     p.n = 22;
     p.cutoff = 8;
     p.nodes = 8;
@@ -49,6 +51,8 @@ int main() {
   }
   {
     CholeskyParams p;
+    p.machine = hal::bench::env_machine(p.machine);
+    p.mn_workers = hal::bench::env_mn_workers();
     p.n = 128;
     p.nodes = 4;
     p.variant = CholVariant::kPipelined;
@@ -62,6 +66,8 @@ int main() {
   }
   {
     MatmulParams p;
+    p.machine = hal::bench::env_machine(p.machine);
+    p.mn_workers = hal::bench::env_mn_workers();
     p.n = 96;
     p.grid = 4;
     p.costs = hal::am::CostModel::cm5();

@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "obs/run_report.hpp"
+#include "runtime/config.hpp"
 
 namespace hal::bench {
 
@@ -53,6 +54,27 @@ inline unsigned env_unsigned(const char* name, unsigned fallback) {
     return fallback;
   }
   return value;
+}
+
+/// Machine selection for every bench binary: HAL_MACHINE=sim|thread|mn
+/// (parse_machine_kind's canonical names). Unknown values are rejected with
+/// a stderr warning and the benchmark's default machine is used — same
+/// contract as env_unsigned above.
+inline MachineKind env_machine(MachineKind fallback) {
+  const char* s = std::getenv("HAL_MACHINE");
+  if (s == nullptr) return fallback;
+  if (const auto kind = parse_machine_kind(s)) return *kind;
+  std::fprintf(stderr,
+               "warning: ignoring unknown HAL_MACHINE='%s' (expected "
+               "sim|thread|mn); using default '%s'\n",
+               s, std::string(to_string(fallback)).c_str());
+  return fallback;
+}
+
+/// MnMachine worker-pool size: HAL_MN_WORKERS=N (0 = auto, the default).
+/// Ignored unless the selected machine is mn.
+inline std::uint32_t env_mn_workers() {
+  return env_unsigned("HAL_MN_WORKERS", 0);
 }
 
 inline double ms(SimTime ns) { return static_cast<double>(ns) / 1e6; }

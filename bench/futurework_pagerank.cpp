@@ -21,6 +21,8 @@ int main() {
          "paper §9 — the evaluation the conclusions call for");
 
   PageRankParams params;
+  params.machine = hal::bench::env_machine(params.machine);
+  params.mn_workers = hal::bench::env_mn_workers();
   params.vertices = paper_scale() ? 8192 : 2048;
   params.edges_per_vertex = 8;
   params.rounds = 14;

@@ -117,6 +117,8 @@ template <typename SetupFn>
 StormOut run_storm(NodeId nodes, SetupFn&& setup) {
   RuntimeConfig cfg;
   cfg.nodes = nodes;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   Runtime rt(cfg);
   setup(rt);
   StormOut out;

@@ -29,6 +29,8 @@ int main() {
     CholeskyParams params;
     params.n = n;
     params.nodes = p;
+    params.machine = hal::bench::env_machine(params.machine);
+    params.mn_workers = hal::bench::env_mn_workers();
 
     auto run = [&](CholVariant v, ColMapping m) {
       params.variant = v;

@@ -31,6 +31,8 @@ class Target : public ActorBase {
 RuntimeConfig sim_cfg(NodeId nodes) {
   RuntimeConfig cfg;
   cfg.nodes = nodes;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   return cfg;
 }
 

@@ -46,6 +46,8 @@ class Caller : public ActorBase {
 RuntimeConfig sim_cfg(NodeId nodes) {
   RuntimeConfig cfg;
   cfg.nodes = nodes;
+  cfg.machine = hal::bench::env_machine(cfg.machine);
+  cfg.mn_workers = hal::bench::env_mn_workers();
   return cfg;
 }
 

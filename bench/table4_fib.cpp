@@ -95,6 +95,8 @@ int main() {
     params.n = n;
     params.cutoff = cutoff;
     params.nodes = p;
+    params.machine = hal::bench::env_machine(params.machine);
+    params.mn_workers = hal::bench::env_mn_workers();
     params.load_balancing = false;
     const FibResult without = run_fib(params);
     params.load_balancing = true;

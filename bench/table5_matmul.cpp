@@ -39,6 +39,8 @@ int main() {
       MatmulParams params;
       params.n = n;
       params.grid = q;
+      params.machine = hal::bench::env_machine(params.machine);
+      params.mn_workers = hal::bench::env_mn_workers();
       // Verify the smaller runs; trust the kernel for the big ones (the
       // verification cost is the host-side O(n³) reference multiply).
       params.verify = n <= 256;

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_*.json run report (schema halcyon.run_report.v3).
+"""Validate a BENCH_*.json run report (schema halcyon.run_report.v4).
 
 Checks, per file:
   - required top-level fields and the schema id
@@ -24,13 +24,14 @@ import json
 import sys
 
 # Schema versions this validator understands. A report carrying any other
-# id (e.g. a future v4 emitted by a newer runtime) must fail loudly here:
+# id (e.g. a future v5 emitted by a newer runtime) must fail loudly here:
 # silently "validating" fields whose meaning changed is worse than failing.
-KNOWN_SCHEMAS = {"halcyon.run_report.v3"}
+KNOWN_SCHEMAS = {"halcyon.run_report.v4"}
 TOP_FIELDS = [
     "schema",
     "machine",
     "nodes",
+    "workers",
     "seed",
     "makespan_ns",
     "dead_letters",
@@ -157,10 +158,14 @@ def check(path, min_populated, allow_leaks, max_dead_letters):
             f"(this validator understands: {', '.join(sorted(KNOWN_SCHEMAS))}); "
             "refusing to validate fields whose meaning may have changed",
         )
-    if d["machine"] not in ("sim", "thread"):
+    if d["machine"] not in ("sim", "thread", "mn"):
         return fail(path, f"unknown machine '{d['machine']}'")
     if d["nodes"] < 1:
         return fail(path, f"nodes = {d['nodes']}")
+    if d["workers"] < 1 or d["workers"] > d["nodes"]:
+        return fail(
+            path, f"workers = {d['workers']} outside [1, nodes={d['nodes']}]"
+        )
     if len(d["per_node_stats"]) != d["nodes"]:
         return fail(
             path,
@@ -196,7 +201,8 @@ def check(path, min_populated, allow_leaks, max_dead_letters):
 
     print(
         f"{path}: ok ({d['machine']}, {d['nodes']} nodes, "
-        f"makespan {d['makespan_ns']} ns, {populated} populated probes)"
+        f"{d['workers']} workers, makespan {d['makespan_ns']} ns, "
+        f"{populated} populated probes)"
     )
     return True
 

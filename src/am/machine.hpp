@@ -1,6 +1,6 @@
 // Abstract multicomputer: P nodes exchanging active-message packets.
 //
-// Two implementations share this interface (DESIGN.md §1):
+// Three implementations share this interface (DESIGN.md §1, docs/machines.md):
 //   * SimMachine    — deterministic discrete-event executor with per-node
 //                     virtual clocks and the CostModel; regenerates the
 //                     paper's CM-5 scaling and primitive-cost tables on a
@@ -8,7 +8,11 @@
 //   * ThreadMachine — one OS thread per node, real MPSC endpoint queues,
 //                     wall-clock time; demonstrates the runtime is genuinely
 //                     concurrent.
-// All kernel/protocol code above this interface is identical under both.
+//   * MnMachine     — M nodes multiplexed onto N worker threads with
+//                     work-stealing run queues; reaches node counts (1024+)
+//                     far past hardware parallelism.
+// All kernel/protocol code above this interface is identical under all
+// three; construction is centralized in make_machine (machine_factory.hpp).
 #pragma once
 
 #include <atomic>
@@ -104,6 +108,11 @@ class Machine {
   /// tokens outstanding) or until stop() is called.
   virtual void run() = 0;
 
+  /// Host-parallelism this machine runs on: 1 for the sequential simulator,
+  /// one per node for ThreadMachine, the worker-pool size for MnMachine.
+  /// Reported as RunReport::workers (the scaling-curve dimension).
+  virtual std::uint32_t worker_count() const noexcept { return 1; }
+
   /// Ask run() to return as soon as possible (callable from any thread).
   void stop() noexcept {
     stop_.store(true, std::memory_order_release);
@@ -173,6 +182,11 @@ class Machine {
   void for_each_link_payload(const std::function<void(const Bytes&)>& fn) const;
 
  protected:
+  // The shared node-stepping core (node_executor.hpp) demuxes arrivals and
+  // fires link timers on behalf of its machine; it needs the same access to
+  // clients and link endpoints the machine itself has.
+  friend class NodeExecutor;
+
   NodeClient& client(NodeId node) const {
     HAL_ASSERT(node < node_count() && clients_[node] != nullptr);
     return *clients_[node];

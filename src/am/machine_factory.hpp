@@ -1,0 +1,22 @@
+// Machine construction API: one factory for every MachineKind.
+//
+// Runtime (and any embedder) constructs its machine through make_machine
+// instead of naming concrete machine classes — adding a machine means a new
+// MachineKind, a case here, and a name in to_string/parse_machine_kind;
+// kernel, naming, bulk, link and protocol code never changes. See
+// docs/machines.md for the selection matrix.
+#pragma once
+
+#include <memory>
+
+#include "am/machine.hpp"
+#include "runtime/config.hpp"
+
+namespace hal::am {
+
+/// Build the machine `config` asks for: kind, node count, cost model, and
+/// kind-specific knobs (sim_event_limit, mn_workers). The config is assumed
+/// validated (Runtime validates before calling).
+std::unique_ptr<Machine> make_machine(const RuntimeConfig& config);
+
+}  // namespace hal::am

@@ -1,0 +1,426 @@
+#include "am/mn_machine.hpp"
+
+#include <bit>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/affinity.hpp"
+
+namespace hal::am {
+
+thread_local int MnMachine::tl_worker_ = -1;
+
+namespace {
+
+std::uint32_t clamp_workers(std::uint32_t requested, NodeId nodes) {
+  std::uint32_t w = requested;
+  if (w == 0) {
+    w = std::thread::hardware_concurrency();
+    if (w == 0) w = 2;  // hardware_concurrency may be unknown
+  }
+  if (w > nodes) w = nodes;
+  return w == 0 ? 1 : w;
+}
+
+}  // namespace
+
+MnMachine::MnMachine(NodeId nodes, CostModel costs, std::uint32_t workers)
+    : Machine(nodes, costs),
+      workers_n_(clamp_workers(workers, nodes)),
+      slots_(nodes),
+      exec_(*this, /*participants=*/clamp_workers(workers, nodes),
+            /*mailboxes=*/true),
+      epoch_(std::chrono::steady_clock::now()) {
+  for (NodeId n = 0; n < nodes; ++n) {
+    slots_[n].id = n;
+    slots_[n].home = n % workers_n_;
+  }
+  // Each node holds at most one run token machine-wide, so a deque sized to
+  // the node count can never overflow even if every token lands on one
+  // worker.
+  const std::size_t cap =
+      std::bit_ceil(static_cast<std::size_t>(nodes) + 1);
+  workers_.reserve(workers_n_);
+  for (std::uint32_t w = 0; w < workers_n_; ++w) {
+    workers_.push_back(std::make_unique<WorkerRec>(
+        w, cap, 0x6d6e5eedULL ^ (static_cast<std::uint64_t>(w) << 32)));
+  }
+}
+
+MnMachine::~MnMachine() = default;
+
+void MnMachine::configure_faults(const FaultConfig& cfg) {
+  FaultConfig scrubbed = cfg;
+  scrubbed.delay = 0.0;
+  Machine::configure_faults(scrubbed);
+  std::lock_guard lock(timers_mutex_);
+  timer_deadlines_.clear();
+}
+
+void MnMachine::send(Packet p) {
+  check_packet(p);
+  p.stamp = now(p.src);
+  if (links_active() && p.src != p.dst) {
+    // Faulty wire: sequence + file a retransmit master; the link calls back
+    // into link_transmit for every physical copy that survives the
+    // injector. Runs on the source node's execution stream (its current
+    // worker), so the endpoint needs no locking. The node's retransmission
+    // deadline is published at the end of its quantum (update_link_timer);
+    // bootstrap masters are covered by the priming sweep in run().
+    const NodeId src = p.src;
+    link(src).send_data(std::move(p), now(src), *this);
+    return;
+  }
+  post_and_schedule(std::move(p));
+}
+
+void MnMachine::link_transmit(Packet p,
+                              [[maybe_unused]] SimTime extra_delay_ns) {
+  HAL_DASSERT(extra_delay_ns == 0);  // delay scrubbed in configure_faults
+  post_and_schedule(std::move(p));
+}
+
+void MnMachine::link_deliver(Packet p) { client(p.dst).handle(std::move(p)); }
+
+void MnMachine::post_and_schedule(Packet p) {
+  // Mailbox push first (with its note_sent), then the run token: a consumer
+  // that acquires the token is guaranteed to see the packet.
+  const NodeId dst = p.dst;
+  exec_.post(std::move(p));
+  schedule(dst);
+}
+
+void MnMachine::charge(NodeId node, SimTime /*ns*/) {
+  HAL_ASSERT(node < node_count());
+}
+
+SimTime MnMachine::now(NodeId node) const {
+  HAL_ASSERT(node < node_count());
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void MnMachine::schedule(NodeId node) {
+  NodeSlot& s = slots_[node];
+  NodeState cur = s.state.load(std::memory_order_seq_cst);
+  for (;;) {
+    switch (cur) {
+      case NodeState::kIdle:
+        // Win the CAS → this thread publishes the node's one run token.
+        if (s.state.compare_exchange_weak(cur, NodeState::kQueued,
+                                          std::memory_order_seq_cst)) {
+          enqueue(s);
+          return;
+        }
+        break;  // cur reloaded; retry
+      case NodeState::kRunning:
+        // A quantum is in progress. Flag it: the runner's end-of-quantum
+        // CAS (Running→Idle) fails and requeues, so the unit we just made
+        // visible cannot be stranded in an unscheduled mailbox.
+        if (s.state.compare_exchange_weak(cur, NodeState::kRunningNotified,
+                                          std::memory_order_seq_cst)) {
+          return;
+        }
+        break;
+      case NodeState::kQueued:
+      case NodeState::kRunningNotified:
+        return;  // a token is already pending; its quantum will see our unit
+    }
+  }
+}
+
+void MnMachine::enqueue(NodeSlot& s) {
+  // Run tokens are epoch-counted units exactly like packets: note_sent
+  // before the token becomes visible, note_handled when its quantum ends
+  // (run_node). sent == handled therefore proves no token hides in any run
+  // queue — the detector's double scan stays exact at P >> N.
+  exec_.detector().note_sent();
+  const int self = tl_worker_;
+  if (self >= 0) {
+    // On-pool: keep the node where its traffic originates (locality);
+    // thieves rebalance from the top of the deque.
+    workers_[static_cast<std::size_t>(self)]->local.push_bottom(&s);
+    maybe_wake_thief();
+  } else {
+    // Off-pool (bootstrap sends before run()): hand the token to the node's
+    // home worker through its MPSC inject queue.
+    WorkerRec& rec = *workers_[s.home];
+    rec.inject.push(s.id);
+    wake_worker(rec);
+  }
+}
+
+void MnMachine::wake_worker(WorkerRec& rec) noexcept {
+  // Same seq_cst RMW handshake as ThreadMachine::raw_push (proof there):
+  // the push above this call is visible to the wait predicate, and a notify
+  // under the mutex cannot land between predicate check and park.
+  if (rec.sleeping.exchange(false, std::memory_order_seq_cst)) {
+    std::lock_guard lock(rec.mutex);
+    rec.cv.notify_one();
+  }
+}
+
+void MnMachine::maybe_wake_thief() noexcept {
+  // Advisory only: a parked worker is roused to come steal. Correctness
+  // never depends on this wake — a token in our own deque is consumed by us
+  // if nobody steals it — so a missed flag read costs throughput, nothing
+  // else.
+  if (sleepers_.load(std::memory_order_relaxed) == 0) return;
+  for (auto& rec : workers_) {
+    if (rec->sleeping.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard lock(rec->mutex);
+        ++rec->wake_gen;
+      }
+      rec->cv.notify_one();
+      return;
+    }
+  }
+}
+
+void MnMachine::wake_hook() noexcept {
+  // The global run state changed (stop, or the work hint went positive).
+  // Bump the wake epoch so idle nodes re-run on_idle (the balancer re-poll
+  // ThreadMachine gets by waking every node thread), then wake every worker.
+  wake_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  for (auto& rec : workers_) {
+    {
+      std::lock_guard lock(rec->mutex);
+      ++rec->wake_gen;
+    }
+    rec->cv.notify_all();
+  }
+}
+
+MnMachine::NodeSlot* MnMachine::next_runnable(WorkerRec& rec) {
+  // Tokens injected off-pool surface into the owner's deque first so they
+  // become stealable like everything else.
+  while (auto n = rec.inject.pop()) {
+    rec.local.push_bottom(&slots_[*n]);
+  }
+  if (NodeSlot* s = rec.local.pop_bottom()) return s;
+  if (workers_n_ > 1) {
+    // Random victims first (Kumar-style), then one deterministic sweep so
+    // an available token is never missed by bad luck alone.
+    for (std::uint32_t i = 0; i < workers_n_; ++i) {
+      const auto v =
+          static_cast<std::uint32_t>(rec.rng.below(workers_n_));
+      if (v == rec.index) continue;
+      if (NodeSlot* s = workers_[v]->local.steal_top()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return s;
+      }
+    }
+    for (std::uint32_t v = 0; v < workers_n_; ++v) {
+      if (v == rec.index) continue;
+      if (NodeSlot* s = workers_[v]->local.steal_top()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return s;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void MnMachine::run_node(NodeSlot& s) {
+  const NodeId n = s.id;
+  [[maybe_unused]] const NodeState prev =
+      s.state.exchange(NodeState::kRunning, std::memory_order_seq_cst);
+  HAL_DASSERT(prev == NodeState::kQueued);
+  bool more;
+  {
+    // This worker IS node n for the duration of the quantum (one execution
+    // stream per node); the seq_cst state RMWs carry the happens-before
+    // edge from the previous owner, so every per-node structure is handed
+    // over race-free.
+    check::ScopedExecutionNode scope(n);
+    NodeClient& c = client(n);
+    const std::size_t drained = exec_.drain(n, *this, kDrainQuantum);
+    const std::size_t stepped = exec_.step_quantum(n, kStepQuantum);
+    if (drained + stepped > 0) s.idle_notified = false;
+    more = !exec_.mailbox_empty(n) || c.has_work();
+    if (!more) {
+      // Busy→idle transition: run on_idle once per idle spell, and once
+      // more per wake epoch (work-hint edge) so the balancer re-polls.
+      const std::uint64_t e = wake_epoch_.load(std::memory_order_acquire);
+      if (!s.idle_notified || s.idle_epoch != e) {
+        s.idle_notified = true;
+        s.idle_epoch = e;
+        c.on_idle();  // may send packets (load-balancer poll)
+        more = !exec_.mailbox_empty(n) || c.has_work();
+      }
+    }
+    if (links_active()) {
+      // Fire this node's retransmission timer if due (on its own stream,
+      // like ThreadMachine's timed park), then publish the next deadline so
+      // idle workers know how long the machine still owes wire work.
+      const SimTime due = exec_.link_deadline(n);
+      if (due != 0 && due <= now(n)) {
+        exec_.fire_link_timer(n, now(n), *this);
+      }
+      update_link_timer(n);
+    }
+  }
+  if (more) {
+    s.state.store(NodeState::kQueued, std::memory_order_seq_cst);
+    enqueue(s);
+  } else {
+    NodeState expected = NodeState::kRunning;
+    if (!s.state.compare_exchange_strong(expected, NodeState::kIdle,
+                                         std::memory_order_seq_cst)) {
+      // A sender saw us running and flagged new work: requeue. (Between our
+      // mailbox check and this CAS the state can only move Running→
+      // RunningNotified, so the packet that raced our check is covered.)
+      HAL_DASSERT(expected == NodeState::kRunningNotified);
+      s.state.store(NodeState::kQueued, std::memory_order_seq_cst);
+      enqueue(s);
+    }
+  }
+  exec_.detector().note_handled();  // the run token this quantum consumed
+}
+
+void MnMachine::sweep_home_nodes(WorkerRec& rec) {
+  const bool prime = !rec.primed;
+  rec.primed = true;
+  // After priming, a sweep only matters while the work hint is positive
+  // (idle nodes poll only then — their on_idle is a no-op otherwise, so
+  // skipping the quanta entirely is behavior-equivalent and O(P) cheaper).
+  if (!prime && work_hint() <= 0) return;
+  for (NodeId n = rec.index; n < node_count();
+       n += static_cast<NodeId>(workers_n_)) {
+    if (prime ||
+        slots_[n].state.load(std::memory_order_seq_cst) == NodeState::kIdle) {
+      schedule(n);
+    }
+  }
+}
+
+void MnMachine::update_link_timer(NodeId node) {
+  const SimTime deadline = exec_.link_deadline(node);
+  std::lock_guard lock(timers_mutex_);
+  if (deadline == 0) {
+    timer_deadlines_.erase(node);
+  } else {
+    timer_deadlines_[node] = deadline;
+  }
+}
+
+SimTime MnMachine::earliest_link_deadline() {
+  if (!links_active()) return 0;
+  std::lock_guard lock(timers_mutex_);
+  SimTime best = 0;
+  for (const auto& [node, deadline] : timer_deadlines_) {
+    if (best == 0 || deadline < best) best = deadline;
+  }
+  return best;
+}
+
+void MnMachine::schedule_due_links() {
+  const SimTime t = now(0);
+  std::vector<NodeId> due;
+  {
+    std::lock_guard lock(timers_mutex_);
+    for (const auto& [node, deadline] : timer_deadlines_) {
+      if (deadline <= t) due.push_back(node);
+    }
+  }
+  // The nodes' own quanta fire the timers (and refresh the table entries);
+  // schedule() is idempotent while a token is pending.
+  for (const NodeId n : due) schedule(n);
+}
+
+void MnMachine::worker_loop(std::uint32_t w) {
+  WorkerRec& rec = *workers_[w];
+  tl_worker_ = static_cast<int>(w);
+  TerminationDetector& detector = exec_.detector();
+  while (!stop_requested()) {
+    const std::uint64_t epoch = wake_epoch_.load(std::memory_order_acquire);
+    if (epoch != rec.sweep_epoch) {
+      rec.sweep_epoch = epoch;
+      sweep_home_nodes(rec);
+    }
+    if (NodeSlot* s = next_runnable(rec)) {
+      run_node(*s);
+      continue;
+    }
+
+    // Idle transition. Snapshot the wake generation first: any wake that
+    // fires from here on is caught by the wait predicates below.
+    std::uint64_t gen;
+    {
+      std::lock_guard lock(rec.mutex);
+      gen = rec.wake_gen;
+    }
+    if (!rec.inject.empty()) continue;
+    if (wake_epoch_.load(std::memory_order_acquire) != rec.sweep_epoch) {
+      continue;  // a wake epoch landed after our sweep: re-sweep, don't park
+    }
+
+    const SimTime deadline = earliest_link_deadline();
+    if (deadline != 0) {
+      // Unacked retransmit masters somewhere: the machine still owes wire
+      // work, so this worker must NOT join the idle set — staying active
+      // keeps the detector's double scan returning kBusy, which is what
+      // makes loss unable to fake quiescence (ThreadMachine's unacked-
+      // master rule, lifted to the worker pool). Park with the earliest
+      // deadline; on timeout, reschedule the due nodes so their quanta fire
+      // the retransmission timers on their own streams.
+      sleepers_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::unique_lock lock(rec.mutex);
+        rec.sleeping.exchange(true, std::memory_order_seq_cst);
+        rec.cv.wait_until(lock, epoch_ + std::chrono::nanoseconds(deadline),
+                          [&] {
+                            return !rec.inject.empty() || stop_requested() ||
+                                   rec.wake_gen != gen;
+                          });
+        rec.sleeping.exchange(false, std::memory_order_seq_cst);
+      }
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      if (!stop_requested()) schedule_due_links();
+      continue;
+    }
+
+    // Leave the active set, then ask the detector whether the whole machine
+    // is done (the proof in termination.hpp: the last worker to deactivate
+    // is guaranteed a passing double scan). kBusy is always safe: a token
+    // or packet push wakes us through the inject/thief handshakes.
+    detector.deactivate(w);
+    switch (detector.check([this] { return tokens(); })) {
+      case TerminationDetector::Verdict::kQuiescent:
+        stop();  // wake_hook rouses every parked worker; they see stop
+        return;
+      case TerminationDetector::Verdict::kStalled:
+        HAL_PANIC(
+            "MnMachine: all workers idle with work tokens outstanding "
+            "(protocol deadlock?)");
+      case TerminationDetector::Verdict::kBusy:
+        break;
+    }
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock lock(rec.mutex);
+      rec.sleeping.exchange(true, std::memory_order_seq_cst);
+      rec.cv.wait(lock, [&] {
+        return !rec.inject.empty() || stop_requested() || rec.wake_gen != gen;
+      });
+      rec.sleeping.exchange(false, std::memory_order_seq_cst);
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    detector.activate(w);
+  }
+}
+
+void MnMachine::run() {
+  std::vector<std::jthread> threads;
+  threads.reserve(workers_n_);
+  for (std::uint32_t w = 0; w < workers_n_; ++w) {
+    threads.emplace_back([this, w] { worker_loop(w); });
+  }
+  // jthread joins on destruction; run() returns once every worker exits.
+}
+
+}  // namespace hal::am

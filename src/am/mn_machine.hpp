@@ -1,0 +1,180 @@
+// M:N machine: many nodes multiplexed onto a worker-thread pool.
+//
+// SimMachine is one sequential event queue and ThreadMachine burns one OS
+// thread per node, so neither reaches the P = 1024–16384 regime the
+// hypercube broadcast tree and FIR load balancer were designed for. This
+// machine runs M nodes on N workers (CAF-style actor multiplexing over the
+// hardware_manager M:N shape cited in ROADMAP item 1):
+//
+//   * Packets cross workers through the per-node MPSC mailboxes owned by the
+//     shared NodeExecutor — the same queues ThreadMachine uses.
+//   * A *runnable node* is a unit of scheduling. Each node carries an atomic
+//     state machine {Idle, Queued, Running, RunningNotified}; a sender whose
+//     CAS wins Idle→Queued publishes exactly one run token for the node, so
+//     a node is never in two run queues and never runs on two workers at
+//     once (the single-writer discipline every per-node structure — kernel,
+//     probes, buffer pool, link endpoint — relies on).
+//   * Run tokens live in per-worker Chase–Lev deques (common/ws_deque.hpp):
+//     the owning worker pushes and pops at the bottom, idle workers steal
+//     from the top. Tokens published off-pool (bootstrap sends before run())
+//     go through a per-worker MPSC inject queue to the node's home worker.
+//   * A token runs as a bounded quantum: drain the mailbox through the link
+//     demux, run NodeClient::step up to a budget, fire due link
+//     retransmission timers, then requeue if work remains — round-robin
+//     fairness among runnable nodes at P >> N.
+//   * Termination reuses the TerminationDetector double scan with the N
+//     workers as participants. The sent/handled epochs count *both* physical
+//     packets and run tokens, so sent == handled proves no packet hides in
+//     any mailbox AND no runnable node hides in any queue; in-progress
+//     quanta are covered by the running worker being active.
+//   * Under fault injection, nodes holding unacked retransmit masters
+//     publish their next deadline into a shared timer table; a worker that
+//     would otherwise deactivate instead stays *active* and parks with that
+//     deadline, mirroring ThreadMachine's rule that pending wire work must
+//     keep the machine non-quiescent (loss cannot fake termination).
+//
+// Selection: RuntimeConfig{.machine = MachineKind::kMn, .mn_workers = N}
+// through make_machine, or HAL_MACHINE=mn / HAL_MN_WORKERS=N in the bench
+// harness. See docs/machines.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "am/machine.hpp"
+#include "am/node_executor.hpp"
+#include "common/mpsc_queue.hpp"
+#include "common/rng.hpp"
+#include "common/ws_deque.hpp"
+
+namespace hal::am {
+
+class MnMachine final : public Machine, private LinkSink {
+ public:
+  /// `workers` = 0 picks min(hardware threads, nodes); any value is capped
+  /// at the node count.
+  MnMachine(NodeId nodes, CostModel costs, std::uint32_t workers = 0);
+  ~MnMachine() override;
+
+  void send(Packet p) override;
+  void charge(NodeId node, SimTime ns) override;  // no-op: time is real
+  SimTime now(NodeId node) const override;
+  void run() override;
+  std::uint32_t worker_count() const noexcept override { return workers_n_; }
+  /// Delay injection is Sim-only (real queues already reorder): scrubbed,
+  /// exactly as on ThreadMachine.
+  void configure_faults(const FaultConfig& cfg) override;
+
+  /// Epoch counters (stress tests, stats). These count packets *and* run
+  /// tokens — see the termination note above.
+  std::uint64_t units_sent() const noexcept { return exec_.detector().sent(); }
+  std::uint64_t units_handled() const noexcept {
+    return exec_.detector().handled();
+  }
+  /// Run tokens taken from another worker's deque (scheduling diagnostics).
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void wake_hook() noexcept override;
+
+ private:
+  enum class NodeState : std::uint8_t {
+    kIdle,             ///< no token anywhere; next sender publishes one
+    kQueued,           ///< token in some run queue, awaiting a worker
+    kRunning,          ///< a worker is executing a quantum
+    kRunningNotified,  ///< running, and work arrived: runner must requeue
+  };
+
+  /// Per-node scheduling state. The atomic `state` is the cross-thread
+  /// handoff point; the plain fields are owned by whichever worker holds the
+  /// node's run token (the seq_cst RMWs on `state` carry the happens-before
+  /// edge between successive owners).
+  struct alignas(64) NodeSlot {
+    std::atomic<NodeState> state{NodeState::kIdle};
+    NodeId id = 0;
+    std::uint32_t home = 0;       // home worker for off-pool injection
+    bool idle_notified = false;   // on_idle already ran for this idle spell
+    std::uint64_t idle_epoch = 0; // wake epoch that on_idle last observed
+  };
+
+  struct WorkerRec {
+    explicit WorkerRec(std::uint32_t index_, std::size_t deque_capacity,
+                       std::uint64_t rng_seed)
+        : index(index_), local(deque_capacity), rng(rng_seed) {}
+
+    const std::uint32_t index;
+    WsDeque<NodeSlot> local;      // run tokens; owner bottom, thieves top
+    MpscQueue<NodeId> inject;     // off-pool token handoff (bootstrap)
+    Xoshiro256 rng;               // steal-victim selection
+    std::uint64_t sweep_epoch = ~std::uint64_t{0};  // forces the first sweep
+    bool primed = false;          // first sweep schedules every home node
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::uint64_t wake_gen = 0;   // guarded by mutex; bumped by wake_hook
+    std::atomic<bool> sleeping{false};  // ThreadMachine's RMW handshake
+  };
+
+  void worker_loop(std::uint32_t w);
+  /// Execute one quantum for the node whose token we hold.
+  void run_node(NodeSlot& slot);
+  /// A unit of work became visible on `node`: publish a run token if none
+  /// is pending (Idle→Queued), or flag the current quantum to requeue.
+  void schedule(NodeId node);
+  /// Publish `slot`'s run token (state already Queued): count the token in
+  /// the sent epoch, then push it where the calling thread may.
+  void enqueue(NodeSlot& slot);
+  /// Next token for worker `rec`: inject queue, own deque, then stealing.
+  NodeSlot* next_runnable(WorkerRec& rec);
+  void post_and_schedule(Packet p);
+  void wake_worker(WorkerRec& rec) noexcept;
+  /// Best-effort: rouse one parked worker to come steal (pure throughput —
+  /// correctness never depends on a thief wake).
+  void maybe_wake_thief() noexcept;
+  /// Schedule every home node of `rec` that should re-observe global state:
+  /// all of them on the priming pass, idle ones on later wake epochs.
+  void sweep_home_nodes(WorkerRec& rec);
+  /// Publish/erase `node`'s entry in the shared link-timer table.
+  void update_link_timer(NodeId node);
+  SimTime earliest_link_deadline();
+  /// Schedule every node whose retransmission deadline has passed.
+  void schedule_due_links();
+
+  // LinkSink (fault plane).
+  void link_transmit(Packet p, SimTime extra_delay_ns) override;
+  void link_deliver(Packet p) override;
+
+  std::uint32_t workers_n_;
+  std::vector<NodeSlot> slots_;
+  std::vector<std::unique_ptr<WorkerRec>> workers_;
+  NodeExecutor exec_;  // mailboxes, epochs, demux (shared node-stepping core)
+  std::chrono::steady_clock::time_point epoch_;
+  // Bumped by wake_hook: idle nodes re-run on_idle once per epoch so the
+  // load balancer re-polls when the work hint turns positive (the M:N
+  // analogue of ThreadMachine waking every node thread).
+  std::atomic<std::uint64_t> wake_epoch_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint32_t> sleepers_{0};  // gate for maybe_wake_thief
+  // Link retransmission deadlines of nodes with unacked masters. Guarded by
+  // timers_mutex_; touched only off the message fast path (end of quantum
+  // under faults, worker idle transitions).
+  std::mutex timers_mutex_;
+  std::map<NodeId, SimTime> timer_deadlines_;
+
+  static thread_local int tl_worker_;  // index into workers_, -1 off-pool
+
+  // Quantum budgets: big enough to amortize token churn, small enough that
+  // a flooded node cannot starve its worker's other nodes.
+  static constexpr std::size_t kDrainQuantum = 64;
+  static constexpr std::size_t kStepQuantum = 64;
+};
+
+}  // namespace hal::am

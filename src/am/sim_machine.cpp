@@ -186,15 +186,10 @@ void SimMachine::run() {
         handler_time_ = start;
         charge(n, costs().handler_entry_ns);
         idle_notified_[n] = false;
-        if (links_active() &&
-            (e.packet.link_seq != 0 || e.packet.link_ack)) {
-          // Physical arrival on the faulty wire: the endpoint dedupes,
-          // reorders into sequence, acks, and calls link_deliver for each
-          // packet that becomes deliverable (all within this handler slot).
-          link(n).receive(std::move(e.packet), *this);
-        } else {
-          client(n).handle(std::move(e.packet));
-        }
+        // Shared demux (node_executor.hpp): faulty-wire packets dedupe/
+        // reorder/ack in the endpoint and reach the client via link_deliver,
+        // all within this handler slot; direct packets go straight through.
+        exec_.dispatch(n, std::move(e.packet), *this);
         const SimTime stolen = handler_time_ - start;
         handler_tail_[n] = handler_time_;
         in_handler_ = false;
@@ -217,7 +212,7 @@ void SimMachine::run() {
         link_timer_pending_[n] = false;
         clock_[n] = std::max(clock_[n], e.time);
         if (links_active()) {
-          link(n).on_timer(current_time(n), *this);
+          exec_.fire_link_timer(n, current_time(n), *this);
           schedule_link_timer(n);
         }
         break;

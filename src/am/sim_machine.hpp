@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "am/machine.hpp"
+#include "am/node_executor.hpp"
 
 namespace hal::am {
 
@@ -89,6 +90,10 @@ class SimMachine final : public Machine, private LinkSink {
   /// A few virtual round trips on the configured cost model.
   SimTime default_rto() const noexcept override;
 
+  // Shared node-stepping core, demux/timer entry points only: packets live
+  // in the event queue below (no mailboxes) and quiescence is queue
+  // exhaustion (no detector participants).
+  NodeExecutor exec_{*this, 0, /*mailboxes=*/false};
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<SimTime> clock_;         // method/compute stream
   std::vector<SimTime> handler_tail_;  // handler-stream serialization point

@@ -8,7 +8,7 @@ namespace hal::am {
 
 ThreadMachine::ThreadMachine(NodeId nodes, CostModel costs)
     : Machine(nodes, costs),
-      detector_(nodes),
+      exec_(*this, nodes, /*mailboxes=*/true),
       epoch_(std::chrono::steady_clock::now()) {
   nodes_.reserve(nodes);
   for (NodeId n = 0; n < nodes; ++n) {
@@ -51,11 +51,9 @@ void ThreadMachine::link_deliver(Packet p) {
 
 void ThreadMachine::raw_push(Packet p) {
   NodeRec& dst = *nodes_[p.dst];
-  // Epoch order matters for termination detection: the send must be counted
-  // before the packet becomes visible, so a checker that reads
-  // sent == handled knows no packet is hiding in a queue.
-  detector_.note_sent();
-  dst.queue.push(std::move(p));
+  // The executor counts the send epoch before the push (termination
+  // accounting); the wakeup below must come after the push.
+  exec_.post(std::move(p));
   // Wakeup handshake. Every access to `sleeping` (here and in node_loop) is
   // a seq_cst read-modify-write, so they form a single modification-order
   // chain in which each RMW reads the write immediately before it and every
@@ -112,20 +110,11 @@ void ThreadMachine::node_loop(NodeId node) {
 
   while (!stop_requested()) {
     bool did_work = false;
-    while (auto p = rec.queue.pop()) {
-      if (links_active() && (p->link_seq != 0 || p->link_ack)) {
-        // Physical arrival on the faulty wire: dedupe/reorder/ack in the
-        // link layer; only in-order packets reach the client (and thus any
-        // layer that counts deliveries). The handled epoch below counts
-        // the *physical* packet regardless — symmetric with raw_push.
-        link(node).receive(std::move(*p), *this);
-      } else {
-        c.handle(std::move(*p));
-      }
-      detector_.note_handled();
-      did_work = true;
-    }
-    if (c.step()) did_work = true;
+    // Drain the mailbox through the shared demux: link-layer packets are
+    // deduped/reordered/acked in the endpoint, everything else reaches the
+    // client directly; each physical packet is counted in the handled epoch.
+    if (exec_.drain(node, *this) > 0) did_work = true;
+    if (exec_.step_quantum(node, 1) > 0) did_work = true;
     if (did_work) continue;
 
     // Idle transition. Snapshot the wake generation first: a work-hint or
@@ -137,28 +126,28 @@ void ThreadMachine::node_loop(NodeId node) {
       gen = rec.wake_gen;
     }
     c.on_idle();  // may send packets (load-balancer poll)
-    if (!rec.queue.empty() || c.has_work()) continue;  // re-drain
+    if (!exec_.mailbox_empty(node) || c.has_work()) continue;  // re-drain
 
-    if (links_active() && link(node).has_unacked()) {
+    if (exec_.has_unacked(node)) {
       // Unacked masters: this node still owes wire work (a drop may need
       // retransmitting), so it must NOT join the idle set — staying active
       // keeps the detector's double scan returning kBusy, which is what
       // makes loss unable to fake quiescence. Park with a deadline instead
       // of deactivating; a timeout fires the retransmission timer on this
       // node's own thread (endpoint state stays single-threaded).
-      const SimTime deadline = link(node).next_deadline();
+      const SimTime deadline = exec_.link_deadline(node);
       {
         std::unique_lock lock(rec.mutex);
         rec.sleeping.exchange(true, std::memory_order_seq_cst);
         rec.cv.wait_until(
             lock, epoch_ + std::chrono::nanoseconds(deadline), [&] {
-              return !rec.queue.empty() || stop_requested() ||
+              return !exec_.mailbox_empty(node) || stop_requested() ||
                      rec.wake_gen != gen;
             });
         rec.sleeping.exchange(false, std::memory_order_seq_cst);
       }
-      if (!stop_requested() && rec.queue.empty()) {
-        link(node).on_timer(now(node), *this);
+      if (!stop_requested() && exec_.mailbox_empty(node)) {
+        exec_.fire_link_timer(node, now(node), *this);
       }
       continue;  // re-drain (an ack may have landed), then re-idle
     }
@@ -169,8 +158,9 @@ void ThreadMachine::node_loop(NodeId node) {
     // quiescence. A kBusy verdict is always safe: some packet, active node,
     // or token will wake us (or already queued into us — the predicate
     // re-checks under the mutex).
-    detector_.deactivate(node);
-    switch (detector_.check([this] { return tokens(); })) {
+    TerminationDetector& detector = exec_.detector();
+    detector.deactivate(node);
+    switch (detector.check([this] { return tokens(); })) {
       case TerminationDetector::Verdict::kQuiescent:
         stop();  // wake_hook() rouses every sleeping node; they see stop
         return;
@@ -193,11 +183,12 @@ void ThreadMachine::node_loop(NodeId node) {
       // sender skipped the notify.
       rec.sleeping.exchange(true, std::memory_order_seq_cst);
       rec.cv.wait(lock, [&] {
-        return !rec.queue.empty() || stop_requested() || rec.wake_gen != gen;
+        return !exec_.mailbox_empty(node) || stop_requested() ||
+               rec.wake_gen != gen;
       });
       rec.sleeping.exchange(false, std::memory_order_seq_cst);
     }
-    detector_.activate(node);
+    detector.activate(node);
     // Loop around: drain the queue, or re-run the idle poll if this was a
     // generation wake (work appeared elsewhere — the balancer may want to
     // steal some of it).

@@ -32,8 +32,7 @@
 #include <vector>
 
 #include "am/machine.hpp"
-#include "common/mpsc_queue.hpp"
-#include "common/termination.hpp"
+#include "am/node_executor.hpp"
 
 namespace hal::am {
 
@@ -46,22 +45,29 @@ class ThreadMachine final : public Machine, private LinkSink {
   void charge(NodeId node, SimTime ns) override;  // no-op: time is real
   SimTime now(NodeId node) const override;
   void run() override;
+  std::uint32_t worker_count() const noexcept override {
+    return node_count();  // one OS thread per node
+  }
   /// Delay injection is Sim-only (real queues already reorder, and a wall
   /// clock sleep would only slow the soak): the knob is scrubbed here.
   void configure_faults(const FaultConfig& cfg) override;
 
   /// Packets injected / fully handled so far (stress tests, stats).
-  std::uint64_t packets_sent() const noexcept { return detector_.sent(); }
+  std::uint64_t packets_sent() const noexcept {
+    return exec_.detector().sent();
+  }
   std::uint64_t packets_handled() const noexcept {
-    return detector_.handled();
+    return exec_.detector().handled();
   }
 
  protected:
   void wake_hook() noexcept override;
 
  private:
+  // The packet mailboxes themselves live in the NodeExecutor; this record
+  // holds only the scheduling state — the parking lot each node thread
+  // sleeps in and the wakeup handshake flag.
   struct NodeRec {
-    MpscQueue<Packet> queue;
     std::mutex mutex;
     std::condition_variable cv;
     std::uint64_t wake_gen = 0;  // guarded by mutex; bumped by wake_hook
@@ -87,7 +93,7 @@ class ThreadMachine final : public Machine, private LinkSink {
   void link_deliver(Packet p) override;
 
   std::vector<std::unique_ptr<NodeRec>> nodes_;
-  TerminationDetector detector_;
+  NodeExecutor exec_;  // mailboxes, epochs, demux (shared node-stepping core)
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -289,6 +289,7 @@ CholeskyResult run_cholesky(const CholeskyParams& params) {
   RuntimeConfig cfg;
   cfg.nodes = params.nodes;
   cfg.machine = params.machine;
+  cfg.mn_workers = params.mn_workers;
   cfg.costs = params.costs;
   cfg.seed = params.seed;
   cfg.flow_control = params.flow_control;

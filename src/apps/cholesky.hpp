@@ -43,6 +43,8 @@ struct CholeskyParams {
   CholVariant variant = CholVariant::kPipelined;
   ColMapping mapping = ColMapping::kCyclic;
   MachineKind machine = MachineKind::kSim;
+  /// MnMachine worker-pool size (0 = auto); ignored by the other machines.
+  std::uint32_t mn_workers = 0;
   am::CostModel costs = am::CostModel::cm5();
   std::uint64_t seed = 0xc401;
   bool flow_control = true;  // ablation B toggles this

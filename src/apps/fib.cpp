@@ -88,6 +88,7 @@ FibResult run_fib(const FibParams& params) {
   RuntimeConfig cfg;
   cfg.nodes = params.nodes;
   cfg.machine = params.machine;
+  cfg.mn_workers = params.mn_workers;
   cfg.load_balancing = params.load_balancing;
   cfg.costs = params.costs;
   cfg.seed = params.seed;

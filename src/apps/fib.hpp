@@ -29,6 +29,8 @@ struct FibParams {
   NodeId nodes = 4;
   bool load_balancing = true;
   MachineKind machine = MachineKind::kSim;
+  /// MnMachine worker-pool size (0 = auto); ignored by the other machines.
+  std::uint32_t mn_workers = 0;
   am::CostModel costs = am::CostModel::cm5();
   std::uint64_t seed = 0x715b;
   /// Wire fault injection (bench/ablation_faults: throughput vs loss rate).

@@ -167,6 +167,7 @@ MatmulResult run_matmul(const MatmulParams& params) {
   RuntimeConfig cfg;
   cfg.nodes = q * q;
   cfg.machine = params.machine;
+  cfg.mn_workers = params.mn_workers;
   cfg.costs = params.costs;
   cfg.seed = params.seed;
   Runtime rt(cfg);

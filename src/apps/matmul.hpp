@@ -22,6 +22,8 @@ struct MatmulParams {
   std::size_t n = 64;       ///< matrix dimension (divisible by grid)
   std::uint32_t grid = 2;   ///< q: q×q processor grid on q² nodes
   MachineKind machine = MachineKind::kSim;
+  /// MnMachine worker-pool size (0 = auto); ignored by the other machines.
+  std::uint32_t mn_workers = 0;
   am::CostModel costs = am::CostModel::cm5();
   std::uint64_t seed = 0x3a7;
   bool verify = true;

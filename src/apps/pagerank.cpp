@@ -462,6 +462,7 @@ PageRankResult run_pagerank(const PageRankParams& params) {
   RuntimeConfig cfg;
   cfg.nodes = params.nodes;
   cfg.machine = params.machine;
+  cfg.mn_workers = params.mn_workers;
   cfg.costs = params.costs;
   cfg.seed = params.seed;
   Runtime rt(cfg);

@@ -35,6 +35,8 @@ struct PageRankParams {
   /// Rebalance by migrating heavy partitions after this round (0 = never).
   std::uint32_t rebalance_after_round = 0;
   MachineKind machine = MachineKind::kSim;
+  /// MnMachine worker-pool size (0 = auto); ignored by the other machines.
+  std::uint32_t mn_workers = 0;
   am::CostModel costs = am::CostModel::cm5();
   std::uint64_t seed = 0x9a9e;
   bool verify = true;

@@ -1,0 +1,89 @@
+// Chase–Lev work-stealing deque.
+//
+// Owner thread pushes and pops at the bottom; any other thread steals from
+// the top. Used by the Cilk-style baseline pool (baseline/worksteal.hpp) and
+// by the MnMachine's per-worker run queues of runnable nodes
+// (am/mn_machine.hpp) — one implementation, one memory-model argument.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hal {
+
+/// Chase–Lev work-stealing deque of raw pointers.
+/// Owner thread: push_bottom / pop_bottom. Other threads: steal_top.
+template <typename T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t capacity_pow2 = 1u << 13)
+      : buffer_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    HAL_ASSERT((capacity_pow2 & mask_) == 0);  // power of two
+  }
+
+  void push_bottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    HAL_ASSERT(b - t < static_cast<std::int64_t>(buffer_.size()));  // full
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  T* pop_bottom() {
+    // The classic formulation puts a seq_cst fence between the bottom store
+    // and the top load; seq_cst accesses on both are equivalent here (the
+    // store/load pair lands in the single total order S, so the symmetric
+    // store-buffering race with steal_top is excluded) and, unlike fences,
+    // are modeled by ThreadSanitizer.
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t != b) return item;  // more than one element: safe
+    // Single element: race with thieves via CAS on top.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      item = nullptr;  // lost to a thief
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return item;
+  }
+
+  T* steal_top() {
+    // seq_cst accesses in place of the classic load/fence/load — see
+    // pop_bottom for why.
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;  // empty
+    T* item = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return item;
+  }
+
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<std::atomic<T*>> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace hal

@@ -77,6 +77,8 @@ std::string RunReport::to_json() const {
   out += machine;
   out += "\",\"nodes\":";
   append_u64(out, nodes);
+  out += ",\"workers\":";
+  append_u64(out, workers);
   out += ",\"seed\":";
   append_u64(out, seed);
   out += ",\"makespan_ns\":";

@@ -21,7 +21,9 @@ namespace hal::obs {
 /// Schema identifier embedded in the JSON (bump on layout changes).
 /// v3: adds "dead_letter_causes" (per-cause breakdown summing to
 /// "dead_letters") and the link/fault stat counters + redelivery probe.
-inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v3";
+/// v4: adds "workers" (execution contexts the machine used: 1 for sim,
+/// node count for thread, pool size N for mn) and the "mn" machine kind.
+inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v4";
 
 /// Payload-buffer lifecycle audit, filled from the hal::check ledger. All
 /// fields are zero in HAL_CHECK=0 builds (the ledger compiles away).
@@ -37,8 +39,12 @@ struct BufferAudit {
 };
 
 struct RunReport {
-  std::string machine;  ///< "sim" or "thread"
+  std::string machine;  ///< "sim", "thread" or "mn" (to_string(MachineKind))
   std::uint64_t nodes = 0;
+  /// Execution contexts the machine scheduled nodes onto (worker_count()):
+  /// 1 for sim, nodes for thread, the worker-pool size for mn. The scaling
+  /// sweep in bench/mn_scaling reads its x-axis from here.
+  std::uint64_t workers = 1;
   std::uint64_t seed = 0;
   std::uint64_t makespan_ns = 0;
   std::uint64_t dead_letters = 0;
@@ -53,10 +59,10 @@ struct RunReport {
   ProbeRecorder probes;                   ///< merged across nodes
   std::vector<ProbeRecorder> per_node_probes;  ///< index = NodeId
 
-  /// Deterministic JSON serialization (schema halcyon.run_report.v3):
+  /// Deterministic JSON serialization (schema halcyon.run_report.v4):
   /// {
-  ///   "schema": "...", "machine": "sim", "nodes": N, "seed": S,
-  ///   "makespan_ns": M, "dead_letters": D,
+  ///   "schema": "...", "machine": "sim", "nodes": N, "workers": W,
+  ///   "seed": S, "makespan_ns": M, "dead_letters": D,
   ///   "dead_letter_causes": {"unknown_actor": u, "stale_descriptor": s,
   ///                          "shutdown_drain": d},
   ///   "buffers": {"acquired": A, "retired": R, "adopted": a, "escaped": e,

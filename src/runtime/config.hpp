@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "am/cost_model.hpp"
 #include "am/fault.hpp"
@@ -15,7 +16,32 @@ namespace hal {
 enum class MachineKind : std::uint8_t {
   kSim,     ///< deterministic virtual-time simulator (default)
   kThread,  ///< one OS thread per node
+  kMn,      ///< M nodes multiplexed onto N worker threads (work-stealing)
 };
+
+/// Canonical machine names: the strings RunReport::machine carries, the
+/// HAL_MACHINE env knob parses, and docs/machines.md documents. Keep the two
+/// functions below inverse to each other.
+constexpr std::string_view to_string(MachineKind kind) noexcept {
+  switch (kind) {
+    case MachineKind::kSim:
+      return "sim";
+    case MachineKind::kThread:
+      return "thread";
+    case MachineKind::kMn:
+      return "mn";
+  }
+  return "unknown";
+}
+
+/// Parse a machine name ("sim" | "thread" | "mn"); nullopt on anything else.
+constexpr std::optional<MachineKind> parse_machine_kind(
+    std::string_view name) noexcept {
+  if (name == "sim") return MachineKind::kSim;
+  if (name == "thread") return MachineKind::kThread;
+  if (name == "mn") return MachineKind::kMn;
+  return std::nullopt;
+}
 
 /// Why a RuntimeConfig was rejected (ConfigError::code()).
 enum class ConfigErrorCode : std::uint8_t {
@@ -77,6 +103,11 @@ struct RuntimeConfig {
 
   /// SimMachine safety valve (0 = unlimited events).
   std::uint64_t sim_event_limit = 0;
+
+  /// MnMachine worker-pool size; 0 picks min(hardware threads, nodes). The
+  /// machine caps any value at the node count — more workers than nodes
+  /// cannot be scheduled.
+  std::uint32_t mn_workers = 0;
 
   /// Record protocol-level events for Chrome-trace export
   /// (Runtime::write_trace). Deterministic under SimMachine.

@@ -5,27 +5,14 @@
 #include <unordered_set>
 #include <utility>
 
-#include "am/sim_machine.hpp"
-#include "am/thread_machine.hpp"
+#include "am/machine_factory.hpp"
+#include "am/sim_machine.hpp"  // makespan_impl downcast (kSim only)
 
 namespace hal {
 
 Runtime::Runtime(RuntimeConfig config) : config_(config) {
   if (auto err = config_.validate()) throw *err;
-  switch (config_.machine) {
-    case MachineKind::kSim: {
-      auto sim = std::make_unique<am::SimMachine>(config_.nodes, config_.costs);
-      if (config_.sim_event_limit != 0) {
-        sim->set_event_limit(config_.sim_event_limit);
-      }
-      machine_ = std::move(sim);
-      break;
-    }
-    case MachineKind::kThread:
-      machine_ =
-          std::make_unique<am::ThreadMachine>(config_.nodes, config_.costs);
-      break;
-  }
+  machine_ = am::make_machine(config_);
   kernels_.reserve(config_.nodes);
   for (NodeId n = 0; n < config_.nodes; ++n) {
     kernels_.push_back(
@@ -93,8 +80,9 @@ StatBlock Runtime::total_stats_impl() const {
 
 obs::RunReport Runtime::report() {
   obs::RunReport r;
-  r.machine = config_.machine == MachineKind::kSim ? "sim" : "thread";
+  r.machine = std::string(to_string(config_.machine));
   r.nodes = config_.nodes;
+  r.workers = machine_->worker_count();
   r.seed = config_.seed;
   r.makespan_ns = makespan_impl();
   r.dead_letters = dead_letters();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "am/bulk.hpp"
+#include "am/mn_machine.hpp"
 #include "am/sim_machine.hpp"
 #include "am/thread_machine.hpp"
 #include "apps/fib.hpp"
@@ -203,6 +204,30 @@ TEST(FaultLink, ThreadLossAndDuplicationExactlyOnce) {
   }
   h.machine.run();
   expect_exactly_once_in_order(h.clients[1], kCount);
+}
+
+// Same soak on the M:N pool, with many more endpoints than workers: link
+// endpoints migrate across workers with their nodes, and the shared timer
+// table (not a per-node thread) keeps retransmission alive.
+TEST(FaultLink, MnLossAndDuplicationExactlyOnceAtLargeP) {
+  LinkHarness<am::MnMachine> h(64);
+  am::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop = 0.1;
+  fc.duplicate = 0.1;
+  fc.seed = 11;
+  fc.rto_ns = 500'000;
+  h.machine.configure_faults(fc);
+  constexpr std::uint64_t kCount = 50;
+  for (NodeId dst = 1; dst < 64; ++dst) {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      h.machine.send(make_packet(0, dst, i));
+    }
+  }
+  h.machine.run();
+  for (NodeId dst = 1; dst < 64; ++dst) {
+    expect_exactly_once_in_order(h.clients[dst], kCount);
+  }
 }
 
 // --- FaultBulk: the credit window audited under the injector ------------------
@@ -468,11 +493,18 @@ TEST_P(FaultRuntimeTest, MigrationAndFirChaseSurviveFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Machines, FaultRuntimeTest,
                          ::testing::Values(MachineKind::kSim,
-                                           MachineKind::kThread),
+                                           MachineKind::kThread,
+                                           MachineKind::kMn),
                          [](const auto& param_info) {
-                           return param_info.param == MachineKind::kSim
-                                      ? "Sim"
-                                      : "Thread";
+                           switch (param_info.param) {
+                             case MachineKind::kSim:
+                               return "Sim";
+                             case MachineKind::kThread:
+                               return "Thread";
+                             case MachineKind::kMn:
+                               return "Mn";
+                           }
+                           return "Unknown";
                          });
 
 // --- Byte-determinism of full reports across the fault matrix -----------------

@@ -44,7 +44,10 @@ bool path_contains(const FunctionDecl& fn, std::string_view needle) {
 }
 
 bool boundary_function(const FunctionDecl& fn) {
-  if (in_set(fn.class_name, {"ThreadMachine", "SimMachine"})) return true;
+  if (in_set(fn.class_name,
+             {"ThreadMachine", "SimMachine", "MnMachine", "NodeExecutor"})) {
+    return true;
+  }
   // baseline/ comparators are measured against HAL, not part of it;
   // lang/ is the toy-language front end — parsing and evaluation happen
   // before the program is handed to the kernel, never inside a handler.
