@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_*.json run report (schema halcyon.run_report.v4).
+"""Validate a BENCH_*.json run report (schema halcyon.run_report.v5).
 
 Checks, per file:
   - required top-level fields and the schema id
@@ -24,9 +24,12 @@ import json
 import sys
 
 # Schema versions this validator understands. A report carrying any other
-# id (e.g. a future v5 emitted by a newer runtime) must fail loudly here:
+# id (e.g. a future v6 emitted by a newer runtime) must fail loudly here:
 # silently "validating" fields whose meaning changed is worse than failing.
-KNOWN_SCHEMAS = {"halcyon.run_report.v4"}
+# v5 added the wire-batching counters (wire_frames, coalesced_msgs,
+# wire_flush_*) and the frame_fill_msgs probe; the structural checks below
+# cover them like any other stat/histogram.
+KNOWN_SCHEMAS = {"halcyon.run_report.v5"}
 TOP_FIELDS = [
     "schema",
     "machine",

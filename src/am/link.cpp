@@ -22,6 +22,10 @@ Packet wire_copy(const Packet& m) {
   w.stamp = m.stamp;
   w.link_seq = m.link_seq;
   w.link_ack = m.link_ack;
+  // Frames are sequenced and retransmitted whole; the flag must survive the
+  // clone or a redelivered frame would be handled as a single packet.
+  w.frame = m.frame;
+  w.urgent = m.urgent;
   return w;
 }
 

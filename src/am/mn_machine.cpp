@@ -61,6 +61,19 @@ void MnMachine::configure_faults(const FaultConfig& cfg) {
 void MnMachine::send(Packet p) {
   check_packet(p);
   p.stamp = now(p.src);
+  if (batch_eligible(p)) {
+    // Coalesced path: accumulate in the per-destination frame. Runs on the
+    // source node's execution stream (its current worker, or the bootstrap
+    // thread before run()), so the aggregator needs no locking; the node's
+    // own quantum flushes on fill, holdoff expiry and the busy->idle
+    // transition (run_node).
+    const SimTime t = p.stamp;
+    batch_append(std::move(p), t);
+    return;
+  }
+  // Unbatchable traffic flushes the channel's open frame first so
+  // per-channel FIFO order holds across the batched/unbatched boundary.
+  if (batching_active() && p.src != p.dst) batch_barrier(p.src, p.dst);
   if (links_active() && p.src != p.dst) {
     // Faulty wire: sequence + file a retransmit master; the link calls back
     // into link_transmit for every physical copy that survives the
@@ -81,7 +94,11 @@ void MnMachine::link_transmit(Packet p,
   post_and_schedule(std::move(p));
 }
 
-void MnMachine::link_deliver(Packet p) { client(p.dst).handle(std::move(p)); }
+void MnMachine::link_deliver(Packet p) {
+  // Frames decode into a burst of records here; plain packets pass through.
+  const NodeId dst = p.dst;
+  deliver_to_client(dst, std::move(p));
+}
 
 void MnMachine::post_and_schedule(Packet p) {
   // Mailbox push first (with its note_sent), then the run token: a consumer
@@ -97,10 +114,7 @@ void MnMachine::charge(NodeId node, SimTime /*ns*/) {
 
 SimTime MnMachine::now(NodeId node) const {
   HAL_ASSERT(node < node_count());
-  return static_cast<SimTime>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - epoch_)
-          .count());
+  return static_cast<SimTime>(clock_.now_ns());
 }
 
 void MnMachine::schedule(NodeId node) {
@@ -241,15 +255,36 @@ void MnMachine::run_node(NodeSlot& s) {
     const std::size_t drained = exec_.drain(n, *this, kDrainQuantum);
     const std::size_t stepped = exec_.step_quantum(n, kStepQuantum);
     if (drained + stepped > 0) s.idle_notified = false;
+    // Holdoff expiry rides the node's own quantum (the frame owner's
+    // stream), like the link retransmission timer below; a frame never
+    // outlives its deadline by more than one quantum of its runnable node.
+    // Gated on an open frame existing: a busy receiver with nothing batched
+    // must not pay a clock read per quantum.
+    if (batching_active() && frame_deadline(n) != 0) {
+      flush_due_frames(n, now(n));
+    }
+    // A due service deadline re-arms on_idle: the client asked to be
+    // serviced at that time (e.g. the balancer's backed-off repoll).
+    if (s.idle_notified) {
+      const SimTime sd = c.service_deadline();
+      if (sd != 0 && sd <= now(n)) s.idle_notified = false;
+    }
     more = !exec_.mailbox_empty(n) || c.has_work();
     if (!more) {
-      // Busy→idle transition: run on_idle once per idle spell, and once
-      // more per wake epoch (work-hint edge) so the balancer re-polls.
+      // Busy→idle: ship held frames before the node's run token is retired,
+      // so a receiver never waits out a holdoff that outlived the sender's
+      // burst — and so no idle node ever holds a frame (termination).
+      if (batching_active()) flush_frames(n, FlushCause::kIdle);
+      // Run on_idle once per idle spell, and once more per wake epoch
+      // (work-hint edge) so the balancer re-polls.
       const std::uint64_t e = wake_epoch_.load(std::memory_order_acquire);
       if (!s.idle_notified || s.idle_epoch != e) {
         s.idle_notified = true;
         s.idle_epoch = e;
         c.on_idle();  // may send packets (load-balancer poll)
+        // on_idle's own sends (a steal poll, say) must not sit in a frame
+        // on an idle node either.
+        if (batching_active()) flush_frames(n, FlushCause::kIdle);
         more = !exec_.mailbox_empty(n) || c.has_work();
       }
     }
@@ -263,6 +298,9 @@ void MnMachine::run_node(NodeSlot& s) {
       }
       update_link_timer(n);
     }
+    // Publish/retire the node's service deadline so idle workers know when
+    // an otherwise-idle client wants its on_idle re-run (backed-off repoll).
+    update_service_timer(s, c);
   }
   if (more) {
     s.state.store(NodeState::kQueued, std::memory_order_seq_cst);
@@ -318,6 +356,45 @@ SimTime MnMachine::earliest_link_deadline() {
   return best;
 }
 
+void MnMachine::update_service_timer(NodeSlot& s, NodeClient& c) {
+  // The published flag is owned by the token holder, so quanta for clients
+  // that never request servicing (the common case) skip the mutex entirely.
+  const SimTime deadline = c.service_deadline();
+  if (deadline == 0 && !s.service_published) return;
+  std::lock_guard lock(timers_mutex_);
+  if (deadline == 0) {
+    service_deadlines_.erase(s.id);
+    s.service_published = false;
+  } else {
+    service_deadlines_[s.id] = deadline;
+    s.service_published = true;
+  }
+}
+
+SimTime MnMachine::earliest_service_deadline() {
+  std::lock_guard lock(timers_mutex_);
+  SimTime best = 0;
+  for (const auto& [node, deadline] : service_deadlines_) {
+    if (best == 0 || deadline < best) best = deadline;
+  }
+  return best;
+}
+
+void MnMachine::schedule_due_service() {
+  const SimTime t = now(0);
+  std::vector<NodeId> due;
+  {
+    std::lock_guard lock(timers_mutex_);
+    for (const auto& [node, deadline] : service_deadlines_) {
+      if (deadline <= t) due.push_back(node);
+    }
+  }
+  // The nodes' own quanta re-run on_idle (run_node clears idle_notified when
+  // the deadline has passed) and refresh the table entries; schedule() is
+  // idempotent while a token is pending.
+  for (const NodeId n : due) schedule(n);
+}
+
 void MnMachine::schedule_due_links() {
   const SimTime t = now(0);
   std::vector<NodeId> due;
@@ -359,8 +436,12 @@ void MnMachine::worker_loop(std::uint32_t w) {
       continue;  // a wake epoch landed after our sweep: re-sweep, don't park
     }
 
-    const SimTime deadline = earliest_link_deadline();
+    SimTime deadline = earliest_link_deadline();
+    // A pending service deadline (backed-off repoll) bounds the park too, so
+    // an idle node's deferred on_idle fires on time even under faults.
+    const SimTime svc = earliest_service_deadline();
     if (deadline != 0) {
+      if (svc != 0 && svc < deadline) deadline = svc;
       // Unacked retransmit masters somewhere: the machine still owes wire
       // work, so this worker must NOT join the idle set — staying active
       // keeps the detector's double scan returning kBusy, which is what
@@ -369,18 +450,12 @@ void MnMachine::worker_loop(std::uint32_t w) {
       // deadline; on timeout, reschedule the due nodes so their quanta fire
       // the retransmission timers on their own streams.
       sleepers_.fetch_add(1, std::memory_order_relaxed);
-      {
-        std::unique_lock lock(rec.mutex);
-        rec.sleeping.exchange(true, std::memory_order_seq_cst);
-        rec.cv.wait_until(lock, epoch_ + std::chrono::nanoseconds(deadline),
-                          [&] {
-                            return !rec.inject.empty() || stop_requested() ||
-                                   rec.wake_gen != gen;
-                          });
-        rec.sleeping.exchange(false, std::memory_order_seq_cst);
-      }
+      park(rec, gen, deadline);
       sleepers_.fetch_sub(1, std::memory_order_relaxed);
-      if (!stop_requested()) schedule_due_links();
+      if (!stop_requested()) {
+        schedule_due_links();
+        schedule_due_service();
+      }
       continue;
     }
 
@@ -401,17 +476,38 @@ void MnMachine::worker_loop(std::uint32_t w) {
         break;
     }
     sleepers_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::unique_lock lock(rec.mutex);
-      rec.sleeping.exchange(true, std::memory_order_seq_cst);
-      rec.cv.wait(lock, [&] {
-        return !rec.inject.empty() || stop_requested() || rec.wake_gen != gen;
-      });
-      rec.sleeping.exchange(false, std::memory_order_seq_cst);
-    }
+    // Timed park when a service deadline is pending (backed-off balancer
+    // repoll fires even with no other traffic), untimed otherwise.
+    park(rec, gen, svc);
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
     detector.activate(w);
+    if (!stop_requested()) schedule_due_service();
   }
+}
+
+void MnMachine::park(WorkerRec& rec, std::uint64_t gen, SimTime deadline) {
+  std::unique_lock lock(rec.mutex);
+  for (;;) {
+    // Re-arm before EVERY predicate evaluation: the inject queue is the same
+    // Vyukov MPSC as ThreadMachine's mailboxes, so a completed push can be
+    // unreachable behind another producer's half-finished one and a single
+    // post-wakeup check could read "empty" with `sleeping` already cleared —
+    // the gap-closing producer would then skip its notify and this worker
+    // would sleep over a live run token. See ThreadMachine::park for the
+    // full happens-before argument.
+    rec.sleeping.exchange(true, std::memory_order_seq_cst);
+    if (!rec.inject.empty() || stop_requested() || rec.wake_gen != gen) break;
+    if (deadline != 0) {
+      if (rec.cv.wait_until(lock,
+                            epoch_ + std::chrono::nanoseconds(deadline)) ==
+          std::cv_status::timeout) {
+        break;  // deadline work (link timer, service poll) is due
+      }
+    } else {
+      rec.cv.wait(lock);
+    }
+  }
+  rec.sleeping.exchange(false, std::memory_order_seq_cst);
 }
 
 void MnMachine::run() {

@@ -50,6 +50,7 @@
 
 #include "am/machine.hpp"
 #include "am/node_executor.hpp"
+#include "common/fast_clock.hpp"
 #include "common/mpsc_queue.hpp"
 #include "common/rng.hpp"
 #include "common/ws_deque.hpp"
@@ -104,6 +105,7 @@ class MnMachine final : public Machine, private LinkSink {
     std::uint32_t home = 0;       // home worker for off-pool injection
     bool idle_notified = false;   // on_idle already ran for this idle spell
     std::uint64_t idle_epoch = 0; // wake epoch that on_idle last observed
+    bool service_published = false;  // entry live in service_deadlines_
   };
 
   struct WorkerRec {
@@ -124,6 +126,12 @@ class MnMachine final : public Machine, private LinkSink {
   };
 
   void worker_loop(std::uint32_t w);
+  /// Block until the inject queue looks non-empty, stop is requested, a wake
+  /// generation lands, or `deadline` (ns since epoch_, 0 = none) passes.
+  /// Re-arms `sleeping` before every predicate evaluation — required for
+  /// correctness against the MPSC queue's unreachable-suffix window (see
+  /// ThreadMachine::park, whose proof this mirrors).
+  void park(WorkerRec& rec, std::uint64_t gen, SimTime deadline);
   /// Execute one quantum for the node whose token we hold.
   void run_node(NodeSlot& slot);
   /// A unit of work became visible on `node`: publish a run token if none
@@ -147,6 +155,13 @@ class MnMachine final : public Machine, private LinkSink {
   SimTime earliest_link_deadline();
   /// Schedule every node whose retransmission deadline has passed.
   void schedule_due_links();
+  /// Publish/erase the slot's entry in the shared service-deadline table
+  /// (NodeClient::service_deadline — e.g. the balancer's backed-off repoll).
+  void update_service_timer(NodeSlot& s, NodeClient& c);
+  SimTime earliest_service_deadline();
+  /// Schedule every node whose service deadline has passed (its quantum
+  /// re-runs on_idle).
+  void schedule_due_service();
 
   // LinkSink (fault plane).
   void link_transmit(Packet p, SimTime extra_delay_ns) override;
@@ -156,6 +171,11 @@ class MnMachine final : public Machine, private LinkSink {
   std::vector<NodeSlot> slots_;
   std::vector<std::unique_ptr<WorkerRec>> workers_;
   NodeExecutor exec_;  // mailboxes, epochs, demux (shared node-stepping core)
+  // now() reads clock_ (calibrated TSC, ~7 ns); epoch_ anchors the cv
+  // wait_until deadlines in steady_clock terms. The two clocks' sub-µs
+  // offset/drift only shifts when a timed park *wakes*; due-ness is always
+  // re-checked against clock_, so timers never fire early.
+  FastClock clock_;
   std::chrono::steady_clock::time_point epoch_;
   // Bumped by wake_hook: idle nodes re-run on_idle once per epoch so the
   // load balancer re-polls when the work hint turns positive (the M:N
@@ -168,6 +188,10 @@ class MnMachine final : public Machine, private LinkSink {
   // under faults, worker idle transitions).
   std::mutex timers_mutex_;
   std::map<NodeId, SimTime> timer_deadlines_;
+  // Service deadlines of idle nodes whose client wants a later on_idle
+  // re-run (NodeClient::service_deadline). Same guard and access pattern as
+  // the link-timer table above.
+  std::map<NodeId, SimTime> service_deadlines_;
 
   static thread_local int tl_worker_;  // index into workers_, -1 off-pool
 

@@ -23,7 +23,10 @@ void NodeExecutor::dispatch(NodeId node, Packet p, LinkSink& sink) {
     // becomes deliverable.
     machine_.link(node).receive(std::move(p), sink);
   } else {
-    machine_.client(node).handle(std::move(p));
+    // Plain packets run their handler directly; coalesced frames decode
+    // into one handler call per record (one wake and one mailbox slot
+    // carried many messages).
+    machine_.deliver_to_client(node, std::move(p));
   }
 }
 

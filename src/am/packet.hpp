@@ -62,6 +62,17 @@ struct Packet {
   /// `stamp`, so the kernel's redelivery probe spans first-send to
   /// final-delivery — the latency the destination actor actually saw.
   bool retransmitted = false;
+  /// Destination-coalesced wire frame (am/wire_batch.hpp): words[0] is the
+  /// record count, the payload is the concatenated records. Frames pass
+  /// through the link layer as single packets (sequenced, retransmitted and
+  /// deduped whole) and are decoded back into per-message handler calls by
+  /// Machine::deliver_to_client on the receiving node's stream.
+  bool frame = false;
+  /// Latency-critical control traffic (e.g. the load balancer's steal
+  /// request/deny round trip): never coalesced into a frame — a held deny
+  /// would stretch the steal RTT by a whole holdoff. Urgent sends still
+  /// flush the channel's open frame first, preserving per-channel FIFO.
+  bool urgent = false;
 };
 
 }  // namespace hal::am

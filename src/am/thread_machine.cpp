@@ -27,6 +27,18 @@ void ThreadMachine::configure_faults(const FaultConfig& cfg) {
 void ThreadMachine::send(Packet p) {
   check_packet(p);
   p.stamp = now(p.src);
+  if (batch_eligible(p)) {
+    // Coalesced path: accumulate in the per-destination frame; the node
+    // loop flushes on fill (inside batch_append), holdoff expiry, and the
+    // busy -> idle transition. Runs on the source node's thread, so the
+    // aggregator needs no locking.
+    const SimTime t = p.stamp;
+    batch_append(std::move(p), t);
+    return;
+  }
+  // Unbatchable traffic flushes the channel's open frame first so
+  // per-channel FIFO order holds across the batched/unbatched boundary.
+  if (batching_active() && p.src != p.dst) batch_barrier(p.src, p.dst);
   if (links_active() && p.src != p.dst) {
     // Faulty wire: sequence + file a retransmit master; the link calls
     // back into link_transmit for every physical copy that survives the
@@ -46,7 +58,9 @@ void ThreadMachine::link_transmit(Packet p,
 }
 
 void ThreadMachine::link_deliver(Packet p) {
-  client(p.dst).handle(std::move(p));
+  // Frames decode into a burst of records here; plain packets pass through.
+  const NodeId dst = p.dst;
+  deliver_to_client(dst, std::move(p));
 }
 
 void ThreadMachine::raw_push(Packet p) {
@@ -54,23 +68,36 @@ void ThreadMachine::raw_push(Packet p) {
   // The executor counts the send epoch before the push (termination
   // accounting); the wakeup below must come after the push.
   exec_.post(std::move(p));
-  // Wakeup handshake. Every access to `sleeping` (here and in node_loop) is
+  // Wakeup handshake. Every access to `sleeping` (here and in park()) is
   // a seq_cst read-modify-write, so they form a single modification-order
   // chain in which each RMW reads the write immediately before it and every
-  // link synchronizes-with the next. Take the receiver's pre-park RMW C
-  // (writes true) and this sender's RMW S (after the push):
+  // link synchronizes-with the next. The receiver re-arms `sleeping` (an
+  // RMW writing true) before EVERY wait-predicate evaluation; take any such
+  // arm C and this sender's RMW S (after the push):
   //   - S precedes C: the RMW chain from S to C carries happens-before, so
-  //     the wait predicate (sequenced after C) sees the push — no park.
+  //     the predicate (sequenced after C) sees the push — no park.
   //   - C precedes S: the first sender RMW after C reads true and notifies
   //     while holding the receiver's mutex, so the notify cannot land
-  //     between the predicate check and the park; later senders that read
-  //     false are covered by that pending notify.
+  //     between the predicate check and the park; the roused receiver
+  //     re-arms before it re-checks, restarting the argument, and later
+  //     senders that read false are covered by that pending notify.
   // Either way the wakeup cannot be lost — the seed machine notified
   // without the lock and papered over the lost-wakeup window with a 200 µs
   // wait timeout, giving idle nodes a ~100 µs median message latency. Busy
   // receivers keep this path lock-free (one uncontended RMW). RMWs instead
   // of a seq_cst fence keep the protocol visible to ThreadSanitizer, which
   // does not model atomic_thread_fence.
+  //
+  // The re-arm-per-evaluation is load-bearing, not belt-and-braces: the
+  // mailbox is a Vyukov MPSC queue, so a COMPLETED push can be transiently
+  // invisible behind another producer's half-finished one (mpsc_queue.hpp,
+  // empty()). With a single pre-park arm, a receiver woken by sender A could
+  // read "empty" over sender B's gap and re-wait with `sleeping` false (A's
+  // exchange cleared it) — then B, closing the gap after A, reads false,
+  // skips the notify, and the receiver sleeps forever over B's packet.
+  // Arming afresh guarantees the gap-closing producer either reads true and
+  // notifies, or its RMW precedes the arm, in which case its next-pointer
+  // store (sequenced before its RMW) is visible to the predicate.
   if (dst.sleeping.exchange(false, std::memory_order_seq_cst)) {
     std::lock_guard lock(dst.mutex);
     dst.cv.notify_one();
@@ -83,10 +110,7 @@ void ThreadMachine::charge(NodeId node, SimTime /*ns*/) {
 
 SimTime ThreadMachine::now(NodeId node) const {
   HAL_ASSERT(node < node_count());
-  return static_cast<SimTime>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - epoch_)
-          .count());
+  return static_cast<SimTime>(clock_.now_ns());
 }
 
 void ThreadMachine::wake_all() noexcept {
@@ -115,7 +139,19 @@ void ThreadMachine::node_loop(NodeId node) {
     // client directly; each physical packet is counted in the handled epoch.
     if (exec_.drain(node, *this) > 0) did_work = true;
     if (exec_.step_quantum(node, 1) > 0) did_work = true;
+    // Holdoff expiry is polled from the node's own loop (wall-clock timers
+    // stay on the owning thread, like the link retransmission timer); a
+    // frame never outlives its deadline by more than one quantum. Gated on
+    // an open frame existing: a busy receiver with nothing batched must not
+    // pay a clock read per loop iteration.
+    if (batching_active() && frame_deadline(node) != 0) {
+      flush_due_frames(node, now(node));
+    }
     if (did_work) continue;
+
+    // Busy -> idle: ship held frames before polling for more work, so a
+    // receiver never waits out a holdoff that outlived the sender's burst.
+    if (batching_active()) flush_frames(node, FlushCause::kIdle);
 
     // Idle transition. Snapshot the wake generation first: a work-hint or
     // stop wake that fires from here on is caught by the wait predicate, so
@@ -126,7 +162,14 @@ void ThreadMachine::node_loop(NodeId node) {
       gen = rec.wake_gen;
     }
     c.on_idle();  // may send packets (load-balancer poll)
+    // on_idle's own sends (a steal poll, say) must not sit in a frame on an
+    // idle node either.
+    if (batching_active()) flush_frames(node, FlushCause::kIdle);
     if (!exec_.mailbox_empty(node) || c.has_work()) continue;  // re-drain
+
+    // An idle client may still want servicing later (service_deadline), e.g.
+    // the balancer's backed-off repoll; bound the parks below by it.
+    const SimTime svc = c.service_deadline();
 
     if (exec_.has_unacked(node)) {
       // Unacked masters: this node still owes wire work (a drop may need
@@ -135,17 +178,9 @@ void ThreadMachine::node_loop(NodeId node) {
       // makes loss unable to fake quiescence. Park with a deadline instead
       // of deactivating; a timeout fires the retransmission timer on this
       // node's own thread (endpoint state stays single-threaded).
-      const SimTime deadline = exec_.link_deadline(node);
-      {
-        std::unique_lock lock(rec.mutex);
-        rec.sleeping.exchange(true, std::memory_order_seq_cst);
-        rec.cv.wait_until(
-            lock, epoch_ + std::chrono::nanoseconds(deadline), [&] {
-              return !exec_.mailbox_empty(node) || stop_requested() ||
-                     rec.wake_gen != gen;
-            });
-        rec.sleeping.exchange(false, std::memory_order_seq_cst);
-      }
+      SimTime deadline = exec_.link_deadline(node);
+      if (svc != 0 && (deadline == 0 || svc < deadline)) deadline = svc;
+      park(rec, node, gen, deadline);
       if (!stop_requested() && exec_.mailbox_empty(node)) {
         exec_.fire_link_timer(node, now(node), *this);
       }
@@ -175,24 +210,46 @@ void ThreadMachine::node_loop(NodeId node) {
       case TerminationDetector::Verdict::kBusy:
         break;
     }
-    {
-      std::unique_lock lock(rec.mutex);
-      // Pairs with the exchange in send() — see the proof there. Both sides
-      // use seq_cst RMWs so every push that preceded a sender's exchange is
-      // visible to the predicate below; we never park over a packet whose
-      // sender skipped the notify.
-      rec.sleeping.exchange(true, std::memory_order_seq_cst);
-      rec.cv.wait(lock, [&] {
-        return !exec_.mailbox_empty(node) || stop_requested() ||
-               rec.wake_gen != gen;
-      });
-      rec.sleeping.exchange(false, std::memory_order_seq_cst);
-    }
+    // Timed park when the client has a service deadline (backed-off
+    // balancer repoll), untimed otherwise.
+    park(rec, node, gen, svc);
     detector.activate(node);
     // Loop around: drain the queue, or re-run the idle poll if this was a
     // generation wake (work appeared elsewhere — the balancer may want to
     // steal some of it).
   }
+}
+
+void ThreadMachine::park(NodeRec& rec, NodeId node, std::uint64_t gen,
+                         SimTime deadline) {
+  std::unique_lock lock(rec.mutex);
+  for (;;) {
+    // Re-arm before EVERY predicate evaluation — not once before the first
+    // wait. A completed push can be unreachable behind another producer's
+    // half-finished one (mpsc_queue.hpp, empty()), so a single check after a
+    // wakeup can read "empty" over a non-empty mailbox while `sleeping` is
+    // already false; the producer that closes the gap would then skip its
+    // notify and we would sleep over its packet forever. With the arm here,
+    // every producer RMW after it reads true and notifies under our mutex,
+    // and every producer RMW before it synchronizes-with the arm through
+    // the seq_cst RMW chain, making its pushes — including the gap-closing
+    // next-pointer store — visible to the check below. Full proof in send().
+    rec.sleeping.exchange(true, std::memory_order_seq_cst);
+    if (!exec_.mailbox_empty(node) || stop_requested() ||
+        rec.wake_gen != gen) {
+      break;
+    }
+    if (deadline != 0) {
+      if (rec.cv.wait_until(lock,
+                            epoch_ + std::chrono::nanoseconds(deadline)) ==
+          std::cv_status::timeout) {
+        break;  // deadline work (link timer, service poll) is due
+      }
+    } else {
+      rec.cv.wait(lock);
+    }
+  }
+  rec.sleeping.exchange(false, std::memory_order_seq_cst);
 }
 
 void ThreadMachine::run() {

@@ -33,6 +33,7 @@
 
 #include "am/machine.hpp"
 #include "am/node_executor.hpp"
+#include "common/fast_clock.hpp"
 
 namespace hal::am {
 
@@ -80,6 +81,13 @@ class ThreadMachine final : public Machine, private LinkSink {
   void node_loop(NodeId node);
   void wake_all() noexcept;
 
+  /// Block until the mailbox looks non-empty, stop is requested, a wake
+  /// generation lands, or `deadline` (ns since epoch_, 0 = none) passes.
+  /// Re-arms `sleeping` before every predicate evaluation — required for
+  /// correctness against the MPSC queue's unreachable-suffix window, see
+  /// the proof at the implementation.
+  void park(NodeRec& rec, NodeId node, std::uint64_t gen, SimTime deadline);
+
   /// Put one physical packet on the wire: count it in the sent epoch, push
   /// it into the destination queue, and run the wakeup handshake. The
   /// termination epochs count *physical* packets symmetrically (duplicates
@@ -94,6 +102,11 @@ class ThreadMachine final : public Machine, private LinkSink {
 
   std::vector<std::unique_ptr<NodeRec>> nodes_;
   NodeExecutor exec_;  // mailboxes, epochs, demux (shared node-stepping core)
+  // now() reads clock_ (calibrated TSC, ~7 ns); epoch_ anchors the cv
+  // wait_until deadlines in steady_clock terms. The two clocks' sub-µs
+  // offset/drift only shifts when a timed park *wakes*; due-ness is always
+  // re-checked against clock_, so timers never fire early.
+  FastClock clock_;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -63,8 +63,14 @@ class MpscQueue {
     return out;
   }
 
-  /// Approximate emptiness check (exact from the consumer's perspective when
-  /// it returns false; may race with concurrent pushes when true).
+  /// Approximate emptiness check: exact from the consumer's perspective when
+  /// it returns false. When it returns true the queue may in fact hold
+  /// elements — not just from the obvious race with an in-flight push, but
+  /// because a COMPLETED push can be transiently unreachable behind another
+  /// producer's half-finished one (head_ already swung, prev->next not yet
+  /// stored). A consumer that parks on "empty" must therefore re-arm its
+  /// wakeup flag before every check, so the producer that closes the gap
+  /// re-notifies — see the park loops in ThreadMachine and MnMachine.
   bool empty() const {
     return tail_->next.load(std::memory_order_acquire) == nullptr;
   }

@@ -49,6 +49,12 @@ enum class Stat : std::uint32_t {
   kLinkRetransmits,         // reliable link: timer-driven resends
   kLinkDupesSuppressed,     // reliable link: duplicates absorbed pre-kernel
   kLinkAcksSent,            // reliable link: cumulative acks emitted
+  kWireFramesSent,          // batching: coalesced frames put on the wire
+  kWireMsgsCoalesced,       // batching: messages that traveled inside frames
+  kWireFlushFill,           // batching: frames closed by fill (bytes/msgs)
+  kWireFlushTimer,          // batching: frames closed by holdoff expiry
+  kWireFlushIdle,           // batching: frames closed at busy->idle
+  kWireFlushBarrier,        // batching: frames closed for channel FIFO
   kCount,
 };
 
@@ -72,7 +78,10 @@ inline constexpr std::array<std::string_view,
         "replies_joined",        "link_drops_injected",
         "link_duplicates_injected", "link_delays_injected",
         "link_retransmits",      "link_dupes_suppressed",
-        "link_acks_sent",
+        "link_acks_sent",        "wire_frames",
+        "coalesced_msgs",        "wire_flush_fill",
+        "wire_flush_timer",      "wire_flush_idle",
+        "wire_flush_barrier",
 };
 
 class StatBlock {

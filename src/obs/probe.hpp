@@ -28,6 +28,7 @@ enum class Probe : std::uint32_t {
   kBroadcastRelay,    ///< broadcast injection -> MST relay handler entry
   kDispatchBatch,     ///< items drained per dispatcher busy period (items)
   kRedelivery,        ///< first send -> delivery of a retransmitted packet
+  kFrameFill,         ///< records per coalesced wire frame at close (msgs)
   kCount,
 };
 
@@ -40,12 +41,12 @@ inline constexpr std::array<std::string_view, kProbeCount> kProbeNames = {
     "bulk_transfer_ns",   "bulk_flow_stall_ns",   "steal_round_trip_ns",
     "pending_residency_ns", "mailbox_residency_ns", "method_execution_ns",
     "join_round_trip_ns", "broadcast_relay_ns",   "dispatch_batch_items",
-    "redelivery_ns",
+    "redelivery_ns",      "frame_fill_msgs",
 };
 
 inline constexpr std::array<std::string_view, kProbeCount> kProbeUnits = {
     "ns", "ns", "ns", "ns", "ns", "ns", "ns", "ns", "ns", "ns", "ns",
-    "items", "ns",
+    "items", "ns", "msgs",
 };
 
 }  // namespace hal::obs

@@ -23,7 +23,9 @@ namespace hal::obs {
 /// "dead_letters") and the link/fault stat counters + redelivery probe.
 /// v4: adds "workers" (execution contexts the machine used: 1 for sim,
 /// node count for thread, pool size N for mn) and the "mn" machine kind.
-inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v4";
+/// v5: adds the wire-batching counters (wire_frames, coalesced_msgs and the
+/// four wire_flush_* cause counters) and the frame_fill_msgs probe.
+inline constexpr std::string_view kRunReportSchema = "halcyon.run_report.v5";
 
 /// Payload-buffer lifecycle audit, filled from the hal::check ledger. All
 /// fields are zero in HAL_CHECK=0 builds (the ledger compiles away).
@@ -59,7 +61,7 @@ struct RunReport {
   ProbeRecorder probes;                   ///< merged across nodes
   std::vector<ProbeRecorder> per_node_probes;  ///< index = NodeId
 
-  /// Deterministic JSON serialization (schema halcyon.run_report.v4):
+  /// Deterministic JSON serialization (schema halcyon.run_report.v5):
   /// {
   ///   "schema": "...", "machine": "sim", "nodes": N, "workers": W,
   ///   "seed": S, "makespan_ns": M, "dead_letters": D,

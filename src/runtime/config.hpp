@@ -9,6 +9,7 @@
 
 #include "am/cost_model.hpp"
 #include "am/fault.hpp"
+#include "am/wire_batch.hpp"
 #include "common/types.hpp"
 
 namespace hal {
@@ -49,6 +50,7 @@ enum class ConfigErrorCode : std::uint8_t {
   kTooManyNodes,       ///< node id does not fit the 16-bit wire encoding
   kStackDepthTooLarge, ///< stack-scheduling quantum risks host-stack overflow
   kBadFaultConfig,     ///< fault-injection probability outside [0, 1]
+  kBadBatchConfig,     ///< wire-batching knobs outside their valid ranges
 };
 
 /// Typed rejection of an invalid RuntimeConfig. Constructing a Runtime from
@@ -120,6 +122,14 @@ struct RuntimeConfig {
   /// the injector seed from `seed` above, keeping one-knob reproducibility.
   am::FaultConfig faults;
 
+  /// Destination-coalesced wire batching (am/wire_batch.hpp): small remote
+  /// sends pack into one bounded frame per (source, destination) channel,
+  /// amortizing per-message injection overhead on the hot path. On by
+  /// default; single-node machines stay unbatched automatically. Delivery
+  /// semantics are unchanged — frames preserve per-channel FIFO order and
+  /// ride the reliable link whole under fault injection.
+  am::BatchConfig batching;
+
   /// Validated construction: returns the first problem found, or nullopt for
   /// a usable config. Runtime's constructor throws the returned error.
   std::optional<ConfigError> validate() const {
@@ -146,6 +156,13 @@ struct RuntimeConfig {
           ConfigErrorCode::kBadFaultConfig,
           "RuntimeConfig: fault probabilities (drop/duplicate/delay) must "
           "lie in [0, 1]");
+    }
+    if (!batching.valid()) {
+      return ConfigError(
+          ConfigErrorCode::kBadBatchConfig,
+          "RuntimeConfig: wire-batching knobs invalid (frame bytes must lie "
+          "in [64, bulk-chunk], max_msgs >= 2, holdoff_min <= holdoff <= "
+          "holdoff_max with holdoff_min >= 1)");
     }
     return std::nullopt;
   }

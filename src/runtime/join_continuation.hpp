@@ -62,10 +62,13 @@ class JoinView {
 };
 
 struct JoinContinuation {
-  /// Argument slots stored inline in the record. Dependence analysis rarely
-  /// batches more than a handful of replies into one continuation; wider
-  /// joins (tests go up to 64) spill to a heap block.
-  static constexpr std::uint32_t kInlineSlots = 4;
+  /// Slots at or below this count live in the fixed inline arrays at the
+  /// bottom of the record (one word + one blob slot each, no allocation);
+  /// wider joins fall back to the spill vectors, paying one heap block per
+  /// array. Eight covers the fan-ins the compiler actually emits (tree
+  /// reductions join 2, scatter/gather shapes up to 8) so only the
+  /// stress-test joins (up to 64 slots) spill.
+  static constexpr std::uint32_t kInlineSlots = 8;
 
   /// Empty slots remaining; the continuation fires when this reaches zero.
   std::uint32_t counter = 0;

@@ -132,14 +132,33 @@ bool Kernel::step() {
       machine_.work_hint_add(-1);
       return true;
     }
-    rec->scheduled = false;
-    Message m = std::move(rec->mailbox.front());
-    rec->mailbox.pop_front();
-    if (m.enqueued_at != 0) {
-      probes_.record_span(obs::Probe::kMailboxResidency, m.enqueued_at,
-                          machine_.now(self_));
+    // Mailbox burst: run up to kMailboxBurst queued messages while we hold
+    // the dispatcher item instead of one message per item (the receive half
+    // of wire batching — a decoded frame becomes one dispatcher burst, not
+    // max_msgs round trips through the ready queue). `scheduled` stays true
+    // for the whole burst, so post_method's re-schedule and any deliveries
+    // the methods trigger early-out instead of queueing duplicate items;
+    // the per-message dispatcher push/pop and the shared work-hint RMWs
+    // collapse to one pair per burst. The cap keeps other actors' latency
+    // bounded — same fairness shape as the frame size cap on the wire.
+    for (std::uint32_t n = 0; n < kMailboxBurst; ++n) {
+      Message m = std::move(rec->mailbox.front());
+      rec->mailbox.pop_front();
+      if (m.enqueued_at != 0) {
+        probes_.record_span(obs::Probe::kMailboxResidency, m.enqueued_at,
+                            machine_.now(self_));
+      }
+      run_method(item->actor, std::move(m), /*cheap_dispatch=*/false);
+      // The method may have killed or migrated the actor (the slot lookup
+      // is generation-checked) or descheduled it; re-fetch before touching
+      // the mailbox again.
+      rec = actors_.try_get(item->actor);
+      if (rec == nullptr || !rec->scheduled || rec->mailbox.empty()) break;
     }
-    run_method(item->actor, std::move(m), /*cheap_dispatch=*/false);
+    if (rec != nullptr && rec->scheduled) {
+      rec->scheduled = false;
+      if (rec->has_mail()) schedule(item->actor);
+    }
   } else {
     run_quantum(item->group, dispatcher_.take_message(*item));
   }
@@ -152,6 +171,10 @@ bool Kernel::has_work() const { return !dispatcher_.empty(); }
 void Kernel::on_idle() {
   flush_probes();
   node_manager_->maybe_poll();
+}
+
+SimTime Kernel::service_deadline() const {
+  return node_manager_->poll_resume_at();
 }
 
 void Kernel::flush_probes() {
@@ -296,7 +319,7 @@ void Kernel::deliver_local(SlotId actor_slot, Message m) {
     return;
   }
   charge(costs().enqueue_ns);
-  m.enqueued_at = machine_.now(self_);
+  m.enqueued_at = delivery_now();
   rec->mailbox.push_back(std::move(m));
   stats_.bump(Stat::kMessagesDelivered);
   schedule(actor_slot);

@@ -74,6 +74,11 @@ struct DrainStats {
 // audited by their own annotations instead.
 class Kernel final : public am::NodeClient {
  public:
+  /// Messages one dispatcher item may run from a single actor's mailbox
+  /// before the actor goes to the back of the ready queue (step()). Matches
+  /// BatchConfig::max_msgs so a decoded wire frame executes as one burst.
+  static constexpr std::uint32_t kMailboxBurst = 64;
+
   Kernel(am::Machine& machine, NodeId self, const BehaviorRegistry& registry,
          const RuntimeConfig& config);
   ~Kernel() override;
@@ -90,6 +95,26 @@ class Kernel final : public am::NodeClient {
   /// or duplicate payloads into) this node's pool, keeping the buffer
   /// ledger conservative under fault injection.
   BufferPool* link_pool() noexcept override { return &pool_; }
+  /// The wire-batching layer records its frame-fill samples here so they
+  /// surface in the RunReport beside the kernel's other probes.
+  obs::ProbeRecorder* wire_probes() noexcept override { return &probes_; }
+  /// When an idle node wants on_idle re-run: the balancer's backed-off
+  /// repoll deadline (NodeManager::poll_resume_at), 0 for "no wake needed".
+  SimTime service_deadline() const override;
+  /// Frame-decode burst (Machine::deliver_to_client): cache the frame's
+  /// single arrival time so the per-record delivery path (remote-delivery
+  /// span, mailbox enqueue stamp) reuses it instead of re-reading the
+  /// machine clock per record.
+  void on_frame_begin(SimTime now, std::uint32_t /*count*/) override {
+    frame_now_ = now;
+  }
+  void on_frame_end() override { frame_now_ = 0; }
+  /// Delivery timestamp for the message being handled: the enclosing
+  /// frame's arrival time during a decode burst, a live clock read
+  /// otherwise.
+  SimTime delivery_now() const {
+    return frame_now_ != 0 ? frame_now_ : machine_.now(self_);
+  }
 
   // --- Actor creation (§5) ---------------------------------------------------
   /// Create an actor on this node; returns its ordinary mail address.
@@ -311,6 +336,7 @@ class Kernel final : public am::NodeClient {
 
   std::uint32_t group_seq_ = 0;
   std::uint32_t stack_depth_ = 0;
+  SimTime frame_now_ = 0;  // nonzero only inside a frame-decode burst
   std::uint64_t dispatch_batch_len_ = 0;
   std::uint64_t dead_letters_ = 0;
   std::array<std::uint64_t, static_cast<std::size_t>(DeadLetterCause::kCount)>

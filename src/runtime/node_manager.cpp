@@ -59,7 +59,7 @@ void NodeManager::ship(Message m, SlotId desc_slot) {
 
 void NodeManager::on_actor_message(const am::Packet& p) {
   k_.probes().record_span(obs::Probe::kRemoteDelivery, p.stamp,
-                          k_.machine().now(k_.self()));
+                          k_.delivery_now());
   Message m;
   m.dest = MailAddress::unpack(p.words[0], p.words[1]);
   m.selector = unpack_sel(p.words[2]);
@@ -558,6 +558,10 @@ void NodeManager::migration_arrived(NodeId src, SimTime departed_at,
                             k_.machine().now(k_.self()));
   }
   poll_outstanding_ = false;
+  // A successful steal resets the deny backoff: work is flowing again, so
+  // the next idle spell may poll immediately.
+  poll_denies_ = 0;
+  poll_backoff_until_ = 0;
   if (rec->has_mail()) k_.schedule(aslot);
 
   // Cache the new descriptor address at the old node *and* the birthplace
@@ -643,6 +647,13 @@ void NodeManager::maybe_poll() {
   // al. pair with random polling). An idle machine sends nothing, so
   // quiescence detection stays clean.
   if (k_.machine().work_hint() <= 0) return;
+  // Deny backoff: after a failed poll, wait out the exponential holdoff
+  // before bothering another victim. The machine re-runs on_idle at
+  // poll_resume_at() (service_deadline plumbing), so expiry is not missed.
+  if (poll_backoff_until_ != 0 &&
+      k_.machine().now(k_.self()) < poll_backoff_until_) {
+    return;
+  }
   NodeId victim =
       static_cast<NodeId>(k_.rng().below(k_.node_count() - 1));
   if (victim >= k_.self()) ++victim;
@@ -653,6 +664,7 @@ void NodeManager::maybe_poll() {
   p.src = k_.self();
   p.dst = victim;
   p.handler = kHStealRequest;
+  p.urgent = true;  // the poll RTT gates how fast work spreads
   k_.machine().send(std::move(p));
 }
 
@@ -666,6 +678,7 @@ void NodeManager::on_steal_request(const am::Packet& p) {
     deny.src = k_.self();
     deny.dst = thief;
     deny.handler = kHStealDeny;
+    deny.urgent = true;  // a held deny stretches the thief's backoff anchor
     k_.machine().send(std::move(deny));
     return;
   }
@@ -688,16 +701,32 @@ void NodeManager::on_steal_request(const am::Packet& p) {
   deny.src = k_.self();
   deny.dst = thief;
   deny.handler = kHStealDeny;
+  deny.urgent = true;
   k_.machine().send(std::move(deny));
 }
 
 void NodeManager::on_steal_deny(const am::Packet& /*p*/) {
-  k_.probes().record_span(obs::Probe::kStealRoundTrip, poll_sent_at_,
-                          k_.machine().now(k_.self()));
+  const SimTime now = k_.machine().now(k_.self());
+  k_.probes().record_span(obs::Probe::kStealRoundTrip, poll_sent_at_, now);
   poll_outstanding_ = false;
-  // Poll another random victim while work exists somewhere; the hint check
-  // in maybe_poll stops the chatter once the machine drains.
-  maybe_poll();
+  // Exponential backoff instead of an immediate repoll: consecutive denies
+  // double the wait (capped), so a machine whose work is concentrated on
+  // one busy node is not flooded by every idle node's poll loop. The next
+  // poll fires from on_idle once the backoff expires — the machines park
+  // until poll_resume_at() and re-run on_idle then.
+  ++poll_denies_;
+  const std::uint32_t shift = std::min(poll_denies_ - 1, kPollBackoffMaxShift);
+  poll_backoff_until_ = now + (kPollBackoffBaseNs << shift);
+}
+
+SimTime NodeManager::poll_resume_at() const {
+  if (!k_.config().load_balancing || k_.node_count() < 2) return 0;
+  if (poll_outstanding_) return 0;  // the reply itself wakes this node
+  if (poll_backoff_until_ == 0) return 0;
+  // Nothing left to steal: no wake needed; a work-hint edge re-runs on_idle
+  // anyway (wake_hook) and polling resumes from there.
+  if (k_.machine().work_hint() <= 0) return 0;
+  return poll_backoff_until_;
 }
 
 // --- Introspection ---------------------------------------------------------------------

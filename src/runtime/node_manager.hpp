@@ -86,6 +86,13 @@ class NodeManager {
   // --- Load balancing (receiver-initiated random polling, Table 4) -----------
   void maybe_poll();
 
+  /// When this node wants its on_idle re-run to retry a backed-off poll:
+  /// the deadline of the current deny backoff, or 0 when no wake is needed
+  /// (no balancing, a poll already outstanding, no backoff armed, or no
+  /// work left to steal). Surfaces through Kernel::service_deadline so the
+  /// machines can park until then instead of being repolled continuously.
+  SimTime poll_resume_at() const;
+
   /// Migration landed here (also the steal-success path). `departed_at` is
   /// the source node's clock when it started packing (bulk meta[0]); 0 means
   /// unknown and skips the end-to-end migration probe.
@@ -154,6 +161,17 @@ class NodeManager {
 
   bool poll_outstanding_ = false;
   SimTime poll_sent_at_ = 0;  // steal round-trip probe anchor
+
+  /// Deny backoff: each consecutive steal denial doubles the wait before
+  /// the next poll (reset by a successful steal). Kumar-style continuous
+  /// polling otherwise degenerates into a deny storm when the machine's
+  /// work is concentrated on one node (mn_scaling at N=1: every idle node
+  /// repolls the moment its deny lands).
+  std::uint32_t poll_denies_ = 0;
+  SimTime poll_backoff_until_ = 0;
+
+  static constexpr SimTime kPollBackoffBaseNs = 2'000;
+  static constexpr std::uint32_t kPollBackoffMaxShift = 10;  // cap ~2 ms
 };
 
 }  // namespace hal

@@ -33,6 +33,10 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
   am::FaultConfig faults = config_.faults;
   if (faults.seed == 0) faults.seed = config_.seed;
   machine_->configure_faults(faults);
+  // After the kernels attach for the same reason: each aggregator's frame
+  // buffers come from its node's payload pool. Single-node machines stay
+  // unbatched (configure_batching is inert there).
+  machine_->configure_batching(config_.batching);
 }
 
 Runtime::~Runtime() {
@@ -43,8 +47,10 @@ Runtime::~Runtime() {
 
 DrainStats Runtime::shutdown_drain() {
   DrainStats total;
-  // Link first: retransmit masters and out-of-order buffers retire into the
-  // pools before the kernels' own drain accounting runs.
+  // Open frames first (their records were never delivered), then the link:
+  // retransmit masters and out-of-order buffers retire into the pools before
+  // the kernels' own drain accounting runs.
+  machine_->drain_wire();
   machine_->drain_links();
   for (auto& k : kernels_) {
     // The drain releases buffers into each kernel's pool; run it "as" that
@@ -75,6 +81,26 @@ SimTime Runtime::makespan_impl() const {
 StatBlock Runtime::total_stats_impl() const {
   StatBlock total;
   for (const auto& k : kernels_) total += k->stats();
+  // Machine-side counters (link endpoints, wire aggregators) fold in here
+  // too, keeping this legacy accessor consistent with report().
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    if (const am::LinkStats* ls = machine_->link_stats(n)) {
+      total.bump(Stat::kLinkDropsInjected, ls->drops_injected);
+      total.bump(Stat::kLinkDuplicatesInjected, ls->duplicates_injected);
+      total.bump(Stat::kLinkDelaysInjected, ls->delays_injected);
+      total.bump(Stat::kLinkRetransmits, ls->retransmits);
+      total.bump(Stat::kLinkDupesSuppressed, ls->dupes_suppressed);
+      total.bump(Stat::kLinkAcksSent, ls->acks_sent);
+    }
+    if (const am::WireStats* ws = machine_->wire_stats(n)) {
+      total.bump(Stat::kWireFramesSent, ws->frames_sent);
+      total.bump(Stat::kWireMsgsCoalesced, ws->msgs_coalesced);
+      total.bump(Stat::kWireFlushFill, ws->flush_fill);
+      total.bump(Stat::kWireFlushTimer, ws->flush_timer);
+      total.bump(Stat::kWireFlushIdle, ws->flush_idle);
+      total.bump(Stat::kWireFlushBarrier, ws->flush_barrier);
+    }
+  }
   return total;
 }
 
@@ -109,6 +135,15 @@ obs::RunReport Runtime::report() {
       node_stats.bump(Stat::kLinkDupesSuppressed, ls->dupes_suppressed);
       node_stats.bump(Stat::kLinkAcksSent, ls->acks_sent);
     }
+    // Likewise for the wire aggregators (batching layer).
+    if (const am::WireStats* ws = machine_->wire_stats(n)) {
+      node_stats.bump(Stat::kWireFramesSent, ws->frames_sent);
+      node_stats.bump(Stat::kWireMsgsCoalesced, ws->msgs_coalesced);
+      node_stats.bump(Stat::kWireFlushFill, ws->flush_fill);
+      node_stats.bump(Stat::kWireFlushTimer, ws->flush_timer);
+      node_stats.bump(Stat::kWireFlushIdle, ws->flush_idle);
+      node_stats.bump(Stat::kWireFlushBarrier, ws->flush_barrier);
+    }
     r.per_node.push_back(node_stats);
     r.per_node_probes.push_back(k.probes());
     r.total += node_stats;
@@ -132,6 +167,10 @@ obs::RunReport Runtime::report() {
     // Payloads parked inside the link layer (retransmit masters, buffered
     // out-of-order arrivals) are reachable, not leaked.
     machine_->for_each_link_payload([&](const Bytes& b) {
+      if (b.capacity() != 0 && ledger_.contains(b.data())) ++in_flight;
+    });
+    // Frame buffers held open in the wire aggregators are reachable too.
+    machine_->for_each_wire_payload([&](const Bytes& b) {
       if (b.capacity() != 0 && ledger_.contains(b.data())) ++in_flight;
     });
     const std::uint64_t outstanding = ledger_.outstanding();

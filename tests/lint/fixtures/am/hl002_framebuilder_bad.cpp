@@ -1,0 +1,51 @@
+// Fixture: HL002 hal-buffer-lifecycle (known-bad) — FrameBuilder mistakes
+// the wire-batching layer must not make.
+//
+// Each function breaks the frame-buffer discipline a different way: the
+// empty-flush branch forgets to retire the reservation; a packed record's
+// payload is retired twice (once by the pack, again by a shared cleanup);
+// reopening a frame re-reserves while the previous buffer is still owned.
+namespace fix {
+
+struct Bytes {};
+struct Pool {
+  Bytes reserve(unsigned n);
+  Bytes acquire(unsigned n);
+  void release(Bytes b);
+};
+
+void wire_push(Bytes b);
+void copy_record_into(Bytes& frame, const Bytes& payload);
+
+class BadFrameBuilder {
+ public:
+  // Flushing an empty frame bails out — and the reservation leaks.
+  void flush_leaks_when_empty(Pool& pool, bool empty) {
+    Bytes frame = pool.reserve(4096);
+    if (empty) {
+      return;  // EXPECT: hal-buffer-lifecycle
+    }
+    wire_push(std::move(frame));
+  }
+
+  // The pack retires the record payload, then a shared cleanup path
+  // retires it again — the receiver would poison-trip on the second.
+  void pack_double_retires(Pool& pool, unsigned n) {
+    Bytes payload = pool.acquire(n);
+    Bytes frame = pool.reserve(4096);
+    copy_record_into(frame, payload);
+    pool.release(std::move(payload));
+    pool.release(std::move(payload));  // EXPECT: hal-buffer-lifecycle
+    wire_push(std::move(frame));
+  }
+
+  // Reopening re-reserves while the previous frame buffer is still owned,
+  // dropping the held records on the floor.
+  void reopen_drops_open_frame(Pool& pool) {
+    Bytes frame = pool.reserve(4096);
+    frame = pool.reserve(4096);  // EXPECT: hal-buffer-lifecycle
+    wire_push(std::move(frame));
+  }
+};
+
+}  // namespace fix

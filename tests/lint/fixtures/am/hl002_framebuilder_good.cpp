@@ -1,0 +1,57 @@
+// Fixture: HL002 hal-buffer-lifecycle (known-good) — the FrameBuilder
+// idiom of the wire-batching layer (src/am/wire_batch.cpp).
+//
+// Sanctioned shapes: a frame buffer reserved lazily on the first append
+// (empty/owned join, then a single move); a record payload retired into
+// the pool after its bytes are copied into the frame; an emit path that
+// ships the closed frame exactly once; an abandon path that retires an
+// unshipped frame at teardown.
+namespace fix {
+
+struct Bytes {};
+struct Pool {
+  Bytes reserve(unsigned n);
+  Bytes acquire(unsigned n);
+  void release(Bytes b);
+};
+
+void wire_push(Bytes b);
+void copy_record_into(Bytes& frame, const Bytes& payload);
+
+class GoodFrameBuilder {
+ public:
+  // Lazy open: the buffer is reserved only when the first record lands.
+  // The E/O join at the merge point is legal — moving an empty Bytes is a
+  // no-op, and the owned branch's buffer reaches wire_push exactly once.
+  void append_then_ship(Pool& pool, const Bytes& payload, bool open) {
+    Bytes frame;
+    if (!open) {
+      frame = pool.reserve(4096);
+    }
+    copy_record_into(frame, payload);
+    wire_push(std::move(frame));
+  }
+
+  // A record's payload retires into the pool once its bytes are packed —
+  // the frame owns the only live copy from here on.
+  void pack_record(Pool& pool, unsigned n) {
+    Bytes payload = pool.acquire(n);
+    Bytes frame = pool.reserve(4096);
+    copy_record_into(frame, payload);
+    pool.release(std::move(payload));
+    wire_push(std::move(frame));
+  }
+
+  // Flushing an empty frame retires the reservation instead of shipping a
+  // zero-record packet.
+  void flush(Pool& pool, bool empty) {
+    Bytes frame = pool.reserve(4096);
+    if (empty) {
+      pool.release(std::move(frame));
+      return;
+    }
+    wire_push(std::move(frame));
+  }
+};
+
+}  // namespace fix

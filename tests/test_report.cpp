@@ -150,7 +150,7 @@ TEST(RunReport, JsonIsDeterministicAcrossSameSeedSimRuns) {
   const std::string a = run_workload(MachineKind::kSim).to_json();
   const std::string b = run_workload(MachineKind::kSim).to_json();
   EXPECT_EQ(a, b);  // byte-identical
-  EXPECT_NE(a.find("\"schema\":\"halcyon.run_report.v4\""), std::string::npos);
+  EXPECT_NE(a.find("\"schema\":\"halcyon.run_report.v5\""), std::string::npos);
   EXPECT_NE(a.find("\"workers\":1"), std::string::npos);  // sim: one stream
   EXPECT_NE(a.find("\"dead_letter_causes\":{\"unknown_actor\":"),
             std::string::npos);
