@@ -51,6 +51,7 @@
 #include "am/machine.hpp"
 #include "am/node_executor.hpp"
 #include "common/fast_clock.hpp"
+#include "common/lint_markers.hpp"
 #include "common/mpsc_queue.hpp"
 #include "common/rng.hpp"
 #include "common/ws_deque.hpp"
@@ -58,6 +59,12 @@
 namespace hal::am {
 
 class MnMachine final : public Machine, private LinkSink {
+  // Memory-order contract checked by hal-lint HL007: NodeSlot::state RMWs
+  // are all seq_cst (they carry the run-token happens-before chain between
+  // successive owners), wake_epoch_ publishes seq_cst / reads acquire, and
+  // only the advisory thief-wake reads (maybe_wake_thief) may be relaxed.
+  HAL_MEMORY_PROTOCOL("run_tokens");
+
  public:
   /// `workers` = 0 picks min(hardware threads, nodes); any value is capped
   /// at the node count.
@@ -114,15 +121,20 @@ class MnMachine final : public Machine, private LinkSink {
         : index(index_), local(deque_capacity), rng(rng_seed) {}
 
     const std::uint32_t index;
-    WsDeque<NodeSlot> local;      // run tokens; owner bottom, thieves top
-    MpscQueue<NodeId> inject;     // off-pool token handoff (bootstrap)
+    // Run tokens are epoch-counted units (HAL_EPOCH_COUNTED → hal-lint
+    // HL009): every push into either queue must follow a note_sent or a
+    // pop from a sibling queue (a hand-off), so sent == handled keeps
+    // proving no token hides in any run queue.
+    WsDeque<NodeSlot> local HAL_EPOCH_COUNTED;   // owner bottom, thieves top
+    MpscQueue<NodeId> inject HAL_EPOCH_COUNTED;  // off-pool token handoff
     Xoshiro256 rng;               // steal-victim selection
     std::uint64_t sweep_epoch = ~std::uint64_t{0};  // forces the first sweep
     bool primed = false;          // first sweep schedules every home node
     std::mutex mutex;
     std::condition_variable cv;
     std::uint64_t wake_gen = 0;   // guarded by mutex; bumped by wake_hook
-    std::atomic<bool> sleeping{false};  // ThreadMachine's RMW handshake
+    // ThreadMachine's RMW handshake; HAL_PARK_FLAG → hal-lint HL006.
+    std::atomic<bool> sleeping HAL_PARK_FLAG{false};
   };
 
   void worker_loop(std::uint32_t w);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "am/machine.hpp"
+#include "common/lint_markers.hpp"
 #include "common/mpsc_queue.hpp"
 #include "common/termination.hpp"
 
@@ -89,7 +90,10 @@ class NodeExecutor {
  private:
   Machine& machine_;
   TerminationDetector detector_;
-  std::vector<std::unique_ptr<MpscQueue<Packet>>> mailboxes_;
+  // Physical packets in flight are epoch-counted units (HAL_EPOCH_COUNTED →
+  // hal-lint HL009): post() bumps the sent epoch before every push, drain()
+  // bumps handled after every pop, so the detector's double scan stays exact.
+  std::vector<std::unique_ptr<MpscQueue<Packet>>> mailboxes_ HAL_EPOCH_COUNTED;
 };
 
 }  // namespace hal::am

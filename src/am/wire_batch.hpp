@@ -51,6 +51,7 @@
 #include "common/assert.hpp"
 #include "common/buffer_pool.hpp"
 #include "common/bytes.hpp"
+#include "common/lint_markers.hpp"
 #include "common/types.hpp"
 
 #include "am/packet.hpp"
@@ -133,6 +134,12 @@ inline std::size_t frame_record_size(const Packet& p) noexcept {
 /// records accumulate and handed off whole by close(); the drop-on-drain
 /// path retires it instead (Machine::drain_wire).
 class FrameBuilder {
+  // Checked by hal-lint HL007: this protocol is *single-writer* — deadlines
+  // and counts are plain fields whose safety comes from execution-stream
+  // affinity, so introducing atomics (or memory orders) here would paper
+  // over a design breach instead of fixing one.
+  HAL_MEMORY_PROTOCOL("frame_deadlines");
+
  public:
   bool open() const noexcept { return count_ != 0; }
   std::uint32_t count() const noexcept { return count_; }

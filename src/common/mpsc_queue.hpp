@@ -13,10 +13,17 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/lint_markers.hpp"
+
 namespace hal {
 
 template <typename T>
 class MpscQueue {
+  // Memory-order contract checked by hal-lint HL007 (docs/linting.md):
+  // push = head_.exchange(acq_rel) + next.store(release); pop/empty =
+  // next.load(acquire); size_ is an advisory relaxed counter.
+  HAL_MEMORY_PROTOCOL("mpsc_queue");
+
   // pop() moves out of next->value before advancing tail_; if that move
   // could throw, the element would be lost while still linked and the queue
   // state would be ambiguous to the caller. Packet (vector + scalars) is

@@ -69,10 +69,16 @@
 #include "check/affinity.hpp"
 #include "check/check.hpp"
 #include "common/assert.hpp"
+#include "common/lint_markers.hpp"
 
 namespace hal {
 
 class TerminationDetector {
+  // Binds this class to hal-lint HL007's `termination_epochs` policy: the
+  // epoch bumps and shard scans stay seq_cst (the total order S above);
+  // only the constructor's pre-publication init may relax.
+  HAL_MEMORY_PROTOCOL("termination_epochs");
+
  public:
   enum class Verdict {
     kBusy,       ///< not quiescent (yet) — go to sleep, someone will wake you

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/lint_markers.hpp"
 
 namespace hal {
 
@@ -19,6 +20,12 @@ namespace hal {
 /// Owner thread: push_bottom / pop_bottom. Other threads: steal_top.
 template <typename T>
 class WsDeque {
+  // Memory-order contract checked by hal-lint HL007: the pop_bottom /
+  // steal_top store-buffering exclusion uses seq_cst accesses (not fences —
+  // TSan models accesses), push_bottom publishes with a release store of
+  // bottom_ after an acquire read of top_.
+  HAL_MEMORY_PROTOCOL("ws_deque");
+
  public:
   explicit WsDeque(std::size_t capacity_pow2 = 1u << 13)
       : buffer_(capacity_pow2), mask_(capacity_pow2 - 1) {

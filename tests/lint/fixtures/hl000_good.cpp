@@ -1,17 +1,29 @@
-// Fixture: HL000 hal-suppress-needs-reason (known-good).
+// Fixture: HL000 hal-suppress-needs-reason (known-good forms).
+//
+// Every suppression below is well-formed — named check(s) plus a reason —
+// so none is an HL000 finding. But none of them silences a real
+// diagnostic in this file either, so each IS an HL010 hal-stale-suppress
+// finding: the two checks split the suppression-hygiene contract exactly
+// there (malformed is HL000's alone, well-formed-but-dead is HL010's
+// alone, never both), and this fixture pins that boundary together with
+// hl000_bad.cpp and hl010_good.cpp.
 namespace fix {
 
 // Canonical form: check id plus a reason.
+// EXPECT-NEXT: hal-stale-suppress
 // HAL_LINT_SUPPRESS(hal-handler-purity): fixture — audited by hand.
 void own_line_form(int v);
 
+// EXPECT-NEXT: hal-stale-suppress
 void same_line_form(int v);  // HAL_LINT_SUPPRESS(hal-buffer-lifecycle): fixture.
 
 // Several checks at once, by id or code, with one shared reason.
+// EXPECT-NEXT: hal-stale-suppress
 // HAL_LINT_SUPPRESS(hal-wire-hygiene, HL005): fixture — legacy shim.
 void multi_check_form(int v);
 
 // Wildcard is allowed as long as the reason says why.
+// EXPECT-NEXT: hal-stale-suppress
 // HAL_LINT_SUPPRESS(*): fixture — generated code, excluded wholesale.
 void wildcard_form(int v);
 

@@ -1,0 +1,82 @@
+// Fixture: HL006 hal-park-loop-protocol (known-bad).
+//
+// The first function is the exact PR 8 lost-wakeup shape: the park flag
+// armed once before the wait loop, so a wakeup that re-reads the mailbox
+// transiently empty (Vyukov MPSC empty() may report true over a completed
+// push hidden behind another producer's half-finished one) re-parks with
+// the flag already down — the gap-closing producer reads false, skips its
+// notify, and the node sleeps over a live packet forever.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace fix {
+
+struct NodeRec {
+  std::atomic<bool> sleeping{false};
+  std::condition_variable cv;
+  std::mutex m;
+};
+
+bool pred();
+
+// PR 8 shape: arm hoisted out of the loop.
+void park_armed_before_loop(NodeRec& rec) {
+  std::unique_lock<std::mutex> lock(rec.m);
+  rec.sleeping.exchange(true, std::memory_order_seq_cst);
+  for (;;) {
+    if (pred()) break;
+    rec.cv.wait(lock);  // EXPECT: hal-park-loop-protocol
+  }
+  rec.sleeping.exchange(false, std::memory_order_seq_cst);
+}
+
+// Never arms at all.
+void park_never_arms(NodeRec& rec) {
+  std::unique_lock<std::mutex> lock(rec.m);
+  for (;;) {
+    if (pred()) break;
+    rec.cv.wait(lock);  // EXPECT: hal-park-loop-protocol
+  }
+  rec.sleeping.exchange(false, std::memory_order_seq_cst);
+}
+
+// Arms in the right place but with a weakened order: the proof leans on
+// the seq_cst RMW chain.
+void park_weak_arm(NodeRec& rec) {
+  std::unique_lock<std::mutex> lock(rec.m);
+  for (;;) {
+    rec.sleeping.exchange(true, std::memory_order_acq_rel);  // EXPECT: hal-park-loop-protocol
+    if (pred()) break;
+    rec.cv.wait(lock);
+  }
+  rec.sleeping.exchange(false, std::memory_order_seq_cst);
+}
+
+// store() is not an RMW, so it does not join the exchange chain — and the
+// loop is left with no seq_cst disarm at all.
+void park_store_disarm(NodeRec& rec) {
+  std::unique_lock<std::mutex> lock(rec.m);
+  for (;;) {
+    rec.sleeping.exchange(true, std::memory_order_seq_cst);
+    if (pred()) break;
+    rec.cv.wait(lock);
+  }  // EXPECT: hal-park-loop-protocol
+  rec.sleeping.store(false, std::memory_order_seq_cst);  // EXPECT: hal-park-loop-protocol
+}
+
+// Predicate-form wait: the library re-evaluates the predicate internally
+// with no chance to re-arm in between.
+void park_predicate_form(NodeRec& rec) {
+  std::unique_lock<std::mutex> lock(rec.m);
+  rec.sleeping.exchange(true, std::memory_order_seq_cst);
+  rec.cv.wait(lock, [&] { return pred(); });  // EXPECT: hal-park-loop-protocol
+  rec.sleeping.exchange(false, std::memory_order_seq_cst);
+}
+
+// Plain assignment bypasses the RMW chain entirely.
+void flag_assignment(NodeRec& rec) {
+  rec.sleeping = true;  // EXPECT: hal-park-loop-protocol
+}
+
+}  // namespace fix

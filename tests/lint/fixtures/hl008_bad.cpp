@@ -1,0 +1,78 @@
+// Fixture: HL008 hal-send-graph (known-bad).
+//
+// One handler id per failure mode of the send/handler graph: decoded but
+// never sent (unreachable), sent but never decoded (default-arm panic),
+// defined but never used (dead vocabulary), a decode arm reading a word
+// slot no encode site writes (word-count drift), and a decode path —
+// through the forwarded handler function — reading a payload no encode
+// site attaches.
+namespace fix {
+
+enum Handler : unsigned {
+  kHPing,
+  kHOrphan,
+  kHGhost,  // EXPECT: hal-send-graph
+  kHDrift,
+  kHPayloadless,
+  kHUnrouted,
+};
+
+struct Bytes {
+  unsigned char* data;
+};
+
+struct Packet {
+  Handler handler;
+  unsigned long words[6];
+  Bytes payload;
+};
+
+void use(unsigned long a, unsigned long b);
+void use_bytes(const Bytes& b);
+
+void send_ping(Packet& p) {
+  p.handler = kHPing;
+  p.words = {1, 2};
+}
+
+void send_drift(Packet& p) {
+  p.handler = kHDrift;
+  p.words[0] = 7;
+}
+
+void send_payloadless(Packet& p) {
+  p.handler = kHPayloadless;
+  p.words = {1, 2, 3};
+}
+
+void send_unrouted(Packet& p) {
+  p.handler = kHUnrouted;  // EXPECT: hal-send-graph
+}
+
+void on_drift(const Packet& p) {
+  use(p.words[0], p.words[2]);
+}
+
+void on_payloadless(const Packet& p) {
+  use_bytes(p.payload);
+}
+
+void dispatch(Packet& p) {
+  switch (p.handler) {
+    case kHPing:  // EXPECT: hal-send-graph
+      use(p.words[0], p.words[3]);
+      break;
+    case kHOrphan:  // EXPECT: hal-send-graph
+      break;
+    case kHDrift:  // EXPECT: hal-send-graph
+      on_drift(p);
+      break;
+    case kHPayloadless:  // EXPECT: hal-send-graph
+      on_payloadless(p);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,71 @@
+// Fixture: HL008 hal-send-graph (known-good).
+//
+// Matched sides: the aggregate `p.words = {...}` encode covers every slot
+// the decode arm (and the handler function it forwards to) reads, the
+// payload travels on both sides, and an id routed through a registration
+// aggregate (BulkHandlers-style generic mention) is evidence for both
+// directions — indirection is not misreported as unreachable.
+namespace fix {
+
+enum Handler : unsigned {
+  kHPing,
+  kHStats,
+  kHBulkData,
+};
+
+struct Bytes {
+  unsigned char* data;
+};
+
+struct Packet {
+  Handler handler;
+  unsigned long words[6];
+  Bytes payload;
+};
+
+struct BulkHandlers {
+  Handler data;
+};
+
+Bytes make_payload();
+void use(unsigned long a, unsigned long b);
+void use_bytes(const Bytes& b);
+
+void send_ping(Packet& p) {
+  p.handler = kHPing;
+  p.words = {1, 2, 3, 4, 5, 6};
+  p.payload = make_payload();
+}
+
+void send_stats(Packet& p) {
+  p.handler = kHStats;
+  p.words[0] = 1;
+  p.words[1] = 2;
+}
+
+// Registration aggregate: the id flows through a variable from here on,
+// like the kernel's BulkHandlers wiring.
+BulkHandlers register_bulk() {
+  return BulkHandlers{kHBulkData};
+}
+
+void on_ping(const Packet& p) {
+  use(p.words[0], p.words[5]);
+  use_bytes(p.payload);
+}
+
+void dispatch(Packet& p) {
+  switch (p.handler) {
+    case kHPing: {
+      on_ping(p);
+      break;
+    }
+    case kHStats:
+      use(p.words[0], p.words[1]);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,52 @@
+// Fixture: HL009 hal-epoch-conservation (known-bad).
+//
+// The first function is the historical dropped-bump shape: a delivery path
+// publishes a packet onto an epoch-counted channel without note_sent, so
+// `sent - handled` no longer counts it and the termination detector can
+// declare quiescence over an in-flight message. The others pin the
+// count-after-visible ordering bug and the unaccounted take.
+namespace fix {
+
+struct Packet {
+  unsigned dst;
+};
+
+template <typename T>
+struct Queue {
+  void push(T v);
+  T* pop();
+};
+
+struct Detector {
+  void note_sent();
+  void note_handled();
+};
+
+void dispatch(Packet* p);
+
+struct NodeExecutor {
+  Queue<Packet>** mailboxes_ HAL_EPOCH_COUNTED;
+  Detector detector_;
+
+  // Dropped bump: the retransmit-path bug shape.
+  void post(Packet p) {
+    mailboxes_[p.dst]->push(p);  // EXPECT: hal-epoch-conservation
+  }
+
+  // Bump AFTER the packet is visible: a racing all_idle() between the
+  // push and the bump sees balanced epochs over a live packet.
+  void post_late(Packet p) {
+    mailboxes_[p.dst]->push(p);  // EXPECT: hal-epoch-conservation
+    detector_.note_sent();
+  }
+
+  // Unaccounted take through a reference alias: dispatched but the
+  // handled epoch never moves.
+  void drain_one(unsigned node) {
+    Queue<Packet>& q = *mailboxes_[node];
+    Packet* p = q.pop();  // EXPECT: hal-epoch-conservation
+    dispatch(p);
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,67 @@
+// Fixture: HL009 hal-epoch-conservation (known-good).
+//
+// Every publish onto an epoch-counted channel is preceded by note_sent
+// (count-before-visible), every take either bumps the handled epoch,
+// re-publishes the already-counted packet onto another counted channel
+// (inject -> local transfer), or returns it to the accounting caller
+// (next_runnable handing the slot to run_node).
+namespace fix {
+
+struct Slot {
+  unsigned id;
+};
+
+template <typename T>
+struct Deque {
+  void push_bottom(T* v);
+  T* pop_bottom();
+  T* steal_top();
+};
+
+template <typename T>
+struct Queue {
+  void push(T* v);
+  T* pop();
+};
+
+struct Detector {
+  void note_sent();
+  void note_handled();
+};
+
+void execute(Slot* s);
+
+struct MnSched {
+  Deque<Slot> local HAL_EPOCH_COUNTED;
+  Queue<Slot> inject HAL_EPOCH_COUNTED;
+  Detector detector_;
+
+  // Count-before-visible on both the on-pool and off-pool paths.
+  void enqueue(Slot* s, bool on_pool) {
+    detector_.note_sent();
+    if (on_pool) {
+      local.push_bottom(s);
+    } else {
+      inject.push(s);
+    }
+  }
+
+  // Transfers and escapes: inject->local re-publishes a counted packet,
+  // pop_bottom/steal_top hand the slot to the caller's accounting.
+  Slot* next_runnable(MnSched& victim) {
+    while (Slot* n = inject.pop()) {
+      local.push_bottom(n);
+    }
+    if (Slot* s = local.pop_bottom()) {
+      return s;
+    }
+    return victim.local.steal_top();
+  }
+
+  void run_node(Slot* s) {
+    execute(s);
+    detector_.note_handled();
+  }
+};
+
+}  // namespace fix

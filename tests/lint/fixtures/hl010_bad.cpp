@@ -1,0 +1,24 @@
+// Fixture: HL010 hal-stale-suppress (known-bad).
+//
+// Well-formed suppressions that silence nothing are stale: the code they
+// excused was fixed or moved, and a lingering escape hatch would silently
+// swallow the next real finding on that line. Malformed suppressions stay
+// HL000's findings alone — the last case pins that there is no double
+// report.
+namespace fix {
+
+// Own-line form, nothing fires on the covered line any more.
+// EXPECT-NEXT: hal-stale-suppress
+// HAL_LINT_SUPPRESS(hal-handler-purity): obsolete — the allocation moved.
+void fixed_long_ago(int v);
+
+// Same-line form, equally dead.
+// EXPECT-NEXT: hal-stale-suppress
+void also_fixed(int v);  // HAL_LINT_SUPPRESS(hal-buffer-lifecycle): stale.
+
+// Malformed (no reason): HL000's finding, NOT also reported as stale.
+// EXPECT-NEXT: hal-suppress-needs-reason
+// HAL_LINT_SUPPRESS(hal-wire-hygiene)
+void malformed(int v);
+
+}  // namespace fix

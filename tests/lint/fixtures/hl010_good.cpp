@@ -1,0 +1,30 @@
+// Fixture: HL010 hal-stale-suppress (known-good).
+//
+// A suppression that actually silences a diagnostic is honoured, not
+// stale: the lambda below captures `this` inside a behaviour method,
+// which HL003 would flag, and the reasoned suppression consumes exactly
+// that finding — so the full run is clean.
+namespace fix {
+
+struct Address {};
+struct Context {
+  Address self();
+  template <typename Fn>
+  void request(Address to, Fn&& k);
+};
+
+class Counter {
+ public:
+  HAL_BEHAVIOR(Counter, &Counter::on_inc)
+
+  void on_inc(Context& ctx, Address peer) {
+    // HAL_LINT_SUPPRESS(hal-actor-state-escape): fixture — this driver is
+    // pinned for the whole run and can never migrate.
+    ctx.request(peer, [this](int r) { total_ += r; });
+  }
+
+ private:
+  int total_ = 0;
+};
+
+}  // namespace fix

@@ -53,14 +53,18 @@ def actual_findings(lint: str, path: Path):
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} <hal-lint-binary> <fixture-dir>",
-              file=sys.stderr)
+    if len(sys.argv) < 3:
+        print(f"usage: {sys.argv[0]} <hal-lint-binary> "
+              "<fixture-dir-or-file>...", file=sys.stderr)
         return 2
-    lint, fixture_dir = sys.argv[1], Path(sys.argv[2])
-    fixtures = sorted(fixture_dir.rglob("*.cpp"))
+    lint = sys.argv[1]
+    fixtures = []
+    for arg in sys.argv[2:]:
+        p = Path(arg)
+        fixtures.extend(sorted(p.rglob("*.cpp")) if p.is_dir() else [p])
+    fixture_dir = Path(sys.argv[2])
     if not fixtures:
-        print(f"no fixtures found under {fixture_dir}", file=sys.stderr)
+        print("no fixtures found", file=sys.stderr)
         return 2
 
     failures = 0
@@ -75,7 +79,9 @@ def main() -> int:
         want_rc = 1 if expected else 0
         if rc != want_rc:
             problems.append(f"  exit:    got {rc}, want {want_rc}")
-        name = path.relative_to(fixture_dir)
+        name = (path.relative_to(fixture_dir)
+                if fixture_dir.is_dir() and path.is_relative_to(fixture_dir)
+                else path.name)
         if problems:
             failures += 1
             print(f"FAIL {name}")

@@ -1,0 +1,390 @@
+// HL008 hal-send-graph: cross-TU send/handler graph for the AM protocol.
+//
+// The Handler enum is the runtime's wire vocabulary: kernel encode sites
+// assign an id into Packet::handler, and the dispatch switch decodes it —
+// in a different TU. Nothing in the type system ties the two sides
+// together, so this check rebuilds the graph from every scanned TU:
+//
+//   * an id that is decoded (case label) but never assigned at any send
+//     site is an unreachable handler;
+//   * an id that is assigned but never decoded is a message that falls
+//     into the dispatcher's default/panic arm;
+//   * an id that only exists in the enum is dead vocabulary;
+//   * where both sides are analyzable, the word-slot footprint must agree:
+//     a decode arm (or the handler function it forwards the packet to)
+//     reading words[i] that no encode site writes, or reading a payload no
+//     encode site attaches, is the classic "argc/word-count drifted on one
+//     side" protocol bug.
+//
+// Mentions that are neither case labels nor `X.handler = id` assignments
+// (registration aggregates like BulkHandlers{...}, selector packing, ...)
+// count as evidence on BOTH sides: ids routed through variables are
+// handled by their own indirection, not misreported here.
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/checks.hpp"
+#include "lint/protocol_util.hpp"
+
+namespace hal::lint {
+
+namespace {
+
+constexpr const char* kId = "hal-send-graph";
+
+struct SiteRef {
+  SourceFile* file = nullptr;
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+  std::size_t tok = 0;
+  const FunctionDecl* fn = nullptr;  ///< enclosing definition, if any
+  std::string var;                   ///< packet variable at the site
+};
+
+struct HandlerInfo {
+  SourceFile* file = nullptr;  ///< file of the enum definition
+  std::uint32_t line = 0;      ///< enumerator line
+  std::vector<SiteRef> sends;
+  std::vector<SiteRef> cases;
+  bool generic = false;  ///< mentioned outside both patterns
+};
+
+/// words[i] / payload footprint of one side of a handler.
+struct WordSet {
+  std::set<int> idx;
+  bool dynamic = false;  ///< non-literal index seen — side unanalyzable
+  bool payload = false;
+};
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+  }
+  return true;
+}
+
+/// Record every `var.words[...]`, `var.words = {...}` and `var.payload`
+/// use in [begin, end) into `out`. The same scan serves both sides:
+/// indexed mentions are writes at encode sites and reads at decode sites.
+void scan_packet_uses(const std::vector<Token>& t, std::size_t begin,
+                      std::size_t end, std::string_view var, WordSet& out) {
+  if (var.empty()) return;
+  for (std::size_t i = begin; i + 2 < end; ++i) {
+    if (t[i].kind != Tok::Identifier || t[i].text != var) continue;
+    if (t[i + 1].text != "." && t[i + 1].text != "->") continue;
+    if (t[i + 2].text == "payload") {
+      out.payload = true;
+      continue;
+    }
+    if (t[i + 2].text != "words") continue;
+    if (i + 3 < end && t[i + 3].text == "[") {
+      if (i + 5 < end && t[i + 4].kind == Tok::Number &&
+          all_digits(t[i + 4].text) && t[i + 5].text == "]") {
+        out.idx.insert(std::stoi(std::string(t[i + 4].text)));
+      } else {
+        out.dynamic = true;
+      }
+    } else if (i + 4 < end && t[i + 3].text == "=" &&
+               t[i + 4].text == "{") {
+      // Aggregate form `p.words = {a, b, c};` writes slots 0..N-1.
+      const std::size_t n = proto::count_args(t, i + 4, end);
+      for (std::size_t k = 0; k < n; ++k) {
+        out.idx.insert(static_cast<int>(k));
+      }
+    }
+  }
+}
+
+/// Name of the Packet parameter of `fn`, or "" (unnamed / not found).
+std::string_view packet_param(const std::vector<Token>& t,
+                              const FunctionDecl& fn) {
+  std::size_t j = fn.body_begin;
+  while (j > 0) {
+    --j;
+    if (t[j].text == ")") break;
+    if (t[j].kind == Tok::Identifier &&
+        (t[j].text == "const" || t[j].text == "noexcept" ||
+         t[j].text == "override" || t[j].text == "final")) {
+      continue;
+    }
+    return {};  // ctor init list / trailing return / ...: give up safely
+  }
+  if (j == 0) return {};
+  int depth = 0;
+  std::size_t close = j;
+  while (j > 0) {
+    if (t[j].text == ")") ++depth;
+    if (t[j].text == "(" && --depth == 0) break;
+    --j;
+  }
+  for (std::size_t k = j + 1; k < close; ++k) {
+    if (t[k].kind == Tok::Identifier && t[k].text == "Packet") {
+      std::string_view name;
+      for (std::size_t m = k + 1; m < close; ++m) {
+        if (t[m].text == ",") break;
+        if (t[m].kind == Tok::Identifier) name = t[m].text;
+      }
+      return name;
+    }
+  }
+  return {};
+}
+
+struct SwitchInfo {
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::string var;  ///< X in `switch (X.handler)`, "" if another switch
+};
+
+std::vector<SwitchInfo> handler_switches(const std::vector<Token>& t,
+                                         const FunctionDecl& fn) {
+  std::vector<SwitchInfo> out;
+  for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+    if (t[i].kind != Tok::Identifier || t[i].text != "switch") continue;
+    if (t[i + 1].text != "(") continue;
+    const std::size_t close = tokq::match(t, i + 1, fn.body_end);
+    if (close + 1 >= fn.body_end || t[close + 1].text != "{") continue;
+    SwitchInfo sw;
+    sw.body_begin = close + 1;
+    sw.body_end = tokq::match(t, sw.body_begin, fn.body_end);
+    for (std::size_t k = i + 2; k + 2 < close; ++k) {
+      if (t[k].kind == Tok::Identifier &&
+          (t[k + 1].text == "." || t[k + 1].text == "->") &&
+          t[k + 2].text == "handler") {
+        sw.var = std::string(t[k].text);
+        break;
+      }
+    }
+    out.push_back(sw);
+  }
+  return out;
+}
+
+/// Token range of the case arm starting at the label token `case_tok`
+/// inside switch body (body_begin, body_end): from the label's ':' up to
+/// the next same-level case/default or the switch end.
+proto::LoopRange case_arm(const std::vector<Token>& t, std::size_t case_tok,
+                          const SwitchInfo& sw) {
+  std::size_t colon = case_tok;
+  while (colon < sw.body_end && t[colon].text != ":") ++colon;
+  std::size_t end = sw.body_end;
+  int depth = 0;
+  for (std::size_t i = colon + 1; i < sw.body_end; ++i) {
+    const std::string_view x = t[i].text;
+    if (x == "{" || x == "(" || x == "[") ++depth;
+    if (x == "}" || x == ")" || x == "]") --depth;
+    if (depth == 0 && t[i].kind == Tok::Identifier &&
+        (x == "case" || x == "default")) {
+      end = i;
+      break;
+    }
+  }
+  return proto::LoopRange{colon, end};
+}
+
+}  // namespace
+
+void run_send_graph(CheckContext& ctx) {
+  const Model& model = ctx.model();
+
+  // 1. The wire vocabulary: every `enum [class] Handler { ... }`.
+  std::map<std::string, HandlerInfo, std::less<>> handlers;
+  std::map<const SourceFile*, std::vector<proto::LoopRange>> enum_bodies;
+  for (const auto& fptr : model.files()) {
+    SourceFile* file = fptr.get();
+    const std::vector<Token>& t = file->tokens();
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].kind != Tok::Identifier || t[i].text != "enum") continue;
+      std::size_t j = i + 1;
+      if (t[j].text == "class" || t[j].text == "struct") ++j;
+      if (j >= t.size() || t[j].kind != Tok::Identifier ||
+          t[j].text != "Handler") {
+        continue;
+      }
+      ++j;
+      while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+      if (j >= t.size() || t[j].text != "{") continue;  // fwd decl
+      const std::size_t open = j;
+      const std::size_t close = tokq::match(t, open, t.size());
+      enum_bodies[file].push_back(proto::LoopRange{open, close});
+      std::size_t k = open + 1;
+      while (k < close) {
+        if (t[k].kind == Tok::Identifier) {
+          HandlerInfo& h = handlers[std::string(t[k].text)];
+          h.file = file;
+          h.line = t[k].line;
+          int depth = 0;
+          while (k < close) {
+            const std::string_view x = t[k].text;
+            if (x == "{" || x == "(" || x == "[") ++depth;
+            if (x == "}" || x == ")" || x == "]") --depth;
+            if (x == "," && depth == 0) break;
+            ++k;
+          }
+        }
+        ++k;
+      }
+    }
+  }
+  if (handlers.empty()) return;
+
+  // Function lookup per file for enclosing-definition resolution.
+  std::map<const SourceFile*, std::vector<const FunctionDecl*>> fns_by_file;
+  for (const FunctionDecl& fn : model.functions()) {
+    fns_by_file[fn.file].push_back(&fn);
+  }
+  const auto enclosing = [&](SourceFile* file,
+                             std::size_t tok) -> const FunctionDecl* {
+    const auto it = fns_by_file.find(file);
+    if (it == fns_by_file.end()) return nullptr;
+    const FunctionDecl* best = nullptr;
+    for (const FunctionDecl* fn : it->second) {
+      if (fn->body_begin < tok && tok < fn->body_end) {
+        if (best == nullptr || fn->body_begin > best->body_begin) best = fn;
+      }
+    }
+    return best;
+  };
+
+  // 2. Classify every mention of a handler id across all TUs.
+  for (const auto& fptr : model.files()) {
+    SourceFile* file = fptr.get();
+    const std::vector<Token>& t = file->tokens();
+    const auto& bodies = enum_bodies[file];
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::Identifier) continue;
+      const auto hit = handlers.find(t[i].text);
+      if (hit == handlers.end()) continue;
+      bool in_enum = false;
+      for (const proto::LoopRange& b : bodies) {
+        if (b.body_begin < i && i < b.body_end) in_enum = true;
+      }
+      if (in_enum) continue;
+      HandlerInfo& h = hit->second;
+      // `Handler::kHX` — look through the qualifier for the classifier.
+      std::size_t prev = i;
+      if (prev >= 2 && t[prev - 1].text == "::" &&
+          t[prev - 2].text == "Handler") {
+        prev -= 2;
+      }
+      SiteRef site;
+      site.file = file;
+      site.line = t[i].line;
+      site.col = t[i].col;
+      site.tok = i;
+      site.fn = enclosing(file, i);
+      if (prev >= 1 && t[prev - 1].text == "case") {
+        h.cases.push_back(site);
+      } else if (prev >= 4 && t[prev - 1].text == "=" &&
+                 t[prev - 2].text == "handler" &&
+                 (t[prev - 3].text == "." || t[prev - 3].text == "->") &&
+                 t[prev - 4].kind == Tok::Identifier) {
+        site.var = std::string(t[prev - 4].text);
+        h.sends.push_back(site);
+      } else {
+        h.generic = true;
+      }
+    }
+  }
+
+  // 3. Reachability over the graph.
+  for (const auto& [name, h] : handlers) {
+    if (h.generic) continue;
+    if (h.sends.empty() && h.cases.empty()) {
+      ctx.report(*h.file, h.line, 1, kId,
+                 "handler id '" + name +
+                     "' is defined but neither sent nor handled anywhere "
+                     "in the scanned TUs (dead vocabulary)");
+      continue;
+    }
+    if (h.sends.empty() && !h.cases.empty()) {
+      const SiteRef& c = h.cases.front();
+      ctx.report(*c.file, c.line, c.col, kId,
+                 "handler '" + name +
+                     "' is decoded here but no send site in any scanned TU "
+                     "assigns it (unreachable handler)");
+    }
+    if (h.cases.empty() && !h.sends.empty()) {
+      const SiteRef& s = h.sends.front();
+      ctx.report(*s.file, s.line, s.col, kId,
+                 "handler '" + name +
+                     "' is sent here but no dispatch switch in any scanned "
+                     "TU decodes it (message would hit the default arm)");
+    }
+  }
+
+  // 4. Word-slot / payload footprint agreement between the two sides.
+  for (const auto& [name, h] : handlers) {
+    if (h.sends.empty() || h.cases.empty()) continue;
+    WordSet enc;
+    for (const SiteRef& s : h.sends) {
+      if (s.fn == nullptr) {
+        enc.dynamic = true;
+        continue;
+      }
+      scan_packet_uses(s.fn->file->tokens(), s.fn->body_begin,
+                       s.fn->body_end, s.var, enc);
+    }
+    if (enc.dynamic) continue;
+    for (const SiteRef& c : h.cases) {
+      if (c.fn == nullptr) continue;
+      const std::vector<Token>& t = c.fn->file->tokens();
+      const auto sws = handler_switches(t, *c.fn);
+      const SwitchInfo* inner = nullptr;
+      for (const SwitchInfo& cand : sws) {
+        if (cand.body_begin < c.tok && c.tok < cand.body_end &&
+            !cand.var.empty() &&
+            (inner == nullptr || cand.body_begin > inner->body_begin)) {
+          inner = &cand;
+        }
+      }
+      if (inner == nullptr) continue;
+      const proto::LoopRange arm = case_arm(t, c.tok, *inner);
+      WordSet dec;
+      scan_packet_uses(t, arm.body_begin, arm.body_end, inner->var, dec);
+      // Depth-1 forwarding: `on_foo(p)` hands the packet to the real
+      // handler function — scan its body against its own Packet param.
+      for (const CallSite& cs : c.fn->calls) {
+        if (cs.tok <= arm.body_begin || cs.tok >= arm.body_end) continue;
+        if (cs.lparen == 0) continue;
+        if (proto::count_args(t, cs.lparen, c.fn->body_end) < 1) continue;
+        bool passes_packet = false;
+        const std::size_t close =
+            tokq::match(t, cs.lparen, c.fn->body_end);
+        for (std::size_t k = cs.lparen + 1; k < close; ++k) {
+          if (t[k].kind == Tok::Identifier && t[k].text == inner->var) {
+            passes_packet = true;
+          }
+        }
+        if (!passes_packet) continue;
+        for (std::size_t fi : model.functions_named(cs.callee)) {
+          const FunctionDecl& target = model.functions()[fi];
+          const std::vector<Token>& tt = target.file->tokens();
+          const std::string_view param = packet_param(tt, target);
+          scan_packet_uses(tt, target.body_begin, target.body_end, param,
+                           dec);
+        }
+      }
+      if (dec.dynamic) continue;
+      for (int ridx : dec.idx) {
+        if (enc.idx.count(ridx) == 0) {
+          ctx.report(*c.file, c.line, c.col, kId,
+                     "handler '" + name + "' decode reads words[" +
+                         std::to_string(ridx) +
+                         "] but no encode site writes that slot "
+                         "(word-count drift between send and handle)");
+        }
+      }
+      if (dec.payload && !enc.payload) {
+        ctx.report(*c.file, c.line, c.col, kId,
+                   "handler '" + name +
+                       "' decode reads the payload but no encode site "
+                       "attaches one");
+      }
+    }
+  }
+}
+
+}  // namespace hal::lint

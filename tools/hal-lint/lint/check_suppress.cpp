@@ -2,6 +2,12 @@
 // known check and carry a non-empty reason string. The suppression syntax
 // is the escape hatch for every other check, so this one is deliberately
 // not suppressible — a silent escape hatch is no contract at all.
+//
+// HL010 hal-stale-suppress lives here too: a well-formed suppression that
+// no diagnostic consumed during a full run silences nothing — the code it
+// excused was fixed or moved — and a lingering escape hatch will silently
+// swallow the next real finding on that line. Runs last (it reads the
+// `used` flags the other checks set) and only over the full check set.
 #include "lint/checks.hpp"
 
 namespace hal::lint {
@@ -36,6 +42,27 @@ void run_suppress_hygiene(CheckContext& ctx) {
             *file, sup.line, 1, "hal-suppress-needs-reason",
             "HAL_LINT_SUPPRESS with an empty check list");
       }
+    }
+  }
+}
+
+void run_stale_suppress(CheckContext& ctx) {
+  for (const auto& file : ctx.model().files()) {
+    for (const Suppression& sup : file->suppressions()) {
+      if (sup.used) continue;
+      // Malformed suppressions are HL000's findings; auditing them as
+      // stale as well would double-report one mistake.
+      if (!sup.has_reason || sup.checks.empty()) continue;
+      bool well_formed = true;
+      for (const std::string& name : sup.checks) {
+        if (!is_known_check_name(name)) well_formed = false;
+      }
+      if (!well_formed) continue;
+      ctx.report_unsuppressable(
+          *file, sup.line, 1, "hal-stale-suppress",
+          "stale HAL_LINT_SUPPRESS: no diagnostic of the named check(s) "
+          "fires here any more; delete it so it cannot swallow the next "
+          "real finding");
     }
   }
 }

@@ -14,6 +14,19 @@
 //                                    wire layer
 //   HL005 hal-capability-coverage    per-node state opting into the
 //                                    NodeAffinityGuard idiom is covered
+//   HL006 hal-park-loop-protocol     park loops re-arm the sleeping flag
+//                                    with a seq_cst exchange before every
+//                                    predicate evaluation
+//   HL007 hal-memory-order-policy    marked protocol structs obey their
+//                                    per-struct memory-order policy table
+//   HL008 hal-send-graph             cross-TU send/handler graph: no
+//                                    unreachable handlers, no word-count
+//                                    drift between encode and decode
+//   HL009 hal-epoch-conservation     every publish on an epoch-counted
+//                                    channel bumps sent, every take is
+//                                    accounted as handled
+//   HL010 hal-stale-suppress         suppressions that no longer silence
+//                                    anything must be deleted
 #pragma once
 
 #include <functional>
@@ -60,6 +73,10 @@ struct Check {
   const char* code;  ///< "HL001"
   const char* summary;
   void (*run)(CheckContext&);
+  /// Only meaningful over the full check set: skipped under --checks=
+  /// subsets (e.g. the stale-suppression audit, which would misread a
+  /// suppression for a disabled check as stale).
+  bool requires_full_run = false;
 };
 
 /// All registered checks, in code order.
@@ -72,5 +89,10 @@ void run_buffer_lifecycle(CheckContext& ctx);   // HL002
 void run_actor_escape(CheckContext& ctx);       // HL003
 void run_wire_hygiene(CheckContext& ctx);       // HL004
 void run_capability_coverage(CheckContext& ctx);  // HL005
+void run_park_loop(CheckContext& ctx);            // HL006
+void run_memory_order(CheckContext& ctx);         // HL007
+void run_send_graph(CheckContext& ctx);           // HL008
+void run_epoch_conservation(CheckContext& ctx);   // HL009
+void run_stale_suppress(CheckContext& ctx);       // HL010
 
 }  // namespace hal::lint

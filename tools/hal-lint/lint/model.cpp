@@ -166,9 +166,12 @@ struct Extractor {
             if (in_class) classify_member(r, cls);
             break;
           case ParseKind::Skip:
-            if (in_class && r.name_tok != 0 &&
-                t[r.name_tok].text == "HAL_BEHAVIOR") {
-              class_named(cls).has_behavior_macro = true;
+            if (in_class && r.name_tok != 0) {
+              if (t[r.name_tok].text == "HAL_BEHAVIOR") {
+                class_named(cls).has_behavior_macro = true;
+              } else if (t[r.name_tok].text == "HAL_MEMORY_PROTOCOL") {
+                note_protocol_marker(r.name_tok, end, cls);
+              }
             }
             break;
         }
@@ -182,6 +185,23 @@ struct Extractor {
       }
       ++i;
     }
+  }
+
+  void note_protocol_marker(std::size_t name_tok, std::size_t end,
+                            const std::string& cls) {
+    // HAL_MEMORY_PROTOCOL("name"): the string literal binds the class to a
+    // policy-table entry in check_memory_order.cpp.
+    if (name_tok + 2 >= end || t[name_tok + 1].text != "(" ||
+        t[name_tok + 2].kind != Tok::String) {
+      return;
+    }
+    std::string_view lit = t[name_tok + 2].text;
+    if (lit.size() >= 2 && lit.front() == '"' && lit.back() == '"') {
+      lit = lit.substr(1, lit.size() - 2);
+    }
+    ClassDecl& c = class_named(cls);
+    c.protocol = std::string(lit);
+    c.protocol_line = t[name_tok].line;
   }
 
   std::size_t scan_namespace(std::size_t i, std::size_t end) {
@@ -657,6 +677,14 @@ struct Extractor {
         if (x == "const") m.is_const = true;
         if (is_any(x, {"HAL_GUARDED_BY", "HAL_PT_GUARDED_BY"})) {
           m.guarded = true;
+          if (type_end == end) type_end = j;
+          continue;
+        }
+        if (is_any(x, {"HAL_PARK_FLAG", "HAL_EPOCH_COUNTED"})) {
+          // Declarator attributes (no argument list): freeze the type so
+          // the member keeps the name that precedes the marker.
+          if (x == "HAL_PARK_FLAG") m.park_flag = true;
+          if (x == "HAL_EPOCH_COUNTED") m.epoch_counted = true;
           if (type_end == end) type_end = j;
           continue;
         }

@@ -57,6 +57,8 @@ struct MemberVar {
   bool is_const = false;
   bool is_reference = false;
   bool guarded = false;  ///< carries HAL_GUARDED_BY / HAL_PT_GUARDED_BY
+  bool park_flag = false;      ///< carries HAL_PARK_FLAG (HL006)
+  bool epoch_counted = false;  ///< carries HAL_EPOCH_COUNTED (HL009)
 };
 
 struct ClassDecl {
@@ -65,6 +67,8 @@ struct ClassDecl {
   std::uint32_t line = 0;   ///< line of the class head
   std::string bases;        ///< raw base-clause text, "" if none
   std::vector<MemberVar> members;
+  std::string protocol;  ///< HAL_MEMORY_PROTOCOL("...") marker, "" if none
+  std::uint32_t protocol_line = 0;   ///< line of the marker macro
   bool has_behavior_macro = false;   ///< body contains HAL_BEHAVIOR(
   bool owns_affinity_guard = false;  ///< has a NodeAffinityGuard member
   std::size_t body_begin = 0;

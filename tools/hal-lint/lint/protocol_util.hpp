@@ -1,0 +1,156 @@
+// Shared token-level helpers for the whole-program protocol checks
+// (HL006 park-loop, HL007 memory-order policy, HL009 epoch conservation):
+// receiver-member resolution for atomic call sites, memory_order argument
+// parsing, and structural ranges (loops, conditions) recovered from the
+// token stream.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lint/model.hpp"
+
+namespace hal::lint::proto {
+
+/// Name of the object a member call is invoked on: walks back from the
+/// callee token over one `.`/`->` and a balanced `[...]` subscript, so
+/// `rec.sleeping.exchange` -> "sleeping", `mailboxes_[dst]->push` ->
+/// "mailboxes_", `sleepers_.fetch_add` -> "sleepers_". Returns "" when the
+/// receiver is not such a chain (free call, `(*p).f`, ...).
+inline std::string_view receiver_object(const std::vector<Token>& t,
+                                        std::size_t callee_tok) {
+  if (callee_tok < 2) return {};
+  std::size_t j = callee_tok - 1;
+  const std::string_view sep = t[j].text;
+  if (t[j].kind != Tok::Punct || (sep != "." && sep != "->")) return {};
+  --j;
+  if (t[j].text == "]") {
+    // Subscripted receiver: hop over the balanced brackets.
+    int depth = 0;
+    while (j > 0) {
+      if (t[j].text == "]") ++depth;
+      if (t[j].text == "[" && --depth == 0) break;
+      --j;
+    }
+    if (j == 0) return {};
+    --j;
+  }
+  return t[j].kind == Tok::Identifier ? t[j].text : std::string_view{};
+}
+
+/// The callee names of std::atomic member operations the policy checks
+/// reason about.
+inline bool is_atomic_op(std::string_view callee) {
+  return callee == "load" || callee == "store" || callee == "exchange" ||
+         callee == "fetch_add" || callee == "fetch_sub" ||
+         callee == "fetch_or" || callee == "fetch_and" ||
+         callee == "fetch_xor" || callee == "compare_exchange_weak" ||
+         callee == "compare_exchange_strong";
+}
+
+/// Explicit memory_order arguments inside a call's parens, in argument
+/// order ("seq_cst", "relaxed", ...). Recognises both the
+/// `std::memory_order_x` constants and the C++20 `std::memory_order::x`
+/// spelling. Empty means the call uses the defaulted order (seq_cst).
+inline std::vector<std::string_view> order_args(const std::vector<Token>& t,
+                                                std::size_t lparen,
+                                                std::size_t end) {
+  std::vector<std::string_view> out;
+  if (lparen == 0) return out;
+  const std::size_t close = tokq::match(t, lparen, end);
+  for (std::size_t j = lparen + 1; j < close; ++j) {
+    if (t[j].kind != Tok::Identifier) continue;
+    const std::string_view x = t[j].text;
+    constexpr std::string_view kPrefix = "memory_order_";
+    if (x.size() > kPrefix.size() && x.substr(0, kPrefix.size()) == kPrefix) {
+      out.push_back(x.substr(kPrefix.size()));
+    } else if (x == "memory_order" && j + 2 < close &&
+               t[j + 1].text == "::") {
+      out.push_back(t[j + 2].text);
+      j += 2;
+    }
+  }
+  return out;
+}
+
+/// A braced loop body inside a function, `[body_begin, body_end]` being the
+/// token indices of its `{` / `}`.
+struct LoopRange {
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+/// All braced `for` / `while` / `do` bodies in `fn`, in source order.
+/// Single-statement loop bodies are not recovered (they cannot hold a
+/// wait-plus-re-arm sequence anyway).
+inline std::vector<LoopRange> braced_loops(const std::vector<Token>& t,
+                                           const FunctionDecl& fn) {
+  std::vector<LoopRange> out;
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    if (t[i].kind != Tok::Identifier) continue;
+    const std::string_view x = t[i].text;
+    std::size_t open = 0;
+    if ((x == "for" || x == "while") && i + 1 < fn.body_end &&
+        t[i + 1].text == "(") {
+      const std::size_t close = tokq::match(t, i + 1, fn.body_end);
+      if (close + 1 < fn.body_end && t[close + 1].text == "{") {
+        open = close + 1;
+      }
+    } else if (x == "do" && i + 1 < fn.body_end && t[i + 1].text == "{") {
+      open = i + 1;
+    }
+    if (open != 0) {
+      out.push_back(LoopRange{open, tokq::match(t, open, fn.body_end)});
+    }
+  }
+  return out;
+}
+
+/// Innermost loop of `loops` whose body contains `tok`, or nullptr.
+inline const LoopRange* innermost_loop(const std::vector<LoopRange>& loops,
+                                       std::size_t tok) {
+  const LoopRange* best = nullptr;
+  for (const LoopRange& l : loops) {
+    if (l.body_begin < tok && tok < l.body_end) {
+      if (best == nullptr || l.body_begin > best->body_begin) best = &l;
+    }
+  }
+  return best;
+}
+
+/// Token ranges `(lparen, rparen)` of every `if` / `while` condition in
+/// `fn` — the positions where a load feeds a control decision.
+inline std::vector<LoopRange> condition_ranges(const std::vector<Token>& t,
+                                               const FunctionDecl& fn) {
+  std::vector<LoopRange> out;
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    if (t[i].kind != Tok::Identifier) continue;
+    if (t[i].text != "if" && t[i].text != "while") continue;
+    std::size_t j = i + 1;
+    if (j < fn.body_end && t[j].text == "constexpr") ++j;
+    if (j < fn.body_end && t[j].text == "(") {
+      out.push_back(LoopRange{j, tokq::match(t, j, fn.body_end)});
+    }
+  }
+  return out;
+}
+
+/// Number of top-level (depth-1) arguments of the call whose '(' is at
+/// `lparen`; 0 for an empty argument list.
+inline std::size_t count_args(const std::vector<Token>& t, std::size_t lparen,
+                              std::size_t end) {
+  const std::size_t close = tokq::match(t, lparen, end);
+  if (close == lparen + 1) return 0;
+  std::size_t count = 1;
+  int depth = 0;
+  for (std::size_t j = lparen + 1; j < close; ++j) {
+    const std::string_view x = t[j].text;
+    if (t[j].kind != Tok::Punct) continue;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (x == "," && depth == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace hal::lint::proto

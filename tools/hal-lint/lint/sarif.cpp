@@ -1,0 +1,99 @@
+#include "lint/sarif.hpp"
+
+#include <cstdio>
+
+#include "lint/checks.hpp"
+
+namespace hal::lint {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string sarif_text(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  out += "{\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [{\n";
+  out += "    \"tool\": {\"driver\": {\n";
+  out += "      \"name\": \"hal-lint\",\n";
+  out += "      \"rules\": [\n";
+  bool first = true;
+  for (const Check& c : all_checks()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "        {\"id\": \"" + json_escape(c.id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(c.summary) + "\"}}";
+  }
+  out += "\n      ]\n";
+  out += "    }},\n";
+  out += "    \"results\": [\n";
+  first = true;
+  for (const Diagnostic& d : diags) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "      {\"ruleId\": \"" + json_escape(d.check) +
+           "\", \"level\": \"warning\",\n";
+    out += "       \"message\": {\"text\": \"" + json_escape(d.message) +
+           "\"},\n";
+    out += "       \"locations\": [{\"physicalLocation\": {";
+    out += "\"artifactLocation\": {\"uri\": \"" + json_escape(d.file) +
+           "\"}, ";
+    out += "\"region\": {\"startLine\": " + std::to_string(d.line) +
+           ", \"startColumn\": " + std::to_string(d.col) + "}}}]}";
+  }
+  out += "\n    ]\n";
+  out += "  }]\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_sarif(const std::string& path,
+                 const std::vector<Diagnostic>& diags) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = sarif_text(diags);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                  text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace hal::lint

@@ -1,0 +1,21 @@
+// Minimal SARIF 2.1.0 emitter so CI can feed hal-lint findings into
+// GitHub code scanning (`--sarif out.json`). Only the subset the
+// code-scanning ingester requires: tool.driver with the rule table, and
+// one result per diagnostic with a physical location.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/core.hpp"
+
+namespace hal::lint {
+
+/// Serialize `diags` as a SARIF log. Returns the JSON text; never fails.
+std::string sarif_text(const std::vector<Diagnostic>& diags);
+
+/// Write sarif_text(diags) to `path`. False on I/O failure.
+bool write_sarif(const std::string& path,
+                 const std::vector<Diagnostic>& diags);
+
+}  // namespace hal::lint

@@ -1,11 +1,16 @@
 // hal-lint: contract checker for HAL's runtime idioms.
 //
 // Usage:
-//   hal-lint [--checks=a,b] [--list-checks] <file-or-dir>...
+//   hal-lint [--checks=a,b] [--skip=sub,..] [--sarif out.json]
+//            [--list-checks] <file-or-dir>...
 //
-// Directories are scanned recursively for .hpp/.h/.cpp/.cc files.
+// Directories are scanned recursively for .hpp/.h/.cpp/.cc files;
+// --skip drops collected paths containing any of the given substrings
+// (scoped exemptions for generated or third-party-shaped code).
 // Diagnostics go to stdout as `path:line:col: warning: message [check]`;
-// a summary goes to stderr. Exit status 1 if any diagnostic fired.
+// --sarif additionally writes them as a SARIF 2.1.0 log for GitHub code
+// scanning; a summary goes to stderr. Exit status 1 if any diagnostic
+// fired.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "lint/checks.hpp"
+#include "lint/sarif.hpp"
 
 namespace hal::lint {
 
@@ -37,6 +43,26 @@ const std::vector<Check>& all_checks() {
       {"hal-capability-coverage", "HL005",
        "NodeAffinityGuard owners must guard every mutable member",
        &run_capability_coverage},
+      {"hal-park-loop-protocol", "HL006",
+       "park loops re-arm the sleeping flag with exchange(true, seq_cst) "
+       "before every predicate evaluation",
+       &run_park_loop},
+      {"hal-memory-order-policy", "HL007",
+       "HAL_MEMORY_PROTOCOL structs obey their per-struct memory-order "
+       "policy table",
+       &run_memory_order},
+      {"hal-send-graph", "HL008",
+       "every handler id is both sent and decoded, with agreeing word "
+       "footprints",
+       &run_send_graph},
+      {"hal-epoch-conservation", "HL009",
+       "epoch-counted channels bump sent on publish and account every "
+       "take as handled",
+       &run_epoch_conservation},
+      // Last on purpose: reads the `used` flags the other checks set.
+      {"hal-stale-suppress", "HL010",
+       "suppressions that silence nothing any more must be deleted",
+       &run_stale_suppress, /*requires_full_run=*/true},
   };
   return kChecks;
 }
@@ -77,6 +103,18 @@ void collect(const std::string& arg, std::vector<std::string>& out) {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::vector<std::string> enabled;
+  std::vector<std::string> skips;
+  std::string sarif_path;
+  const auto split_into = [](const std::string& list,
+                             std::vector<std::string>& out) {
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      if (comma > pos) out.push_back(list.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-checks") {
@@ -86,22 +124,40 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg.rfind("--checks=", 0) == 0) {
-      std::string list = arg.substr(9);
-      std::size_t pos = 0;
-      while (pos <= list.size()) {
-        std::size_t comma = list.find(',', pos);
-        if (comma == std::string::npos) comma = list.size();
-        if (comma > pos) enabled.push_back(list.substr(pos, comma - pos));
-        pos = comma + 1;
-      }
+      split_into(arg.substr(9), enabled);
+      continue;
+    }
+    if (arg.rfind("--skip=", 0) == 0) {
+      split_into(arg.substr(7), skips);
+      continue;
+    }
+    if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+      continue;
+    }
+    if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
       continue;
     }
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: hal-lint [--checks=a,b] [--list-checks] <path>...\n");
+          "usage: hal-lint [--checks=a,b] [--skip=sub,..] "
+          "[--sarif out.json] [--list-checks] <path>...\n");
       return 0;
     }
     collect(arg, paths);
+  }
+  if (!skips.empty()) {
+    paths.erase(std::remove_if(paths.begin(), paths.end(),
+                               [&](const std::string& p) {
+                                 for (const std::string& s : skips) {
+                                   if (p.find(s) != std::string::npos) {
+                                     return true;
+                                   }
+                                 }
+                                 return false;
+                               }),
+                paths.end());
   }
   if (paths.empty()) {
     std::fprintf(stderr, "hal-lint: no input files\n");
@@ -123,6 +179,7 @@ int main(int argc, char** argv) {
   std::vector<Diagnostic> diags;
   CheckContext ctx(model, diags);
   for (const Check& c : all_checks()) {
+    if (c.requires_full_run && !enabled.empty()) continue;
     const bool on =
         enabled.empty() ||
         std::any_of(enabled.begin(), enabled.end(),
@@ -142,6 +199,11 @@ int main(int argc, char** argv) {
   for (const Diagnostic& d : diags) {
     std::printf("%s:%u:%u: warning: %s [%s]\n", d.file.c_str(), d.line,
                 d.col, d.message.c_str(), d.check.c_str());
+  }
+  if (!sarif_path.empty() && !hal::lint::write_sarif(sarif_path, diags)) {
+    std::fprintf(stderr, "hal-lint: cannot write %s\n",
+                 sarif_path.c_str());
+    return 2;
   }
   std::size_t suppressions_used = 0;
   for (const auto& f : model.files()) {
