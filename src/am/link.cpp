@@ -58,7 +58,8 @@ SimTime LinkEndpoint::backoff(std::uint32_t retries) const noexcept {
 void LinkEndpoint::send_data(Packet p, SimTime now, LinkSink& sink) {
   HAL_DASSERT(p.src == self_ && p.dst != self_);
   OutChannel& ch = out_[p.dst];
-  p.link_seq = ch.next_seq++;
+  p.link_seq = ch.next_seq;
+  ch.next_seq = seq_next(ch.next_seq);
   p.link_ack = false;
   p.retransmitted = false;
 
@@ -120,11 +121,19 @@ void LinkEndpoint::send_ack(NodeId to, std::uint64_t cumulative,
 }
 
 void LinkEndpoint::on_ack(NodeId from, std::uint64_t cumulative) {
+  if (cumulative == 0) return;  // "nothing delivered": nothing to release
   const auto it = out_.find(from);
   if (it == out_.end()) return;  // ack for a channel we never opened: stale
   OutChannel& ch = it->second;
-  auto p = ch.pending.begin();
-  while (p != ch.pending.end() && p->first <= cumulative) {
+  // Full scan with serial compare: once the space wraps, the acked prefix
+  // is not a prefix of the map's absolute key order (seq 1 post-wrap sorts
+  // before the still-pending UINT64_MAX). The map stays small — it only
+  // holds unacked masters.
+  for (auto p = ch.pending.begin(); p != ch.pending.end();) {
+    if (seq_before(cumulative, p->first)) {
+      ++p;
+      continue;
+    }
     pool().release(std::move(p->second.packet.payload));
     p = ch.pending.erase(p);
     HAL_DASSERT(unacked_ > 0);
@@ -143,33 +152,35 @@ void LinkEndpoint::receive(Packet p, LinkSink& sink) {
   InChannel& ch = in_[src];
   const std::uint64_t s = p.link_seq;
 
-  if (s < ch.expect || ch.buffered.contains(s)) {
+  if (seq_before(s, ch.expect) || ch.buffered.contains(s)) {
     // Duplicate (retransmit that crossed an ack, or an injected copy):
     // suppress before any layer above — the termination detector in
     // particular — can see it, and re-ack so the sender stops resending.
     ++stats_.dupes_suppressed;
     pool().release(std::move(p.payload));
-    send_ack(src, ch.expect - 1, sink);
+    send_ack(src, ch.last_delivered, sink);
     return;
   }
-  if (s > ch.expect) {
+  if (s != ch.expect) {
     // Early arrival (a predecessor was dropped or delayed): hold it, and
     // re-ack the prefix so far in case our previous ack was lost.
     ch.buffered.emplace(s, std::move(p));
-    send_ack(src, ch.expect - 1, sink);
+    send_ack(src, ch.last_delivered, sink);
     return;
   }
   // In order: deliver, then flush any buffered successors it unblocks.
   sink.link_deliver(std::move(p));
-  ++ch.expect;
+  ch.last_delivered = ch.expect;
+  ch.expect = seq_next(ch.expect);
   for (auto it = ch.buffered.find(ch.expect); it != ch.buffered.end();
        it = ch.buffered.find(ch.expect)) {
     Packet q = std::move(it->second);
     ch.buffered.erase(it);
     sink.link_deliver(std::move(q));
-    ++ch.expect;
+    ch.last_delivered = ch.expect;
+    ch.expect = seq_next(ch.expect);
   }
-  send_ack(src, ch.expect - 1, sink);
+  send_ack(src, ch.last_delivered, sink);
 }
 
 SimTime LinkEndpoint::on_timer(SimTime now, LinkSink& sink) {

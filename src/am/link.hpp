@@ -67,6 +67,20 @@ class LinkSink {
 
 class LinkEndpoint {
  public:
+  /// Sequence-space rules: link_seq 0 is reserved (it marks unsequenced
+  /// control traffic), so the 64-bit counter wraps UINT64_MAX -> 1, and all
+  /// ordering uses serial-number arithmetic (RFC 1982 style): `a` precedes
+  /// `b` when the signed distance is negative. Exact as long as a channel's
+  /// live window — unacked masters plus buffered early arrivals — spans
+  /// less than 2^63 sequence numbers, which retransmission bounds and the
+  /// in-order delivery contract guarantee by a wide margin.
+  static constexpr std::uint64_t seq_next(std::uint64_t s) noexcept {
+    return s + 1 == 0 ? 1 : s + 1;
+  }
+  static constexpr bool seq_before(std::uint64_t a,
+                                   std::uint64_t b) noexcept {
+    return static_cast<std::int64_t>(a - b) < 0;
+  }
   /// Called once by `Machine::configure_faults`. `pool` is the node's
   /// payload pool (nullptr falls back to a private, unbound pool so
   /// machine-level tests work without a kernel).
@@ -107,6 +121,19 @@ class LinkEndpoint {
   void for_each_pending_payload(
       const std::function<void(const Bytes&)>& fn) const;
 
+  /// Test-only: pre-position a channel's sequence space as if traffic up
+  /// to (but not including) `next_seq` had already been exchanged and
+  /// acked. Lets tests/test_faults.cpp reach the wraparound point without
+  /// 2^64 real sends. Must match on both ends of the channel.
+  void preseed_out_for_test(NodeId dst, std::uint64_t next_seq) {
+    out_[dst].next_seq = next_seq;
+  }
+  void preseed_in_for_test(NodeId src, std::uint64_t expect) {
+    InChannel& ch = in_[src];
+    ch.expect = expect;
+    ch.last_delivered = expect == 1 ? 0 : expect - 1;
+  }
+
  private:
   struct Master {
     Packet packet;         ///< pool-cloned payload; original send stamp
@@ -120,6 +147,10 @@ class LinkEndpoint {
   };
   struct InChannel {
     std::uint64_t expect = 1;
+    /// Highest in-order seq delivered; 0 = none yet. Kept explicitly
+    /// because `expect - 1` is ambiguous once the space has wrapped
+    /// (expect == 1 then means "last delivered was UINT64_MAX").
+    std::uint64_t last_delivered = 0;
     std::map<std::uint64_t, Packet> buffered;  ///< early (out-of-order) data
   };
 

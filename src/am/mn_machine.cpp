@@ -118,32 +118,11 @@ SimTime MnMachine::now(NodeId node) const {
 }
 
 void MnMachine::schedule(NodeId node) {
+  // The Idle/Queued/Running/RunningNotified transition logic lives in
+  // RunTokenCell::publish (am/run_token.hpp); a true return means this
+  // thread won the Idle→Queued race and owes the machine one enqueue.
   NodeSlot& s = slots_[node];
-  NodeState cur = s.state.load(std::memory_order_seq_cst);
-  for (;;) {
-    switch (cur) {
-      case NodeState::kIdle:
-        // Win the CAS → this thread publishes the node's one run token.
-        if (s.state.compare_exchange_weak(cur, NodeState::kQueued,
-                                          std::memory_order_seq_cst)) {
-          enqueue(s);
-          return;
-        }
-        break;  // cur reloaded; retry
-      case NodeState::kRunning:
-        // A quantum is in progress. Flag it: the runner's end-of-quantum
-        // CAS (Running→Idle) fails and requeues, so the unit we just made
-        // visible cannot be stranded in an unscheduled mailbox.
-        if (s.state.compare_exchange_weak(cur, NodeState::kRunningNotified,
-                                          std::memory_order_seq_cst)) {
-          return;
-        }
-        break;
-      case NodeState::kQueued:
-      case NodeState::kRunningNotified:
-        return;  // a token is already pending; its quantum will see our unit
-    }
-  }
+  if (s.token.publish()) enqueue(s);
 }
 
 void MnMachine::enqueue(NodeSlot& s) {
@@ -168,10 +147,11 @@ void MnMachine::enqueue(NodeSlot& s) {
 }
 
 void MnMachine::wake_worker(WorkerRec& rec) noexcept {
-  // Same seq_cst RMW handshake as ThreadMachine::raw_push (proof there):
-  // the push above this call is visible to the wait predicate, and a notify
-  // under the mutex cannot land between predicate check and park.
-  if (rec.sleeping.exchange(false, std::memory_order_seq_cst)) {
+  // Same seq_cst RMW handshake as ThreadMachine::raw_push (proof there and
+  // at am/park_handshake.hpp): the push above this call is visible to the
+  // wait predicate, and a notify under the mutex cannot land between
+  // predicate check and park.
+  if (rec.sleeping.claim_wake()) {
     std::lock_guard lock(rec.mutex);
     rec.cv.notify_one();
   }
@@ -184,7 +164,7 @@ void MnMachine::maybe_wake_thief() noexcept {
   // else.
   if (sleepers_.load(std::memory_order_relaxed) == 0) return;
   for (auto& rec : workers_) {
-    if (rec->sleeping.load(std::memory_order_relaxed)) {
+    if (rec->sleeping.armed_hint()) {
       {
         std::lock_guard lock(rec->mutex);
         ++rec->wake_gen;
@@ -241,9 +221,7 @@ MnMachine::NodeSlot* MnMachine::next_runnable(WorkerRec& rec) {
 
 void MnMachine::run_node(NodeSlot& s) {
   const NodeId n = s.id;
-  [[maybe_unused]] const NodeState prev =
-      s.state.exchange(NodeState::kRunning, std::memory_order_seq_cst);
-  HAL_DASSERT(prev == NodeState::kQueued);
+  s.token.begin_quantum();
   bool more;
   {
     // This worker IS node n for the duration of the quantum (one execution
@@ -303,19 +281,12 @@ void MnMachine::run_node(NodeSlot& s) {
     update_service_timer(s, c);
   }
   if (more) {
-    s.state.store(NodeState::kQueued, std::memory_order_seq_cst);
+    s.token.requeue();
     enqueue(s);
-  } else {
-    NodeState expected = NodeState::kRunning;
-    if (!s.state.compare_exchange_strong(expected, NodeState::kIdle,
-                                         std::memory_order_seq_cst)) {
-      // A sender saw us running and flagged new work: requeue. (Between our
-      // mailbox check and this CAS the state can only move Running→
-      // RunningNotified, so the packet that raced our check is covered.)
-      HAL_DASSERT(expected == NodeState::kRunningNotified);
-      s.state.store(NodeState::kQueued, std::memory_order_seq_cst);
-      enqueue(s);
-    }
+  } else if (s.token.retire_or_requeue()) {
+    // A sender saw us running and flagged new work mid-quantum (the retire
+    // CAS lost to kRunningNotified — see RunTokenCell): re-publish.
+    enqueue(s);
   }
   exec_.detector().note_handled();  // the run token this quantum consumed
 }
@@ -329,8 +300,7 @@ void MnMachine::sweep_home_nodes(WorkerRec& rec) {
   if (!prime && work_hint() <= 0) return;
   for (NodeId n = rec.index; n < node_count();
        n += static_cast<NodeId>(workers_n_)) {
-    if (prime ||
-        slots_[n].state.load(std::memory_order_seq_cst) == NodeState::kIdle) {
+    if (prime || slots_[n].token.idle()) {
       schedule(n);
     }
   }
@@ -495,7 +465,7 @@ void MnMachine::park(WorkerRec& rec, std::uint64_t gen, SimTime deadline) {
     // the gap-closing producer would then skip its notify and this worker
     // would sleep over a live run token. See ThreadMachine::park for the
     // full happens-before argument.
-    rec.sleeping.exchange(true, std::memory_order_seq_cst);
+    rec.sleeping.arm();
     if (!rec.inject.empty() || stop_requested() || rec.wake_gen != gen) break;
     if (deadline != 0) {
       if (rec.cv.wait_until(lock,
@@ -507,7 +477,7 @@ void MnMachine::park(WorkerRec& rec, std::uint64_t gen, SimTime deadline) {
       rec.cv.wait(lock);
     }
   }
-  rec.sleeping.exchange(false, std::memory_order_seq_cst);
+  rec.sleeping.disarm();
 }
 
 void MnMachine::run() {

@@ -50,6 +50,8 @@
 
 #include "am/machine.hpp"
 #include "am/node_executor.hpp"
+#include "am/park_handshake.hpp"
+#include "am/run_token.hpp"
 #include "common/fast_clock.hpp"
 #include "common/lint_markers.hpp"
 #include "common/mpsc_queue.hpp"
@@ -59,11 +61,13 @@
 namespace hal::am {
 
 class MnMachine final : public Machine, private LinkSink {
-  // Memory-order contract checked by hal-lint HL007: NodeSlot::state RMWs
-  // are all seq_cst (they carry the run-token happens-before chain between
-  // successive owners), wake_epoch_ publishes seq_cst / reads acquire, and
-  // only the advisory thief-wake reads (maybe_wake_thief) may be relaxed.
-  HAL_MEMORY_PROTOCOL("run_tokens");
+  // Memory-order contract checked by hal-lint HL007. The run-token state
+  // machine itself lives in RunTokenCell (am/run_token.hpp, protocol
+  // `run_tokens`) and the park flag in ParkHandshake (am/park_handshake.hpp,
+  // protocol `park_handshake`); what remains here is the scheduler fabric:
+  // wake_epoch_ publishes seq_cst / reads acquire, and the steal/sleeper
+  // diagnostics are advisory relaxed counters.
+  HAL_MEMORY_PROTOCOL("mn_scheduler");
 
  public:
   /// `workers` = 0 picks min(hardware threads, nodes); any value is capped
@@ -95,19 +99,12 @@ class MnMachine final : public Machine, private LinkSink {
   void wake_hook() noexcept override;
 
  private:
-  enum class NodeState : std::uint8_t {
-    kIdle,             ///< no token anywhere; next sender publishes one
-    kQueued,           ///< token in some run queue, awaiting a worker
-    kRunning,          ///< a worker is executing a quantum
-    kRunningNotified,  ///< running, and work arrived: runner must requeue
-  };
-
-  /// Per-node scheduling state. The atomic `state` is the cross-thread
+  /// Per-node scheduling state. The RunTokenCell is the cross-thread
   /// handoff point; the plain fields are owned by whichever worker holds the
-  /// node's run token (the seq_cst RMWs on `state` carry the happens-before
+  /// node's run token (the cell's seq_cst RMWs carry the happens-before
   /// edge between successive owners).
   struct alignas(64) NodeSlot {
-    std::atomic<NodeState> state{NodeState::kIdle};
+    RunTokenCell<> token;
     NodeId id = 0;
     std::uint32_t home = 0;       // home worker for off-pool injection
     bool idle_notified = false;   // on_idle already ran for this idle spell
@@ -133,8 +130,9 @@ class MnMachine final : public Machine, private LinkSink {
     std::mutex mutex;
     std::condition_variable cv;
     std::uint64_t wake_gen = 0;   // guarded by mutex; bumped by wake_hook
-    // ThreadMachine's RMW handshake; HAL_PARK_FLAG → hal-lint HL006.
-    std::atomic<bool> sleeping HAL_PARK_FLAG{false};
+    // ThreadMachine's RMW handshake (am/park_handshake.hpp); HAL_PARK_FLAG
+    // → hal-lint HL006 pins the arm-per-predicate park-loop shape.
+    ParkHandshake<> sleeping HAL_PARK_FLAG;
   };
 
   void worker_loop(std::uint32_t w);

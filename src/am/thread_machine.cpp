@@ -98,7 +98,7 @@ void ThreadMachine::raw_push(Packet p) {
   // Arming afresh guarantees the gap-closing producer either reads true and
   // notifies, or its RMW precedes the arm, in which case its next-pointer
   // store (sequenced before its RMW) is visible to the predicate.
-  if (dst.sleeping.exchange(false, std::memory_order_seq_cst)) {
+  if (dst.sleeping.claim_wake()) {
     std::lock_guard lock(dst.mutex);
     dst.cv.notify_one();
   }
@@ -234,7 +234,7 @@ void ThreadMachine::park(NodeRec& rec, NodeId node, std::uint64_t gen,
     // and every producer RMW before it synchronizes-with the arm through
     // the seq_cst RMW chain, making its pushes — including the gap-closing
     // next-pointer store — visible to the check below. Full proof in send().
-    rec.sleeping.exchange(true, std::memory_order_seq_cst);
+    rec.sleeping.arm();
     if (!exec_.mailbox_empty(node) || stop_requested() ||
         rec.wake_gen != gen) {
       break;
@@ -249,7 +249,7 @@ void ThreadMachine::park(NodeRec& rec, NodeId node, std::uint64_t gen,
       rec.cv.wait(lock);
     }
   }
-  rec.sleeping.exchange(false, std::memory_order_seq_cst);
+  rec.sleeping.disarm();
 }
 
 void ThreadMachine::run() {

@@ -33,17 +33,19 @@
 
 #include "am/machine.hpp"
 #include "am/node_executor.hpp"
+#include "am/park_handshake.hpp"
 #include "common/fast_clock.hpp"
 #include "common/lint_markers.hpp"
 
 namespace hal::am {
 
 class ThreadMachine final : public Machine, private LinkSink {
-  // Memory-order contract checked by hal-lint HL007: every touch of the
-  // `sleeping` handshake flag is a seq_cst exchange — the RMW chain in the
-  // raw_push proof needs reads and writes fused, so plain loads/stores and
-  // weaker orders are both off the table.
-  HAL_MEMORY_PROTOCOL("park_handshake");
+  // The memory-order contract of the wakeup flag lives in ParkHandshake
+  // (am/park_handshake.hpp, hal-lint HL007 protocol `park_handshake`):
+  // every touch is a seq_cst exchange — the RMW chain in the raw_push proof
+  // needs reads and writes fused, so plain loads/stores and weaker orders
+  // are both off the table. The arm-per-predicate loop shape in park() is
+  // pinned separately by HL006.
 
  public:
   ThreadMachine(NodeId nodes, CostModel costs);
@@ -79,12 +81,12 @@ class ThreadMachine final : public Machine, private LinkSink {
     std::mutex mutex;
     std::condition_variable cv;
     std::uint64_t wake_gen = 0;  // guarded by mutex; bumped by wake_hook
-    // True only while the owner is parked in cv.wait (set/cleared under
-    // mutex). Senders skip the mutex+notify entirely when the receiver is
-    // awake — see the RMW handshake in ThreadMachine::send. HAL_PARK_FLAG
-    // puts the wait loop under hal-lint HL006: it must re-arm with a
-    // seq_cst exchange before every predicate evaluation.
-    std::atomic<bool> sleeping HAL_PARK_FLAG{false};
+    // Armed only while the owner is parked in cv.wait. Senders skip the
+    // mutex+notify entirely when the receiver is awake — see the RMW
+    // handshake in ThreadMachine::raw_push and am/park_handshake.hpp.
+    // HAL_PARK_FLAG puts the wait loop under hal-lint HL006: it must re-arm
+    // before every predicate evaluation.
+    ParkHandshake<> sleeping HAL_PARK_FLAG;
   };
 
   void node_loop(NodeId node);

@@ -1,0 +1,39 @@
+// Atomics policy: the seam between the lock-free protocol cores and the
+// synchronization primitives they run on.
+//
+// Every hand-rolled protocol in the tree (Vyukov MPSC mailbox, Chase-Lev
+// steal deque, termination epochs, MnMachine run tokens, the park/wake
+// handshake) is templated on a policy type supplying its atomic cells:
+//
+//   * `StdAtomics` (this header, the default everywhere) maps straight to
+//     `std::atomic<T>`. Production instantiations are identical to the
+//     pre-policy code — same types, same orders, same layout (the alias
+//     adds no members and no virtual anything), so the msgpath budget and
+//     byte-identical sim reports are untouched.
+//   * `hal::mc::ModelAtomics` (tools/hal-mc/mc/atomic.hpp) substitutes an
+//     instrumented atomic whose every load, store, and RMW is a visible
+//     operation of the hal-mc bounded model checker: interleavings are
+//     enumerated, release/acquire visibility is tracked per thread, and
+//     the memory order of each access can be mutated to prove the order
+//     the code requests is load-bearing (docs/model-checking.md).
+//
+// The policy carries exactly one member so the protocol templates stay
+// readable: `Policy::template Atomic<T>`. Model-only concerns (data-race
+// detection on the payloads, modeled mutex/condvar for the park loops)
+// live in hal-mc's scenario layer, not here — the production header must
+// not know the checker exists beyond this seam.
+#pragma once
+
+#include <atomic>
+
+namespace hal {
+
+/// Production policy: plain `std::atomic`. The default template argument of
+/// every protocol core, so existing call sites (`MpscQueue<Packet>`,
+/// `WsDeque<Task>`, `TerminationDetector`) compile unchanged.
+struct StdAtomics {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+};
+
+}  // namespace hal

@@ -13,11 +13,15 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/atomic_policy.hpp"
 #include "common/lint_markers.hpp"
 
 namespace hal {
 
-template <typename T>
+/// `Policy` supplies the atomic cells (common/atomic_policy.hpp): the
+/// default `StdAtomics` is production `std::atomic`; hal-mc instantiates
+/// the same code with instrumented model atomics to explore interleavings.
+template <typename T, typename Policy = StdAtomics>
 class MpscQueue {
   // Memory-order contract checked by hal-lint HL007 (docs/linting.md):
   // push = head_.exchange(acq_rel) + next.store(release); pop/empty =
@@ -90,14 +94,17 @@ class MpscQueue {
   }
 
  private:
+  template <typename U>
+  using Atomic = typename Policy::template Atomic<U>;
+
   struct Node {
     T value{};
-    std::atomic<Node*> next{nullptr};
+    Atomic<Node*> next{nullptr};
   };
 
-  alignas(64) std::atomic<Node*> head_;  // producers CAS here
-  alignas(64) Node* tail_;               // consumer-private
-  alignas(64) std::atomic<std::size_t> size_{0};
+  alignas(64) Atomic<Node*> head_;  // producers CAS here
+  alignas(64) Node* tail_;          // consumer-private
+  alignas(64) Atomic<std::size_t> size_{0};
 };
 
 }  // namespace hal

@@ -69,11 +69,17 @@
 #include "check/affinity.hpp"
 #include "check/check.hpp"
 #include "common/assert.hpp"
+#include "common/atomic_policy.hpp"
 #include "common/lint_markers.hpp"
 
 namespace hal {
 
-class TerminationDetector {
+/// `Policy` supplies the atomic cells (common/atomic_policy.hpp): the
+/// production alias `TerminationDetector` below pins `StdAtomics`; hal-mc
+/// instantiates the same double-scan code with instrumented model atomics
+/// so the seq_cst total order the proof leans on is actually explored.
+template <typename Policy = StdAtomics>
+class BasicTerminationDetector {
   // Binds this class to hal-lint HL007's `termination_epochs` policy: the
   // epoch bumps and shard scans stay seq_cst (the total order S above);
   // only the constructor's pre-publication init may relax.
@@ -87,14 +93,14 @@ class TerminationDetector {
   };
 
   /// All `participants` start active (they are about to start running).
-  explicit TerminationDetector(std::uint32_t participants) {
+  explicit BasicTerminationDetector(std::uint32_t participants) {
     for (std::uint32_t i = 0; i < participants; ++i) {
       shards_[shard_of(i)].active.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  TerminationDetector(const TerminationDetector&) = delete;
-  TerminationDetector& operator=(const TerminationDetector&) = delete;
+  BasicTerminationDetector(const BasicTerminationDetector&) = delete;
+  BasicTerminationDetector& operator=(const BasicTerminationDetector&) = delete;
 
   /// Participant `who` re-enters the active set. Must be called after a
   /// wakeup BEFORE consuming the unit that caused it.
@@ -167,13 +173,20 @@ class TerminationDetector {
     return who & kShardMask;
   }
 
+  template <typename T>
+  using Atomic = typename Policy::template Atomic<T>;
+
   struct alignas(64) Shard {
-    std::atomic<std::int64_t> active{0};
+    Atomic<std::int64_t> active{0};
   };
 
   Shard shards_[kShards];
-  alignas(64) std::atomic<std::uint64_t> sent_{0};
-  alignas(64) std::atomic<std::uint64_t> handled_{0};
+  alignas(64) Atomic<std::uint64_t> sent_{0};
+  alignas(64) Atomic<std::uint64_t> handled_{0};
 };
+
+/// Production instantiation: plain `std::atomic` cells. Every executor and
+/// test names this alias; the template above exists for hal-mc.
+using TerminationDetector = BasicTerminationDetector<StdAtomics>;
 
 }  // namespace hal

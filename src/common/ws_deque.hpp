@@ -12,13 +12,17 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/atomic_policy.hpp"
 #include "common/lint_markers.hpp"
 
 namespace hal {
 
 /// Chase–Lev work-stealing deque of raw pointers.
 /// Owner thread: push_bottom / pop_bottom. Other threads: steal_top.
-template <typename T>
+/// `Policy` supplies the atomic cells (common/atomic_policy.hpp): the
+/// default `StdAtomics` is production `std::atomic`; hal-mc instantiates
+/// the same code with instrumented model atomics to explore interleavings.
+template <typename T, typename Policy = StdAtomics>
 class WsDeque {
   // Memory-order contract checked by hal-lint HL007: the pop_bottom /
   // steal_top store-buffering exclusion uses seq_cst accesses (not fences —
@@ -87,10 +91,13 @@ class WsDeque {
   }
 
  private:
-  std::vector<std::atomic<T*>> buffer_;
+  template <typename U>
+  using Atomic = typename Policy::template Atomic<U>;
+
+  std::vector<Atomic<T*>> buffer_;
   std::size_t mask_;
-  alignas(64) std::atomic<std::int64_t> top_{0};
-  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) Atomic<std::int64_t> top_{0};
+  alignas(64) Atomic<std::int64_t> bottom_{0};
 };
 
 }  // namespace hal

@@ -49,7 +49,7 @@ class MpscQueue {
 // Advisory reads: the (sleepers_, maybe_wake_thief) pair is allow-listed —
 // a stale read only skips an optional wake, never a correctness step.
 class MnMachine {
-  HAL_MEMORY_PROTOCOL("run_tokens");
+  HAL_MEMORY_PROTOCOL("mn_scheduler");
 
  public:
   void maybe_wake_thief() {

@@ -42,14 +42,151 @@ def expected_findings(path: Path) -> set:
     return exp
 
 
-def actual_findings(lint: str, path: Path):
-    proc = subprocess.run([lint, str(path)], capture_output=True, text=True)
+def run_lint(lint: str, args):
+    proc = subprocess.run([lint, *args], capture_output=True, text=True)
     found = set()
     for line in proc.stdout.splitlines():
         m = DIAG_RE.match(line)
         if m is not None:
             found.add((int(m.group("line")), m.group("check")))
     return found, proc.returncode
+
+
+def actual_findings(lint: str, path: Path):
+    return run_lint(lint, [str(path)])
+
+
+LIST_RE = re.compile(r"^(?P<code>HL\d{3}) (?P<id>hal-[a-z0-9-]+)\s+\S")
+
+# Whole-program checks (requires_full_run) are deliberately skipped under
+# --checks= selection; selecting one must therefore be silently clean.
+FULL_RUN_ONLY = {"hal-stale-suppress"}
+
+
+def flag_tests(lint: str, fixtures) -> list:
+    """Cover --list-checks and --checks= selection against the fixtures."""
+    problems = []
+
+    proc = subprocess.run([lint, "--list-checks"],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        problems.append(f"  --list-checks: exit {proc.returncode}, want 0")
+    listing = {}
+    for line in proc.stdout.splitlines():
+        m = LIST_RE.match(line)
+        if m is None:
+            problems.append(f"  --list-checks: malformed line {line!r}")
+        else:
+            listing[m.group("id")] = m.group("code")
+    if len(listing) < 8:
+        problems.append(f"  --list-checks: only {len(listing)} checks")
+
+    # A fixture with at least one finding from a selectable check drives
+    # the filtering tests.
+    chosen = None
+    for path in fixtures:
+        expected = expected_findings(path)
+        ids = {c for _, c in expected
+               if c in listing and c not in FULL_RUN_ONLY}
+        if ids:
+            chosen = (path, expected, sorted(ids)[0])
+            break
+    if chosen is None:
+        problems.append("  --checks: no fixture with selectable findings")
+        return problems
+    path, expected, sel = chosen
+    subset = {(l, c) for l, c in expected if c == sel}
+
+    # Selecting by id and by HL code must both yield exactly that check's
+    # findings (and the failing exit code, since there are findings).
+    for flag in (sel, listing[sel]):
+        found, rc = run_lint(lint, [f"--checks={flag}", str(path)])
+        if found != subset:
+            problems.append(f"  --checks={flag}: got {sorted(found)}, "
+                            f"want {sorted(subset)}")
+        if rc != 1:
+            problems.append(f"  --checks={flag}: exit {rc}, want 1")
+
+    # Selecting a check the fixture does not trip must be clean, and
+    # multi-selection must be the union of the selected checks.
+    others = sorted(set(listing) - {c for _, c in expected} - FULL_RUN_ONLY)
+    if others:
+        found, rc = run_lint(lint, [f"--checks={others[0]}", str(path)])
+        if found or rc != 0:
+            problems.append(f"  --checks={others[0]}: got {sorted(found)} "
+                            f"rc {rc}, want clean exit 0")
+        found, rc = run_lint(
+            lint, [f"--checks={sel},{others[0]}", str(path)])
+        if found != subset or rc != 1:
+            problems.append(f"  --checks={sel},{others[0]}: got "
+                            f"{sorted(found)} rc {rc}, want the "
+                            f"{sel}-only findings and exit 1")
+
+    # Full-run-only checks are skipped under selection: a fixture that
+    # trips one with the full suite is clean when only it is selected.
+    for path in fixtures:
+        tripped = {c for _, c in expected_findings(path)} & FULL_RUN_ONLY
+        if tripped:
+            full_only = sorted(tripped)[0]
+            found, rc = run_lint(lint, [f"--checks={full_only}", str(path)])
+            if found or rc != 0:
+                problems.append(
+                    f"  --checks={full_only}: full-run-only check must be "
+                    f"skipped under selection, got {sorted(found)} rc {rc}")
+            break
+
+    return problems
+
+
+def sarif_tests(lint: str, fixtures) -> list:
+    """The SARIF log must parse, carry stable partialFingerprints on every
+    result, and contain no duplicate (rule, file, line) results — repeated
+    CI uploads would otherwise churn code-scanning alerts."""
+    import json
+    import tempfile
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "out.sarif"
+        subprocess.run(
+            [lint, f"--sarif={out}", *[str(p) for p in fixtures]],
+            capture_output=True, text=True)
+        try:
+            log = json.loads(out.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as err:
+            return [f"  sarif: cannot parse log: {err}"]
+        results = log["runs"][0]["results"]
+        if not results:
+            return ["  sarif: no results — fixtures should produce some"]
+        keys = set()
+        for r in results:
+            fp = r.get("partialFingerprints", {})
+            if not fp.get("halLintFingerprint/v1"):
+                problems.append(
+                    f"  sarif: result for {r.get('ruleId')} lacks a "
+                    "halLintFingerprint/v1 partial fingerprint")
+                break
+            loc = r["locations"][0]["physicalLocation"]
+            key = (r["ruleId"],
+                   loc["artifactLocation"]["uri"],
+                   loc["region"]["startLine"])
+            if key in keys:
+                problems.append(f"  sarif: duplicate result {key}")
+            keys.add(key)
+        # The fingerprint must be stable across runs: a second log over the
+        # same inputs carries the identical fingerprint set.
+        out2 = Path(tmp) / "out2.sarif"
+        subprocess.run(
+            [lint, f"--sarif={out2}", *[str(p) for p in fixtures]],
+            capture_output=True, text=True)
+        def fps(doc):
+            return sorted(r["partialFingerprints"]["halLintFingerprint/v1"]
+                          for r in doc["runs"][0]["results"]
+                          if "partialFingerprints" in r)
+        log2 = json.loads(out2.read_text(encoding="utf-8"))
+        if fps(log) != fps(log2):
+            problems.append("  sarif: fingerprints differ between two runs "
+                            "over identical inputs")
+    return problems
 
 
 def main() -> int:
@@ -89,11 +226,22 @@ def main() -> int:
         else:
             print(f"ok   {name} ({len(expected)} expected finding(s))")
 
+    for title, problems in (
+            ("flag coverage (--list-checks / --checks=)",
+             flag_tests(lint, fixtures)),
+            ("sarif coverage (--sarif fingerprints + dedupe)",
+             sarif_tests(lint, fixtures))):
+        if problems:
+            failures += 1
+            print(f"FAIL {title}")
+            print("\n".join(problems))
+        else:
+            print(f"ok   {title}")
+
     if failures:
-        print(f"{failures}/{len(fixtures)} fixture(s) failed",
-              file=sys.stderr)
+        print(f"{failures} test group(s) failed", file=sys.stderr)
         return 1
-    print(f"all {len(fixtures)} fixture(s) passed")
+    print(f"all {len(fixtures)} fixture(s) + flag coverage passed")
     return 0
 
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "am/bulk.hpp"
+#include "am/link.hpp"
 #include "am/mn_machine.hpp"
 #include "am/sim_machine.hpp"
 #include "am/thread_machine.hpp"
@@ -62,6 +64,154 @@ void expect_exactly_once_in_order(const LinkTestClient& c, std::uint64_t count) 
   for (std::uint64_t i = 0; i < count; ++i) {
     EXPECT_EQ(c.received[i].words[0], i) << "at position " << i;
   }
+}
+
+// --- FaultLink: sequence-number boundaries at the endpoint layer --------------
+//
+// The sequence space skips 0 (reserved for unsequenced control traffic) and
+// wraps UINT64_MAX -> 1 under serial-number ordering. These tests drive a
+// bare sender/receiver endpoint pair across the wraparound point directly —
+// no machine, no faults drawn — so the boundary arithmetic is pinned
+// independently of the probabilistic soaks below.
+
+struct RecordingSink final : am::LinkSink {
+  std::vector<am::Packet> wire;       ///< every physical link_transmit copy
+  std::vector<am::Packet> delivered;  ///< in-order link_deliver stream
+
+  ~RecordingSink() = default;
+
+  void link_transmit(am::Packet p, SimTime /*extra_delay_ns*/) override {
+    wire.push_back(std::move(p));
+  }
+  void link_deliver(am::Packet p) override { delivered.push_back(std::move(p)); }
+
+  /// Drain and return the data (non-ack) packets transmitted so far.
+  std::vector<am::Packet> take_data() {
+    std::vector<am::Packet> data;
+    for (auto& p : wire) {
+      if (!p.link_ack) data.push_back(std::move(p));
+    }
+    wire.clear();
+    return data;
+  }
+  /// Drain and return the ack packets transmitted so far.
+  std::vector<am::Packet> take_acks() {
+    std::vector<am::Packet> acks;
+    for (auto& p : wire) {
+      if (p.link_ack) acks.push_back(std::move(p));
+    }
+    wire.clear();
+    return acks;
+  }
+};
+
+constexpr std::uint64_t kSeqMax = std::numeric_limits<std::uint64_t>::max();
+
+/// A sender/receiver endpoint pair pre-positioned so the next data packet
+/// takes sequence number `start` on the 0 -> 1 channel.
+struct WrapPair {
+  am::LinkEndpoint a;  ///< sender, node 0
+  am::LinkEndpoint b;  ///< receiver, node 1
+  RecordingSink a_sink;
+  RecordingSink b_sink;
+
+  explicit WrapPair(std::uint64_t start, SimTime rto = 1'000) {
+    am::FaultConfig clean;
+    clean.enabled = true;
+    a.configure(0, clean, rto, nullptr);
+    b.configure(1, clean, rto, nullptr);
+    a.preseed_out_for_test(1, start);
+    b.preseed_in_for_test(0, start);
+  }
+};
+
+TEST(FaultLink, SeqWraparoundSkipsZeroAndDeliversInOrder) {
+  WrapPair w(kSeqMax - 1);
+  for (std::uint64_t tag = 0; tag < 4; ++tag) {
+    w.a.send_data(make_packet(0, 1, tag), /*now=*/0, w.a_sink);
+  }
+  const auto sent = w.a_sink.take_data();
+  ASSERT_EQ(sent.size(), 4u);
+  EXPECT_EQ(sent[0].link_seq, kSeqMax - 1);
+  EXPECT_EQ(sent[1].link_seq, kSeqMax);
+  EXPECT_EQ(sent[2].link_seq, 1u);  // 0 is reserved: the space wraps to 1
+  EXPECT_EQ(sent[3].link_seq, 2u);
+
+  // In-order arrival across the boundary delivers every packet exactly
+  // once, in send order — the wrap is invisible to the layer above.
+  for (const auto& p : sent) w.b.receive(p, w.b_sink);
+  ASSERT_EQ(w.b_sink.delivered.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.b_sink.delivered[i].words[0], i) << "at position " << i;
+  }
+  EXPECT_EQ(w.b_sink.take_acks().back().link_seq, 2u);
+}
+
+TEST(FaultLink, SeqWraparoundOutOfOrderBuffering) {
+  WrapPair w(kSeqMax - 1);
+  for (std::uint64_t tag = 0; tag < 4; ++tag) {
+    w.a.send_data(make_packet(0, 1, tag), /*now=*/0, w.a_sink);
+  }
+  auto sent = w.a_sink.take_data();
+  ASSERT_EQ(sent.size(), 4u);
+
+  // Arrive fully reversed: post-wrap seqs 2 and 1 first, then kSeqMax,
+  // then the expected kSeqMax - 1 — everything buffers until the straggler
+  // lands, then flushes in send order across the boundary.
+  for (auto it = sent.rbegin(); it != sent.rend(); ++it) {
+    w.b.receive(*it, w.b_sink);
+  }
+  ASSERT_EQ(w.b_sink.delivered.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.b_sink.delivered[i].words[0], i) << "at position " << i;
+  }
+
+  // The final cumulative ack names the post-wrap frontier, and feeding the
+  // acks back releases every master — including the pre-wrap ones, which
+  // a cumulative value of 2 covers only under serial ordering.
+  const auto acks = w.b_sink.take_acks();
+  ASSERT_FALSE(acks.empty());
+  EXPECT_EQ(acks.back().link_seq, 2u);
+  EXPECT_TRUE(w.a.has_unacked());
+  for (const auto& ack : acks) w.a.receive(ack, w.a_sink);
+  EXPECT_FALSE(w.a.has_unacked());
+}
+
+TEST(FaultLink, SeqWraparoundRetransmitRacingAckIsDeduped) {
+  WrapPair w(kSeqMax, /*rto=*/1'000);
+  w.a.send_data(make_packet(0, 1, 0), /*now=*/0, w.a_sink);  // seq kSeqMax
+  w.a.send_data(make_packet(0, 1, 1), /*now=*/0, w.a_sink);  // seq 1 (wrapped)
+  auto first = w.a_sink.take_data();
+  ASSERT_EQ(first.size(), 2u);
+
+  // Both copies reach the receiver in order; its cumulative ack (seq 1,
+  // post-wrap) is still in flight when the sender's timer fires and
+  // retransmits both masters.
+  for (const auto& p : first) w.b.receive(p, w.b_sink);
+  ASSERT_EQ(w.b_sink.delivered.size(), 2u);
+  const auto acks = w.b_sink.take_acks();
+  ASSERT_FALSE(acks.empty());
+  EXPECT_EQ(acks.back().link_seq, 1u);
+
+  EXPECT_GT(w.a.next_deadline(), 0u);
+  w.a.on_timer(/*now=*/5'000, w.a_sink);
+  auto retrans = w.a_sink.take_data();
+  ASSERT_EQ(retrans.size(), 2u);
+  EXPECT_TRUE(retrans[0].retransmitted);
+
+  // The racing ack lands: every master — pre- and post-wrap — is released.
+  for (const auto& ack : acks) w.a.receive(ack, w.a_sink);
+  EXPECT_FALSE(w.a.has_unacked());
+  EXPECT_EQ(w.a.next_deadline(), 0u);
+
+  // The late retransmits are suppressed before any layer above can see
+  // them, and each one is re-acked so a real sender would stop resending.
+  for (const auto& p : retrans) w.b.receive(p, w.b_sink);
+  EXPECT_EQ(w.b_sink.delivered.size(), 2u);  // still effectively-once
+  EXPECT_EQ(w.b.stats().dupes_suppressed, 2u);
+  const auto reacks = w.b_sink.take_acks();
+  ASSERT_EQ(reacks.size(), 2u);
+  EXPECT_EQ(reacks.back().link_seq, 1u);
 }
 
 // --- FaultLink: the injector + reliable link at the machine layer -------------

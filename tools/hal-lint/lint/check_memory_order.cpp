@@ -119,15 +119,15 @@ const std::vector<Policy>& policies() {
       // between epoch bumps and the detector's reads; only the ctor's
       // pre-publication init may relax.
       {"termination_epochs",
-       "TerminationDetector",
+       "BasicTerminationDetector",
        false,
        {
            {"sent_", "fetch_add", "", {"seq_cst"}},
            {"sent_", "load", "", {"seq_cst"}},
            {"handled_", "fetch_add", "", {"seq_cst"}},
            {"handled_", "load", "", {"seq_cst"}},
-           {"active", "fetch_add", "TerminationDetector", {"relaxed",
-                                                           "seq_cst"}},
+           {"active", "fetch_add", "BasicTerminationDetector", {"relaxed",
+                                                                "seq_cst"}},
            {"active", "fetch_add", "activate", {"seq_cst"}},
            {"active", "fetch_sub", "deactivate", {"seq_cst"}},
            {"active", "load", "", {"seq_cst"}},
@@ -137,20 +137,49 @@ const std::vector<Policy>& policies() {
            {"note_handled", "handled_", "fetch_add", {"seq_cst"}},
        },
        {}},
-      // M:N run tokens: NodeSlot::state transitions are an all-seq_cst CAS
-      // protocol; sleeper bookkeeping is relaxed-advisory; the wake epoch
-      // is a seq_cst bump read with acquire.
+      // Run tokens (am/run_token.hpp): the per-node Idle/Queued/Running/
+      // RunningNotified cell is an all-seq_cst CAS protocol — the RMWs carry
+      // the happens-before chain between successive token owners.
       {"run_tokens",
+       "RunTokenCell",
+       false,
+       {
+           {"state_", "load", "", {"seq_cst"}},
+           {"state_", "store", "", {"seq_cst"}},
+           {"state_", "exchange", "", {"seq_cst"}},
+           {"state_", "compare_exchange_weak", "", {"seq_cst"}},
+           {"state_", "compare_exchange_strong", "", {"seq_cst"}},
+       },
+       {
+           {"publish", "state_", "compare_exchange_weak", {"seq_cst"}},
+           {"begin_quantum", "state_", "exchange", {"seq_cst"}},
+           {"retire_or_requeue", "state_", "compare_exchange_strong",
+            {"seq_cst"}},
+       },
+       {}},
+      // 1:1 park handshake (am/park_handshake.hpp): the flag is ONLY ever
+      // touched through seq_cst exchanges (the HL006 RMW chain), plus the
+      // explicitly-advisory relaxed peek for thief wakes.
+      {"park_handshake",
+       "ParkHandshake",
+       false,
+       {
+           {"flag_", "exchange", "", {"seq_cst"}},
+           {"flag_", "load", "armed_hint", {"relaxed"}},
+       },
+       {
+           {"arm", "flag_", "exchange", {"seq_cst"}},
+           {"claim_wake", "flag_", "exchange", {"seq_cst"}},
+           {"disarm", "flag_", "exchange", {"seq_cst"}},
+       },
+       {}},
+      // M:N scheduler fabric (the run-token and park protocols now live in
+      // their extracted cells above): the wake epoch is a seq_cst bump read
+      // with acquire; sleeper/steal bookkeeping is relaxed-advisory.
+      {"mn_scheduler",
        "MnMachine",
        false,
        {
-           {"state", "load", "", {"seq_cst"}},
-           {"state", "store", "", {"seq_cst"}},
-           {"state", "exchange", "", {"seq_cst"}},
-           {"state", "compare_exchange_weak", "", {"seq_cst"}},
-           {"state", "compare_exchange_strong", "", {"seq_cst"}},
-           {"sleeping", "exchange", "", {"seq_cst"}},
-           {"sleeping", "load", "maybe_wake_thief", {"relaxed"}},
            {"sleepers_", "fetch_add", "", {"relaxed"}},
            {"sleepers_", "fetch_sub", "", {"relaxed"}},
            {"sleepers_", "load", "maybe_wake_thief", {"relaxed"}},
@@ -160,28 +189,11 @@ const std::vector<Policy>& policies() {
            {"wake_epoch_", "load", "", {"acquire", "seq_cst"}},
        },
        {
-           {"schedule", "state", "compare_exchange_weak", {"seq_cst"}},
-           {"run_node", "state", "exchange", {"seq_cst"}},
-           {"wake_worker", "sleeping", "exchange", {"seq_cst"}},
            {"wake_hook", "wake_epoch_", "fetch_add", {"seq_cst"}},
        },
        {
            {"sleepers_", "maybe_wake_thief"},
-           {"sleeping", "maybe_wake_thief"},
        }},
-      // 1:1 park handshake: the flag is ONLY ever touched through seq_cst
-      // exchanges (the HL006 RMW chain).
-      {"park_handshake",
-       "ThreadMachine",
-       false,
-       {
-           {"sleeping", "exchange", "", {"seq_cst"}},
-       },
-       {
-           {"raw_push", "sleeping", "exchange", {"seq_cst"}},
-           {"park", "sleeping", "exchange", {"seq_cst"}},
-       },
-       {}},
       // FrameBuilder deadlines: plain fields, safety by execution-stream
       // affinity. No atomics allowed at all.
       {"frame_deadlines", "FrameBuilder", true, {}, {}, {}},

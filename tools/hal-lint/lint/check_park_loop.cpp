@@ -40,6 +40,7 @@ std::set<std::string, std::less<>> park_flag_names(const Model& model) {
   for (const ClassDecl& c : model.classes()) {
     for (const MemberVar& m : c.members) {
       if (m.park_flag ||
+          m.type_text.find("ParkHandshake") != std::string::npos ||
           (m.name == "sleeping" &&
            m.type_text.find("atomic") != std::string::npos)) {
         out.insert(m.name);
@@ -90,6 +91,21 @@ void run_park_loop(CheckContext& ctx) {
                    "park flag '" + std::string(recv) +
                        "' written with store(); the wakeup handshake is an "
                        "RMW chain — use exchange(..., seq_cst)");
+        continue;
+      }
+      // The ParkHandshake wrapper's named operations are seq_cst exchanges
+      // by construction (am/park_handshake.hpp, pinned there by HL007):
+      // arm() raises, disarm()/claim_wake() lower.
+      if (c.callee == "arm" || c.callee == "disarm" ||
+          c.callee == "claim_wake") {
+        Arm a;
+        a.tok = c.tok;
+        a.line = c.line;
+        a.col = c.col;
+        a.flag = recv;
+        a.value = c.callee == "arm";
+        a.seq_cst = true;
+        arms.push_back(a);
         continue;
       }
       if (c.callee != "exchange" || c.lparen == 0) continue;

@@ -1,6 +1,9 @@
 #include "lint/sarif.hpp"
 
+#include <cstdint>
 #include <cstdio>
+#include <set>
+#include <tuple>
 
 #include "lint/checks.hpp"
 
@@ -42,9 +45,40 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+/// Stable per-result fingerprint for code-scanning alert tracking
+/// (FNV-1a over rule, file and message — deliberately line-independent so
+/// unrelated edits above a finding don't retire and re-open its alert).
+std::string fingerprint(const Diagnostic& d) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::string_view s) {
+    for (char ch : s) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xffu;  // field separator
+    h *= 1099511628211ull;
+  };
+  mix(d.check);
+  mix(d.file);
+  mix(d.message);
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 }  // namespace
 
 std::string sarif_text(const std::vector<Diagnostic>& diags) {
+  // Dedupe by (rule, file, line): several passes can flag the same site
+  // (or the same header seen through several TUs), and duplicate results
+  // in one upload churn code-scanning alerts.
+  std::set<std::tuple<std::string, std::string, std::uint32_t>> seen;
+  std::vector<const Diagnostic*> unique;
+  unique.reserve(diags.size());
+  for (const Diagnostic& d : diags) {
+    if (seen.emplace(d.check, d.file, d.line).second) unique.push_back(&d);
+  }
   std::string out;
   out += "{\n";
   out +=
@@ -67,13 +101,16 @@ std::string sarif_text(const std::vector<Diagnostic>& diags) {
   out += "    }},\n";
   out += "    \"results\": [\n";
   first = true;
-  for (const Diagnostic& d : diags) {
+  for (const Diagnostic* dp : unique) {
+    const Diagnostic& d = *dp;
     if (!first) out += ",\n";
     first = false;
     out += "      {\"ruleId\": \"" + json_escape(d.check) +
            "\", \"level\": \"warning\",\n";
     out += "       \"message\": {\"text\": \"" + json_escape(d.message) +
            "\"},\n";
+    out += "       \"partialFingerprints\": ";
+    out += "{\"halLintFingerprint/v1\": \"" + fingerprint(d) + "\"},\n";
     out += "       \"locations\": [{\"physicalLocation\": {";
     out += "\"artifactLocation\": {\"uri\": \"" + json_escape(d.file) +
            "\"}, ";

@@ -1,0 +1,247 @@
+// hal-mc: bounded model checker for the HAL lock-free protocol cores.
+//
+// Instantiates the production protocol templates (MpscQueue, WsDeque,
+// BasicTerminationDetector, RunTokenCell, ParkHandshake) with model
+// atomics and explores their interleavings exhaustively under a weak
+// (release/acquire + seq_cst) memory model. Two modes:
+//
+//   hal-mc --all        run every registered scenario to exhaustion; fail
+//                       on any violation (or, for expect_violation
+//                       regressions, on the violation NOT being found).
+//   hal-mc --mutants    re-run each scenario with one pinned memory order
+//                       downgraded; fail unless every mutant is caught.
+//
+// See docs/model-checking.md for the model and its documented
+// strengthenings, and tools/hal-lint HL007 for the static half of the
+// memory-order story.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mc/explore.hpp"
+
+namespace hal::mc {
+namespace {
+
+struct Cli {
+  bool list = false;
+  bool all = false;
+  bool run_mutants = false;
+  std::string scenario;
+  std::string mutate;
+  ExploreOverrides ov;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: hal-mc [--list] [--all] [--scenario=NAME] [--mutants]\n"
+      "              [--mutate=NAME] [--preemptions=N] [--max-execs=N]\n"
+      "              [--max-steps=N]\n"
+      "  --list            list scenarios and mutants\n"
+      "  --all             run every scenario (default)\n"
+      "  --scenario=NAME   run one scenario\n"
+      "  --mutants         run the whole mutation matrix\n"
+      "  --mutate=NAME     run one mutant\n"
+      "  --preemptions=N   override the scenario's preemption bound\n"
+      "  --max-execs=N     override the execution cap\n"
+      "  --max-steps=N     override the per-execution step cap\n",
+      out);
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void print_violation(const Violation& v) {
+  std::printf("    violation: %s\n", v.what.c_str());
+  for (const std::string& line : v.trace) {
+    std::printf("      %s\n", line.c_str());
+  }
+}
+
+/// Run one scenario and report. Returns true when it behaved as required:
+/// no violation AND full exhaustion for normal scenarios, a found
+/// violation for expect_violation regressions.
+bool run_scenario(const Scenario& s, const ExploreOverrides& ov) {
+  std::printf("[ mc ] %s\n", s.name.c_str());
+  const ExploreResult r = explore(s, ov);
+  if (s.expect_violation) {
+    if (r.violation_found) {
+      std::printf("  PASS  expected violation found after %llu executions: "
+                  "%s\n",
+                  static_cast<unsigned long long>(r.executions),
+                  r.violation.what.c_str());
+      return true;
+    }
+    std::printf("  FAIL  expected a violation, none found (%llu executions"
+                "%s%s)\n",
+                static_cast<unsigned long long>(r.executions),
+                r.exhausted ? ", exhausted" : "",
+                r.exec_capped ? ", execution cap hit" : "");
+    return false;
+  }
+  if (r.violation_found) {
+    std::printf("  FAIL  after %llu executions\n",
+                static_cast<unsigned long long>(r.executions));
+    print_violation(r.violation);
+    return false;
+  }
+  if (!r.exhausted) {
+    std::printf("  FAIL  not exhausted (%llu executions%s%s) — raise the "
+                "caps or shrink the scenario\n",
+                static_cast<unsigned long long>(r.executions),
+                r.exec_capped ? ", execution cap hit" : "",
+                r.step_capped ? ", step cap hit" : "");
+    return false;
+  }
+  std::printf("  PASS  exhausted %llu executions, no violation\n",
+              static_cast<unsigned long long>(r.executions));
+  return true;
+}
+
+/// Run one mutant: the scenario must now report a violation, and the
+/// mutation must actually have fired (hits > 0) so a stale site key can
+/// never pass silently.
+bool run_mutant(const MutantDef& m, const ExploreOverrides& ov) {
+  const Scenario* s = find_scenario(m.scenario);
+  if (s == nullptr) {
+    std::printf("[ mc ] mutant %s: unknown scenario %s\n", m.name,
+                m.scenario);
+    return false;
+  }
+  std::printf("[ mc ] mutant %s (%s.%s %s)\n", m.name, m.mutation.file,
+              m.mutation.op, m.mutation.func);
+  Scheduler::set_mutation(&m.mutation);
+  const ExploreResult r = explore(*s, ov);
+  Scheduler::set_mutation(nullptr);
+  if (r.mutation_hits == 0) {
+    std::printf("  FAIL  mutation never matched an access — stale site "
+                "key\n");
+    return false;
+  }
+  if (!r.violation_found) {
+    std::printf("  FAIL  downgrade not caught (%llu executions, %llu "
+                "mutated accesses)\n",
+                static_cast<unsigned long long>(r.executions),
+                static_cast<unsigned long long>(r.mutation_hits));
+    return false;
+  }
+  std::printf("  PASS  caught after %llu executions: %s\n",
+              static_cast<unsigned long long>(r.executions),
+              r.violation.what.c_str());
+  std::printf("        expected: %s\n", m.expect);
+  return true;
+}
+
+int run(const Cli& cli) {
+  if (cli.list) {
+    std::printf("scenarios:\n");
+    for (const Scenario& s : registry()) {
+      std::printf("  %-28s %s%s\n", s.name.c_str(), s.description.c_str(),
+                  s.expect_violation ? " [expect-violation]" : "");
+    }
+    std::printf("mutants:\n");
+    for (const MutantDef& m : mutants()) {
+      std::printf("  %-28s -> %s: %s\n", m.name, m.scenario, m.expect);
+    }
+    return 0;
+  }
+
+  int failures = 0;
+  int ran = 0;
+  if (!cli.scenario.empty()) {
+    const Scenario* s = find_scenario(cli.scenario);
+    if (s == nullptr) {
+      std::fprintf(stderr, "hal-mc: unknown scenario '%s'\n",
+                   cli.scenario.c_str());
+      return 2;
+    }
+    ++ran;
+    failures += run_scenario(*s, cli.ov) ? 0 : 1;
+  } else if (!cli.mutate.empty()) {
+    const MutantDef* found = nullptr;
+    for (const MutantDef& m : mutants()) {
+      if (cli.mutate == m.name) found = &m;
+    }
+    if (found == nullptr) {
+      std::fprintf(stderr, "hal-mc: unknown mutant '%s'\n",
+                   cli.mutate.c_str());
+      return 2;
+    }
+    ++ran;
+    failures += run_mutant(*found, cli.ov) ? 0 : 1;
+  } else if (cli.run_mutants) {
+    for (const MutantDef& m : mutants()) {
+      ++ran;
+      failures += run_mutant(m, cli.ov) ? 0 : 1;
+    }
+  } else {
+    for (const Scenario& s : registry()) {
+      ++ran;
+      failures += run_scenario(s, cli.ov) ? 0 : 1;
+    }
+  }
+  std::printf("hal-mc: %d/%d passed\n", ran - failures, ran);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hal::mc
+
+namespace {
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hal::mc::Cli;
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    std::uint64_t n = 0;
+    if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "--all") {
+      cli.all = true;
+    } else if (arg == "--mutants") {
+      cli.run_mutants = true;
+    } else if (const char* v = val("--scenario=")) {
+      cli.scenario = v;
+    } else if (const char* v2 = val("--mutate=")) {
+      cli.mutate = v2;
+    } else if (const char* v3 = val("--preemptions=")) {
+      if (!parse_u64(v3, n)) { hal::mc::usage(stderr); return 2; }
+      cli.ov.preemption_bound = static_cast<std::uint32_t>(n);
+    } else if (const char* v4 = val("--max-execs=")) {
+      if (!parse_u64(v4, n)) { hal::mc::usage(stderr); return 2; }
+      cli.ov.max_executions = n;
+    } else if (const char* v5 = val("--max-steps=")) {
+      if (!parse_u64(v5, n)) { hal::mc::usage(stderr); return 2; }
+      cli.ov.max_steps = n;
+    } else if (arg == "--help" || arg == "-h") {
+      hal::mc::usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "hal-mc: unknown option '%s'\n", arg.c_str());
+      hal::mc::usage(stderr);
+      return 2;
+    }
+  }
+  return hal::mc::run(cli);
+}

@@ -1,0 +1,208 @@
+// Model atomic cell + the `ModelAtomics` policy (common/atomic_policy.hpp
+// seam). Instantiating a protocol core with `ModelAtomics` routes every
+// atomic access through the hal-mc Scheduler: each access becomes a choice
+// boundary, loads may return any coherence-eligible message, and each call
+// site's file/function (via std::source_location default arguments) keys
+// the mutation machinery that downgrades a single access's memory order.
+//
+// Documented strengthenings versus std::atomic (see docs/model-checking.md):
+//   * compare_exchange_weak never fails spuriously;
+//   * a failed compare_exchange reads the latest message, not a stale one;
+//   * modification order equals execution order of the writes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <source_location>
+#include <type_traits>
+
+#include "mc/core.hpp"
+
+namespace hal::mc {
+
+namespace detail {
+
+inline int to_order(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_relaxed: return order::kRelaxed;
+    case std::memory_order_consume: return order::kConsume;
+    case std::memory_order_acquire: return order::kAcquire;
+    case std::memory_order_release: return order::kRelease;
+    case std::memory_order_acq_rel: return order::kAcqRel;
+    case std::memory_order_seq_cst: return order::kSeqCst;
+  }
+  return order::kSeqCst;
+}
+
+template <typename T>
+std::uint64_t encode(T v) {
+  if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<std::uint64_t>(v);
+  } else {
+    return static_cast<std::uint64_t>(v);  // enums/bools/ints, wraps signed
+  }
+}
+
+template <typename T>
+T decode(std::uint64_t u) {
+  if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<T>(static_cast<std::uintptr_t>(u));
+  } else {
+    return static_cast<T>(u);
+  }
+}
+
+}  // namespace detail
+
+/// Drop-in stand-in for std::atomic<T> over the model engine. Supports the
+/// operation set the protocol cores use: load/store/exchange/fetch_add/
+/// fetch_sub/compare_exchange_{weak,strong}; T is a pointer, integer, bool
+/// or scoped enum that fits in 64 bits.
+template <typename T>
+class Atomic {
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "mc::Atomic models values up to 64 bits");
+
+ public:
+  Atomic() : Atomic(T{}) {}
+
+  // Implicit like std::atomic's value constructor (members brace-init
+  // their cells: `Atomic<Node*> next{nullptr}`).
+  Atomic(T v) {  // NOLINT(google-explicit-constructor)
+    loc_.msgs.push_back(Msg{detail::encode(v), {}, {}});
+    if (Scheduler* s = Scheduler::current()) s->register_location(loc_);
+  }
+
+  ~Atomic() {
+    if (Scheduler* s = Scheduler::current()) s->destroy_location(loc_);
+  }
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst,
+         const std::source_location& sl =
+             std::source_location::current()) const {
+    Scheduler* s = Scheduler::current();
+    if (s == nullptr) return detail::decode<T>(loc_.msgs.back().val);
+    return detail::decode<T>(
+        s->atomic_load(loc_, detail::to_order(mo), sl, "load"));
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst,
+             const std::source_location& sl =
+                 std::source_location::current()) {
+    Scheduler* s = Scheduler::current();
+    if (s == nullptr) {
+      loc_.msgs.push_back(Msg{detail::encode(v), {}, {}});
+      return;
+    }
+    s->atomic_store(loc_, detail::encode(v), detail::to_order(mo), sl);
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst,
+             const std::source_location& sl =
+                 std::source_location::current()) {
+    const std::uint64_t nv = detail::encode(v);
+    return rmw([nv](std::uint64_t) { return nv; }, mo, sl, "exchange");
+  }
+
+  template <typename U = T>
+  T fetch_add(U delta, std::memory_order mo = std::memory_order_seq_cst,
+              const std::source_location& sl =
+                  std::source_location::current()) {
+    static_assert(std::is_integral_v<T>);
+    const std::uint64_t d = detail::encode<T>(static_cast<T>(delta));
+    return rmw([d](std::uint64_t old) { return old + d; }, mo, sl,
+               "fetch_add");
+  }
+
+  template <typename U = T>
+  T fetch_sub(U delta, std::memory_order mo = std::memory_order_seq_cst,
+              const std::source_location& sl =
+                  std::source_location::current()) {
+    static_assert(std::is_integral_v<T>);
+    const std::uint64_t d = detail::encode<T>(static_cast<T>(delta));
+    return rmw([d](std::uint64_t old) { return old - d; }, mo, sl,
+               "fetch_sub");
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst,
+                             const std::source_location& sl =
+                                 std::source_location::current()) {
+    return cas(expected, desired, detail::to_order(mo), -1, sl,
+               "compare_exchange_weak");
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order success,
+                             std::memory_order failure,
+                             const std::source_location& sl =
+                                 std::source_location::current()) {
+    return cas(expected, desired, detail::to_order(success),
+               detail::to_order(failure), sl, "compare_exchange_weak");
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo =
+                                   std::memory_order_seq_cst,
+                               const std::source_location& sl =
+                                   std::source_location::current()) {
+    return cas(expected, desired, detail::to_order(mo), -1, sl,
+               "compare_exchange_strong");
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure,
+                               const std::source_location& sl =
+                                   std::source_location::current()) {
+    return cas(expected, desired, detail::to_order(success),
+               detail::to_order(failure), sl, "compare_exchange_strong");
+  }
+
+ private:
+  template <typename F>
+  T rmw(F&& f, std::memory_order mo, const std::source_location& sl,
+        const char* op) {
+    Scheduler* s = Scheduler::current();
+    if (s == nullptr) {
+      const std::uint64_t old = loc_.msgs.back().val;
+      loc_.msgs.push_back(Msg{f(old), {}, {}});
+      return detail::decode<T>(old);
+    }
+    return detail::decode<T>(
+        s->atomic_rmw(loc_, f, detail::to_order(mo), sl, op));
+  }
+
+  bool cas(T& expected, T desired, int success_mo, int failure_mo,
+           const std::source_location& sl, const char* op) {
+    Scheduler* s = Scheduler::current();
+    if (s == nullptr) {
+      const std::uint64_t old = loc_.msgs.back().val;
+      const bool ok = old == detail::encode(expected);
+      if (ok) loc_.msgs.push_back(Msg{detail::encode(desired), {}, {}});
+      expected = detail::decode<T>(old);
+      return ok;
+    }
+    const auto [old, ok] =
+        s->atomic_cas(loc_, detail::encode(expected),
+                      detail::encode(desired), success_mo, failure_mo, sl,
+                      op);
+    if (!ok) expected = detail::decode<T>(old);
+    return ok;
+  }
+
+  mutable Location loc_;
+};
+
+/// The hal-mc side of the atomics-policy seam: pass as the `Policy`
+/// template argument of MpscQueue / WsDeque / BasicTerminationDetector /
+/// RunTokenCell / ParkHandshake to check the production code itself.
+struct ModelAtomics {
+  template <typename T>
+  using Atomic = ::hal::mc::Atomic<T>;
+};
+
+}  // namespace hal::mc

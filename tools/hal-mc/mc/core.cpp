@@ -1,0 +1,703 @@
+// hal-mc engine implementation. Design notes in mc/core.hpp.
+#include "mc/core.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace hal::mc {
+
+namespace {
+
+thread_local Scheduler* t_sched = nullptr;
+thread_local int t_tid = 0;  // 0 = the exploring (runner) thread
+
+// Atomic only because abort-mode free-runners may still hit mutated sites
+// concurrently; during exploration the token serializes every bump.
+std::atomic<const Mutation*> g_mutation{nullptr};
+std::atomic<std::uint64_t> g_mutation_hits{0};
+
+bool acquire_like(int mo) {
+  return mo == order::kConsume || mo == order::kAcquire ||
+         mo == order::kAcqRel || mo == order::kSeqCst;
+}
+
+bool release_like(int mo) {
+  return mo == order::kRelease || mo == order::kAcqRel ||
+         mo == order::kSeqCst;
+}
+
+const char* order_name(int mo) {
+  switch (mo) {
+    case order::kRelaxed: return "relaxed";
+    case order::kConsume: return "consume";
+    case order::kAcquire: return "acquire";
+    case order::kRelease: return "release";
+    case order::kAcqRel: return "acq_rel";
+    case order::kSeqCst: return "seq_cst";
+    default: return "?";
+  }
+}
+
+/// Thread ids are ints (slot 0 = the runner); clock/access arrays index by
+/// std::size_t. Ids are never negative, so the cast is always safe.
+std::size_t uz(int v) { return static_cast<std::size_t>(v); }
+
+const char* path_basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+/// The one-order compare_exchange overload's failure order (C++20 rules:
+/// acq_rel -> acquire, release -> relaxed, everything else unchanged).
+int derived_failure_order(int success_mo) {
+  if (success_mo == order::kAcqRel) return order::kAcquire;
+  if (success_mo == order::kRelease) return order::kRelaxed;
+  return success_mo;
+}
+
+/// Downgrade `mo` when the active mutation's site key matches this access.
+int apply_mutation(const char* op, int mo, const std::source_location& sl) {
+  const Mutation* m = g_mutation.load(std::memory_order_relaxed);
+  if (m == nullptr || mo != m->from) return mo;
+  if (std::strcmp(op, m->op) != 0) return mo;
+  if (std::strstr(sl.function_name(), m->func) == nullptr) return mo;
+  if (std::strstr(path_basename(sl.file_name()), m->file) == nullptr) {
+    return mo;
+  }
+  g_mutation_hits.fetch_add(1, std::memory_order_relaxed);
+  return m->to;
+}
+
+}  // namespace
+
+void Scheduler::set_mutation(const Mutation* m) {
+  g_mutation.store(m, std::memory_order_relaxed);
+  g_mutation_hits.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Scheduler::mutation_hits() {
+  return g_mutation_hits.load(std::memory_order_relaxed);
+}
+
+Scheduler* Scheduler::current() { return t_sched; }
+
+Scheduler::~Scheduler() {
+  // Normal explorer flow joins in finish_execution; this is the exception
+  // path (explorer unwinding). Release every parked thread first.
+  {
+    std::lock_guard lk(mx_);
+    enter_abort_locked();
+  }
+  for (auto& t : threads_) {
+    if (t->os.joinable()) t->os.join();
+  }
+  if (t_sched == this) t_sched = nullptr;
+}
+
+void Scheduler::begin_execution(const std::vector<std::uint32_t>& prefix) {
+  prefix_ = prefix;
+  t_sched = this;
+  t_tid = 0;
+  mode_.store(Mode::kSetup, std::memory_order_relaxed);
+}
+
+ThreadRec& Scheduler::self() { return *threads_[static_cast<std::size_t>(t_tid) - 1]; }
+
+VectorClock& Scheduler::my_clock() {
+  return t_tid == 0 ? runner_clock_ : self().clock;
+}
+
+View& Scheduler::my_view() { return t_tid == 0 ? runner_view_ : self().view; }
+
+void Scheduler::spawn(std::function<void()> fn) {
+  auto rec = std::make_unique<ThreadRec>();
+  ThreadRec* r = rec.get();
+  r->tid = static_cast<int>(threads_.size()) + 1;
+  if (uz(r->tid) >= kMaxThreads) {
+    fail("scenario spawned more than " + std::to_string(kMaxThreads - 1) +
+         " threads");
+    return;
+  }
+  runner_clock_.c[0]++;  // spawn edge: child inherits everything so far
+  r->clock = runner_clock_;
+  r->view = runner_view_;
+  r->fn = std::move(fn);
+  threads_.push_back(std::move(rec));
+  Scheduler* s = this;
+  r->os = std::thread([s, r] {
+    t_sched = s;
+    t_tid = r->tid;
+    {
+      std::unique_lock lk(s->mx_);
+      s->cv_.wait(lk, [&] {
+        return r->st == ThreadRec::St::kRunning ||
+               s->mode_.load(std::memory_order_relaxed) == Mode::kAbort;
+      });
+    }
+    try {
+      r->fn();
+    } catch (const McAbort&) {
+      // Violation already recorded; just unwind this thread.
+    }
+    std::unique_lock lk(s->mx_);
+    r->st = ThreadRec::St::kFinished;
+    if (s->mode_.load(std::memory_order_relaxed) == Mode::kAbort) {
+      bool all = true;
+      for (auto& t : s->threads_) {
+        if (t->st != ThreadRec::St::kFinished) all = false;
+      }
+      if (all) s->done_ = true;
+      s->cv_.notify_all();
+    } else {
+      s->choose_next_locked();  // pass the token on
+    }
+  });
+}
+
+void Scheduler::run_all() {
+  std::unique_lock lk(mx_);
+  if (mode_.load(std::memory_order_relaxed) != Mode::kAbort) {
+    mode_.store(Mode::kExploring, std::memory_order_relaxed);
+  }
+  if (threads_.empty()) {
+    done_ = true;
+  } else if (mode_.load(std::memory_order_relaxed) == Mode::kExploring) {
+    choose_next_locked();
+  } else {
+    cv_.notify_all();  // abort during setup: free-run everyone
+  }
+  cv_.wait(lk, [&] { return done_; });
+}
+
+void Scheduler::finish_execution() {
+  for (auto& t : threads_) {
+    if (t->os.joinable()) t->os.join();
+  }
+  if (mode_.load(std::memory_order_relaxed) != Mode::kAbort) {
+    for (auto& t : threads_) {
+      runner_clock_.join(t->clock);
+      runner_view_.join(t->view);
+    }
+    mode_.store(Mode::kPostRun, std::memory_order_relaxed);
+  }
+  t_tid = 0;
+  // Release the thread closures now (not in ~Scheduler): shared scenario
+  // state captured in them destructs here, under post-run semantics, so
+  // the destruction-race checks still see a live engine.
+  for (auto& t : threads_) t->fn = nullptr;
+}
+
+bool Scheduler::enabled_locked(const ThreadRec& t) const {
+  if (t.st != ThreadRec::St::kReady) return false;
+  if (t.pending.kind == OpKind::kMutexLock) {
+    return static_cast<const MutexState*>(t.pending.obj)->owner == -1;
+  }
+  return true;
+}
+
+std::uint32_t Scheduler::choose(std::uint32_t noptions) {
+  if (noptions <= 1) return 0;
+  std::uint32_t chosen = 0;
+  if (trail_.size() < prefix_.size()) {
+    chosen = prefix_[trail_.size()];
+    if (chosen >= noptions) chosen = noptions - 1;  // divergence guard
+  }
+  trail_.emplace_back(noptions, chosen);
+  return chosen;
+}
+
+void Scheduler::enter_abort_locked() {
+  mode_.store(Mode::kAbort, std::memory_order_relaxed);
+  cv_.notify_all();
+}
+
+void Scheduler::fail(const std::string& what) {
+  std::lock_guard lk(mx_);
+  if (!violation_.has_value()) violation_ = Violation{what, trace_};
+  enter_abort_locked();
+}
+
+void Scheduler::record_violation(const std::string& what) { fail(what); }
+
+void Scheduler::scenario_violation(const std::string& what,
+                                   const std::source_location& sl) {
+  fail(what + " [" + path_basename(sl.file_name()) + ":" +
+       std::to_string(sl.line()) + "]");
+  throw McAbort{};
+}
+
+void Scheduler::trace_note(const std::string& line) {
+  if (!opt_.trace || aborted()) return;
+  trace_.push_back(line);
+}
+
+void Scheduler::choose_next_locked() {
+  if (mode_.load(std::memory_order_relaxed) == Mode::kAbort) {
+    cv_.notify_all();
+    return;
+  }
+  // Eager prologue: a freshly spawned thread runs to its first visible op
+  // without a choice point (the prologue touches no shared state).
+  for (auto& t : threads_) {
+    if (t->st == ThreadRec::St::kReady && t->pending.kind == OpKind::kBegin) {
+      t->st = ThreadRec::St::kRunning;
+      cv_.notify_all();
+      return;
+    }
+  }
+  std::vector<int> options;
+  bool cur_enabled = false;
+  if (cur_ >= 1 &&
+      enabled_locked(*threads_[static_cast<std::size_t>(cur_) - 1])) {
+    cur_enabled = true;
+    options.push_back(cur_);  // continuing the running thread comes first
+  }
+  for (auto& t : threads_) {
+    if (t->tid != cur_ && enabled_locked(*t)) options.push_back(t->tid);
+  }
+  if (options.empty()) {
+    bool all_finished = true;
+    std::string blocked;
+    for (auto& t : threads_) {
+      if (t->st == ThreadRec::St::kFinished) continue;
+      all_finished = false;
+      if (!blocked.empty()) blocked += ", ";
+      blocked += 't';
+      blocked += std::to_string(t->tid);
+      blocked += t->st == ThreadRec::St::kBlockedCv ? " (cv wait)"
+                                                    : " (mutex wait)";
+    }
+    if (all_finished) {
+      done_ = true;
+      cv_.notify_all();
+      return;
+    }
+    if (!violation_.has_value()) {
+      violation_ =
+          Violation{"deadlock: no runnable thread; blocked: " + blocked,
+                    trace_};
+    }
+    enter_abort_locked();
+    return;
+  }
+  std::uint32_t nopt = static_cast<std::uint32_t>(options.size());
+  if (cur_enabled && preemptions_ >= opt_.preemption_bound) {
+    nopt = 1;  // over budget: the running thread keeps the token
+  }
+  const int chosen = options[choose(nopt)];
+  if (cur_enabled && chosen != cur_) ++preemptions_;
+  cur_ = chosen;
+  threads_[static_cast<std::size_t>(chosen) - 1]->st = ThreadRec::St::kRunning;
+  cv_.notify_all();
+}
+
+bool Scheduler::yield_point(const PendingOp& op) {
+  if (setup_like()) return true;
+  std::unique_lock lk(mx_);
+  if (mode_.load(std::memory_order_relaxed) == Mode::kAbort) return false;
+  ThreadRec& me = self();
+  me.pending = op;
+  me.st = ThreadRec::St::kReady;
+  if (++steps_ > opt_.max_steps) {
+    step_cap_hit_ = true;  // not a violation: the run is just unbounded
+    enter_abort_locked();
+    return false;
+  }
+  choose_next_locked();
+  cv_.wait(lk, [&] {
+    return me.st == ThreadRec::St::kRunning ||
+           mode_.load(std::memory_order_relaxed) == Mode::kAbort;
+  });
+  return mode_.load(std::memory_order_relaxed) != Mode::kAbort;
+}
+
+std::uint32_t Scheduler::register_location(Location& loc) {
+  if (aborted()) {
+    std::lock_guard lk(mx_);
+    loc.creator = t_tid;
+    loc.id = next_loc_id_++;
+    return loc.id;
+  }
+  VectorClock& ck = my_clock();
+  ck.c[uz(t_tid)]++;
+  loc.creator = t_tid;
+  loc.create_epoch = ck.c[uz(t_tid)];
+  loc.id = next_loc_id_++;
+  return loc.id;
+}
+
+void Scheduler::destroy_location(Location& loc) {
+  if (mode_.load(std::memory_order_relaxed) != Mode::kExploring) return;
+  VectorClock& ck = my_clock();
+  for (std::size_t t = 0; t < kMaxThreads; ++t) {
+    if (t == uz(t_tid)) continue;
+    if (loc.access[t] > ck.c[t]) {
+      fail("atomic #" + std::to_string(loc.id) +
+           " destroyed while t" + std::to_string(t) +
+           "'s last access does not happen-before the destruction");
+      return;
+    }
+  }
+}
+
+bool Scheduler::pre_op(Location& loc, const std::source_location& sl) {
+  VectorClock& ck = my_clock();
+  ck.c[uz(t_tid)]++;
+  if (mode_.load(std::memory_order_relaxed) == Mode::kExploring &&
+      t_tid != loc.creator && ck.c[uz(loc.creator)] < loc.create_epoch) {
+    fail("init race: atomic #" + std::to_string(loc.id) + " used at " +
+         path_basename(sl.file_name()) + ":" + std::to_string(sl.line()) +
+         " by t" + std::to_string(t_tid) +
+         " without happens-before from its construction (t" +
+         std::to_string(loc.creator) + ")");
+    return false;
+  }
+  if (loc.access[uz(t_tid)] < ck.c[uz(t_tid)]) {
+    loc.access[uz(t_tid)] = ck.c[uz(t_tid)];
+  }
+  return true;
+}
+
+void Scheduler::trace_op(const Location& loc, const std::source_location& sl,
+                         const char* op, int mo, std::uint64_t val,
+                         bool extra_note, const char* note) {
+  if (!opt_.trace ||
+      mode_.load(std::memory_order_relaxed) == Mode::kAbort) {
+    return;
+  }
+  std::string line = "t";
+  line += std::to_string(t_tid);
+  line += "  ";
+  line += path_basename(sl.file_name());
+  line += ':';
+  line += std::to_string(sl.line());
+  line += "  ";
+  line += op;
+  line += '(';
+  line += order_name(mo);
+  line += ") @a";
+  line += std::to_string(loc.id);
+  line += " -> ";
+  line += std::to_string(val);
+  if (extra_note) {
+    line += "  [";
+    line += note;
+    line += "]";
+  }
+  trace_.push_back(line);
+}
+
+std::uint64_t Scheduler::atomic_load(Location& loc, int mo,
+                                     const std::source_location& sl,
+                                     const char* op) {
+  mo = apply_mutation(op, mo, sl);
+  const bool sc = mo == order::kSeqCst;
+  PendingOp p;
+  p.kind = OpKind::kAtomic;
+  p.loc = loc.id;
+  p.write = false;
+  p.sc = sc;
+  if (!yield_point(p)) {
+    std::lock_guard lk(mx_);
+    return loc.msgs.back().val;
+  }
+  if (!pre_op(loc, sl)) {
+    std::lock_guard lk(mx_);
+    return loc.msgs.back().val;
+  }
+  View& vw = my_view();
+  VectorClock& ck = my_clock();
+  const std::uint32_t last = static_cast<std::uint32_t>(loc.msgs.size()) - 1;
+  std::uint32_t idx = last;
+  if (mode_.load(std::memory_order_relaxed) == Mode::kExploring) {
+    // The S total order constrains a seq_cst load of THIS location to read
+    // no earlier than the latest seq_cst access of it. It is consulted as
+    // a per-location floor only: folding the whole sc view into the thread
+    // view would also pin later *relaxed* loads of unrelated locations,
+    // which no C++ rule does (and which would mask scan-order mutants).
+    std::uint32_t floor = vw.get(loc.id);
+    if (sc) floor = std::max(floor, sc_view_.get(loc.id));
+    idx = last - choose(last - floor + 1);  // k = 0 reads the latest
+  }
+  const Msg& m = loc.msgs[idx];
+  vw.raise(loc.id, idx);
+  if (acquire_like(mo)) {
+    vw.join(m.view);
+    ck.join(m.hb);
+  }
+  if (sc) sc_view_.raise(loc.id, idx);
+  trace_op(loc, sl, op, mo, m.val, idx != last, "stale read");
+  return m.val;
+}
+
+void Scheduler::atomic_store(Location& loc, std::uint64_t v, int mo,
+                             const std::source_location& sl) {
+  mo = apply_mutation("store", mo, sl);
+  const bool sc = mo == order::kSeqCst;
+  PendingOp p;
+  p.kind = OpKind::kAtomic;
+  p.loc = loc.id;
+  p.write = true;
+  p.sc = sc;
+  if (!yield_point(p) || !pre_op(loc, sl)) {
+    std::lock_guard lk(mx_);
+    loc.msgs.push_back(Msg{v, {}, {}});
+    return;
+  }
+  View& vw = my_view();
+  VectorClock& ck = my_clock();
+  Msg m;
+  m.val = v;
+  if (release_like(mo)) {
+    m.view = vw;
+    m.hb = ck;
+  }
+  const std::uint32_t idx = static_cast<std::uint32_t>(loc.msgs.size());
+  loc.msgs.push_back(std::move(m));
+  vw.raise(loc.id, idx);
+  if (sc) sc_view_.raise(loc.id, idx);
+  trace_op(loc, sl, "store", mo, v, false, "");
+}
+
+std::uint64_t Scheduler::atomic_rmw(
+    Location& loc, const std::function<std::uint64_t(std::uint64_t)>& f,
+    int mo, const std::source_location& sl, const char* op) {
+  mo = apply_mutation(op, mo, sl);
+  const bool sc = mo == order::kSeqCst;
+  PendingOp p;
+  p.kind = OpKind::kAtomic;
+  p.loc = loc.id;
+  p.write = true;
+  p.sc = sc;
+  if (!yield_point(p) || !pre_op(loc, sl)) {
+    std::lock_guard lk(mx_);
+    const std::uint64_t old = loc.msgs.back().val;
+    loc.msgs.push_back(Msg{f(old), {}, {}});
+    return old;
+  }
+  View& vw = my_view();
+  VectorClock& ck = my_clock();
+  const std::uint32_t idx = static_cast<std::uint32_t>(loc.msgs.size()) - 1;
+  const Msg cur = loc.msgs[idx];  // copy: the push below reallocates
+  vw.raise(loc.id, idx);
+  if (acquire_like(mo)) {
+    vw.join(cur.view);
+    ck.join(cur.hb);
+  }
+  Msg nm;
+  nm.val = f(cur.val);
+  nm.view = cur.view;  // release-sequence continuation: RMWs of any order
+  nm.hb = cur.hb;      // keep the head release's metadata alive
+  if (release_like(mo)) {
+    nm.view.join(vw);
+    nm.hb.join(ck);
+  }
+  loc.msgs.push_back(std::move(nm));
+  vw.raise(loc.id, idx + 1);
+  if (sc) sc_view_.raise(loc.id, idx + 1);
+  trace_op(loc, sl, op, mo, cur.val, true, "rmw read");
+  return cur.val;
+}
+
+std::pair<std::uint64_t, bool> Scheduler::atomic_cas(
+    Location& loc, std::uint64_t expected, std::uint64_t desired,
+    int success_mo, int failure_mo, const std::source_location& sl,
+    const char* op) {
+  success_mo = apply_mutation(op, success_mo, sl);
+  if (failure_mo < 0) failure_mo = derived_failure_order(success_mo);
+  const bool sc =
+      success_mo == order::kSeqCst || failure_mo == order::kSeqCst;
+  PendingOp p;
+  p.kind = OpKind::kAtomic;
+  p.loc = loc.id;
+  p.write = true;  // conservative: may write
+  p.sc = sc;
+  if (!yield_point(p) || !pre_op(loc, sl)) {
+    std::lock_guard lk(mx_);
+    const std::uint64_t old = loc.msgs.back().val;
+    if (old == expected) loc.msgs.push_back(Msg{desired, {}, {}});
+    return {old, old == expected};
+  }
+  View& vw = my_view();
+  VectorClock& ck = my_clock();
+  const std::uint32_t idx = static_cast<std::uint32_t>(loc.msgs.size()) - 1;
+  const Msg cur = loc.msgs[idx];  // copy: the push below reallocates
+  vw.raise(loc.id, idx);
+  if (cur.val == expected) {
+    if (acquire_like(success_mo)) {
+      vw.join(cur.view);
+      ck.join(cur.hb);
+    }
+    Msg nm;
+    nm.val = desired;
+    nm.view = cur.view;
+    nm.hb = cur.hb;
+    if (release_like(success_mo)) {
+      nm.view.join(vw);
+      nm.hb.join(ck);
+    }
+    loc.msgs.push_back(std::move(nm));
+    vw.raise(loc.id, idx + 1);
+    if (success_mo == order::kSeqCst) sc_view_.raise(loc.id, idx + 1);
+    trace_op(loc, sl, op, success_mo, cur.val, true, "cas ok");
+    return {cur.val, true};
+  }
+  if (acquire_like(failure_mo)) {
+    vw.join(cur.view);
+    ck.join(cur.hb);
+  }
+  if (failure_mo == order::kSeqCst) sc_view_.raise(loc.id, idx);
+  trace_op(loc, sl, op, failure_mo, cur.val, true, "cas fail");
+  return {cur.val, false};
+}
+
+void Scheduler::mutex_lock(MutexState& m) {
+  PendingOp p;
+  p.kind = OpKind::kMutexLock;
+  p.obj = &m;
+  if (!yield_point(p)) {
+    for (;;) {  // abort free-run: spin for the mutex
+      {
+        std::lock_guard lk(mx_);
+        if (m.owner == -1) {
+          m.owner = t_tid;
+          return;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+  // Exploring: enabledness guaranteed the mutex is free; setup/post-run:
+  // single-threaded, so it is free too.
+  my_clock().c[uz(t_tid)]++;
+  m.owner = t_tid;
+  my_clock().join(m.clock);
+  my_view().join(m.view);
+}
+
+void Scheduler::mutex_unlock(MutexState& m) {
+  PendingOp p;
+  p.kind = OpKind::kMutexUnlock;
+  p.obj = &m;
+  if (!yield_point(p)) {
+    std::lock_guard lk(mx_);
+    m.owner = -1;
+    return;
+  }
+  my_clock().c[uz(t_tid)]++;
+  m.clock.join(my_clock());
+  m.view.join(my_view());
+  m.owner = -1;
+}
+
+void Scheduler::cv_wait(CvState& cv, MutexState& m) {
+  PendingOp p;
+  p.kind = OpKind::kCvWait;
+  p.obj = &cv;
+  if (!yield_point(p)) return;  // abort free-run: spurious return, lock kept
+  if (setup_like()) return;     // single-threaded: waiting cannot progress
+  // Release the mutex, join the waitset, hand the token on.
+  my_clock().c[uz(t_tid)]++;
+  m.clock.join(my_clock());
+  m.view.join(my_view());
+  m.owner = -1;
+  std::unique_lock lk(mx_);
+  ThreadRec& me = self();
+  cv.waiters.push_back(t_tid);
+  me.st = ThreadRec::St::kBlockedCv;
+  me.relock = &m;
+  choose_next_locked();
+  cv_.wait(lk, [&] {
+    return me.st == ThreadRec::St::kRunning ||
+           mode_.load(std::memory_order_relaxed) == Mode::kAbort;
+  });
+  if (mode_.load(std::memory_order_relaxed) == Mode::kAbort) {
+    lk.unlock();
+    for (;;) {  // abort free-run: reacquire before returning
+      {
+        std::lock_guard g(mx_);
+        if (m.owner == -1) {
+          m.owner = t_tid;
+          return;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+  // A notify made us kReady with a pending relock; being scheduled means
+  // the mutex was free at the choice point, and the token kept it so.
+  lk.unlock();
+  my_clock().c[uz(t_tid)]++;
+  m.owner = t_tid;
+  my_clock().join(m.clock);
+  my_view().join(m.view);
+}
+
+void Scheduler::cv_notify(CvState& cv, bool all) {
+  PendingOp p;
+  p.kind = OpKind::kCvNotify;
+  p.obj = &cv;
+  if (!yield_point(p)) return;  // abort: blocked threads already released
+  if (setup_like()) return;
+  my_clock().c[uz(t_tid)]++;
+  // No clock transfer: happens-before flows through the mutex relock, as
+  // with a real condition variable. Waiters wake FIFO, and notifying an
+  // empty waitset is a no-op — exactly the lost-wakeup mechanics.
+  std::lock_guard lk(mx_);
+  while (!cv.waiters.empty()) {
+    const int w = cv.waiters.front();
+    cv.waiters.erase(cv.waiters.begin());
+    ThreadRec& t = *threads_[static_cast<std::size_t>(w) - 1];
+    t.st = ThreadRec::St::kReady;
+    t.pending = PendingOp{};
+    t.pending.kind = OpKind::kMutexLock;
+    t.pending.obj = t.relock;
+    if (!all) break;
+  }
+}
+
+void Scheduler::cell_access(std::array<std::uint64_t, kMaxThreads>& reads,
+                            std::uint64_t& write_epoch, int& write_tid,
+                            bool is_write, const std::source_location& sl) {
+  const Mode md = mode_.load(std::memory_order_relaxed);
+  if (md == Mode::kAbort) return;
+  VectorClock& ck = my_clock();
+  ck.c[uz(t_tid)]++;
+  if (md == Mode::kExploring) {
+    const auto racy = [&](const char* what, int other) {
+      std::string msg = "data race on plain cell at ";
+      msg += path_basename(sl.file_name());
+      msg += ':';
+      msg += std::to_string(sl.line());
+      msg += " (t";
+      msg += std::to_string(t_tid);
+      msg += " vs t";
+      msg += std::to_string(other);
+      msg += "'s ";
+      msg += what;
+      msg += ')';
+      fail(msg);
+    };
+    if (write_tid != t_tid && write_epoch > ck.c[uz(write_tid)]) {
+      racy("write", write_tid);
+      return;
+    }
+    if (is_write) {
+      for (std::size_t t = 0; t < kMaxThreads; ++t) {
+        if (t != uz(t_tid) && reads[t] > ck.c[t]) {
+          racy("read", static_cast<int>(t));
+          return;
+        }
+      }
+    }
+  }
+  if (is_write) {
+    write_epoch = ck.c[uz(t_tid)];
+    write_tid = t_tid;
+  } else {
+    reads[uz(t_tid)] = ck.c[uz(t_tid)];
+  }
+}
+
+}  // namespace hal::mc

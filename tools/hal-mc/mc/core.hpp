@@ -1,0 +1,357 @@
+// hal-mc core: the bounded model checker's execution engine.
+//
+// hal-mc instantiates the protocol cores in src/common and src/am with
+// `ModelAtomics` (mc/atomic.hpp) instead of `StdAtomics` and explores the
+// interleavings of their visible operations exhaustively, under an
+// operational release/acquire memory model, so the memory orders the code
+// requests are shown SUFFICIENT (no reachable violation), not merely
+// unchanged (hal-lint HL007's job). docs/model-checking.md is the user
+// guide; this header is the engine contract.
+//
+// Memory model (view-based, per-location message lists):
+//   * Every atomic location carries its modification order as an appended
+//     message list. A store appends; an RMW reads the LAST message and
+//     appends (atomicity). A load may read any message at-or-after the
+//     reading thread's coherence floor for that location — each eligible
+//     message is an explored branch.
+//   * Messages carry a release view (location -> minimum message index)
+//     and a release vector clock. Acquire-or-stronger reads join both into
+//     the reader; release-or-stronger writes snapshot the writer's. RMWs
+//     continue release sequences: the new message inherits the view/clock
+//     of the message it replaced.
+//   * seq_cst is approximated by a global sc view joined into every sc
+//     operation before it runs, with sc writes (and reads) raising it: the
+//     single total order S is identified with the execution order. This is
+//     a strengthening of C++ seq_cst (some genuine sc behaviors where S
+//     diverges from execution order are not generated), so "no violation"
+//     claims are modulo this approximation — see docs/model-checking.md.
+//   * Plain data (mc::Cell) is race-checked with vector clocks; atomic
+//     construction and destruction are non-atomic accesses and are checked
+//     the same way (the Vyukov queue's node-init handoff depends on it).
+//
+// Exploration:
+//   * Stateless DFS over the choice tree: a thread choice before every
+//     visible operation, a value choice at every load with more than one
+//     eligible message. Replay is deterministic (no wall clock, no RNG).
+//   * Thread prologues (spawn up to the first visible operation) touch no
+//     shared state, so they are scheduled eagerly without a choice point —
+//     the only reduction applied, because it is the only one that is
+//     trivially sound under value choices (a load's eligible-message set
+//     depends on execution order, which defeats the usual commutation
+//     argument for pending-op independence).
+//   * A CHESS-style preemption bound caps schedule divergence; scenarios
+//     are sized so the bounded space is exhausted well inside CI budget.
+//   * Model threads are OS threads driven by a single run token: exactly
+//     one thread executes between choice points, so the engine's own state
+//     needs no synchronization beyond the handoff.
+//
+// Violations (lost element, duplicate take, data race, premature
+// quiescence, deadlock) abort the execution: the engine switches to a
+// serialized free-run mode so threads parked inside noexcept protocol code
+// unwind without exceptions, then reports the recorded trace.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <source_location>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hal::mc {
+
+inline constexpr std::size_t kMaxThreads = 8;
+
+/// Memory orders as plain ints (the engine never includes <atomic> values
+/// from call sites directly; mc/atomic.hpp maps std::memory_order here).
+namespace order {
+inline constexpr int kRelaxed = 0;
+inline constexpr int kConsume = 1;  ///< treated as acquire
+inline constexpr int kAcquire = 2;
+inline constexpr int kRelease = 3;
+inline constexpr int kAcqRel = 4;
+inline constexpr int kSeqCst = 5;
+}  // namespace order
+
+/// Per-thread epoch clock for happens-before (race detection).
+struct VectorClock {
+  std::array<std::uint64_t, kMaxThreads> c{};
+
+  void join(const VectorClock& o) {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+    }
+  }
+};
+
+/// Coherence floors: location id -> minimum eligible message index.
+struct View {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> floors;
+
+  std::uint32_t get(std::uint32_t loc) const {
+    for (const auto& [l, f] : floors) {
+      if (l == loc) return f;
+    }
+    return 0;
+  }
+  void raise(std::uint32_t loc, std::uint32_t idx) {
+    for (auto& [l, f] : floors) {
+      if (l == loc) {
+        if (idx > f) f = idx;
+        return;
+      }
+    }
+    floors.emplace_back(loc, idx);
+  }
+  void join(const View& o) {
+    for (const auto& [l, f] : o.floors) raise(l, f);
+  }
+};
+
+/// One entry of a location's modification order.
+struct Msg {
+  std::uint64_t val = 0;
+  View view;       ///< floors an acquirer of this message inherits
+  VectorClock hb;  ///< clock an acquirer of this message joins
+};
+
+class Scheduler;
+
+/// Model state of one atomic location (owned by an mc::Atomic cell).
+struct Location {
+  std::uint32_t id = 0;
+  int creator = -1;
+  std::uint64_t create_epoch = 0;
+  std::vector<Msg> msgs;
+  // Last access epoch per thread, for the destruction-race check.
+  std::array<std::uint64_t, kMaxThreads> access{};
+};
+
+enum class OpKind : std::uint8_t {
+  kBegin,
+  kAtomic,
+  kMutexLock,
+  kMutexUnlock,
+  kCvWait,
+  kCvNotify,
+};
+
+struct PendingOp {
+  OpKind kind = OpKind::kBegin;
+  std::uint32_t loc = 0;       ///< atomic ops: location id
+  bool write = false;          ///< atomic ops: store or RMW
+  bool sc = false;             ///< atomic ops: seq_cst
+  const void* obj = nullptr;   ///< mutex/cv ops: primitive identity
+};
+
+/// Model mutex (mc/sync.hpp wraps this with a std::mutex-shaped API).
+struct MutexState {
+  int owner = -1;
+  VectorClock clock;
+  View view;
+};
+
+/// Model condition variable: FIFO waiter list, no spurious wakeups (a lost
+/// wakeup therefore manifests as a deadlock, which the engine reports).
+struct CvState {
+  std::vector<int> waiters;
+};
+
+/// Thrown by MC_ASSERT out of scenario code when an invariant fails; the
+/// engine records the violation first, so catchers just unwind.
+struct McAbort {};
+
+/// A memory-order mutation: downgrade `op` accesses matching the site key
+/// (file basename substring, enclosing-function substring, op name,
+/// requested order) to `to`. Used to prove each order is load-bearing.
+struct Mutation {
+  const char* file = nullptr;
+  const char* func = nullptr;
+  const char* op = nullptr;
+  int from = 0;  ///< std::memory_order as int (avoid header dependency)
+  int to = 0;
+};
+
+struct Violation {
+  std::string what;
+  std::vector<std::string> trace;
+};
+
+/// One model thread's engine-side record.
+struct ThreadRec {
+  int tid = -1;
+  std::function<void()> fn;
+  std::thread os;
+  VectorClock clock;
+  View view;
+  enum class St : std::uint8_t {
+    kReady,      ///< parked at a choice boundary, pending op announced
+    kRunning,    ///< holds the run token
+    kBlockedCv,  ///< in a cv waitset; enabled only after a notify
+    kFinished,
+  } st = St::kReady;
+  PendingOp pending;
+  const MutexState* relock = nullptr;  ///< cv wait: mutex to reacquire
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    std::uint32_t preemption_bound = 3;
+    std::uint64_t max_steps = 50000;
+    bool trace = false;  ///< record a per-op trace (replay-only: costly)
+  };
+
+  explicit Scheduler(Options opt) : opt_(opt) {}
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  // --- exploration lifecycle (driven by mc/explore.cpp) ----------------
+  /// Reset per-execution state and install this scheduler as current.
+  void begin_execution(const std::vector<std::uint32_t>& prefix);
+  /// Register a model thread (call between begin_execution and run_all).
+  void spawn(std::function<void()> fn);
+  /// Run every registered thread to completion under the DFS schedule.
+  void run_all();
+  /// After run_all: joins clocks/views into the runner and enters post-run
+  /// mode (loads read latest, no choices) for final checks and dtors.
+  void finish_execution();
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& trail() const {
+    return trail_;
+  }
+  const std::optional<Violation>& violation() const { return violation_; }
+  bool step_cap_hit() const { return step_cap_hit_; }
+
+  // --- mutation --------------------------------------------------------
+  static void set_mutation(const Mutation* m);  // nullptr = none
+  static std::uint64_t mutation_hits();
+
+  // --- called from model code (mc/atomic.hpp, mc/sync.hpp) -------------
+  static Scheduler* current();
+
+  std::uint32_t register_location(Location& loc);
+  void destroy_location(Location& loc);
+
+  std::uint64_t atomic_load(Location& loc, int mo,
+                            const std::source_location& sl, const char* op);
+  void atomic_store(Location& loc, std::uint64_t v, int mo,
+                    const std::source_location& sl);
+  /// Generic RMW: `f` maps the read value to the stored value.
+  std::uint64_t atomic_rmw(Location& loc,
+                           const std::function<std::uint64_t(std::uint64_t)>& f,
+                           int mo, const std::source_location& sl,
+                           const char* op);
+  /// CAS: returns read value and success flag; on failure only reads the
+  /// latest message (documented strengthening: no stale-read failures and
+  /// no spurious weak-CAS failures are generated). Pass failure_mo = -1 to
+  /// derive it from the (possibly mutated) success order as the one-order
+  /// std overload does.
+  std::pair<std::uint64_t, bool> atomic_cas(Location& loc,
+                                            std::uint64_t expected,
+                                            std::uint64_t desired,
+                                            int success_mo, int failure_mo,
+                                            const std::source_location& sl,
+                                            const char* op);
+
+  void mutex_lock(MutexState& m);
+  void mutex_unlock(MutexState& m);
+  void cv_wait(CvState& cv, MutexState& m);
+  void cv_notify(CvState& cv, bool all);
+
+  /// Plain-data race check (mc::Cell). Non-throwing: a detected race is
+  /// recorded and the execution aborts into free-run mode.
+  void cell_access(std::array<std::uint64_t, kMaxThreads>& reads,
+                   std::uint64_t& write_epoch, int& write_tid, bool is_write,
+                   const std::source_location& sl);
+
+  /// Scenario-invariant failure: records the violation and throws McAbort
+  /// (call only from exception-tolerant scenario code).
+  [[noreturn]] void scenario_violation(const std::string& what,
+                                       const std::source_location& sl);
+  /// Record a violation without throwing (engine-internal detections).
+  void record_violation(const std::string& what);
+  bool aborted() const {
+    return mode_.load(std::memory_order_relaxed) == Mode::kAbort;
+  }
+
+  void trace_note(const std::string& line);
+
+ private:
+  enum class Mode : std::uint8_t { kSetup, kExploring, kAbort, kPostRun };
+
+  ThreadRec& self();
+  bool setup_like() const {
+    const Mode m = mode_.load(std::memory_order_relaxed);
+    return m == Mode::kSetup || m == Mode::kPostRun;
+  }
+  /// Announce a pending op, run the thread-choice point, park until this
+  /// thread holds the run token again. Returns false in abort mode (the
+  /// caller executes minimal free-run semantics).
+  bool yield_point(const PendingOp& op);
+  /// Pick the next thread to run (token holder context, mx_ held).
+  void choose_next_locked();
+  std::uint32_t choose(std::uint32_t noptions);
+  void enter_abort_locked();
+  /// Record a violation (first wins) and flip to abort mode. Token-holder
+  /// context only; takes mx_ itself.
+  void fail(const std::string& what);
+  bool enabled_locked(const ThreadRec& t) const;
+
+  VectorClock& my_clock();
+  View& my_view();
+  /// Init-race + access-mark bookkeeping shared by every atomic op.
+  /// Returns false when the op found a violation (engine is now aborting).
+  bool pre_op(Location& loc, const std::source_location& sl);
+  void trace_op(const Location& loc, const std::source_location& sl,
+                const char* op, int mo, std::uint64_t val, bool extra_note,
+                const char* note);
+
+  Options opt_;
+
+  // Engine state, touched only by the token holder (or the runner while
+  // no thread runs). The std::mutex below protects ONLY the handoff.
+  std::vector<std::unique_ptr<ThreadRec>> threads_;
+  VectorClock runner_clock_;
+  View runner_view_;
+  View sc_view_;
+  std::uint32_t next_loc_id_ = 0;
+  std::uint64_t steps_ = 0;
+  bool step_cap_hit_ = false;
+  // Atomic only for the abort/free-run phase, where finished threads race
+  // to read it; everywhere else it changes under the run token or mx_.
+  std::atomic<Mode> mode_{Mode::kSetup};
+  int cur_ = -1;  ///< last thread scheduled for a real op (preemption acct)
+  std::uint32_t preemptions_ = 0;
+
+  std::vector<std::uint32_t> prefix_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> trail_;  // (n, chosen)
+
+  std::optional<Violation> violation_;
+  std::vector<std::string> trace_;
+
+  std::mutex mx_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+}  // namespace hal::mc
+
+/// Scenario-code invariant. On failure records a violation (with the
+/// current trace) and unwinds the calling thread via McAbort.
+#define MC_ASSERT(cond, what)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::hal::mc::Scheduler* mc_s = ::hal::mc::Scheduler::current();    \
+      if (mc_s != nullptr && !mc_s->aborted()) {                       \
+        mc_s->scenario_violation((what), std::source_location::current()); \
+      }                                                                \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,115 @@
+#include "mc/explore.hpp"
+
+#include <utility>
+
+namespace hal::mc {
+
+std::vector<Scenario>& registry() {
+  static std::vector<Scenario> r;
+  return r;
+}
+
+Register::Register(Scenario s) { registry().push_back(std::move(s)); }
+
+namespace {
+
+struct RunOutcome {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> trail;
+  bool violation = false;
+  Violation v;
+  bool step_capped = false;
+};
+
+RunOutcome run_once(const Scenario& scenario, Scheduler::Options opt,
+                    const std::vector<std::uint32_t>& prefix) {
+  Scheduler sched(opt);
+  sched.begin_execution(prefix);
+  Sim sim(sched);
+  scenario.body(sim);  // setup + spawns (threads wait for the schedule)
+  sched.run_all();
+  sched.finish_execution();
+  if (!sched.violation().has_value()) {
+    for (const auto& hook : sim.finishers()) {
+      try {
+        hook();
+      } catch (const McAbort&) {
+        break;  // violation recorded by MC_ASSERT
+      }
+    }
+  }
+  // Drop the scenario's lambdas (and with them the shared state) while the
+  // scheduler is still alive: destructors run under post-run semantics and
+  // keep their destruction-race checks.
+  sim.clear();
+  RunOutcome out;
+  out.trail = sched.trail();
+  out.step_capped = sched.step_cap_hit();
+  if (sched.violation().has_value()) {
+    out.violation = true;
+    out.v = *sched.violation();
+  }
+  return out;
+}
+
+/// Next DFS prefix: deepest choice with an unexplored sibling, advanced by
+/// one. Empty optional = the whole bounded tree is explored.
+bool next_prefix(const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                     trail,
+                 std::vector<std::uint32_t>& prefix) {
+  for (std::size_t i = trail.size(); i-- > 0;) {
+    const auto [n, chosen] = trail[i];
+    if (chosen + 1 < n) {
+      prefix.clear();
+      for (std::size_t j = 0; j < i; ++j) prefix.push_back(trail[j].second);
+      prefix.push_back(chosen + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ExploreResult explore(const Scenario& scenario, const ExploreOverrides& ov) {
+  Scheduler::Options opt;
+  opt.preemption_bound = ov.preemption_bound != 0 ? ov.preemption_bound
+                                                  : scenario.preemption_bound;
+  opt.max_steps = ov.max_steps != 0 ? ov.max_steps : scenario.max_steps;
+  const std::uint64_t max_execs =
+      ov.max_executions != 0 ? ov.max_executions : scenario.max_executions;
+
+  ExploreResult r;
+  std::vector<std::uint32_t> prefix;
+  for (;;) {
+    RunOutcome out = run_once(scenario, opt, prefix);
+    ++r.executions;
+    if (out.step_capped) r.step_capped = true;
+    if (out.violation) {
+      r.violation_found = true;
+      r.violation = std::move(out.v);
+      if (r.violation.trace.empty()) {
+        // Replay the same schedule with tracing on for a readable report.
+        Scheduler::Options topt = opt;
+        topt.trace = true;
+        std::vector<std::uint32_t> replay;
+        replay.reserve(out.trail.size());
+        for (const auto& [n, chosen] : out.trail) replay.push_back(chosen);
+        RunOutcome traced = run_once(scenario, topt, replay);
+        if (traced.violation) r.violation = std::move(traced.v);
+      }
+      break;
+    }
+    if (r.executions >= max_execs) {
+      r.exec_capped = true;
+      break;
+    }
+    if (!next_prefix(out.trail, prefix)) {
+      r.exhausted = !r.step_capped;
+      break;
+    }
+  }
+  r.mutation_hits = Scheduler::mutation_hits();
+  return r;
+}
+
+}  // namespace hal::mc

@@ -1,0 +1,102 @@
+// Scenario registry and the DFS exploration driver.
+//
+// A Scenario's body runs once per execution on the exploring thread: it
+// builds the shared state (kept alive by shared_ptr captures), spawns the
+// model threads, and registers finish() hooks that assert whole-execution
+// invariants in post-run mode (loads read the final value, the runner has
+// joined every thread). explore() then enumerates schedules depth-first
+// until the bounded space is exhausted, a violation is found, or the
+// execution cap trips.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mc/core.hpp"
+
+namespace hal::mc {
+
+class Sim {
+ public:
+  explicit Sim(Scheduler& sched) : sched_(sched) {}
+
+  /// Spawn a model thread running `fn` under the explored schedule.
+  void thread(std::function<void()> fn) { sched_.spawn(std::move(fn)); }
+
+  /// Register a post-run invariant hook (runs after every thread joined,
+  /// skipped when the execution already aborted with a violation).
+  void finish(std::function<void()> fn) {
+    finishers_.push_back(std::move(fn));
+  }
+
+  /// Annotate the trace (no-op unless tracing is on).
+  void note(const std::string& line) { sched_.trace_note(line); }
+
+  // Explorer side.
+  const std::vector<std::function<void()>>& finishers() const {
+    return finishers_;
+  }
+  void clear() { finishers_.clear(); }
+
+ private:
+  Scheduler& sched_;
+  std::vector<std::function<void()>> finishers_;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::function<void(Sim&)> body;
+  /// True for regression scenarios that reproduce a known-bad protocol
+  /// (e.g. the PR 8 pre-fix park loop): the checker must find a violation.
+  bool expect_violation = false;
+  /// Per-scenario bounds (the CLI can override).
+  std::uint32_t preemption_bound = 3;
+  std::uint64_t max_executions = 200000;
+  std::uint64_t max_steps = 20000;
+};
+
+struct ExploreResult {
+  std::uint64_t executions = 0;
+  bool exhausted = false;      ///< full bounded space covered
+  bool step_capped = false;    ///< some execution hit max_steps
+  bool exec_capped = false;    ///< stopped at max_executions
+  bool violation_found = false;
+  Violation violation;         ///< valid iff violation_found
+  std::uint64_t mutation_hits = 0;
+};
+
+struct ExploreOverrides {
+  std::uint32_t preemption_bound = 0;  ///< 0 = scenario default
+  std::uint64_t max_executions = 0;
+  std::uint64_t max_steps = 0;
+};
+
+/// Run the bounded DFS for one scenario. Stops at the first violation and
+/// re-executes that schedule with tracing on, so the returned violation
+/// carries a full per-op trace.
+ExploreResult explore(const Scenario& scenario,
+                      const ExploreOverrides& ov = {});
+
+/// Global scenario registry (populated by static Register objects in
+/// scenarios/*.cpp).
+std::vector<Scenario>& registry();
+
+struct Register {
+  explicit Register(Scenario s);
+};
+
+/// One entry of the mutation matrix (scenarios/mutants.cpp): downgrade one
+/// memory order inside a protocol and name the scenario that must catch it.
+struct MutantDef {
+  const char* name;      ///< stable CLI id, e.g. "mpsc_push_link_relaxed"
+  Mutation mutation;
+  const char* scenario;  ///< scenario expected to report a violation
+  const char* expect;    ///< one-line description of the expected failure
+};
+
+const std::vector<MutantDef>& mutants();
+
+}  // namespace hal::mc

@@ -1,0 +1,107 @@
+// Scenario: the run-token state machine (am/run_token.hpp) with inline
+// runners — the thread that wins publish() executes the node's quantum
+// itself, exactly like an MnMachine worker that popped the token.
+//
+// The mailbox is modeled by a bit-mask Atomic with release deposits and an
+// acquire drain (the real MPSC queue carries its payloads the same way),
+// so the WORK cells always ride the mailbox edge. The `quantum_log` Cell
+// is different: it models the node's single-writer plain state (kernel,
+// probes, buffer pool) that is read and written by every quantum and is
+// handed between successive token owners ONLY through the cell's seq_cst
+// RMW chain (run_token.hpp header). The run-token mutants sever exactly
+// that chain — begin_quantum() losing its acquire half, retire losing its
+// release half — and show up as a data race on quantum_log.
+//
+// Checked properties:
+//   * exactly-one-runner: the runners counter is 0 at every quantum start;
+//   * no lost unit: at the end every deposited bit was drained, the mask
+//     is empty and the token is idle;
+//   * race-free owner handoff of quantum_log.
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "am/run_token.hpp"
+#include "mc/atomic.hpp"
+#include "mc/explore.hpp"
+#include "mc/sync.hpp"
+
+namespace hal::mc {
+namespace {
+
+struct TokenState {
+  am::RunTokenCell<ModelAtomics> token;
+  Atomic<std::uint64_t> mask{0};  ///< the node's mailbox, one bit per unit
+  std::array<Cell<std::uint64_t>, 2> work;
+  Cell<std::uint64_t> quantum_log{0};  ///< runner-only plain state
+  Atomic<std::uint64_t> runners{0};
+  Atomic<std::uint64_t> processed{0};
+};
+
+void run_node(const std::shared_ptr<TokenState>& st) {
+  MC_ASSERT(st->runners.fetch_add(1, std::memory_order_relaxed) == 0,
+            "run_token: two quanta running concurrently");
+  st->token.begin_quantum();
+  for (;;) {
+    // Single-writer state handed over by the token cell's RMW chain.
+    st->quantum_log.set(st->quantum_log.get() + 1);
+    for (std::uint64_t m =
+             st->mask.exchange(0, std::memory_order_acq_rel);
+         m != 0; m = st->mask.exchange(0, std::memory_order_acq_rel)) {
+      if ((m & 1) != 0) {
+        MC_ASSERT(st->work[0].get() == 10, "run_token: unit 0 payload lost");
+        st->processed.fetch_add(1, std::memory_order_relaxed);
+      }
+      if ((m & 2) != 0) {
+        MC_ASSERT(st->work[1].get() == 20, "run_token: unit 1 payload lost");
+        st->processed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    st->runners.fetch_sub(1, std::memory_order_relaxed);
+    if (!st->token.retire_or_requeue()) return;  // node went idle
+    // A sender flagged new work mid-quantum: the token is back to kQueued
+    // and this worker runs the next quantum itself.
+    MC_ASSERT(st->runners.fetch_add(1, std::memory_order_relaxed) == 0,
+              "run_token: two quanta running concurrently (requeue)");
+    st->token.begin_quantum();
+  }
+}
+
+void run_token_exclusive(Sim& sim) {
+  auto st = std::make_shared<TokenState>();
+
+  sim.thread([st] {  // sender 1: deposit unit 0, publish, maybe run
+    st->work[0].set(10);
+    st->mask.fetch_add(1, std::memory_order_release);
+    if (st->token.publish()) run_node(st);
+  });
+  sim.thread([st] {  // sender 2: deposit unit 1, publish, maybe run
+    st->work[1].set(20);
+    st->mask.fetch_add(2, std::memory_order_release);
+    if (st->token.publish()) run_node(st);
+  });
+
+  sim.finish([st] {
+    MC_ASSERT(st->mask.load() == 0,
+              "run_token: unit stranded in an unscheduled mailbox");
+    MC_ASSERT(st->token.idle(), "run_token: token leaked (not idle)");
+    MC_ASSERT(st->processed.load() == 2,
+              "run_token: deposited unit never processed");
+    MC_ASSERT(st->runners.load() == 0, "run_token: runner count leaked");
+  });
+}
+
+const Register reg{Scenario{
+    .name = "run_token_exclusive",
+    .description = "run-token cell: 2 senders with inline runners; exactly "
+                   "one quantum at a time, no stranded unit, race-free "
+                   "owner handoff of plain node state",
+    .body = run_token_exclusive,
+    .expect_violation = false,
+    .preemption_bound = 3,
+    .max_executions = 600000,
+    .max_steps = 20000,
+}};
+
+}  // namespace
+}  // namespace hal::mc

@@ -1,0 +1,121 @@
+// Scenarios: the Chase–Lev work-stealing deque (common/ws_deque.hpp).
+//
+// ws_deque_publish — push_bottom / steal_top publication: a thief that
+// takes an item must see the buffer slot and the item's side payload
+// race-free (the push's release store of bottom_ carries both).
+//
+// ws_deque_owner_vs_thief — the pop_bottom / steal_top exclusion: owner
+// pops its two items while a thief steals; every item is taken exactly
+// once. This is the seq_cst store-buffering argument (pop_bottom's
+// bottom_.store(seq_cst) vs steal_top's loads): downgrading either side
+// lets the owner and the thief both take the same item.
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/ws_deque.hpp"
+#include "mc/atomic.hpp"
+#include "mc/explore.hpp"
+#include "mc/sync.hpp"
+
+namespace hal::mc {
+namespace {
+
+struct WsState {
+  WsDeque<std::uint64_t, ModelAtomics> d{8};  // tiny power-of-two buffer
+  std::array<std::uint64_t, 2> items{7, 9};
+  std::array<Cell<std::uint64_t>, 2> payload;
+  // Single-writer records, read by the post-run hook.
+  std::uint64_t* thief_got = nullptr;
+  std::array<std::uint64_t*, 2> owner_got{};
+};
+
+void ws_deque_publish(Sim& sim) {
+  auto st = std::make_shared<WsState>();
+
+  sim.thread([st] {  // owner: publish one item
+    st->payload[0].set(70);
+    st->d.push_bottom(&st->items[0]);
+  });
+  sim.thread([st] {  // thief: one steal attempt
+    std::uint64_t* p = st->d.steal_top();
+    if (p != nullptr) {
+      MC_ASSERT(p == &st->items[0], "ws_deque: stole an unknown item");
+      MC_ASSERT(*p == 7, "ws_deque: stolen item not initialized");
+      MC_ASSERT(st->payload[0].get() == 70,
+                "ws_deque: stolen item's payload unreadable");
+    }
+    st->thief_got = p;
+  });
+
+  sim.finish([st] {
+    std::uint64_t* rest = st->d.pop_bottom();
+    const int taken = (st->thief_got != nullptr ? 1 : 0) +
+                      (rest != nullptr ? 1 : 0);
+    MC_ASSERT(taken == 1, "ws_deque: pushed item lost or duplicated");
+    MC_ASSERT(st->d.pop_bottom() == nullptr, "ws_deque: phantom item");
+  });
+}
+
+void ws_deque_owner_vs_thief(Sim& sim) {
+  auto st = std::make_shared<WsState>();
+
+  sim.thread([st] {  // owner: push two, then pop both back
+    st->payload[0].set(70);
+    st->d.push_bottom(&st->items[0]);
+    st->payload[1].set(90);
+    st->d.push_bottom(&st->items[1]);
+    st->owner_got[0] = st->d.pop_bottom();
+    st->owner_got[1] = st->d.pop_bottom();
+  });
+  sim.thread([st] {  // thief: one steal attempt
+    std::uint64_t* p = st->d.steal_top();
+    if (p != nullptr) {
+      MC_ASSERT(st->payload[p == &st->items[0] ? 0 : 1].get() ==
+                    (p == &st->items[0] ? 70 : 90),
+                "ws_deque: stolen item's payload unreadable");
+    }
+    st->thief_got = p;
+  });
+
+  sim.finish([st] {
+    std::array<int, 2> taken{};
+    const auto count = [&](std::uint64_t* p) {
+      if (p == nullptr) return;
+      MC_ASSERT(p == &st->items[0] || p == &st->items[1],
+                "ws_deque: took an unknown item");
+      taken[p == &st->items[0] ? 0 : 1]++;
+    };
+    count(st->thief_got);
+    count(st->owner_got[0]);
+    count(st->owner_got[1]);
+    while (std::uint64_t* p = st->d.pop_bottom()) count(p);
+    MC_ASSERT(taken[0] == 1, "ws_deque: item 0 lost or taken twice");
+    MC_ASSERT(taken[1] == 1, "ws_deque: item 1 lost or taken twice");
+  });
+}
+
+const Register reg_publish{Scenario{
+    .name = "ws_deque_publish",
+    .description = "Chase-Lev deque: push_bottom publication to a "
+                   "concurrent thief (release bottom_ store)",
+    .body = ws_deque_publish,
+    .expect_violation = false,
+    .preemption_bound = 3,
+    .max_executions = 400000,
+    .max_steps = 20000,
+}};
+
+const Register reg_owner_thief{Scenario{
+    .name = "ws_deque_owner_vs_thief",
+    .description = "Chase-Lev deque: owner pop_bottom vs thief steal_top "
+                   "seq_cst exclusion; each item taken exactly once",
+    .body = ws_deque_owner_vs_thief,
+    .expect_violation = false,
+    .preemption_bound = 3,
+    .max_executions = 600000,
+    .max_steps = 20000,
+}};
+
+}  // namespace
+}  // namespace hal::mc
